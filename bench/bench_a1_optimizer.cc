@@ -1,0 +1,119 @@
+// A1 — ablation for the paper's §1 claim that XQuery is "carefully
+// designed to be highly optimisable": the same compiled query evaluated
+// with and without the rewrite optimizer. The paper's plug-in compiles a
+// page's prolog once and re-runs listeners on every event, so rewrite
+// cost is paid once and saved work repeats per event.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "xml/xml_parser.h"
+#include "xquery/engine.h"
+
+namespace {
+
+using xqib::xquery::CompileOptions;
+using xqib::xquery::DynamicContext;
+using xqib::xquery::Engine;
+
+std::unique_ptr<xqib::xml::Document> MakeDoc(int items) {
+  std::ostringstream out;
+  out << "<catalog>";
+  for (int i = 0; i < items; ++i) {
+    out << "<item n=\"" << i << "\"><price>" << (i % 50) << "</price>"
+        << "</item>";
+  }
+  out << "</catalog>";
+  return std::move(xqib::xml::ParseDocument(out.str())).value();
+}
+
+// A listener-style query with foldable constants and a count()>0 guard —
+// the shape page scripts take after template expansion.
+const char* kQuery = R"(
+  if (count(//item[xs:integer(string(price)) > (10 + 15)]) > 0)
+  then
+    for $i in //item
+    where xs:integer(string($i/price)) > (2 * 10 + 5)
+    return <hit n="{string($i/@n)}">{(1 + 1) * 2}</hit>
+  else ()
+)";
+
+void RunQuery(benchmark::State& state, bool optimize) {
+  auto doc = MakeDoc(static_cast<int>(state.range(0)));
+  Engine engine;
+  CompileOptions options;
+  options.optimize = optimize;
+  auto q = engine.Compile(kQuery, options);
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  DynamicContext ctx;
+  DynamicContext::Focus f;
+  f.item = xqib::xdm::Item::Node(doc->root());
+  f.position = 1;
+  f.size = 1;
+  f.has_item = true;
+  ctx.set_focus(f);
+  for (auto _ : state) {
+    auto r = (*q)->Run(ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rewrites"] =
+      static_cast<double>((*q)->optimizer_stats().total());
+}
+
+void BM_A1_Unoptimized(benchmark::State& state) { RunQuery(state, false); }
+BENCHMARK(BM_A1_Unoptimized)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_A1_Optimized(benchmark::State& state) { RunQuery(state, true); }
+BENCHMARK(BM_A1_Optimized)->Arg(100)->Arg(1000)->Arg(10000);
+
+// Constant-heavy hot loop: where folding pays per iteration.
+void RunLoop(benchmark::State& state, bool optimize) {
+  Engine engine;
+  CompileOptions options;
+  options.optimize = optimize;
+  auto q = engine.Compile(
+      "sum(for $i in 1 to " + std::to_string(state.range(0)) +
+      " return $i * (2 + 3) - (10 idiv 5))");
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    DynamicContext ctx;
+    auto r = (*q)->Run(ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_A1_HotLoopUnoptimized(benchmark::State& state) {
+  RunLoop(state, false);
+}
+BENCHMARK(BM_A1_HotLoopUnoptimized)->Arg(1000)->Arg(100000);
+
+void BM_A1_HotLoopOptimized(benchmark::State& state) {
+  RunLoop(state, true);
+}
+BENCHMARK(BM_A1_HotLoopOptimized)->Arg(1000)->Arg(100000);
+
+// Compilation overhead of the optimizer itself (paid once per page).
+void BM_A1_CompileCost(benchmark::State& state) {
+  bool optimize = state.range(0) == 1;
+  Engine engine;
+  CompileOptions options;
+  options.optimize = optimize;
+  for (auto _ : state) {
+    auto q = engine.Compile(kQuery, options);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_A1_CompileCost)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,135 @@
+// A2 — Update Facility snapshot semantics (§3.2) vs Scripting Extension
+// statement-boundary semantics (§3.3): k insertions applied as one
+// pending-update-list batch vs k sequential statements each applying its
+// own PUL. Also the imperative MiniJS equivalent for scale.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "app/environment.h"
+#include "xml/xml_parser.h"
+#include "xquery/engine.h"
+
+namespace {
+
+using xqib::xquery::DynamicContext;
+using xqib::xquery::Engine;
+
+void FocusOn(DynamicContext* ctx, xqib::xml::Document* doc) {
+  DynamicContext::Focus f;
+  f.item = xqib::xdm::Item::Node(doc->root());
+  f.position = 1;
+  f.size = 1;
+  f.has_item = true;
+  ctx->set_focus(f);
+}
+
+// One snapshot: a single FLWOR producing k insert primitives, applied
+// together at the end (the Update Facility model).
+void BM_A2_SnapshotBatch(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Engine engine;
+  auto q = engine.Compile("for $i in 1 to " + std::to_string(k) +
+                          " return insert node <row/> into /root");
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto doc = std::move(xqib::xml::ParseDocument("<root/>")).value();
+    DynamicContext ctx;
+    FocusOn(&ctx, doc.get());
+    auto r = (*q)->Run(ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.counters["updates"] = k;
+}
+BENCHMARK(BM_A2_SnapshotBatch)->Arg(10)->Arg(100)->Arg(1000);
+
+// Scripting: a while loop whose body applies its PUL at every statement
+// boundary — each insertion becomes immediately visible (§3.3), at the
+// cost of k PUL applications.
+void BM_A2_ScriptingStatements(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  Engine engine;
+  auto q = engine.Compile(
+      "{ declare variable $i := 0;"
+      "  while ($i < " + std::to_string(k) + ") {"
+      "    insert node <row/> into /root;"
+      "    set $i := $i + 1;"
+      "  };"
+      "  count(/root/row) }");
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto doc = std::move(xqib::xml::ParseDocument("<root/>")).value();
+    DynamicContext ctx;
+    FocusOn(&ctx, doc.get());
+    auto r = (*q)->Run(ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+  state.counters["updates"] = k;
+}
+BENCHMARK(BM_A2_ScriptingStatements)->Arg(10)->Arg(100)->Arg(1000);
+
+// Imperative baseline: the same k insertions through MiniJS DOM calls.
+void BM_A2_MiniJsAppend(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  xqib::app::BrowserEnvironment env;
+  xqib::Status st = env.LoadPage("http://bench.example.com/",
+                                 "<html><body><div id=\"root\"/>"
+                                 "</body></html>");
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  st = env.js()->Execute(env.window(), R"(
+    function fill(k) {
+      var root = document.getElementById('root');
+      for (var i = 0; i < k; i++) {
+        root.appendChild(document.createElement('row'));
+      }
+    })");
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  std::string call = "fill(" + std::to_string(k) + ");";
+  for (auto _ : state) {
+    st = env.js()->Execute(env.window(), call);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  state.counters["updates"] = k;
+}
+BENCHMARK(BM_A2_MiniJsAppend)->Arg(10)->Arg(100)->Arg(1000);
+
+// PUL compatibility checking cost: many primitives on distinct targets.
+void BM_A2_PulCompatibilityCheck(benchmark::State& state) {
+  int k = static_cast<int>(state.range(0));
+  std::ostringstream xml;
+  xml << "<root>";
+  for (int i = 0; i < k; ++i) xml << "<e n=\"" << i << "\"/>";
+  xml << "</root>";
+  Engine engine;
+  auto q = engine.Compile(
+      "for $e in /root/e return rename node $e as \"renamed\"");
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto doc = std::move(xqib::xml::ParseDocument(xml.str())).value();
+    DynamicContext ctx;
+    FocusOn(&ctx, doc.get());
+    auto r = (*q)->Run(ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_A2_PulCompatibilityCheck)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// F2 — Figure 2 (Elsevier Reference 2.0 server-to-client migration):
+// the off-loading experiment. The same browsing session runs against
+// the original server-side deployment and the migrated client-side
+// deployment; counters report what reaches the server (requests, bytes,
+// simulated network latency). The paper's claim: with XQuery in the
+// browser plus whole-document caching, "most user requests can be
+// processed without any interaction with the Elsevier server".
+
+#include <benchmark/benchmark.h>
+
+#include "app/elsevier.h"
+
+namespace {
+
+using xqib::app::BrowserEnvironment;
+namespace elsevier = xqib::app::elsevier;
+
+void RunDeployment(benchmark::State& state,
+                   elsevier::Deployment deployment) {
+  int interactions = static_cast<int>(state.range(0));
+  elsevier::CorpusOptions corpus;
+  elsevier::SessionReport last;
+  for (auto _ : state) {
+    BrowserEnvironment env;
+    xqib::Status st = elsevier::BuildCorpus(&env.store(), corpus);
+    if (st.ok()) st = elsevier::DeployServer(&env.store(), &env.fabric());
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    auto report =
+        elsevier::RunSession(&env, deployment, corpus, interactions);
+    if (!report.ok()) {
+      state.SkipWithError(report.status().ToString().c_str());
+      return;
+    }
+    last = *report;
+  }
+  state.counters["server_requests"] = static_cast<double>(last.requests);
+  state.counters["bytes_shipped"] = static_cast<double>(last.bytes);
+  state.counters["sim_net_ms"] = last.latency_ms;
+  state.counters["req_per_interaction"] =
+      static_cast<double>(last.requests) /
+      static_cast<double>(interactions);
+}
+
+void BM_Fig2_ServerSide(benchmark::State& state) {
+  RunDeployment(state, elsevier::Deployment::kServerSide);
+}
+BENCHMARK(BM_Fig2_ServerSide)->Arg(5)->Arg(20)->Arg(50);
+
+void BM_Fig2_ClientSide(benchmark::State& state) {
+  RunDeployment(state, elsevier::Deployment::kClientSide);
+}
+BENCHMARK(BM_Fig2_ClientSide)->Arg(5)->Arg(20)->Arg(50);
+
+// Ablation: client-side WITHOUT the whole-document cache — refetching
+// the corpus per interaction. Shows the §6.1 adjustment ("serve whole
+// documents ... to better enable caching") is what makes the migration
+// pay off, not client-side execution alone.
+void BM_Fig2_ClientNoCache(benchmark::State& state) {
+  int interactions = static_cast<int>(state.range(0));
+  elsevier::CorpusOptions corpus;
+  uint64_t requests = 0;
+  double latency = 0;
+  for (auto _ : state) {
+    BrowserEnvironment env;
+    xqib::Status st = elsevier::BuildCorpus(&env.store(), corpus);
+    if (st.ok()) st = elsevier::DeployServer(&env.store(), &env.fabric());
+    if (!st.ok()) {
+      state.SkipWithError(st.ToString().c_str());
+      return;
+    }
+    // The uncached client page: every view re-fetches the corpus.
+    xqib::Status load = env.LoadPage(
+        "http://elsevier.example.com/nocache.xhtml",
+        R"(<html><head><script type="text/xqueryp"><![CDATA[
+declare updating function local:show($evt, $obj) {
+  delete nodes //div[@id="view"]/*;
+  insert node <h1 id="title">{
+      string(http:get("http://elsevier.example.com/corpus.xml")
+        //article[@id=string($obj/@article)]/title)
+    }</h1> into //div[@id="view"]
+};
+insert node <ul id="toc">{
+    for $a in http:get("http://elsevier.example.com/corpus.xml")//article
+    return <li><span id="link-{$a/@id}" article="{$a/@id}"/></li>
+  }</ul> into /html/body;
+on event "onclick" at //ul[@id="toc"]//span attach listener local:show
+]]></script></head><body><div id="view"/></body></html>)");
+    if (!load.ok()) {
+      state.SkipWithError(load.ToString().c_str());
+      return;
+    }
+    auto ids = elsevier::ArticleIds(corpus);
+    for (int i = 0; i < interactions; ++i) {
+      xqib::Status click =
+          env.ClickId("link-" + ids[static_cast<size_t>(i) % ids.size()]);
+      if (!click.ok()) {
+        state.SkipWithError(click.ToString().c_str());
+        return;
+      }
+    }
+    requests = env.fabric().stats().requests;
+    latency = env.fabric().stats().simulated_latency_ms;
+  }
+  state.counters["server_requests"] = static_cast<double>(requests);
+  state.counters["sim_net_ms"] = latency;
+}
+BENCHMARK(BM_Fig2_ClientNoCache)->Arg(5)->Arg(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,148 @@
+// F3 — Figure 3 (Maps/weather mash-up): JavaScript and XQuery listening
+// to the same events on one DOM. Measures coexistence overhead (event
+// fan-out to both engines, serialized in registration order) and the
+// REST fan-out cost when the XQuery side integrates k services.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "app/environment.h"
+
+namespace {
+
+using xqib::app::BrowserEnvironment;
+using xqib::net::HttpRequest;
+using xqib::net::HttpResponse;
+
+// One click fanning out to a JS listener and an XQuery listener on the
+// same button (the mash-up's search).
+void BM_Fig3_DualEngineClick(benchmark::State& state) {
+  BrowserEnvironment env;
+  xqib::Status st = env.LoadPage("http://mashup.example.com/", R"(
+<html><body>
+<input id="btn"/><div id="jslog"/><div id="xqlog"/>
+<script type="text/javascript">
+  var n = 0;
+  document.getElementById('btn').addEventListener('onclick',
+    function(e) { n = n + 1; }, false);
+</script>
+<script type="text/xqueryp"><![CDATA[
+declare updating function local:go($evt, $obj) {
+  replace value of node //div[@id="xqlog"]
+    with concat("hits ", string($evt/type))
+};
+on event "onclick" at //input[@id="btn"] attach listener local:go
+]]></script></body></html>)");
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  xqib::xml::Node* button = env.ById("btn");
+  for (auto _ : state) {
+    xqib::browser::Event e;
+    e.type = "onclick";
+    (void)env.plugin().FireEvent(button, e);
+  }
+}
+BENCHMARK(BM_Fig3_DualEngineClick);
+
+// Single-engine baselines for the same interaction: what each engine
+// costs alone (the coexistence overhead is the delta).
+void BM_Fig3_JsOnlyClick(benchmark::State& state) {
+  BrowserEnvironment env;
+  xqib::Status st = env.LoadPage("http://mashup.example.com/", R"(
+<html><body><input id="btn"/>
+<script type="text/javascript">
+  var n = 0;
+  document.getElementById('btn').addEventListener('onclick',
+    function(e) { n = n + 1; }, false);
+</script></body></html>)");
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  xqib::xml::Node* button = env.ById("btn");
+  for (auto _ : state) {
+    xqib::browser::Event e;
+    e.type = "onclick";
+    (void)env.plugin().FireEvent(button, e);
+  }
+}
+BENCHMARK(BM_Fig3_JsOnlyClick);
+
+void BM_Fig3_XQueryOnlyClick(benchmark::State& state) {
+  BrowserEnvironment env;
+  xqib::Status st = env.LoadPage("http://mashup.example.com/", R"(
+<html><body><input id="btn"/><div id="xqlog"/>
+<script type="text/xqueryp"><![CDATA[
+declare updating function local:go($evt, $obj) {
+  replace value of node //div[@id="xqlog"]
+    with concat("hits ", string($evt/type))
+};
+on event "onclick" at //input[@id="btn"] attach listener local:go
+]]></script></body></html>)");
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  xqib::xml::Node* button = env.ById("btn");
+  for (auto _ : state) {
+    xqib::browser::Event e;
+    e.type = "onclick";
+    (void)env.plugin().FireEvent(button, e);
+  }
+}
+BENCHMARK(BM_Fig3_XQueryOnlyClick);
+
+// REST integration fan-out: the XQuery listener aggregates k weather
+// services per search (the paper uses "a selection of different weather
+// services"). Reports simulated network time per search.
+void BM_Fig3_RestFanout(benchmark::State& state) {
+  int services = static_cast<int>(state.range(0));
+  BrowserEnvironment env;
+  for (int s = 0; s < services; ++s) {
+    env.fabric().PutResource(
+        "http://weather" + std::to_string(s) + ".example.com/api",
+        "<weather><summary>svc " + std::to_string(s) +
+            ": sunny</summary></weather>");
+  }
+  std::ostringstream page;
+  page << R"(<html><body><input id="btn"/><div id="out"/>
+<script type="text/xqueryp"><![CDATA[
+declare updating function local:go($evt, $obj) {
+  delete nodes //div[@id="out"]/*;
+  insert node <ul>{)";
+  for (int s = 0; s < services; ++s) {
+    if (s > 0) page << ",\n";
+    page << "<li>{string(http:get(\"http://weather" << s
+         << ".example.com/api\")//summary)}</li>";
+  }
+  page << R"(}</ul> into //div[@id="out"]
+};
+on event "onclick" at //input[@id="btn"] attach listener local:go
+]]></script></body></html>)";
+  xqib::Status st = env.LoadPage("http://mashup.example.com/", page.str());
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  xqib::xml::Node* button = env.ById("btn");
+  env.fabric().ResetStats();
+  for (auto _ : state) {
+    xqib::browser::Event e;
+    e.type = "onclick";
+    (void)env.plugin().FireEvent(button, e);
+  }
+  state.counters["rest_calls_per_search"] =
+      static_cast<double>(env.fabric().stats().requests) /
+      static_cast<double>(state.iterations());
+  state.counters["sim_net_ms_per_search"] =
+      env.fabric().stats().simulated_latency_ms /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_Fig3_RestFanout)->Arg(1)->Arg(4)->Arg(16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

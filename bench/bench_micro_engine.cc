@@ -1,0 +1,146 @@
+// Substrate microbenchmarks: throughput of the engine's building blocks
+// (XML parse/serialize, query compile, axis navigation, the profiler's
+// overhead). Not tied to a paper figure — these document the performance
+// envelope within which the F/P experiments run.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+#include "xquery/engine.h"
+#include "xquery/profiler.h"
+
+namespace {
+
+std::string MakeXml(int n) {
+  std::ostringstream out;
+  out << "<catalog>";
+  for (int i = 0; i < n; ++i) {
+    out << "<item id=\"i" << i << "\" cat=\"c" << (i % 7)
+        << "\"><name>Item " << i << "</name><price>" << (i % 100)
+        << "</price></item>";
+  }
+  out << "</catalog>";
+  return out.str();
+}
+
+void BM_Micro_XmlParse(benchmark::State& state) {
+  std::string xml = MakeXml(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto doc = xqib::xml::ParseDocument(xml);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(xml.size()));
+}
+BENCHMARK(BM_Micro_XmlParse)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Micro_XmlSerialize(benchmark::State& state) {
+  auto doc = std::move(
+                 xqib::xml::ParseDocument(
+                     MakeXml(static_cast<int>(state.range(0)))))
+                 .value();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::string out = xqib::xml::Serialize(doc->root());
+    bytes = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(bytes));
+}
+BENCHMARK(BM_Micro_XmlSerialize)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_Micro_QueryCompile(benchmark::State& state) {
+  const char* query = R"(
+    declare function local:render($items) {
+      <ul>{ for $i in $items
+            order by xs:integer(string($i/price)) descending
+            return <li class="{string($i/@cat)}">{string($i/name)}</li>
+      }</ul>
+    };
+    local:render(//item[xs:integer(string(price)) > 10]))";
+  xqib::xquery::Engine engine;
+  for (auto _ : state) {
+    auto q = engine.Compile(query);
+    benchmark::DoNotOptimize(q);
+  }
+}
+BENCHMARK(BM_Micro_QueryCompile);
+
+void RunAxisQuery(benchmark::State& state, const char* query) {
+  auto doc = std::move(
+                 xqib::xml::ParseDocument(
+                     MakeXml(static_cast<int>(state.range(0)))))
+                 .value();
+  xqib::xquery::Engine engine;
+  auto q = engine.Compile(query);
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  xqib::xquery::DynamicContext ctx;
+  xqib::xquery::DynamicContext::Focus f;
+  f.item = xqib::xdm::Item::Node(doc->root());
+  f.position = 1;
+  f.size = 1;
+  f.has_item = true;
+  ctx.set_focus(f);
+  for (auto _ : state) {
+    auto r = (*q)->Run(ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+
+void BM_Micro_DescendantAxis(benchmark::State& state) {
+  RunAxisQuery(state, "count(//price)");
+}
+BENCHMARK(BM_Micro_DescendantAxis)->Arg(1000)->Arg(10000);
+
+void BM_Micro_PredicateFilter(benchmark::State& state) {
+  RunAxisQuery(state, "count(//item[@cat = \"c3\"])");
+}
+BENCHMARK(BM_Micro_PredicateFilter)->Arg(1000)->Arg(10000);
+
+void BM_Micro_PositionalPredicate(benchmark::State& state) {
+  RunAxisQuery(state, "string((//item)[last()]/@id)");
+}
+BENCHMARK(BM_Micro_PositionalPredicate)->Arg(1000)->Arg(10000);
+
+// Profiler overhead: the same query with and without instrumentation.
+void BM_Micro_ProfilerOverhead(benchmark::State& state) {
+  bool profiled = state.range(0) == 1;
+  auto doc = std::move(xqib::xml::ParseDocument(MakeXml(1000))).value();
+  xqib::xquery::Engine engine;
+  auto q = engine.Compile("sum(//item/xs:integer(string(price)))");
+  if (!q.ok()) {
+    // Trailing function-call steps are not XPath 2.0; use a FLWOR.
+    q = engine.Compile(
+        "sum(for $i in //item return xs:integer(string($i/price)))");
+  }
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  xqib::xquery::DynamicContext ctx;
+  xqib::xquery::DynamicContext::Focus f;
+  f.item = xqib::xdm::Item::Node(doc->root());
+  f.position = 1;
+  f.size = 1;
+  f.has_item = true;
+  ctx.set_focus(f);
+  xqib::xquery::Profiler profiler;
+  if (profiled) ctx.profiler = &profiler;
+  for (auto _ : state) {
+    auto r = (*q)->Run(ctx);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_Micro_ProfilerOverhead)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

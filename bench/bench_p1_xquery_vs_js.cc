@@ -1,0 +1,235 @@
+// P1 — the paper's future-work §7 performance study: "we would like to
+// study the performance of XQuery in the browser as compared to
+// JavaScript". Three implementations of each workload run against the
+// same DOM: the XQuery engine, the MiniJS interpreter, and native C++
+// DOM calls (the lower bound a native JS engine approaches).
+//
+// Workloads: DOM navigation (filtering query), bulk DOM update, and
+// table generation — the operations the paper's applications perform.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "app/environment.h"
+#include "xquery/engine.h"
+
+namespace {
+
+using xqib::app::BrowserEnvironment;
+
+std::string MakeDataPage(int rows) {
+  std::ostringstream out;
+  out << "<html><body><div id=\"out\"/><table id=\"data\">";
+  for (int i = 0; i < rows; ++i) {
+    out << "<tr><td class=\"k\">row" << i << "</td><td class=\"v\">"
+        << (i * 13 % 997) << "</td></tr>";
+  }
+  out << "</table></body></html>";
+  return out.str();
+}
+
+std::unique_ptr<BrowserEnvironment> MakeEnv(int rows) {
+  auto env = std::make_unique<BrowserEnvironment>();
+  xqib::Status st =
+      env->LoadPage("http://bench.example.com/", MakeDataPage(rows));
+  if (!st.ok()) std::abort();
+  return env;
+}
+
+// ---- navigation: count rows with value > 500 --------------------------
+
+void BM_P1_Navigate_XQuery(benchmark::State& state) {
+  auto env = MakeEnv(static_cast<int>(state.range(0)));
+  xqib::xquery::Engine engine;
+  auto q = engine.Compile(
+      "count(//tr[xs:integer(string(td[@class=\"v\"])) > 500])");
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  xqib::xquery::DynamicContext ctx;
+  xqib::xquery::DynamicContext::Focus f;
+  f.item = xqib::xdm::Item::Node(env->window()->document()->root());
+  f.position = 1;
+  f.size = 1;
+  f.has_item = true;
+  ctx.set_focus(f);
+  for (auto _ : state) {
+    auto r = (*q)->Run(ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_P1_Navigate_XQuery)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_P1_Navigate_MiniJS(benchmark::State& state) {
+  auto env = MakeEnv(static_cast<int>(state.range(0)));
+  // Install the counting function once; call it per iteration.
+  xqib::Status st = env->js()->Execute(env->window(), R"(
+    function countBig() {
+      var rows = document.getElementById('data').childNodes;
+      var n = 0;
+      for (var i = 0; i < rows.length; i++) {
+        var v = Number(rows[i].childNodes[1].textContent);
+        if (v > 500) { n = n + 1; }
+      }
+      return n;
+    })");
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    st = env->js()->Execute(env->window(), "countBig();");
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+}
+BENCHMARK(BM_P1_Navigate_MiniJS)->Arg(100)->Arg(1000)->Arg(10000);
+
+void BM_P1_Navigate_NativeDom(benchmark::State& state) {
+  auto env = MakeEnv(static_cast<int>(state.range(0)));
+  xqib::xml::Node* table = env->ById("data");
+  for (auto _ : state) {
+    int n = 0;
+    for (xqib::xml::Node* tr : table->children()) {
+      const std::string v = tr->children()[1]->StringValue();
+      if (std::atoi(v.c_str()) > 500) ++n;
+    }
+    benchmark::DoNotOptimize(n);
+  }
+}
+BENCHMARK(BM_P1_Navigate_NativeDom)->Arg(100)->Arg(1000)->Arg(10000);
+
+// ---- bulk update: tag every row with a "seen" attribute ----------------
+
+void BM_P1_Update_XQuery(benchmark::State& state) {
+  auto env = MakeEnv(static_cast<int>(state.range(0)));
+  xqib::xquery::Engine engine;
+  auto q = engine.Compile(
+      "for $tr in //table[@id=\"data\"]/tr "
+      "return insert node attribute seen {\"1\"} into $tr");
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  xqib::xquery::DynamicContext ctx;
+  xqib::xquery::DynamicContext::Focus f;
+  f.item = xqib::xdm::Item::Node(env->window()->document()->root());
+  f.position = 1;
+  f.size = 1;
+  f.has_item = true;
+  ctx.set_focus(f);
+  for (auto _ : state) {
+    auto r = (*q)->Run(ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+  }
+}
+BENCHMARK(BM_P1_Update_XQuery)->Arg(100)->Arg(1000);
+
+void BM_P1_Update_MiniJS(benchmark::State& state) {
+  auto env = MakeEnv(static_cast<int>(state.range(0)));
+  xqib::Status st = env->js()->Execute(env->window(), R"(
+    function tagAll() {
+      var rows = document.getElementById('data').childNodes;
+      for (var i = 0; i < rows.length; i++) {
+        rows[i].setAttribute('seen', '1');
+      }
+    })");
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    st = env->js()->Execute(env->window(), "tagAll();");
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+}
+BENCHMARK(BM_P1_Update_MiniJS)->Arg(100)->Arg(1000);
+
+void BM_P1_Update_NativeDom(benchmark::State& state) {
+  auto env = MakeEnv(static_cast<int>(state.range(0)));
+  xqib::xml::Node* table = env->ById("data");
+  for (auto _ : state) {
+    for (xqib::xml::Node* tr : table->children()) {
+      tr->SetAttribute(xqib::xml::QName("seen"), "1");
+    }
+  }
+}
+BENCHMARK(BM_P1_Update_NativeDom)->Arg(100)->Arg(1000);
+
+// ---- generation: build an n x n multiplication table -------------------
+// (the workload behind the paper's 77-vs-29-lines demo)
+
+void BM_P1_Table_XQuery(benchmark::State& state) {
+  auto env = MakeEnv(1);
+  int n = static_cast<int>(state.range(0));
+  xqib::xquery::Engine engine;
+  auto q = engine.Compile(
+      "<table>{ for $i in 1 to " + std::to_string(n) +
+      " return <tr>{ for $j in 1 to " + std::to_string(n) +
+      " return <td>{$i * $j}</td> }</tr> }</table>");
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    xqib::xquery::DynamicContext ctx;
+    auto r = (*q)->Run(ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_P1_Table_XQuery)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_P1_Table_MiniJS(benchmark::State& state) {
+  auto env = MakeEnv(1);
+  int n = static_cast<int>(state.range(0));
+  xqib::Status st = env->js()->Execute(env->window(), R"(
+    function makeTable(n) {
+      var table = document.createElement('table');
+      for (var i = 1; i <= n; i++) {
+        var tr = document.createElement('tr');
+        for (var j = 1; j <= n; j++) {
+          var td = document.createElement('td');
+          td.appendChild(document.createTextNode(String(i * j)));
+          tr.appendChild(td);
+        }
+        table.appendChild(tr);
+      }
+      return table;
+    })");
+  if (!st.ok()) {
+    state.SkipWithError(st.ToString().c_str());
+    return;
+  }
+  std::string call = "makeTable(" + std::to_string(n) + ");";
+  for (auto _ : state) {
+    st = env->js()->Execute(env->window(), call);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+}
+BENCHMARK(BM_P1_Table_MiniJS)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_P1_Table_NativeDom(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    xqib::xml::Document doc;
+    xqib::xml::Node* table = doc.CreateElement(xqib::xml::QName("table"));
+    for (int i = 1; i <= n; ++i) {
+      xqib::xml::Node* tr = doc.CreateElement(xqib::xml::QName("tr"));
+      for (int j = 1; j <= n; ++j) {
+        xqib::xml::Node* td = doc.CreateElement(xqib::xml::QName("td"));
+        td->AppendChild(doc.CreateText(std::to_string(i * j)));
+        tr->AppendChild(td);
+      }
+      table->AppendChild(tr);
+    }
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_P1_Table_NativeDom)->Arg(10)->Arg(30)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

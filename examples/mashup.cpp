@@ -1,0 +1,88 @@
+// The Section 6.2 Google-Maps/weather mash-up: JavaScript (the Maps
+// side) and XQuery (REST integration of weather services and webcams)
+// listen to the SAME search-button click and both update the one page
+// DOM ("the Web page serves like a database").
+//
+//   $ ./build/examples/mashup [location]
+
+#include <cstdio>
+#include <string>
+
+#include "app/environment.h"
+#include "xml/serializer.h"
+
+using xqib::app::BrowserEnvironment;
+using xqib::app::ReadPageFile;
+using xqib::net::HttpRequest;
+using xqib::net::HttpResponse;
+
+namespace {
+
+std::string QueryParam(const std::string& url) {
+  size_t pos = url.find("?q=");
+  return pos == std::string::npos ? "" : url.substr(pos + 3);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string location = argc > 1 ? argv[1] : "Zurich";
+  BrowserEnvironment env;
+
+  // Simulated weather service (the paper uses "a selection of different
+  // weather services depending on language and region").
+  env.fabric().SetHandler(
+      "http://weather.example.com/api",
+      [](const HttpRequest& req) -> xqib::Result<HttpResponse> {
+        std::string q = QueryParam(req.url);
+        return HttpResponse{
+            200,
+            "<weather city=\"" + q + "\"><summary>" + q +
+                ": sunny, 21 C</summary><wind>12 km/h</wind></weather>",
+            "application/xml"};
+      });
+  // Simulated webcam directory.
+  env.fabric().SetHandler(
+      "http://webcams.example.com/api",
+      [](const HttpRequest& req) -> xqib::Result<HttpResponse> {
+        std::string q = QueryParam(req.url);
+        return HttpResponse{
+            200,
+            "<cams><cam url=\"http://cams.example.com/" + q +
+                "/north\"/><cam url=\"http://cams.example.com/" + q +
+                "/south\"/></cams>",
+            "application/xml"};
+      });
+
+  auto page = ReadPageFile("mashup.xhtml");
+  if (!page.ok()) {
+    std::fprintf(stderr, "cannot read page: %s\n",
+                 page.status().ToString().c_str());
+    return 1;
+  }
+  xqib::Status st = env.LoadPage("http://mashup.example.com/", *page);
+  if (!st.ok()) {
+    std::fprintf(stderr, "load failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Type a location into the search box and click Search. Both script
+  // engines react to the same click.
+  env.ById("searchbox")->SetAttribute(xqib::xml::QName("value"), location);
+  st = env.ClickId("searchbtn");
+  if (!st.ok()) {
+    std::fprintf(stderr, "search failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  std::printf("map (JavaScript):  %s\n",
+              env.ById("map")->StringValue().c_str());
+  std::printf("weather (XQuery):  %s\n",
+              env.ById("weather")->StringValue().c_str());
+  std::printf("webcams (XQuery):\n%s\n",
+              xqib::xml::Serialize(env.ById("webcams"), {.indent = true})
+                  .c_str());
+  std::printf("REST calls made:   %llu\n",
+              static_cast<unsigned long long>(env.fabric().stats().requests));
+  return 0;
+}

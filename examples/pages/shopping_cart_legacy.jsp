@@ -1,0 +1,26 @@
+<html><head><script type='text/javascript'>
+function buy(e) {
+  newElement = document.createElement("p");
+  elementText = document.createTextNode
+    (e.target.getAttribute(id));
+  newElement.appendChild(elementText);
+  var res = document.evaluate(
+    "//div[@id='shoppingcart']", document, null,
+    XPathResult.UNORDERED_NODE_SNAPSHOT_TYPE, null);
+  res.snapshotItem(0).appendChild(newElement);
+}
+</script></head><body>
+<div>Shopping cart</div>
+<div id="shoppingcart"></div>
+<% // Code establishing connection
+ResultSet results =
+  statement.executeQuery("SELECT * FROM PRODUCTS");
+while (results.next()) {
+  out.println("<div>");
+  String prodName = results.getString(1);
+  out.println(prodName);
+  out.println("<input type='button' value='Buy'");
+  out.println("id='"+prodName+"'");
+  out.println("onclick='buy(event)'/></div>"); }
+results.close();
+// Code closing connection %></body></html>

@@ -1,0 +1,147 @@
+// xq_repl: a small command-line XQuery processor over the XQIB engine —
+// handy for exploring the dialect this repository implements (XPath 2.0
+// core, FLWOR, constructors, updates, scripting).
+//
+//   $ ./build/examples/xq_repl '1 + 2 * 3'
+//   $ ./build/examples/xq_repl -d catalog.xml 'count(//item)'
+//   $ echo 'for $i in 1 to 3 return <n>{$i}</n>' | ./build/examples/xq_repl
+//   $ ./build/examples/xq_repl -p 'sum(1 to 1000)'   # with profile
+//   $ ./build/examples/xq_repl            # interactive: one query/line
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "base/strings.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+#include "xquery/engine.h"
+#include "xquery/profiler.h"
+
+using namespace xqib;  // NOLINT(build/namespaces) example code
+
+namespace {
+
+void PrintResult(const xdm::Sequence& result) {
+  for (size_t i = 0; i < result.size(); ++i) {
+    if (i > 0) std::printf(" ");
+    const xdm::Item& item = result[i];
+    if (item.is_node()) {
+      std::printf("%s", xml::Serialize(item.node()).c_str());
+    } else {
+      std::printf("%s", item.atomic().ToXPathString().c_str());
+    }
+  }
+  std::printf("\n");
+}
+
+int RunQuery(const std::string& query, xml::Document* context_doc,
+             bool print_doc_after, bool profile) {
+  xquery::Engine engine;
+  auto compiled = engine.Compile(query);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile error: %s\n",
+                 compiled.status().ToString().c_str());
+    return 1;
+  }
+  xquery::DynamicContext ctx;
+  if (context_doc != nullptr) {
+    xquery::DynamicContext::Focus f;
+    f.item = xdm::Item::Node(context_doc->root());
+    f.position = 1;
+    f.size = 1;
+    f.has_item = true;
+    ctx.set_focus(f);
+  }
+  xquery::Profiler profiler;
+  if (profile) ctx.profiler = &profiler;
+  Status bound = (*compiled)->BindGlobals(ctx);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "error: %s\n", bound.ToString().c_str());
+    return 1;
+  }
+  auto result = (*compiled)->Run(ctx);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  PrintResult(*result);
+  if (profile) {
+    std::printf("--- profile (hottest expressions by self time) ---\n%s",
+                profiler.Report(15).c_str());
+  }
+  if (print_doc_after && context_doc != nullptr) {
+    std::printf("--- document after updates ---\n%s\n",
+                xml::Serialize(context_doc->root(), {.indent = true})
+                    .c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::unique_ptr<xml::Document> context_doc;
+  bool show_doc = false;
+  bool profile = false;
+  std::string query;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "-d" && i + 1 < argc) {
+      std::ifstream in(argv[++i]);
+      if (!in.good()) {
+        std::fprintf(stderr, "cannot open %s\n", argv[i]);
+        return 1;
+      }
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      auto parsed = xml::ParseDocument(buf.str());
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "XML error: %s\n",
+                     parsed.status().ToString().c_str());
+        return 1;
+      }
+      context_doc = std::move(parsed).value();
+      show_doc = true;
+    } else if (arg == "-p" || arg == "--profile") {
+      profile = true;
+    } else if (arg == "-h" || arg == "--help") {
+      std::printf("usage: xq_repl [-d context.xml] [-p] [query]\n"
+                  "Without a query argument, reads queries from stdin "
+                  "(one per line\nwhen interactive, whole input when "
+                  "piped).\n");
+      return 0;
+    } else {
+      if (!query.empty()) query += " ";
+      query += arg;
+    }
+  }
+
+  if (!query.empty()) {
+    return RunQuery(query, context_doc.get(), show_doc, profile);
+  }
+
+  // stdin mode: interactive line-by-line, or the whole pipe at once.
+  if (isatty(0)) {
+    std::printf("xq> ");
+    std::string line;
+    int rc = 0;
+    while (std::getline(std::cin, line)) {
+      if (!TrimWhitespace(line).empty()) {
+        rc = RunQuery(line, context_doc.get(), false, profile);
+      }
+      std::printf("xq> ");
+    }
+    std::printf("\n");
+    return rc;
+  }
+  std::ostringstream buf;
+  buf << std::cin.rdbuf();
+  return RunQuery(buf.str(), context_doc.get(), show_doc, profile);
+}

@@ -1,0 +1,222 @@
+#include "app/elsevier.h"
+
+#include <sstream>
+
+#include "xml/serializer.h"
+#include "xquery/engine.h"
+
+namespace xqib::app::elsevier {
+
+namespace {
+
+constexpr const char* kCorpusUri = "/corpus.xml";
+constexpr const char* kServerBase = "http://elsevier.example.com/";
+
+// Deterministic pseudo-random (corpus must be reproducible).
+uint32_t Mix(uint32_t x) {
+  x ^= x >> 16;
+  x *= 0x7feb352d;
+  x ^= x >> 15;
+  x *= 0x846ca68b;
+  x ^= x >> 16;
+  return x;
+}
+
+std::string BuildCorpusXml(const CorpusOptions& o) {
+  std::ostringstream out;
+  out << "<corpus>";
+  int article_id = 0;
+  for (int j = 0; j < o.journals; ++j) {
+    out << "<journal name=\"Journal of Simulated Studies " << j << "\">";
+    for (int v = 0; v < o.volumes; ++v) {
+      out << "<volume number=\"" << (v + 1) << "\">";
+      for (int i = 0; i < o.issues; ++i) {
+        out << "<issue number=\"" << (i + 1) << "\">";
+        for (int a = 0; a < o.articles_per_issue; ++a) {
+          uint32_t seed = Mix(static_cast<uint32_t>(article_id) + 17);
+          out << "<article id=\"a-" << article_id << "\">"
+              << "<title>On topic " << (seed % 97) << " of journal " << j
+              << "</title><references>";
+          for (int r = 0; r < o.refs_per_article; ++r) {
+            uint32_t rs = Mix(seed + static_cast<uint32_t>(r));
+            out << "<ref year=\"" << (1990 + rs % 19) << "\" cites=\"a-"
+                << (rs % 1000) << "\"/>";
+          }
+          out << "</references></article>";
+          ++article_id;
+        }
+        out << "</issue>";
+      }
+      out << "</volume>";
+    }
+    out << "</journal>";
+  }
+  out << "</corpus>";
+  return out.str();
+}
+
+// The server-side page renderer: the XQuery that the application server
+// runs per request in the original architecture.
+constexpr const char* kServerPageQuery = R"(
+declare variable $aid external;
+<html><head><title>Reference 2.0</title></head><body>
+  <h1 id="title">{string(//article[@id=$aid]/title)}</h1>
+  <p id="nrefs">{count(//article[@id=$aid]/references/ref)}</p>
+  <ul id="years">{
+    for $y in distinct-values(//article[@id=$aid]/references/ref/@year)
+    order by $y
+    return <li>{$y}: {count(//article[@id=$aid]/references/ref[@year=$y])}
+      </li>
+  }</ul>
+</body></html>)";
+
+// The migrated client-side page (§6.1: "the prolog is directly inserted
+// into the script tag, the contents formerly computed by the server are
+// put into insert expressions").
+std::string ClientPageSource() {
+  std::ostringstream out;
+  out << R"(<html><head><title>Reference 2.0 (client)</title>
+<script type="text/xqueryp"><![CDATA[
+declare function local:cached() {
+  //div[@id="cache"]/corpus
+};
+declare updating function local:show($evt, $obj) {
+  declare variable $aid := string($obj/@article);
+  delete nodes //div[@id="view"]/*;
+  insert node <div>
+    <h1 id="title">{string(local:cached()//article[@id=$aid]/title)}</h1>
+    <p id="nrefs">{count(local:cached()//article[@id=$aid]
+        /references/ref)}</p>
+    <ul id="years">{
+      for $y in distinct-values(local:cached()
+          //article[@id=$aid]/references/ref/@year)
+      order by $y
+      return <li>{$y}</li>
+    }</ul>
+  </div> into //div[@id="view"]
+};
+insert node <div id="cache" style="display: none">{
+    http:get(")"
+      << kServerBase << R"(corpus.xml")/*
+  }</div> into /html/body;
+insert node <ul id="toc">{
+    for $a in //div[@id="cache"]//article
+    return <li><span class="art" id="link-{$a/@id}"
+      article="{$a/@id}">{string($a/title)}</span></li>
+  }</ul> into /html/body;
+on event "onclick" at //ul[@id="toc"]//span
+  attach listener local:show
+]]></script>
+</head><body><div id="view"/></body></html>)";
+  return out.str();
+}
+
+}  // namespace
+
+Status BuildCorpus(net::XmlStore* store, const CorpusOptions& options) {
+  return store->Put(kCorpusUri, BuildCorpusXml(options));
+}
+
+std::vector<std::string> ArticleIds(const CorpusOptions& o) {
+  std::vector<std::string> ids;
+  int total = o.journals * o.volumes * o.issues * o.articles_per_issue;
+  ids.reserve(static_cast<size_t>(total));
+  for (int i = 0; i < total; ++i) ids.push_back("a-" + std::to_string(i));
+  return ids;
+}
+
+Status DeployServer(net::XmlStore* store, net::HttpFabric* fabric) {
+  // REST: the raw corpus document, whole-document serving.
+  XQ_ASSIGN_OR_RETURN(std::string corpus, store->Serialize(kCorpusUri));
+  fabric->PutResource(std::string(kServerBase) + "corpus.xml",
+                      std::move(corpus));
+  // The migrated client page.
+  fabric->PutResource(std::string(kServerBase) + "client.xhtml",
+                      ClientPageSource(), "application/xhtml+xml");
+
+  // The original server-side application: one XQuery execution per page
+  // request. The compiled query is shared; each request gets a fresh
+  // dynamic context (stateless middle tier).
+  auto engine = std::make_shared<xquery::Engine>();
+  auto compiled_result = engine->Compile(kServerPageQuery);
+  if (!compiled_result.ok()) return compiled_result.status();
+  std::shared_ptr<xquery::CompiledQuery> compiled =
+      std::move(compiled_result).value();
+
+  fabric->SetHandler(
+      std::string(kServerBase) + "page",
+      [engine, compiled, store](const net::HttpRequest& request)
+          -> Result<net::HttpResponse> {
+        std::string aid;
+        size_t pos = request.url.find("article=");
+        if (pos != std::string::npos) aid = request.url.substr(pos + 8);
+        xquery::DynamicContext ctx;
+        ctx.doc_resolver = store->MakeDocResolver();
+        XQ_ASSIGN_OR_RETURN(xml::Node* corpus_root, store->Get(kCorpusUri));
+        xquery::DynamicContext::Focus focus;
+        focus.item = xdm::Item::Node(corpus_root);
+        focus.position = 1;
+        focus.size = 1;
+        focus.has_item = true;
+        ctx.set_focus(focus);
+        ctx.env().Bind(xml::QName("aid"),
+                       xdm::Sequence{xdm::Item::String(aid)});
+        XQ_RETURN_NOT_OK(compiled->BindGlobals(ctx));
+        XQ_ASSIGN_OR_RETURN(xdm::Sequence result, compiled->Run(ctx));
+        if (result.size() != 1 || !result[0].is_node()) {
+          return Status::Error("NETW0500", "server render failed");
+        }
+        return net::HttpResponse{200, xml::Serialize(result[0].node()),
+                                 "application/xhtml+xml"};
+      });
+  return Status();
+}
+
+Result<SessionReport> RunSession(BrowserEnvironment* env,
+                                 Deployment deployment,
+                                 const CorpusOptions& options,
+                                 int interactions) {
+  std::vector<std::string> ids = ArticleIds(options);
+  if (ids.empty()) return Status::Error("NETW0500", "empty corpus");
+  net::HttpFabric::Stats before = env->fabric().stats();
+  SessionReport report;
+  report.interactions = interactions;
+
+  if (deployment == Deployment::kServerSide) {
+    for (int i = 0; i < interactions; ++i) {
+      const std::string& aid = ids[static_cast<size_t>(i) % ids.size()];
+      XQ_RETURN_NOT_OK(env->Navigate(std::string(kServerBase) +
+                                     "page?article=" + aid));
+      xml::Node* title = env->ById("title");
+      if (title == nullptr) {
+        return Status::Error("NETW0500", "server page missing title");
+      }
+      report.last_title = title->StringValue();
+    }
+  } else {
+    XQ_RETURN_NOT_OK(env->Navigate(std::string(kServerBase) +
+                                   "client.xhtml"));
+    std::string errors = env->ScriptErrors();
+    if (!errors.empty()) {
+      return Status::Error("BRWS0005", "client page error: " + errors);
+    }
+    for (int i = 0; i < interactions; ++i) {
+      const std::string& aid = ids[static_cast<size_t>(i) % ids.size()];
+      XQ_RETURN_NOT_OK(env->ClickId("link-" + aid));
+      xml::Node* title = env->ById("title");
+      if (title == nullptr) {
+        return Status::Error("BRWS0005", "client view missing title");
+      }
+      report.last_title = title->StringValue();
+    }
+  }
+
+  const net::HttpFabric::Stats& after = env->fabric().stats();
+  report.requests = after.requests - before.requests;
+  report.bytes = after.bytes_served - before.bytes_served;
+  report.latency_ms =
+      after.simulated_latency_ms - before.simulated_latency_ms;
+  return report;
+}
+
+}  // namespace xqib::app::elsevier

@@ -1,0 +1,71 @@
+// The Elsevier Reference 2.0 scenario (paper §6.1, Figure 2): an article
+// corpus in an XML database, browsed through reference-statistics pages.
+// Two deployments of the same application:
+//
+//   * kServerSide — the original architecture: an XQuery application
+//     server renders every page from the database; each user interaction
+//     is one round trip that ships a rendered page.
+//   * kClientSide — the migrated architecture: the served page contains
+//     the XQuery code; the client fetches the WHOLE corpus document once
+//     via REST, caches it in the page, and serves every further
+//     interaction locally ("most user requests can be processed without
+//     any interaction with the Elsevier server").
+//
+// The module builds the corpus, deploys both variants on a fabric, and
+// drives user sessions against either, reporting the fabric stats that
+// Figure 2's off-loading argument is about.
+
+#ifndef XQIB_APP_ELSEVIER_H_
+#define XQIB_APP_ELSEVIER_H_
+
+#include <string>
+#include <vector>
+
+#include "app/environment.h"
+
+namespace xqib::app::elsevier {
+
+struct CorpusOptions {
+  int journals = 3;
+  int volumes = 2;
+  int issues = 2;
+  int articles_per_issue = 4;
+  int refs_per_article = 10;
+};
+
+// Builds the corpus document and stores it at "/corpus.xml".
+Status BuildCorpus(net::XmlStore* store, const CorpusOptions& options);
+
+// All article ids of a corpus ("a-<n>").
+std::vector<std::string> ArticleIds(const CorpusOptions& options);
+
+// Mounts the Reference 2.0 server on the fabric at
+// http://elsevier.example.com/ :
+//   /page?article=ID  server-rendered reference-statistics page
+//                     (server-side XQuery against the store)
+//   /corpus.xml       the raw corpus (REST, whole-document serving —
+//                     the §6.1 adjustment "serve whole documents rather
+//                     than individual queries, to better enable caching")
+//   /client.xhtml     the migrated client-side page (XQuery inside)
+Status DeployServer(net::XmlStore* store, net::HttpFabric* fabric);
+
+enum class Deployment { kServerSide, kClientSide };
+
+struct SessionReport {
+  uint64_t requests = 0;
+  uint64_t bytes = 0;
+  double latency_ms = 0;
+  int interactions = 0;
+  std::string last_title;  // correctness probe
+};
+
+// Runs one user session: loads the app, then views `interactions`
+// articles round-robin. Stats cover the whole session.
+Result<SessionReport> RunSession(BrowserEnvironment* env,
+                                 Deployment deployment,
+                                 const CorpusOptions& options,
+                                 int interactions);
+
+}  // namespace xqib::app::elsevier
+
+#endif  // XQIB_APP_ELSEVIER_H_

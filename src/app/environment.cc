@@ -1,0 +1,97 @@
+#include "app/environment.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace xqib::app {
+
+BrowserEnvironment::BrowserEnvironment(const Options& options)
+    : services_(&fabric_, &store_) {
+  browser_.policy().set_mode(options.security);
+  browser_.parse_options.ie_tag_folding = options.ie_tag_folding;
+  browser_.page_fetcher =
+      [this](const std::string& url) -> Result<std::string> {
+    XQ_ASSIGN_OR_RETURN(net::HttpResponse resp, fabric_.Get(url));
+    return resp.body;
+  };
+  plugin_ = std::make_unique<plugin::XqibPlugin>(&browser_, &fabric_,
+                                                 &services_);
+  plugin_->Install();
+  if (options.enable_minijs) {
+    js_ = std::make_unique<minijs::DomBinding>(&browser_);
+    plugin_->set_foreign_engine(js_.get());
+  }
+}
+
+Status BrowserEnvironment::LoadPage(const std::string& url,
+                                    const std::string& source) {
+  XQ_RETURN_NOT_OK(browser_.top_window()->LoadSource(url, source));
+  std::string errors = ScriptErrors();
+  if (!errors.empty()) {
+    return Status::Error("BRWS0005", "script error on load: " + errors);
+  }
+  return Status();
+}
+
+Status BrowserEnvironment::Navigate(const std::string& url) {
+  return browser_.top_window()->Navigate(url);
+}
+
+xml::Node* BrowserEnvironment::ById(const std::string& id) {
+  return browser_.top_window()->document()->GetElementById(id);
+}
+
+Status BrowserEnvironment::ClickId(const std::string& id) {
+  xml::Node* target = ById(id);
+  if (target == nullptr) {
+    return Status::Error("BRWS0006", "no element with id '" + id + "'");
+  }
+  browser::Event event;
+  event.type = "onclick";
+  return Fire(target, event);
+}
+
+Status BrowserEnvironment::Fire(xml::Node* target, browser::Event event) {
+  XQ_RETURN_NOT_OK(plugin_->FireEvent(target, std::move(event)));
+  std::string errors = ScriptErrors();
+  if (!errors.empty()) {
+    return Status::Error("BRWS0005", "script error in listener: " + errors);
+  }
+  return Status();
+}
+
+std::string BrowserEnvironment::ScriptErrors() const {
+  std::string out;
+  if (!plugin_->last_script_error().ok()) {
+    out += plugin_->last_script_error().ToString();
+  }
+  if (js_ != nullptr && !js_->last_error().ok()) {
+    if (!out.empty()) out += "; ";
+    out += js_->last_error().ToString();
+  }
+  return out;
+}
+
+Result<std::string> ReadPageFile(const std::string& name) {
+  std::vector<std::string> candidates;
+  if (const char* env = std::getenv("XQIB_PAGES_DIR")) {
+    candidates.push_back(std::string(env) + "/" + name);
+  }
+#ifdef XQIB_PAGES_DIR
+  candidates.push_back(std::string(XQIB_PAGES_DIR) + "/" + name);
+#endif
+  candidates.push_back("examples/pages/" + name);
+  candidates.push_back("../examples/pages/" + name);
+  for (const std::string& path : candidates) {
+    std::ifstream in(path);
+    if (in.good()) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      return buf.str();
+    }
+  }
+  return Status::Error("NETW0404", "page file not found: " + name);
+}
+
+}  // namespace xqib::app

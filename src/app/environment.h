@@ -1,0 +1,74 @@
+// BrowserEnvironment: one-stop assembly of the full XQIB stack — the
+// simulated network fabric, XML store ("the XML database"), web-service
+// host, headless browser, the XQIB plug-in, and the MiniJS engine, wired
+// exactly as in Figure 1 of the paper. Examples and benchmarks start
+// here; the individual pieces remain usable separately.
+
+#ifndef XQIB_APP_ENVIRONMENT_H_
+#define XQIB_APP_ENVIRONMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "browser/bom.h"
+#include "minijs/dom_binding.h"
+#include "net/http.h"
+#include "net/webservice.h"
+#include "net/xml_store.h"
+#include "plugin/plugin.h"
+
+namespace xqib::app {
+
+class BrowserEnvironment {
+ public:
+  struct Options {
+    browser::SecurityPolicy::Mode security =
+        browser::SecurityPolicy::Mode::kSameOrigin;
+    bool ie_tag_folding = false;
+    bool enable_minijs = true;
+  };
+
+  BrowserEnvironment() : BrowserEnvironment(Options()) {}
+  explicit BrowserEnvironment(const Options& options);
+
+  net::HttpFabric& fabric() { return fabric_; }
+  net::XmlStore& store() { return store_; }
+  net::ServiceHost& services() { return services_; }
+  browser::Browser& browser() { return browser_; }
+  plugin::XqibPlugin& plugin() { return *plugin_; }
+  minijs::DomBinding* js() { return js_.get(); }
+  browser::Window* window() { return browser_.top_window(); }
+
+  // Loads page source directly into the top window.
+  Status LoadPage(const std::string& url, const std::string& source);
+  // Navigates the top window (source fetched through the fabric).
+  Status Navigate(const std::string& url);
+
+  // Fires a click on the element with the given id and pumps the loop.
+  Status ClickId(const std::string& id);
+  // Fires an arbitrary event on a target node and pumps the loop.
+  Status Fire(xml::Node* target, browser::Event event);
+
+  // Element lookup in the current page.
+  xml::Node* ById(const std::string& id);
+
+  // Combined script errors from both engines ("" if none).
+  std::string ScriptErrors() const;
+
+ private:
+  net::HttpFabric fabric_;
+  net::XmlStore store_;
+  net::ServiceHost services_;
+  browser::Browser browser_;
+  std::unique_ptr<plugin::XqibPlugin> plugin_;
+  std::unique_ptr<minijs::DomBinding> js_;
+};
+
+// Reads a page file from the examples/pages directory (benchmarks and
+// examples share the corpus). Path resolution order: $XQIB_PAGES_DIR,
+// the compile-time default, "./examples/pages".
+Result<std::string> ReadPageFile(const std::string& name);
+
+}  // namespace xqib::app
+
+#endif  // XQIB_APP_ENVIRONMENT_H_

@@ -1,0 +1,70 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+// Mirrors arrow::Result / absl::StatusOr.
+
+#ifndef XQIB_BASE_RESULT_H_
+#define XQIB_BASE_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "base/status.h"
+
+namespace xqib {
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from a value or from a non-OK Status keeps call
+  // sites natural: `return value;` / `return Status::TypeError(...)`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;           // OK iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace xqib
+
+#define XQ_CONCAT_IMPL(a, b) a##b
+#define XQ_CONCAT(a, b) XQ_CONCAT_IMPL(a, b)
+
+// Evaluates a Result<T> expression; on error returns the Status, otherwise
+// moves the value into `lhs` (which may be a declaration).
+#define XQ_ASSIGN_OR_RETURN(lhs, expr)                      \
+  XQ_ASSIGN_OR_RETURN_IMPL(XQ_CONCAT(_xq_res_, __LINE__), lhs, expr)
+
+#define XQ_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                             \
+  if (!tmp.ok()) return tmp.status();            \
+  lhs = std::move(tmp).value()
+
+#endif  // XQIB_BASE_RESULT_H_

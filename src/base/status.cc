@@ -1,0 +1,32 @@
+#include "base/status.h"
+
+namespace xqib {
+
+namespace {
+const std::string& EmptyString() {
+  static const std::string* empty = new std::string();
+  return *empty;
+}
+}  // namespace
+
+Status Status::Error(std::string_view code, std::string_view message) {
+  Status st;
+  st.rep_ = std::make_shared<const Rep>(
+      Rep{std::string(code), std::string(message)});
+  return st;
+}
+
+const std::string& Status::code() const {
+  return rep_ ? rep_->code : EmptyString();
+}
+
+const std::string& Status::message() const {
+  return rep_ ? rep_->message : EmptyString();
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  return "[" + rep_->code + "] " + rep_->message;
+}
+
+}  // namespace xqib

@@ -1,0 +1,82 @@
+// Status: the error model used across the XQIB library.
+//
+// Errors never cross API boundaries as exceptions. Every fallible operation
+// returns a Status (or a Result<T>, see result.h). Error identities follow
+// the W3C XQuery error-code convention: a short code such as "XPST0003"
+// (static syntax error) or "XPDY0002" (undefined context item) plus a
+// human-readable message. A code beginning with:
+//   XPST / XQST  - static (compile-time) errors
+//   XPDY / XQDY  - dynamic (evaluation-time) errors
+//   XPTY / XQTY  - type errors
+//   XUST / XUDY  - XQuery Update Facility errors
+//   XSST / XSDY  - Scripting Extension errors (non-normative, ours)
+//   FO*          - function/operator errors (e.g. FOAR0001 division by zero)
+//   SEPM / SERE  - serialization errors
+//   BRWS         - browser-binding errors (ours, for the browser profile)
+//   NETW         - simulated-network errors (ours)
+
+#ifndef XQIB_BASE_STATUS_H_
+#define XQIB_BASE_STATUS_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace xqib {
+
+class Status {
+ public:
+  // Creates an OK status. Carries no allocation.
+  Status() = default;
+
+  // Named constructors for the major error families.
+  static Status Error(std::string_view code, std::string_view message);
+  static Status StaticError(std::string_view code, std::string_view message) {
+    return Error(code, message);
+  }
+  static Status DynamicError(std::string_view code, std::string_view message) {
+    return Error(code, message);
+  }
+  static Status TypeError(std::string_view message) {
+    return Error("XPTY0004", message);
+  }
+  static Status SyntaxError(std::string_view message) {
+    return Error("XPST0003", message);
+  }
+  static Status NotImplemented(std::string_view message) {
+    return Error("XQIB0001", message);
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+
+  // The W3C error code ("XPST0003", ...). Empty string when ok().
+  const std::string& code() const;
+
+  // The human-readable message. Empty string when ok().
+  const std::string& message() const;
+
+  // "OK" or "[CODE] message".
+  std::string ToString() const;
+
+  bool IsSyntaxError() const { return ok() ? false : code() == "XPST0003"; }
+
+ private:
+  struct Rep {
+    std::string code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // nullptr == OK
+};
+
+}  // namespace xqib
+
+// Evaluates `expr` (a Status expression); returns it from the enclosing
+// function if it is not OK.
+#define XQ_RETURN_NOT_OK(expr)                 \
+  do {                                         \
+    ::xqib::Status _st = (expr);               \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#endif  // XQIB_BASE_STATUS_H_

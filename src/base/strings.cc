@@ -1,0 +1,177 @@
+#include "base/strings.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace xqib {
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && IsXmlWhitespace(s[b])) ++b;
+  size_t e = s.size();
+  while (e > b && IsXmlWhitespace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::string NormalizeSpace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_ws = false;
+  for (char c : TrimWhitespace(s)) {
+    if (IsXmlWhitespace(c)) {
+      in_ws = true;
+    } else {
+      if (in_ws) out.push_back(' ');
+      in_ws = false;
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitChar(std::string_view s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      parts.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+std::string AsciiToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+  }
+  return out;
+}
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  return out;
+}
+
+bool AsciiEqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    char ca = a[i], cb = b[i];
+    if (ca >= 'A' && ca <= 'Z') ca = static_cast<char>(ca - 'A' + 'a');
+    if (cb >= 'A' && cb <= 'Z') cb = static_cast<char>(cb - 'A' + 'a');
+    if (ca != cb) return false;
+  }
+  return true;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool Contains(std::string_view s, std::string_view sub) {
+  return s.find(sub) != std::string_view::npos;
+}
+
+std::vector<uint32_t> Utf8ToCodepoints(std::string_view s) {
+  std::vector<uint32_t> cps;
+  cps.reserve(s.size());
+  size_t i = 0;
+  while (i < s.size()) {
+    unsigned char c = static_cast<unsigned char>(s[i]);
+    uint32_t cp = 0xFFFD;
+    size_t len = 1;
+    if (c < 0x80) {
+      cp = c;
+    } else if ((c & 0xE0) == 0xC0 && i + 1 < s.size()) {
+      cp = (c & 0x1F) << 6 | (s[i + 1] & 0x3F);
+      len = 2;
+    } else if ((c & 0xF0) == 0xE0 && i + 2 < s.size()) {
+      cp = (c & 0x0F) << 12 | (s[i + 1] & 0x3F) << 6 | (s[i + 2] & 0x3F);
+      len = 3;
+    } else if ((c & 0xF8) == 0xF0 && i + 3 < s.size()) {
+      cp = (c & 0x07) << 18 | (s[i + 1] & 0x3F) << 12 |
+           (s[i + 2] & 0x3F) << 6 | (s[i + 3] & 0x3F);
+      len = 4;
+    }
+    cps.push_back(cp);
+    i += len;
+  }
+  return cps;
+}
+
+void AppendUtf8(uint32_t cp, std::string* out) {
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+}
+
+std::string CodepointsToUtf8(const std::vector<uint32_t>& cps) {
+  std::string out;
+  out.reserve(cps.size());
+  for (uint32_t cp : cps) AppendUtf8(cp, &out);
+  return out;
+}
+
+size_t Utf8Length(std::string_view s) {
+  size_t n = 0;
+  for (size_t i = 0; i < s.size(); ++i) {
+    // Count bytes that are not UTF-8 continuation bytes.
+    if ((static_cast<unsigned char>(s[i]) & 0xC0) != 0x80) ++n;
+  }
+  return n;
+}
+
+bool IsNameStartChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool IsNameChar(char c) {
+  return IsNameStartChar(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool IsValidNCName(std::string_view s) {
+  if (s.empty() || !IsNameStartChar(s[0])) return false;
+  for (char c : s.substr(1)) {
+    if (!IsNameChar(c)) return false;
+  }
+  return true;
+}
+
+std::string DoubleToXPathString(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "INF" : "-INF";
+  if (d == 0.0) return std::signbit(d) ? "-0" : "0";
+  // Integral values within the safe range print as integers.
+  if (d == std::floor(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", d);
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", d);
+  return buf;
+}
+
+}  // namespace xqib

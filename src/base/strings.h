@@ -1,0 +1,66 @@
+// Small string utilities shared across the library. Strings are UTF-8;
+// codepoint-aware helpers decode UTF-8 explicitly.
+
+#ifndef XQIB_BASE_STRINGS_H_
+#define XQIB_BASE_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xqib {
+
+// Removes leading/trailing XML whitespace (space, tab, CR, LF).
+std::string_view TrimWhitespace(std::string_view s);
+
+// Collapses internal whitespace runs to single spaces and trims (the
+// semantics of fn:normalize-space).
+std::string NormalizeSpace(std::string_view s);
+
+// Splits on a single character; keeps empty fields.
+std::vector<std::string> SplitChar(std::string_view s, char sep);
+
+// ASCII-only case conversion (sufficient for HTML tag folding and the
+// fn:upper-case / fn:lower-case subset we support).
+std::string AsciiToUpper(std::string_view s);
+std::string AsciiToLower(std::string_view s);
+
+bool AsciiEqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// True if `s` starts with / ends with / contains `sub`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool Contains(std::string_view s, std::string_view sub);
+
+// Decodes a UTF-8 string into Unicode codepoints. Invalid bytes are mapped
+// to U+FFFD rather than failing: browser content is best-effort.
+std::vector<uint32_t> Utf8ToCodepoints(std::string_view s);
+
+// Encodes codepoints back to UTF-8.
+std::string CodepointsToUtf8(const std::vector<uint32_t>& cps);
+
+// Appends one codepoint, UTF-8 encoded, to `out`.
+void AppendUtf8(uint32_t cp, std::string* out);
+
+// Number of Unicode codepoints in a UTF-8 string.
+size_t Utf8Length(std::string_view s);
+
+// True for XML whitespace characters.
+inline bool IsXmlWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+// NCName checks per XML Namespaces (ASCII approximation plus multi-byte
+// pass-through, which is how lenient browser parsers behave).
+bool IsNameStartChar(char c);
+bool IsNameChar(char c);
+bool IsValidNCName(std::string_view s);
+
+// Formats a double the way XPath's fn:string does for xs:double (integral
+// values print without a trailing ".0"; NaN/INF use XPath spellings).
+std::string DoubleToXPathString(double d);
+
+}  // namespace xqib
+
+#endif  // XQIB_BASE_STRINGS_H_

@@ -1,0 +1,284 @@
+#include "browser/bom.h"
+
+#include <cstdio>
+
+#include "base/strings.h"
+
+namespace xqib::browser {
+
+namespace {
+
+// Splits a URL into the location components the paper's window node
+// exposes (href, protocol, host, port, pathname).
+struct LocationParts {
+  std::string href, protocol, host, port, pathname;
+};
+
+LocationParts SplitUrl(const std::string& url) {
+  LocationParts parts;
+  parts.href = url;
+  Origin origin = OriginFromUrl(url);
+  parts.protocol = origin.scheme.empty() ? "" : origin.scheme + ":";
+  parts.host = origin.host;
+  if (!origin.host.empty()) {
+    parts.port = std::to_string(origin.EffectivePort());
+  }
+  size_t scheme_end = url.find("://");
+  if (scheme_end != std::string::npos) {
+    size_t path_start = url.find('/', scheme_end + 3);
+    parts.pathname =
+        path_start == std::string::npos ? "/" : url.substr(path_start);
+  }
+  return parts;
+}
+
+void AppendTextChild(xml::Node* parent, const std::string& name,
+                     const std::string& value) {
+  xml::Document* doc = parent->document();
+  xml::Node* elem = doc->CreateElement(xml::QName(name));
+  if (!value.empty()) elem->AppendChild(doc->CreateText(value));
+  parent->AppendChild(elem);
+}
+
+std::string ChildText(const xml::Node* elem, const std::string& name) {
+  for (const xml::Node* c : elem->children()) {
+    if (c->is_element() && c->name().local == name) return c->StringValue();
+  }
+  return "";
+}
+
+const xml::Node* ChildElement(const xml::Node* elem, const std::string& name) {
+  for (const xml::Node* c : elem->children()) {
+    if (c->is_element() && c->name().local == name) return c;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- Window ---
+
+Window::Window(Browser* browser, std::string name)
+    : browser_(browser),
+      name_(std::move(name)),
+      document_(std::make_unique<xml::Document>()) {
+  document_->set_uri(url_);
+}
+
+Window* Window::CreateFrame(std::string name) {
+  frames_.push_back(std::make_unique<Window>(browser_, std::move(name)));
+  frames_.back()->parent_ = this;
+  return frames_.back().get();
+}
+
+void Window::CloseFrame(Window* frame) {
+  for (auto it = frames_.begin(); it != frames_.end(); ++it) {
+    if (it->get() == frame) {
+      // Close nested frames first so every window gets its hook.
+      while (!frame->frames_.empty()) {
+        frame->CloseFrame(frame->frames_.back().get());
+      }
+      if (browser_->on_window_closed) browser_->on_window_closed(frame);
+      browser_->events().ClearDocument(frame->document());
+      frames_.erase(it);
+      return;
+    }
+  }
+}
+
+Status Window::Navigate(const std::string& url) {
+  if (browser_->page_fetcher == nullptr) {
+    return Status::Error("BRWS0003", "no page fetcher configured");
+  }
+  XQ_ASSIGN_OR_RETURN(std::string source, browser_->page_fetcher(url));
+  return LoadInternal(url, source, /*record_history=*/true);
+}
+
+Status Window::LoadSource(const std::string& url,
+                          const std::string& source) {
+  return LoadInternal(url, source, /*record_history=*/true);
+}
+
+Status Window::LoadInternal(const std::string& url,
+                            const std::string& source, bool record_history) {
+  xml::ParseOptions options = browser_->parse_options;
+  options.document_uri = url;
+  XQ_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
+                      xml::ParseDocument(source, options));
+  // Unload the old page: its listeners die with it.
+  browser_->events().ClearDocument(document_.get());
+  document_ = std::move(doc);
+  url_ = url;
+  last_modified_ = browser_->CurrentTimestamp();
+  if (record_history) {
+    history_.resize(history_index_);
+    history_.push_back(url);
+    history_index_ = history_.size();
+  }
+  if (browser_->on_page_loaded) browser_->on_page_loaded(this);
+  return Status();
+}
+
+Status Window::HistoryGo(int delta) {
+  if (history_.empty()) return Status();
+  // history_index_ points one past the current entry.
+  int64_t target = static_cast<int64_t>(history_index_) - 1 + delta;
+  if (target < 0 || target >= static_cast<int64_t>(history_.size())) {
+    return Status();  // browsers silently ignore out-of-range goes
+  }
+  std::string url = history_[static_cast<size_t>(target)];
+  if (browser_->page_fetcher == nullptr) {
+    return Status::Error("BRWS0003", "no page fetcher configured");
+  }
+  XQ_ASSIGN_OR_RETURN(std::string source, browser_->page_fetcher(url));
+  XQ_RETURN_NOT_OK(LoadInternal(url, source, /*record_history=*/false));
+  history_index_ = static_cast<size_t>(target) + 1;
+  return Status();
+}
+
+void Window::Write(const std::string& text) {
+  xml::Node* root = document_->DocumentElement();
+  if (root == nullptr) {
+    root = document_->CreateElement(xml::QName("html"));
+    document_->root()->AppendChild(root);
+  }
+  xml::Node* body = nullptr;
+  for (xml::Node* c : root->children()) {
+    if (c->is_element() && AsciiEqualsIgnoreCase(c->name().local, "body")) {
+      body = c;
+      break;
+    }
+  }
+  if (body == nullptr) {
+    body = document_->CreateElement(xml::QName("body"));
+    root->AppendChild(body);
+  }
+  body->AppendChild(document_->CreateText(text));
+}
+
+// ------------------------------------------------------------- Browser ---
+
+Browser::Browser() {
+  top_window_ = std::make_unique<Window>(this, "top_window");
+}
+
+std::string Browser::CurrentTimestamp() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "1970-01-01T00:00:00+%.0fms",
+                loop_.now_ms());
+  return buf;
+}
+
+void Browser::MaterializeInto(Window* window, xml::Node* parent_elem,
+                              const std::string& accessor_url,
+                              BomTree* tree) {
+  xml::Document* doc = parent_elem->document();
+  xml::Node* elem = doc->CreateElement(xml::QName("window"));
+  parent_elem->AppendChild(elem);
+
+  if (!policy_.CanAccess(accessor_url, window->url())) {
+    // Denied: an empty shell. No name, no properties, no frames — the
+    // accessor cannot learn anything (paper §4.2.1). We still record the
+    // mapping so that *if* policy later allows, sync can find it — but
+    // ResolveWindowNode re-checks on every use.
+    tree->node_to_window[elem] = window;
+    return;
+  }
+  tree->node_to_window[elem] = window;
+  elem->SetAttribute(xml::QName("name"), window->name());
+  AppendTextChild(elem, "status", window->status());
+  LocationParts loc = SplitUrl(window->url());
+  xml::Node* location = doc->CreateElement(xml::QName("location"));
+  elem->AppendChild(location);
+  AppendTextChild(location, "href", loc.href);
+  AppendTextChild(location, "protocol", loc.protocol);
+  AppendTextChild(location, "host", loc.host);
+  AppendTextChild(location, "port", loc.port);
+  AppendTextChild(location, "pathname", loc.pathname);
+  AppendTextChild(elem, "lastModified", window->last_modified());
+  AppendTextChild(elem, "historyLength",
+                  std::to_string(window->history_length()));
+  AppendTextChild(elem, "screenX", std::to_string(window->screen_x()));
+  AppendTextChild(elem, "screenY", std::to_string(window->screen_y()));
+  xml::Node* frames = doc->CreateElement(xml::QName("frames"));
+  elem->AppendChild(frames);
+  for (const auto& frame : window->frames()) {
+    MaterializeInto(frame.get(), frames, accessor_url, tree);
+  }
+}
+
+Browser::BomTree Browser::MaterializeWindowTree(
+    xml::Document* doc, const std::string& accessor_url) {
+  return MaterializeWindow(top_window_.get(), doc, accessor_url);
+}
+
+Browser::BomTree Browser::MaterializeWindow(Window* window,
+                                            xml::Document* doc,
+                                            const std::string& accessor_url) {
+  BomTree tree;
+  xml::Node* holder = doc->CreateElement(xml::QName("bom"));
+  MaterializeInto(window, holder, accessor_url, &tree);
+  tree.root = holder->children().empty() ? nullptr : holder->children()[0];
+  return tree;
+}
+
+xml::Node* Browser::MaterializeNavigator(xml::Document* doc) const {
+  xml::Node* elem = doc->CreateElement(xml::QName("navigator"));
+  AppendTextChild(elem, "appName", navigator.app_name);
+  AppendTextChild(elem, "appVersion", navigator.app_version);
+  AppendTextChild(elem, "userAgent", navigator.user_agent);
+  AppendTextChild(elem, "platform", navigator.platform);
+  AppendTextChild(elem, "language", navigator.language);
+  AppendTextChild(elem, "cookieEnabled",
+                  navigator.cookie_enabled ? "true" : "false");
+  return elem;
+}
+
+xml::Node* Browser::MaterializeScreen(xml::Document* doc) const {
+  xml::Node* elem = doc->CreateElement(xml::QName("screen"));
+  AppendTextChild(elem, "width", std::to_string(screen.width));
+  AppendTextChild(elem, "height", std::to_string(screen.height));
+  AppendTextChild(elem, "availWidth", std::to_string(screen.avail_width));
+  AppendTextChild(elem, "availHeight", std::to_string(screen.avail_height));
+  AppendTextChild(elem, "colorDepth", std::to_string(screen.color_depth));
+  return elem;
+}
+
+Status Browser::SyncFromBomTree(const BomTree& tree,
+                                const std::string& accessor_url) {
+  for (const auto& [node, window] : tree.node_to_window) {
+    // Pull semantics: the policy is re-checked at sync time too.
+    if (!policy_.CanAccess(accessor_url, window->url())) continue;
+    const xml::Node* elem = node;
+    std::string new_status = ChildText(elem, "status");
+    if (new_status != window->status()) {
+      window->set_status(new_status);
+    }
+    const xml::Node* location = ChildElement(elem, "location");
+    if (location != nullptr) {
+      std::string new_href = ChildText(location, "href");
+      if (!new_href.empty() && new_href != window->url()) {
+        XQ_RETURN_NOT_OK(window->Navigate(new_href));
+      }
+    }
+  }
+  return Status();
+}
+
+Window* Browser::ResolveWindowNode(const BomTree& tree, const xml::Node* node,
+                                   const std::string& accessor_url) {
+  const xml::Node* n = node;
+  while (n != nullptr) {
+    auto it = tree.node_to_window.find(n);
+    if (it != tree.node_to_window.end()) {
+      if (!policy_.CanAccess(accessor_url, it->second->url())) {
+        return nullptr;
+      }
+      return it->second;
+    }
+    n = n->parent();
+  }
+  return nullptr;
+}
+
+}  // namespace xqib::browser

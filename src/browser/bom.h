@@ -1,0 +1,190 @@
+// Browser Object Model: the window/frame tree, navigator, screen,
+// location and history — everything paper §4.2 exposes to XQuery via the
+// browser: namespace. Window state is materialized on demand ("pull") as
+// XML elements with per-access security checks, and edits to the
+// materialized tree are synchronized back (so `replace value of node
+// $win/location/href with ...` really navigates).
+
+#ifndef XQIB_BROWSER_BOM_H_
+#define XQIB_BROWSER_BOM_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "browser/event_loop.h"
+#include "browser/events.h"
+#include "browser/security.h"
+#include "xml/dom.h"
+#include "xml/xml_parser.h"
+
+namespace xqib::browser {
+
+class Browser;
+
+struct NavigatorInfo {
+  std::string app_name = "XQIB";
+  std::string app_version = "1.0 (simulated)";
+  std::string user_agent = "XQIB/1.0 (headless; paper-reproduction)";
+  std::string platform = "Simulated";
+  std::string language = "en";
+  bool cookie_enabled = true;
+};
+
+struct ScreenInfo {
+  int width = 1280;
+  int height = 1024;
+  int avail_width = 1280;
+  int avail_height = 994;
+  int color_depth = 24;
+};
+
+// One browser window or frame. Owns its Document.
+class Window {
+ public:
+  Window(Browser* browser, std::string name);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::string& status() const { return status_; }
+  void set_status(std::string status) { status_ = std::move(status); }
+
+  const std::string& url() const { return url_; }
+  const std::string& last_modified() const { return last_modified_; }
+
+  xml::Document* document() { return document_.get(); }
+  const xml::Document* document() const { return document_.get(); }
+
+  Window* parent() { return parent_; }
+  const std::vector<std::unique_ptr<Window>>& frames() const {
+    return frames_;
+  }
+  Window* CreateFrame(std::string name);
+  // Closes (removes) a child frame; no-op if not a child.
+  void CloseFrame(Window* frame);
+
+  // Fetches `url` through the browser's page fetcher, parses it, replaces
+  // the document, records history, and invokes the browser's page-loaded
+  // hook (which runs scripts — the plug-in's Figure 1 loop).
+  Status Navigate(const std::string& url);
+
+  // Replaces the document without fetching (tests, direct loads).
+  Status LoadSource(const std::string& url, const std::string& source);
+
+  // History traversal (§4.2.4 history functions).
+  Status HistoryGo(int delta);
+  Status HistoryBack() { return HistoryGo(-1); }
+  Status HistoryForward() { return HistoryGo(1); }
+  size_t history_length() const { return history_.size(); }
+
+  // document.write-style append into <body> (§4.2.4 write/writeln).
+  void Write(const std::string& text);
+
+  // Window geometry (§4.2.4 windowMoveBy / windowMoveTo).
+  int screen_x() const { return screen_x_; }
+  int screen_y() const { return screen_y_; }
+  void MoveTo(int x, int y) {
+    screen_x_ = x;
+    screen_y_ = y;
+  }
+  void MoveBy(int dx, int dy) {
+    screen_x_ += dx;
+    screen_y_ += dy;
+  }
+
+  Browser* browser() { return browser_; }
+
+ private:
+  Status LoadInternal(const std::string& url, const std::string& source,
+                      bool record_history);
+
+  Browser* browser_;
+  Window* parent_ = nullptr;
+  std::string name_;
+  std::string status_;
+  std::string url_ = "about:blank";
+  std::string last_modified_;
+  std::unique_ptr<xml::Document> document_;
+  std::vector<std::unique_ptr<Window>> frames_;
+  std::vector<std::string> history_;
+  size_t history_index_ = 0;
+  int screen_x_ = 0;
+  int screen_y_ = 0;
+};
+
+// The headless browser: top window, navigator/screen info, the event
+// system and loop, the security policy, and BOM materialization.
+class Browser {
+ public:
+  Browser();
+
+  Window* top_window() { return top_window_.get(); }
+  EventLoop& loop() { return loop_; }
+  EventSystem& events() { return events_; }
+  SecurityPolicy& policy() { return policy_; }
+
+  NavigatorInfo navigator;
+  ScreenInfo screen;
+  xml::ParseOptions parse_options;
+
+  // Resolves a URL to page source (plugged by the net fabric).
+  std::function<Result<std::string>(const std::string& url)> page_fetcher;
+  // Invoked after a window (re)loads its document; the plug-in runs the
+  // page's scripts here.
+  std::function<void(Window*)> on_page_loaded;
+  // Invoked just before a window is destroyed (frame closed); script
+  // engines drop their per-window state here.
+  std::function<void(Window*)> on_window_closed;
+
+  // The wall-clock used for lastModified stamps; defaults to loop time.
+  std::string CurrentTimestamp() const;
+
+  // ---- BOM materialization (paper §4.2.1/4.2.2) ----
+
+  // A materialized snapshot of browser state, backed by `doc`, plus the
+  // node→Window mapping needed to push edits back and resolve
+  // browser:document($w) calls.
+  struct BomTree {
+    xml::Node* root = nullptr;
+    std::unordered_map<const xml::Node*, Window*> node_to_window;
+  };
+
+  // Builds the <window> tree for browser:top() into `doc`. Windows the
+  // accessor origin may not touch materialize as empty <window/> shells
+  // (the paper's "all accessors return an empty sequence").
+  BomTree MaterializeWindowTree(xml::Document* doc,
+                                const std::string& accessor_url);
+  // Same, but rooted at a specific window (browser:self()).
+  BomTree MaterializeWindow(Window* window, xml::Document* doc,
+                            const std::string& accessor_url);
+
+  xml::Node* MaterializeNavigator(xml::Document* doc) const;
+  xml::Node* MaterializeScreen(xml::Document* doc) const;
+
+  // Pushes edits made to a materialized tree back into the BOM: status
+  // changes apply directly; location/href changes trigger navigation.
+  // Security is re-checked per window ("pull" semantics).
+  Status SyncFromBomTree(const BomTree& tree, const std::string& accessor_url);
+
+  // Finds the window that materialized `node` (any descendant of its
+  // <window> element works); nullptr if unknown or denied.
+  Window* ResolveWindowNode(const BomTree& tree, const xml::Node* node,
+                            const std::string& accessor_url);
+
+ private:
+  void MaterializeInto(Window* window, xml::Node* parent_elem,
+                       const std::string& accessor_url, BomTree* tree);
+
+  std::unique_ptr<Window> top_window_;
+  EventLoop loop_;
+  EventSystem events_;
+  SecurityPolicy policy_{SecurityPolicy::Mode::kSameOrigin};
+};
+
+}  // namespace xqib::browser
+
+#endif  // XQIB_BROWSER_BOM_H_

@@ -1,0 +1,68 @@
+#include "browser/css.h"
+
+#include "base/strings.h"
+
+namespace xqib::browser {
+
+std::vector<std::pair<std::string, std::string>> ParseStyleAttribute(
+    std::string_view style) {
+  std::vector<std::pair<std::string, std::string>> decls;
+  for (const std::string& decl : SplitChar(style, ';')) {
+    size_t colon = decl.find(':');
+    if (colon == std::string::npos) continue;
+    std::string prop(TrimWhitespace(decl.substr(0, colon)));
+    std::string value(TrimWhitespace(decl.substr(colon + 1)));
+    if (prop.empty() || value.empty()) continue;
+    decls.emplace_back(std::move(prop), std::move(value));
+  }
+  return decls;
+}
+
+std::string SerializeStyleAttribute(
+    const std::vector<std::pair<std::string, std::string>>& decls) {
+  std::string out;
+  for (const auto& [prop, value] : decls) {
+    if (!out.empty()) out += "; ";
+    out += prop + ": " + value;
+  }
+  return out;
+}
+
+std::string GetStyleProperty(const xml::Node* element,
+                             std::string_view property) {
+  const xml::Node* attr = element->FindAttribute("style");
+  if (attr == nullptr) return "";
+  for (const auto& [prop, value] : ParseStyleAttribute(attr->value())) {
+    if (AsciiEqualsIgnoreCase(prop, property)) return value;
+  }
+  return "";
+}
+
+void SetStyleProperty(xml::Node* element, std::string_view property,
+                      std::string_view value) {
+  const xml::Node* attr = element->FindAttribute("style");
+  auto decls = ParseStyleAttribute(attr == nullptr ? "" : attr->value());
+  bool found = false;
+  for (auto it = decls.begin(); it != decls.end();) {
+    if (AsciiEqualsIgnoreCase(it->first, property)) {
+      if (value.empty()) {
+        it = decls.erase(it);
+        continue;
+      }
+      it->second = std::string(value);
+      found = true;
+    }
+    ++it;
+  }
+  if (!found && !value.empty()) {
+    decls.emplace_back(std::string(property), std::string(value));
+  }
+  std::string serialized = SerializeStyleAttribute(decls);
+  if (serialized.empty()) {
+    element->RemoveAttribute("", "style");
+  } else {
+    element->SetAttribute(xml::QName("style"), serialized);
+  }
+}
+
+}  // namespace xqib::browser

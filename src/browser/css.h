@@ -1,0 +1,38 @@
+// CSS inline-style handling (paper §4.5): the style attribute is a list
+// of "property: value" pairs; the set/get style grammar extension reads
+// and writes individual properties without exposing them as XML children
+// ("which would not be correct XML").
+
+#ifndef XQIB_BROWSER_CSS_H_
+#define XQIB_BROWSER_CSS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace xqib::browser {
+
+// Parses a style attribute value into ordered (property, value) pairs.
+// Malformed declarations are skipped, like browsers do.
+std::vector<std::pair<std::string, std::string>> ParseStyleAttribute(
+    std::string_view style);
+
+// Serializes pairs back to "a: b; c: d".
+std::string SerializeStyleAttribute(
+    const std::vector<std::pair<std::string, std::string>>& decls);
+
+// Reads one property from an element's style attribute ("" if absent).
+std::string GetStyleProperty(const xml::Node* element,
+                             std::string_view property);
+
+// Sets (or replaces) one property in the element's style attribute.
+// An empty value removes the property.
+void SetStyleProperty(xml::Node* element, std::string_view property,
+                      std::string_view value);
+
+}  // namespace xqib::browser
+
+#endif  // XQIB_BROWSER_CSS_H_

@@ -1,0 +1,28 @@
+#include "browser/event_loop.h"
+
+namespace xqib::browser {
+
+void EventLoop::Post(Task task, double delay_ms) {
+  queue_.push(Entry{now_ms_ + (delay_ms < 0 ? 0 : delay_ms), next_seq_++,
+                    std::move(task)});
+}
+
+bool EventLoop::RunOne() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; moving the task out before pop is the
+  // standard idiom for move-only payloads.
+  Entry& top = const_cast<Entry&>(queue_.top());
+  Task task = std::move(top.task);
+  if (top.due_ms > now_ms_) now_ms_ = top.due_ms;
+  queue_.pop();
+  task();
+  return true;
+}
+
+size_t EventLoop::RunUntilIdle(size_t max_tasks) {
+  size_t n = 0;
+  while (n < max_tasks && RunOne()) ++n;
+  return n;
+}
+
+}  // namespace xqib::browser

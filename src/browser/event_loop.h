@@ -1,0 +1,53 @@
+// A single-threaded event loop with simulated time. The browser queues
+// DOM event dispatches and asynchronous completions (REST / web-service
+// calls behind the paper's "behind" construct) here; benchmarks advance
+// simulated time deterministically.
+
+#ifndef XQIB_BROWSER_EVENT_LOOP_H_
+#define XQIB_BROWSER_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace xqib::browser {
+
+class EventLoop {
+ public:
+  using Task = std::function<void()>;
+
+  // Schedules `task` to run `delay_ms` of simulated time from now. Tasks
+  // with equal due time run in posting order.
+  void Post(Task task, double delay_ms = 0.0);
+
+  // Runs the next due task, advancing simulated time to its deadline.
+  // Returns false when the queue is empty.
+  bool RunOne();
+
+  // Drains the queue; returns the number of tasks run. `max_tasks` guards
+  // against runaway task chains.
+  size_t RunUntilIdle(size_t max_tasks = 1u << 20);
+
+  bool idle() const { return queue_.empty(); }
+  size_t pending() const { return queue_.size(); }
+  double now_ms() const { return now_ms_; }
+
+ private:
+  struct Entry {
+    double due_ms;
+    uint64_t seq;
+    Task task;
+    bool operator>(const Entry& other) const {
+      if (due_ms != other.due_ms) return due_ms > other.due_ms;
+      return seq > other.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
+  double now_ms_ = 0.0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace xqib::browser
+
+#endif  // XQIB_BROWSER_EVENT_LOOP_H_

@@ -1,0 +1,62 @@
+#include "browser/page.h"
+
+#include "base/strings.h"
+
+namespace xqib::browser {
+
+ScriptLanguage ScriptLanguageFromType(const std::string& type) {
+  if (AsciiEqualsIgnoreCase(type, "text/xquery") ||
+      AsciiEqualsIgnoreCase(type, "application/xquery")) {
+    return ScriptLanguage::kXQuery;
+  }
+  if (AsciiEqualsIgnoreCase(type, "text/xqueryp") ||
+      AsciiEqualsIgnoreCase(type, "application/xqueryp")) {
+    return ScriptLanguage::kXQueryP;
+  }
+  if (type.empty() || AsciiEqualsIgnoreCase(type, "text/javascript") ||
+      AsciiEqualsIgnoreCase(type, "application/javascript")) {
+    return ScriptLanguage::kJavaScript;
+  }
+  return ScriptLanguage::kUnknown;
+}
+
+std::vector<Script> ExtractScripts(xml::Document* doc) {
+  std::vector<Script> scripts;
+  xml::VisitSubtree(doc->root(), [&](xml::Node* node) {
+    if (!node->is_element()) return;
+    if (!AsciiEqualsIgnoreCase(node->name().local, "script")) return;
+    Script s;
+    s.element = node;
+    s.language = ScriptLanguageFromType(node->GetAttributeValue("type"));
+    const xml::Node* src = node->FindAttribute("src");
+    if (src != nullptr) {
+      // External scripts carry their URL; the plug-in fetches them.
+      s.code = "";
+    } else {
+      s.code = node->StringValue();
+    }
+    scripts.push_back(std::move(s));
+  });
+  return scripts;
+}
+
+std::vector<InlineHandler> ExtractInlineHandlers(xml::Document* doc) {
+  std::vector<InlineHandler> handlers;
+  xml::VisitSubtree(doc->root(), [&](xml::Node* node) {
+    if (!node->is_element()) return;
+    for (const xml::Node* attr : node->attributes()) {
+      const std::string& name = attr->name().local;
+      if (name.size() > 2 && (name[0] == 'o' || name[0] == 'O') &&
+          (name[1] == 'n' || name[1] == 'N')) {
+        InlineHandler h;
+        h.element = node;
+        h.event = AsciiToLower(name);
+        h.code = attr->value();
+        handlers.push_back(std::move(h));
+      }
+    }
+  });
+  return handlers;
+}
+
+}  // namespace xqib::browser

@@ -1,0 +1,46 @@
+// Page script extraction: finds <script> elements (and inline on*
+// handler attributes) in a loaded document — the first step of the
+// plug-in pipeline in Figure 1 of the paper.
+
+#ifndef XQIB_BROWSER_PAGE_H_
+#define XQIB_BROWSER_PAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "xml/dom.h"
+
+namespace xqib::browser {
+
+enum class ScriptLanguage {
+  kXQuery,       // type="text/xquery"
+  kXQueryP,      // type="text/xqueryp" (scripting dialect, paper §6.3)
+  kJavaScript,   // type="text/javascript" (or no type)
+  kUnknown,
+};
+
+struct Script {
+  ScriptLanguage language = ScriptLanguage::kUnknown;
+  std::string code;
+  xml::Node* element = nullptr;
+};
+
+// An inline handler attribute, e.g. onkeyup="local:showHint(value)".
+struct InlineHandler {
+  xml::Node* element = nullptr;
+  std::string event;  // attribute name: "onclick", "onkeyup", ...
+  std::string code;
+};
+
+// Collects scripts in document order. Element-name matching is
+// case-insensitive so IE-folded pages (SCRIPT) work too.
+std::vector<Script> ExtractScripts(xml::Document* doc);
+
+// Collects on* attributes from all elements, in document order.
+std::vector<InlineHandler> ExtractInlineHandlers(xml::Document* doc);
+
+ScriptLanguage ScriptLanguageFromType(const std::string& type);
+
+}  // namespace xqib::browser
+
+#endif  // XQIB_BROWSER_PAGE_H_

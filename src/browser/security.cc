@@ -1,0 +1,49 @@
+#include "browser/security.h"
+
+#include <cstdlib>
+
+namespace xqib::browser {
+
+std::string Origin::ToString() const {
+  return scheme + "://" + host + ":" + std::to_string(EffectivePort());
+}
+
+Origin OriginFromUrl(std::string_view url) {
+  Origin origin;
+  size_t scheme_end = url.find("://");
+  if (scheme_end == std::string_view::npos) {
+    return origin;  // opaque
+  }
+  origin.scheme = std::string(url.substr(0, scheme_end));
+  std::string_view rest = url.substr(scheme_end + 3);
+  size_t host_end = rest.find_first_of("/?#");
+  std::string_view authority =
+      host_end == std::string_view::npos ? rest : rest.substr(0, host_end);
+  size_t colon = authority.rfind(':');
+  if (colon != std::string_view::npos) {
+    origin.host = std::string(authority.substr(0, colon));
+    origin.port = std::atoi(std::string(authority.substr(colon + 1)).c_str());
+  } else {
+    origin.host = std::string(authority);
+  }
+  return origin;
+}
+
+bool SecurityPolicy::CanAccess(std::string_view accessor_url,
+                               std::string_view target_url) const {
+  switch (mode_) {
+    case Mode::kPermissive:
+      return true;
+    case Mode::kDenyAll:
+      return false;
+    case Mode::kSameOrigin: {
+      Origin a = OriginFromUrl(accessor_url);
+      Origin b = OriginFromUrl(target_url);
+      if (a.host.empty() || b.host.empty()) return false;
+      return a == b;
+    }
+  }
+  return false;
+}
+
+}  // namespace xqib::browser

@@ -1,0 +1,59 @@
+// Origin model and the pluggable security policy of paper §4.2.1: window
+// accessors are pull-based and every access re-checks the policy ("this
+// could be based on a same-origin policy like in JavaScript, or on any
+// other suitable policy"). Failed checks yield empty content, never an
+// error, so scripts cannot probe foreign windows.
+
+#ifndef XQIB_BROWSER_SECURITY_H_
+#define XQIB_BROWSER_SECURITY_H_
+
+#include <string>
+#include <string_view>
+
+namespace xqib::browser {
+
+struct Origin {
+  std::string scheme;
+  std::string host;
+  int port = 0;  // 0 = scheme default
+
+  bool operator==(const Origin& other) const {
+    return scheme == other.scheme && host == other.host &&
+           EffectivePort() == other.EffectivePort();
+  }
+  int EffectivePort() const {
+    if (port != 0) return port;
+    if (scheme == "https") return 443;
+    return 80;
+  }
+  std::string ToString() const;
+};
+
+// Parses scheme://host[:port]/... ; relative or malformed URLs produce an
+// opaque unique-ish origin (empty host) that matches nothing but itself.
+Origin OriginFromUrl(std::string_view url);
+
+class SecurityPolicy {
+ public:
+  enum class Mode {
+    kSameOrigin,   // the JavaScript default the paper suggests
+    kPermissive,   // everything allowed (tests, single-origin demos)
+    kDenyAll,      // lockdown
+  };
+
+  explicit SecurityPolicy(Mode mode = Mode::kSameOrigin) : mode_(mode) {}
+
+  Mode mode() const { return mode_; }
+  void set_mode(Mode mode) { mode_ = mode; }
+
+  // May code loaded from `accessor_url` touch a window at `target_url`?
+  bool CanAccess(std::string_view accessor_url,
+                 std::string_view target_url) const;
+
+ private:
+  Mode mode_;
+};
+
+}  // namespace xqib::browser
+
+#endif  // XQIB_BROWSER_SECURITY_H_

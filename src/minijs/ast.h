@@ -1,0 +1,88 @@
+// AST for MiniJS — the JavaScript subset that coexists with XQuery in
+// the browser (paper §6.2). Covers the constructs the paper's JS
+// examples use: var, functions/closures, control flow, the usual
+// operators, object/array literals, member access and calls.
+
+#ifndef XQIB_MINIJS_AST_H_
+#define XQIB_MINIJS_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xqib::minijs {
+
+struct JsExpr;
+struct JsStmt;
+using JsExprPtr = std::unique_ptr<JsExpr>;
+using JsStmtPtr = std::unique_ptr<JsStmt>;
+
+enum class JsExprKind {
+  kNumber,       // num
+  kString,       // str
+  kBool,         // flag
+  kNull,
+  kUndefined,
+  kIdentifier,   // str
+  kThis,
+  kMember,       // kids[0].str  (static member)
+  kIndex,        // kids[0][kids[1]]
+  kCall,         // kids[0](kids[1..])
+  kNew,          // new kids[0](kids[1..]) — constructs a plain object
+  kAssign,       // op in {=, +=, -=}; kids[0] = target, kids[1] = value
+  kBinary,       // op; kids[0], kids[1]
+  kLogical,      // op in {&&, ||}; short-circuit
+  kUnary,        // op in {!, -, +, typeof}
+  kUpdate,       // ++/--; flag=prefix; kids[0] target
+  kConditional,  // kids: [cond, then, else]
+  kFunction,     // function literal: params, body
+  kObjectLit,    // props: (name, expr) pairs
+  kArrayLit,     // kids: elements
+};
+
+struct JsExpr {
+  explicit JsExpr(JsExprKind k) : kind(k) {}
+  JsExprKind kind;
+  double num = 0;
+  std::string str;  // identifier / member name / operator
+  bool flag = false;
+  std::vector<JsExprPtr> kids;
+  // kFunction
+  std::vector<std::string> params;
+  std::vector<JsStmtPtr> body;
+  // kObjectLit
+  std::vector<std::pair<std::string, JsExprPtr>> props;
+};
+
+enum class JsStmtKind {
+  kExpr,      // kids/expr
+  kVar,       // str = name; expr optional init (one declarator per stmt)
+  kFunction,  // named function declaration (expr is a kFunction literal)
+  kIf,        // cond, then_block, else_block
+  kWhile,     // cond, body
+  kFor,       // init (stmt), cond, step (expr), body
+  kReturn,    // optional expr
+  kBreak,
+  kContinue,
+  kBlock,
+};
+
+struct JsStmt {
+  explicit JsStmt(JsStmtKind k) : kind(k) {}
+  JsStmtKind kind;
+  std::string str;
+  JsExprPtr expr;      // expression / condition / init value
+  JsExprPtr expr2;     // for-step
+  JsStmtPtr init;      // for-init
+  std::vector<JsStmtPtr> body;
+  std::vector<JsStmtPtr> else_body;
+};
+
+// A parsed program.
+struct JsProgram {
+  std::vector<JsStmtPtr> statements;
+};
+
+}  // namespace xqib::minijs
+
+#endif  // XQIB_MINIJS_AST_H_

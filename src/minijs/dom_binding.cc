@@ -1,0 +1,633 @@
+#include "minijs/dom_binding.h"
+
+#include <cmath>
+
+#include "base/strings.h"
+#include "browser/css.h"
+#include "minijs/js_parser.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+#include "xquery/engine.h"
+
+namespace xqib::minijs {
+
+using browser::Browser;
+using browser::Event;
+using browser::Window;
+
+namespace {
+
+// Pulls the wrapped DOM node out of a JS value (nullptr if none).
+xml::Node* NodeOf(const Value& v) {
+  if (!v.is_object()) return nullptr;
+  return v.obj()->node;
+}
+
+std::string HexId(const void* p) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%p", p);
+  return buf;
+}
+
+}  // namespace
+
+DomBinding::DomBinding(Browser* browser) : browser_(browser) {
+  alert_sink = [this](const std::string& s) { alerts_.push_back(s); };
+}
+
+DomBinding::~DomBinding() = default;
+
+bool DomBinding::Handles(browser::ScriptLanguage language) const {
+  return language == browser::ScriptLanguage::kJavaScript;
+}
+
+DomBinding::WindowState* DomBinding::StateFor(Window* window) {
+  auto it = states_.find(window);
+  if (it != states_.end() &&
+      it->second->window->document() != nullptr) {
+    return it->second.get();
+  }
+  auto state = std::make_unique<WindowState>();
+  state->window = window;
+  state->interp = std::make_unique<Interpreter>();
+  WindowState* raw = state.get();
+  states_[window] = std::move(state);
+  InstallGlobals(raw);
+  return raw;
+}
+
+Interpreter* DomBinding::InterpreterFor(Window* window) {
+  return StateFor(window)->interp.get();
+}
+
+Status DomBinding::RunScript(Window* window, const browser::Script& script) {
+  return Execute(window, script.code);
+}
+
+Status DomBinding::Execute(Window* window, const std::string& source) {
+  WindowState* state = StateFor(window);
+  auto program = ParseProgram(source);
+  if (!program.ok()) {
+    last_error_ = program.status();
+    return program.status();
+  }
+  Status st = state->interp->Run(std::move(program).value());
+  if (!st.ok()) last_error_ = st;
+  return st;
+}
+
+Status DomBinding::RegisterInlineHandler(
+    Window* window, const browser::InlineHandler& handler) {
+  WindowState* state = StateFor(window);
+  auto parsed = ParseJsExpression(handler.code);
+  if (!parsed.ok()) {
+    last_error_ = parsed.status();
+    return parsed.status();
+  }
+  const JsExpr* expr = state->interp->AdoptExpression(std::move(parsed).value());
+  browser::Listener listener;
+  listener.id = "js-inline:" + handler.event + ":" + handler.code;
+  listener.callback = [this, state, expr](Event& event) {
+    std::vector<std::pair<std::string, Value>> bindings;
+    bindings.emplace_back("event", MakeEventObject(state, event));
+    std::string value = event.value;
+    if (value.empty() && event.target != nullptr) {
+      value = event.target->GetAttributeValue("value");
+    }
+    bindings.emplace_back("value", Value::String(value));
+    xml::Node* obj = event.current_target != nullptr ? event.current_target
+                                                     : event.target;
+    bindings.emplace_back(
+        "this", obj != nullptr ? WrapNode(state->window, obj)
+                               : Value::Undefined());
+    Result<Value> r = state->interp->EvalExpression(*expr, bindings);
+    if (!r.ok()) last_error_ = r.status();
+  };
+  browser_->events().AddListener(handler.element, handler.event,
+                                 std::move(listener));
+  return Status();
+}
+
+// ------------------------------------------------------- XPath support ---
+
+Result<std::vector<xml::Node*>> DomBinding::EvaluateXPath(
+    const std::string& xpath, xml::Node* context_node) {
+  // document.evaluate embeds XPath in JavaScript (paper §2.2). XPath is
+  // a subset of XQuery, so the XQuery engine runs it directly.
+  XQ_ASSIGN_OR_RETURN(std::unique_ptr<xquery::Module> module,
+                      xquery::ParseModule(xpath));
+  xquery::StaticContext sctx;
+  sctx.AddModule(*module);
+  xquery::Evaluator evaluator(sctx);
+  xquery::DynamicContext ctx;
+  xquery::DynamicContext::Focus focus;
+  focus.item = xdm::Item::Node(context_node);
+  focus.position = 1;
+  focus.size = 1;
+  focus.has_item = true;
+  ctx.set_focus(focus);
+  XQ_ASSIGN_OR_RETURN(xdm::Sequence result,
+                      evaluator.Eval(*module->body, ctx));
+  std::vector<xml::Node*> nodes;
+  for (const xdm::Item& item : result) {
+    if (item.is_node()) nodes.push_back(item.node());
+  }
+  return nodes;
+}
+
+// --------------------------------------------------------- node wrapper ---
+
+Value DomBinding::WrapNode(Window* window, xml::Node* node) {
+  WindowState* state = StateFor(window);
+  auto obj = std::make_shared<JsObject>();
+  obj->node = node;
+
+  obj->get_hook = [this, state, node](const std::string& name,
+                                      Interpreter& interp,
+                                      Value* out) -> bool {
+    (void)interp;
+    auto wrap = [this, state](xml::Node* n) {
+      return n == nullptr ? Value::Null() : WrapNode(state->window, n);
+    };
+    if (name == "nodeName" || name == "tagName") {
+      *out = Value::String(node->name().Lexical());
+      return true;
+    }
+    if (name == "parentNode") {
+      *out = wrap(node->parent());
+      return true;
+    }
+    if (name == "firstChild") {
+      *out = wrap(node->children().empty() ? nullptr : node->children()[0]);
+      return true;
+    }
+    if (name == "lastChild") {
+      *out = wrap(node->children().empty() ? nullptr
+                                           : node->children().back());
+      return true;
+    }
+    if (name == "nextSibling" || name == "previousSibling") {
+      xml::Node* parent = node->parent();
+      if (parent == nullptr) {
+        *out = Value::Null();
+        return true;
+      }
+      size_t idx = parent->ChildIndex(node);
+      ptrdiff_t d = name == "nextSibling" ? 1 : -1;
+      ptrdiff_t target = static_cast<ptrdiff_t>(idx) + d;
+      if (target < 0 ||
+          target >= static_cast<ptrdiff_t>(parent->children().size())) {
+        *out = Value::Null();
+        return true;
+      }
+      *out = wrap(parent->children()[static_cast<size_t>(target)]);
+      return true;
+    }
+    if (name == "childNodes") {
+      auto arr = std::make_shared<JsObject>();
+      arr->is_array = true;
+      for (xml::Node* c : node->children()) {
+        arr->elements.push_back(wrap(c));
+      }
+      *out = Value::Object(std::move(arr));
+      return true;
+    }
+    if (name == "textContent" || name == "nodeValue" || name == "data") {
+      *out = Value::String(node->StringValue());
+      return true;
+    }
+    if (name == "innerHTML") {
+      std::string html;
+      for (const xml::Node* c : node->children()) {
+        html += xml::Serialize(c);
+      }
+      *out = Value::String(html);
+      return true;
+    }
+    if (name == "id" || name == "value" || name == "name" ||
+        name == "src" || name == "href" || name == "className" ||
+        name == "type") {
+      std::string attr = name == "className" ? "class" : name;
+      *out = Value::String(node->GetAttributeValue(attr));
+      return true;
+    }
+    if (name == "style") {
+      auto style = std::make_shared<JsObject>();
+      xml::Node* element = node;
+      style->get_hook = [element](const std::string& prop, Interpreter&,
+                                  Value* v) -> bool {
+        *v = Value::String(browser::GetStyleProperty(element, prop));
+        return true;
+      };
+      style->set_hook = [element](const std::string& prop,
+                                  const Value& value, Interpreter&) -> bool {
+        browser::SetStyleProperty(element, prop, value.ToString());
+        return true;
+      };
+      *out = Value::Object(std::move(style));
+      return true;
+    }
+    return false;
+  };
+
+  obj->set_hook = [this, node](const std::string& name, const Value& value,
+                               Interpreter&) -> bool {
+    if (name == "textContent" || name == "nodeValue" || name == "data") {
+      node->SetValue(value.ToString());
+      return true;
+    }
+    if (name == "innerHTML") {
+      node->SetValue("");
+      Status st = xml::ParseFragmentInto(value.ToString(), node,
+                                         xml::ParseOptions());
+      if (!st.ok()) last_error_ = st;
+      return true;
+    }
+    if (name == "id" || name == "value" || name == "name" ||
+        name == "src" || name == "href" || name == "className" ||
+        name == "type") {
+      std::string attr = name == "className" ? "class" : name;
+      node->SetAttribute(xml::QName(attr), value.ToString());
+      return true;
+    }
+    return false;
+  };
+
+  // --- methods ---
+  obj->props["appendChild"] = Interpreter::MakeNative(
+      [node](std::vector<Value>& args, Value, Interpreter&) -> Result<Value> {
+        xml::Node* child = args.empty() ? nullptr : NodeOf(args[0]);
+        if (child == nullptr) {
+          return Status::Error("JSRT0005", "appendChild expects a node");
+        }
+        if (child->parent() != nullptr) child->Detach();
+        node->AppendChild(child);
+        return args[0];
+      });
+  obj->props["insertBefore"] = Interpreter::MakeNative(
+      [node](std::vector<Value>& args, Value, Interpreter&) -> Result<Value> {
+        xml::Node* child = args.empty() ? nullptr : NodeOf(args[0]);
+        xml::Node* ref = args.size() > 1 ? NodeOf(args[1]) : nullptr;
+        if (child == nullptr) {
+          return Status::Error("JSRT0005", "insertBefore expects a node");
+        }
+        if (child->parent() != nullptr) child->Detach();
+        node->InsertBefore(child, ref);
+        return args[0];
+      });
+  obj->props["removeChild"] = Interpreter::MakeNative(
+      [node](std::vector<Value>& args, Value, Interpreter&) -> Result<Value> {
+        xml::Node* child = args.empty() ? nullptr : NodeOf(args[0]);
+        if (child == nullptr || child->parent() != node) {
+          return Status::Error("JSRT0005", "removeChild: not a child");
+        }
+        node->RemoveChild(child);
+        return args[0];
+      });
+  obj->props["setAttribute"] = Interpreter::MakeNative(
+      [node](std::vector<Value>& args, Value, Interpreter&) -> Result<Value> {
+        if (args.size() < 2) {
+          return Status::Error("JSRT0005", "setAttribute expects 2 args");
+        }
+        node->SetAttribute(xml::QName(args[0].ToString()),
+                           args[1].ToString());
+        return Value::Undefined();
+      });
+  obj->props["getAttribute"] = Interpreter::MakeNative(
+      [node](std::vector<Value>& args, Value, Interpreter&) -> Result<Value> {
+        if (args.empty()) return Value::Null();
+        return Value::String(node->GetAttributeValue(args[0].ToString()));
+      });
+  obj->props["removeAttribute"] = Interpreter::MakeNative(
+      [node](std::vector<Value>& args, Value, Interpreter&) -> Result<Value> {
+        if (!args.empty()) node->RemoveAttribute("", args[0].ToString());
+        return Value::Undefined();
+      });
+
+  Browser* browser = browser_;
+  DomBinding* self = this;
+  obj->props["addEventListener"] = Interpreter::MakeNative(
+      [browser, self, state, node](std::vector<Value>& args, Value,
+                                   Interpreter&) -> Result<Value> {
+        if (args.size() < 2 || !args[1].is_object()) {
+          return Status::Error("JSRT0005",
+                               "addEventListener expects (type, fn)");
+        }
+        std::string type = args[0].ToString();
+        Value fn = args[1];
+        bool capture = args.size() > 2 && args[2].ToBoolean();
+        browser::Listener listener;
+        listener.id = "js:" + HexId(fn.obj().get());
+        listener.capture = capture;
+        listener.callback = [self, state, fn](Event& event) {
+          std::vector<Value> call_args;
+          call_args.push_back(self->MakeEventObject(state, event));
+          xml::Node* obj_node = event.current_target != nullptr
+                                    ? event.current_target
+                                    : event.target;
+          Value this_value = obj_node != nullptr
+                                 ? self->WrapNode(state->window, obj_node)
+                                 : Value::Undefined();
+          Result<Value> r = state->interp->CallValue(
+              fn, std::move(call_args), std::move(this_value));
+          if (!r.ok()) self->last_error_ = r.status();
+        };
+        browser->events().AddListener(node, type, std::move(listener));
+        return Value::Undefined();
+      });
+  obj->props["removeEventListener"] = Interpreter::MakeNative(
+      [browser, node](std::vector<Value>& args, Value,
+                      Interpreter&) -> Result<Value> {
+        if (args.size() < 2 || !args[1].is_object()) {
+          return Value::Undefined();
+        }
+        browser->events().RemoveListener(node, args[0].ToString(),
+                                         "js:" + HexId(args[1].obj().get()));
+        return Value::Undefined();
+      });
+
+  return Value::Object(std::move(obj));
+}
+
+// -------------------------------------------------------- host objects ---
+
+Value DomBinding::MakeEventObject(WindowState* state, const Event& event) {
+  auto obj = std::make_shared<JsObject>();
+  obj->props["type"] = Value::String(event.type);
+  obj->props["button"] = Value::Number(event.button);
+  obj->props["altKey"] = Value::Boolean(event.alt_key);
+  obj->props["ctrlKey"] = Value::Boolean(event.ctrl_key);
+  obj->props["shiftKey"] = Value::Boolean(event.shift_key);
+  obj->props["value"] = Value::String(event.value);
+  obj->props["target"] = event.target != nullptr
+                             ? WrapNode(state->window, event.target)
+                             : Value::Null();
+  return Value::Object(std::move(obj));
+}
+
+Value DomBinding::MakeDocumentObject(WindowState* state) {
+  auto obj = std::make_shared<JsObject>();
+  Window* window = state->window;
+  DomBinding* self = this;
+
+  obj->get_hook = [self, window](const std::string& name, Interpreter&,
+                                 Value* out) -> bool {
+    if (name == "documentElement") {
+      xml::Node* root = window->document()->DocumentElement();
+      *out = root != nullptr ? self->WrapNode(window, root) : Value::Null();
+      return true;
+    }
+    if (name == "body") {
+      xml::Node* root = window->document()->DocumentElement();
+      if (root != nullptr) {
+        for (xml::Node* c : root->children()) {
+          if (c->is_element() &&
+              AsciiEqualsIgnoreCase(c->name().local, "body")) {
+            *out = self->WrapNode(window, c);
+            return true;
+          }
+        }
+      }
+      *out = Value::Null();
+      return true;
+    }
+    return false;
+  };
+
+  obj->props["getElementById"] = Interpreter::MakeNative(
+      [self, window](std::vector<Value>& args, Value,
+                     Interpreter&) -> Result<Value> {
+        if (args.empty()) return Value::Null();
+        xml::Node* node =
+            window->document()->GetElementById(args[0].ToString());
+        return node != nullptr ? self->WrapNode(window, node) : Value::Null();
+      });
+  obj->props["createElement"] = Interpreter::MakeNative(
+      [self, window](std::vector<Value>& args, Value,
+                     Interpreter&) -> Result<Value> {
+        std::string tag = args.empty() ? "div" : args[0].ToString();
+        if (window->browser()->parse_options.ie_tag_folding) {
+          tag = AsciiToUpper(tag);
+        }
+        return self->WrapNode(window,
+                              window->document()->CreateElement(
+                                  xml::QName(tag)));
+      });
+  obj->props["createTextNode"] = Interpreter::MakeNative(
+      [self, window](std::vector<Value>& args, Value,
+                     Interpreter&) -> Result<Value> {
+        return self->WrapNode(
+            window, window->document()->CreateText(
+                        args.empty() ? "" : args[0].ToString()));
+      });
+  obj->props["write"] = Interpreter::MakeNative(
+      [window](std::vector<Value>& args, Value,
+               Interpreter&) -> Result<Value> {
+        if (!args.empty()) window->Write(args[0].ToString());
+        return Value::Undefined();
+      });
+
+  // document.evaluate(xpath, context, resolver, resultType, result):
+  // returns an UNORDERED_NODE_SNAPSHOT-style object (paper §2.2).
+  obj->props["evaluate"] = Interpreter::MakeNative(
+      [self, window](std::vector<Value>& args, Value,
+                     Interpreter&) -> Result<Value> {
+        if (args.empty()) {
+          return Status::Error("JSRT0005", "evaluate expects an XPath");
+        }
+        xml::Node* context = args.size() > 1 ? NodeOf(args[1]) : nullptr;
+        if (context == nullptr) context = window->document()->root();
+        XQ_ASSIGN_OR_RETURN(
+            std::vector<xml::Node*> nodes,
+            self->EvaluateXPath(args[0].ToString(), context));
+        auto snapshot = std::make_shared<JsObject>();
+        snapshot->props["snapshotLength"] =
+            Value::Number(static_cast<double>(nodes.size()));
+        snapshot->props["snapshotItem"] = Interpreter::MakeNative(
+            [self, window, nodes](std::vector<Value>& idx_args, Value,
+                                  Interpreter&) -> Result<Value> {
+              size_t i = idx_args.empty()
+                             ? 0
+                             : static_cast<size_t>(idx_args[0].ToNumber());
+              if (i >= nodes.size()) return Value::Null();
+              return self->WrapNode(window, nodes[i]);
+            });
+        return Value::Object(std::move(snapshot));
+      });
+  return Value::Object(std::move(obj));
+}
+
+Value DomBinding::MakeWindowObject(WindowState* state) {
+  auto obj = std::make_shared<JsObject>();
+  Window* window = state->window;
+  Browser* browser = browser_;
+  DomBinding* self = this;
+
+  obj->get_hook = [self, window, browser](const std::string& name,
+                                          Interpreter&, Value* out) -> bool {
+    if (name == "status") {
+      *out = Value::String(window->status());
+      return true;
+    }
+    if (name == "name") {
+      *out = Value::String(window->name());
+      return true;
+    }
+    if (name == "lastModified") {
+      *out = Value::String(window->last_modified());
+      return true;
+    }
+    if (name == "location") {
+      auto loc = std::make_shared<JsObject>();
+      loc->get_hook = [window](const std::string& prop, Interpreter&,
+                               Value* v) -> bool {
+        if (prop == "href") {
+          *v = Value::String(window->url());
+          return true;
+        }
+        return false;
+      };
+      loc->set_hook = [window](const std::string& prop, const Value& value,
+                               Interpreter&) -> bool {
+        if (prop == "href") {
+          (void)window->Navigate(value.ToString());
+          return true;
+        }
+        return false;
+      };
+      *out = Value::Object(std::move(loc));
+      return true;
+    }
+    if (name == "navigator") {
+      auto nav = std::make_shared<JsObject>();
+      nav->props["appName"] = Value::String(browser->navigator.app_name);
+      nav->props["appVersion"] =
+          Value::String(browser->navigator.app_version);
+      nav->props["userAgent"] = Value::String(browser->navigator.user_agent);
+      *out = Value::Object(std::move(nav));
+      return true;
+    }
+    if (name == "screen") {
+      auto scr = std::make_shared<JsObject>();
+      scr->props["width"] = Value::Number(browser->screen.width);
+      scr->props["height"] = Value::Number(browser->screen.height);
+      *out = Value::Object(std::move(scr));
+      return true;
+    }
+    return false;
+  };
+  obj->set_hook = [window](const std::string& name, const Value& value,
+                           Interpreter&) -> bool {
+    if (name == "status") {
+      window->set_status(value.ToString());
+      return true;
+    }
+    if (name == "location") {
+      (void)window->Navigate(value.ToString());
+      return true;
+    }
+    return false;
+  };
+
+  obj->props["alert"] = Interpreter::MakeNative(
+      [self](std::vector<Value>& args, Value, Interpreter&) -> Result<Value> {
+        self->alert_sink(args.empty() ? "" : args[0].ToString());
+        return Value::Undefined();
+      });
+  obj->props["setTimeout"] = Interpreter::MakeNative(
+      [self, state, browser](std::vector<Value>& args, Value,
+                             Interpreter&) -> Result<Value> {
+        if (args.empty() || !args[0].is_object()) return Value::Number(0);
+        Value fn = args[0];
+        double delay = args.size() > 1 ? args[1].ToNumber() : 0;
+        browser->loop().Post(
+            [self, state, fn]() {
+              std::vector<Value> no_args;
+              Result<Value> r = state->interp->CallValue(fn, no_args,
+                                                         Value::Undefined());
+              if (!r.ok()) self->last_error_ = r.status();
+            },
+            delay);
+        return Value::Number(0);
+      });
+  return Value::Object(std::move(obj));
+}
+
+void DomBinding::InstallGlobals(WindowState* state) {
+  Interpreter* interp = state->interp.get();
+  Value window_obj = MakeWindowObject(state);
+  interp->SetGlobal("window", window_obj);
+  interp->SetGlobal("self", window_obj);
+  interp->SetGlobal("top", window_obj);  // single-window JS view
+  interp->SetGlobal("document", MakeDocumentObject(state));
+  // Globals JS exposes without the window. prefix.
+  interp->SetGlobal("alert",
+                    window_obj.obj()->props.count("alert")
+                        ? window_obj.obj()->props["alert"]
+                        : Value::Undefined());
+  // navigator/screen read the live browser state at access time.
+  Browser* browser = browser_;
+  auto nav = std::make_shared<JsObject>();
+  nav->get_hook = [browser](const std::string& prop, Interpreter&,
+                            Value* v) -> bool {
+    if (prop == "appName") {
+      *v = Value::String(browser->navigator.app_name);
+    } else if (prop == "appVersion") {
+      *v = Value::String(browser->navigator.app_version);
+    } else if (prop == "userAgent") {
+      *v = Value::String(browser->navigator.user_agent);
+    } else if (prop == "platform") {
+      *v = Value::String(browser->navigator.platform);
+    } else {
+      return false;
+    }
+    return true;
+  };
+  interp->SetGlobal("navigator", Value::Object(std::move(nav)));
+  auto scr = std::make_shared<JsObject>();
+  scr->get_hook = [browser](const std::string& prop, Interpreter&,
+                            Value* v) -> bool {
+    if (prop == "width") {
+      *v = Value::Number(browser->screen.width);
+    } else if (prop == "height") {
+      *v = Value::Number(browser->screen.height);
+    } else if (prop == "availWidth") {
+      *v = Value::Number(browser->screen.avail_width);
+    } else if (prop == "availHeight") {
+      *v = Value::Number(browser->screen.avail_height);
+    } else {
+      return false;
+    }
+    return true;
+  };
+  interp->SetGlobal("screen", Value::Object(std::move(scr)));
+  interp->SetGlobal("setTimeout", window_obj.obj()->props["setTimeout"]);
+  // XPathResult constants used with document.evaluate.
+  auto xpr = std::make_shared<JsObject>();
+  xpr->props["UNORDERED_NODE_SNAPSHOT_TYPE"] = Value::Number(6);
+  xpr->props["ORDERED_NODE_SNAPSHOT_TYPE"] = Value::Number(7);
+  interp->SetGlobal("XPathResult", Value::Object(std::move(xpr)));
+  // Math essentials.
+  auto math = std::make_shared<JsObject>();
+  math->props["floor"] = Interpreter::MakeNative(
+      [](std::vector<Value>& args, Value, Interpreter&) -> Result<Value> {
+        return Value::Number(
+            std::floor(args.empty() ? 0 : args[0].ToNumber()));
+      });
+  math->props["abs"] = Interpreter::MakeNative(
+      [](std::vector<Value>& args, Value, Interpreter&) -> Result<Value> {
+        return Value::Number(
+            std::fabs(args.empty() ? 0 : args[0].ToNumber()));
+      });
+  interp->SetGlobal("Math", Value::Object(std::move(math)));
+  interp->SetGlobal("String", Interpreter::MakeNative(
+      [](std::vector<Value>& args, Value, Interpreter&) -> Result<Value> {
+        return Value::String(args.empty() ? "" : args[0].ToString());
+      }));
+  interp->SetGlobal("Number", Interpreter::MakeNative(
+      [](std::vector<Value>& args, Value, Interpreter&) -> Result<Value> {
+        return Value::Number(args.empty() ? 0 : args[0].ToNumber());
+      }));
+}
+
+}  // namespace xqib::minijs

@@ -1,0 +1,75 @@
+// MiniJS ↔ browser bindings: the document/window host objects, DOM node
+// wrappers, document.evaluate (embedded XPath, paper §2.2), and event
+// listener registration. Implements the plug-in's ForeignScriptEngine
+// interface so JavaScript and XQuery coexist on one page (§6.2).
+
+#ifndef XQIB_MINIJS_DOM_BINDING_H_
+#define XQIB_MINIJS_DOM_BINDING_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "browser/bom.h"
+#include "minijs/interp.h"
+#include "plugin/plugin.h"
+
+namespace xqib::minijs {
+
+class DomBinding : public plugin::ForeignScriptEngine {
+ public:
+  explicit DomBinding(browser::Browser* browser);
+  ~DomBinding() override;
+
+  // Where window.alert output goes (defaults to an internal log).
+  std::function<void(const std::string&)> alert_sink;
+  const std::vector<std::string>& alerts() const { return alerts_; }
+
+  // --- ForeignScriptEngine ---
+  bool Handles(browser::ScriptLanguage language) const override;
+  Status RunScript(browser::Window* window,
+                   const browser::Script& script) override;
+  Status RegisterInlineHandler(
+      browser::Window* window,
+      const browser::InlineHandler& handler) override;
+
+  // The interpreter bound to a window (created on demand) — exposed so
+  // tests and benchmarks can inject globals or call functions directly.
+  Interpreter* InterpreterFor(browser::Window* window);
+
+  // Runs `source` directly against a window (benchmark entry point).
+  Status Execute(browser::Window* window, const std::string& source);
+
+  // Wraps a DOM node as a JS value (exposed for tests).
+  Value WrapNode(browser::Window* window, xml::Node* node);
+
+  const Status& last_error() const { return last_error_; }
+
+ private:
+  struct WindowState {
+    std::unique_ptr<Interpreter> interp;
+    browser::Window* window;
+  };
+
+  WindowState* StateFor(browser::Window* window);
+  void InstallGlobals(WindowState* state);
+  Value MakeDocumentObject(WindowState* state);
+  Value MakeWindowObject(WindowState* state);
+  Value MakeEventObject(WindowState* state, const browser::Event& event);
+
+  // XPath evaluation for document.evaluate.
+  Result<std::vector<xml::Node*>> EvaluateXPath(const std::string& xpath,
+                                                xml::Node* context_node);
+
+  browser::Browser* browser_;
+  std::unordered_map<const browser::Window*, std::unique_ptr<WindowState>>
+      states_;
+  std::vector<std::string> alerts_;
+  Status last_error_;
+  uint64_t next_listener_id_ = 1;
+};
+
+}  // namespace xqib::minijs
+
+#endif  // XQIB_MINIJS_DOM_BINDING_H_

@@ -1,0 +1,619 @@
+#include "minijs/js_parser.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "base/strings.h"
+
+namespace xqib::minijs {
+
+namespace {
+
+enum class Tok {
+  kEof, kNumber, kString, kIdent, kPunct,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;
+  double num = 0;
+  size_t pos = 0;
+};
+
+class JsLexer {
+ public:
+  explicit JsLexer(std::string_view in) : in_(in) { Advance(); }
+
+  const Token& cur() const { return cur_; }
+  const Token& ahead() {
+    if (!has_ahead_) {
+      ahead_tok_ = Lex();
+      has_ahead_ = true;
+    }
+    return ahead_tok_;
+  }
+  void Advance() {
+    if (has_ahead_) {
+      cur_ = ahead_tok_;
+      has_ahead_ = false;
+    } else {
+      cur_ = Lex();
+    }
+  }
+  const Status& status() const { return status_; }
+
+ private:
+  void SkipTrivia() {
+    while (pos_ < in_.size()) {
+      char c = in_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else if (c == '/' && pos_ + 1 < in_.size() && in_[pos_ + 1] == '/') {
+        while (pos_ < in_.size() && in_[pos_] != '\n') ++pos_;
+      } else if (c == '/' && pos_ + 1 < in_.size() && in_[pos_ + 1] == '*') {
+        size_t end = in_.find("*/", pos_ + 2);
+        pos_ = end == std::string_view::npos ? in_.size() : end + 2;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Token Lex() {
+    SkipTrivia();
+    Token t;
+    t.pos = pos_;
+    if (pos_ >= in_.size()) return t;
+    char c = in_[pos_];
+    if ((c >= '0' && c <= '9') ||
+        (c == '.' && pos_ + 1 < in_.size() && in_[pos_ + 1] >= '0' &&
+         in_[pos_ + 1] <= '9')) {
+      char* end = nullptr;
+      t.num = std::strtod(in_.data() + pos_, &end);
+      t.kind = Tok::kNumber;
+      pos_ = static_cast<size_t>(end - in_.data());
+      return t;
+    }
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++pos_;
+      std::string s;
+      while (pos_ < in_.size() && in_[pos_] != quote) {
+        if (in_[pos_] == '\\' && pos_ + 1 < in_.size()) {
+          char e = in_[pos_ + 1];
+          switch (e) {
+            case 'n': s.push_back('\n'); break;
+            case 't': s.push_back('\t'); break;
+            case 'r': s.push_back('\r'); break;
+            default: s.push_back(e);
+          }
+          pos_ += 2;
+        } else {
+          s.push_back(in_[pos_++]);
+        }
+      }
+      if (pos_ >= in_.size()) {
+        status_ = Status::SyntaxError("unterminated JS string literal");
+        return t;
+      }
+      ++pos_;
+      t.kind = Tok::kString;
+      t.text = std::move(s);
+      return t;
+    }
+    auto is_js_ident_start = [](char ch) {
+      return (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+             ch == '_' || ch == '$';
+    };
+    auto is_js_ident = [&](char ch) {
+      return is_js_ident_start(ch) || (ch >= '0' && ch <= '9');
+    };
+    if (is_js_ident_start(c)) {
+      size_t start = pos_;
+      while (pos_ < in_.size() && is_js_ident(in_[pos_])) {
+        ++pos_;
+      }
+      t.kind = Tok::kIdent;
+      t.text = std::string(in_.substr(start, pos_ - start));
+      return t;
+    }
+    static constexpr std::string_view kPuncts[] = {
+        "===", "!==", "==", "!=", "<=", ">=", "&&", "||", "++", "--",
+        "+=",  "-=",  "*=", "/=", "(",  ")",  "{",  "}",  "[",  "]",
+        ",",   ";",   ".",  "+",  "-",  "*",  "/",  "%",  "<",  ">",
+        "=",   "!",   "?",  ":",
+    };
+    for (std::string_view p : kPuncts) {
+      if (in_.substr(pos_, p.size()) == p) {
+        t.kind = Tok::kPunct;
+        t.text = std::string(p);
+        pos_ += p.size();
+        return t;
+      }
+    }
+    status_ = Status::SyntaxError(std::string("unexpected JS character '") +
+                                  c + "'");
+    return t;
+  }
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  Token cur_;
+  Token ahead_tok_;
+  bool has_ahead_ = false;
+  Status status_;
+};
+
+class JsParser {
+ public:
+  explicit JsParser(std::string_view in) : lex_(in) {}
+
+  Result<std::unique_ptr<JsProgram>> Program() {
+    auto program = std::make_unique<JsProgram>();
+    while (lex_.cur().kind != Tok::kEof) {
+      XQ_RETURN_NOT_OK(lex_.status());
+      XQ_ASSIGN_OR_RETURN(JsStmtPtr stmt, Statement());
+      program->statements.push_back(std::move(stmt));
+    }
+    XQ_RETURN_NOT_OK(lex_.status());
+    return program;
+  }
+
+  Result<JsExprPtr> SingleExpression() {
+    XQ_ASSIGN_OR_RETURN(JsExprPtr e, Expression());
+    XQ_RETURN_NOT_OK(lex_.status());
+    return e;
+  }
+
+ private:
+  bool AtPunct(std::string_view p) const {
+    return lex_.cur().kind == Tok::kPunct && lex_.cur().text == p;
+  }
+  bool AtIdent(std::string_view name) const {
+    return lex_.cur().kind == Tok::kIdent && lex_.cur().text == name;
+  }
+  bool EatPunct(std::string_view p) {
+    if (AtPunct(p)) {
+      lex_.Advance();
+      return true;
+    }
+    return false;
+  }
+  bool EatIdent(std::string_view name) {
+    if (AtIdent(name)) {
+      lex_.Advance();
+      return true;
+    }
+    return false;
+  }
+  Status Expect(std::string_view p) {
+    if (!EatPunct(p)) {
+      return Status::SyntaxError("JS: expected '" + std::string(p) +
+                                 "' near '" + lex_.cur().text + "' at offset " +
+                                 std::to_string(lex_.cur().pos));
+    }
+    return Status();
+  }
+
+  Result<JsStmtPtr> Statement() {
+    if (AtPunct("{")) {
+      lex_.Advance();
+      auto block = std::make_unique<JsStmt>(JsStmtKind::kBlock);
+      while (!AtPunct("}") && lex_.cur().kind != Tok::kEof) {
+        XQ_ASSIGN_OR_RETURN(JsStmtPtr s, Statement());
+        block->body.push_back(std::move(s));
+      }
+      XQ_RETURN_NOT_OK(Expect("}"));
+      return block;
+    }
+    if (AtIdent("var") || AtIdent("let") || AtIdent("const")) {
+      lex_.Advance();
+      auto block = std::make_unique<JsStmt>(JsStmtKind::kBlock);
+      while (true) {
+        if (lex_.cur().kind != Tok::kIdent) {
+          return Status::SyntaxError("JS: expected variable name");
+        }
+        auto decl = std::make_unique<JsStmt>(JsStmtKind::kVar);
+        decl->str = lex_.cur().text;
+        lex_.Advance();
+        if (EatPunct("=")) {
+          XQ_ASSIGN_OR_RETURN(decl->expr, Assignment());
+        }
+        block->body.push_back(std::move(decl));
+        if (!EatPunct(",")) break;
+      }
+      EatPunct(";");
+      if (block->body.size() == 1) return std::move(block->body[0]);
+      return block;
+    }
+    if (AtIdent("function") && lex_.ahead().kind == Tok::kIdent) {
+      lex_.Advance();
+      auto stmt = std::make_unique<JsStmt>(JsStmtKind::kFunction);
+      stmt->str = lex_.cur().text;
+      lex_.Advance();
+      XQ_ASSIGN_OR_RETURN(stmt->expr, FunctionRest());
+      return stmt;
+    }
+    if (EatIdent("if")) {
+      auto stmt = std::make_unique<JsStmt>(JsStmtKind::kIf);
+      XQ_RETURN_NOT_OK(Expect("("));
+      XQ_ASSIGN_OR_RETURN(stmt->expr, Expression());
+      XQ_RETURN_NOT_OK(Expect(")"));
+      XQ_ASSIGN_OR_RETURN(JsStmtPtr then_s, Statement());
+      stmt->body.push_back(std::move(then_s));
+      if (EatIdent("else")) {
+        XQ_ASSIGN_OR_RETURN(JsStmtPtr else_s, Statement());
+        stmt->else_body.push_back(std::move(else_s));
+      }
+      return stmt;
+    }
+    if (EatIdent("while")) {
+      auto stmt = std::make_unique<JsStmt>(JsStmtKind::kWhile);
+      XQ_RETURN_NOT_OK(Expect("("));
+      XQ_ASSIGN_OR_RETURN(stmt->expr, Expression());
+      XQ_RETURN_NOT_OK(Expect(")"));
+      XQ_ASSIGN_OR_RETURN(JsStmtPtr body, Statement());
+      stmt->body.push_back(std::move(body));
+      return stmt;
+    }
+    if (EatIdent("for")) {
+      auto stmt = std::make_unique<JsStmt>(JsStmtKind::kFor);
+      XQ_RETURN_NOT_OK(Expect("("));
+      if (!AtPunct(";")) {
+        XQ_ASSIGN_OR_RETURN(stmt->init, Statement());
+      } else {
+        lex_.Advance();
+      }
+      if (!AtPunct(";")) {
+        XQ_ASSIGN_OR_RETURN(stmt->expr, Expression());
+      }
+      XQ_RETURN_NOT_OK(Expect(";"));
+      if (!AtPunct(")")) {
+        XQ_ASSIGN_OR_RETURN(stmt->expr2, Expression());
+      }
+      XQ_RETURN_NOT_OK(Expect(")"));
+      XQ_ASSIGN_OR_RETURN(JsStmtPtr body, Statement());
+      stmt->body.push_back(std::move(body));
+      return stmt;
+    }
+    if (EatIdent("return")) {
+      auto stmt = std::make_unique<JsStmt>(JsStmtKind::kReturn);
+      if (!AtPunct(";") && !AtPunct("}") && lex_.cur().kind != Tok::kEof) {
+        XQ_ASSIGN_OR_RETURN(stmt->expr, Expression());
+      }
+      EatPunct(";");
+      return stmt;
+    }
+    if (EatIdent("break")) {
+      EatPunct(";");
+      return std::make_unique<JsStmt>(JsStmtKind::kBreak);
+    }
+    if (EatIdent("continue")) {
+      EatPunct(";");
+      return std::make_unique<JsStmt>(JsStmtKind::kContinue);
+    }
+    auto stmt = std::make_unique<JsStmt>(JsStmtKind::kExpr);
+    XQ_ASSIGN_OR_RETURN(stmt->expr, Expression());
+    EatPunct(";");
+    return stmt;
+  }
+
+  // Expression with comma? JS comma operator is rare; we treat a single
+  // assignment expression as the statement expression.
+  Result<JsExprPtr> Expression() { return Assignment(); }
+
+  Result<JsExprPtr> Assignment() {
+    XQ_ASSIGN_OR_RETURN(JsExprPtr lhs, Conditional());
+    if (AtPunct("=") || AtPunct("+=") || AtPunct("-=") || AtPunct("*=") ||
+        AtPunct("/=")) {
+      std::string op = lex_.cur().text;
+      lex_.Advance();
+      XQ_ASSIGN_OR_RETURN(JsExprPtr rhs, Assignment());
+      auto e = std::make_unique<JsExpr>(JsExprKind::kAssign);
+      e->str = op;
+      e->kids.push_back(std::move(lhs));
+      e->kids.push_back(std::move(rhs));
+      return e;
+    }
+    return lhs;
+  }
+
+  Result<JsExprPtr> Conditional() {
+    XQ_ASSIGN_OR_RETURN(JsExprPtr cond, LogicalOr());
+    if (!EatPunct("?")) return cond;
+    auto e = std::make_unique<JsExpr>(JsExprKind::kConditional);
+    e->kids.push_back(std::move(cond));
+    XQ_ASSIGN_OR_RETURN(JsExprPtr then_e, Assignment());
+    XQ_RETURN_NOT_OK(Expect(":"));
+    XQ_ASSIGN_OR_RETURN(JsExprPtr else_e, Assignment());
+    e->kids.push_back(std::move(then_e));
+    e->kids.push_back(std::move(else_e));
+    return e;
+  }
+
+  Result<JsExprPtr> LogicalOr() {
+    XQ_ASSIGN_OR_RETURN(JsExprPtr lhs, LogicalAnd());
+    while (AtPunct("||")) {
+      lex_.Advance();
+      XQ_ASSIGN_OR_RETURN(JsExprPtr rhs, LogicalAnd());
+      auto e = std::make_unique<JsExpr>(JsExprKind::kLogical);
+      e->str = "||";
+      e->kids.push_back(std::move(lhs));
+      e->kids.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<JsExprPtr> LogicalAnd() {
+    XQ_ASSIGN_OR_RETURN(JsExprPtr lhs, Equality());
+    while (AtPunct("&&")) {
+      lex_.Advance();
+      XQ_ASSIGN_OR_RETURN(JsExprPtr rhs, Equality());
+      auto e = std::make_unique<JsExpr>(JsExprKind::kLogical);
+      e->str = "&&";
+      e->kids.push_back(std::move(lhs));
+      e->kids.push_back(std::move(rhs));
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<JsExprPtr> Binary(const char* const* ops, size_t n_ops,
+                           Result<JsExprPtr> (JsParser::*next)()) {
+    XQ_ASSIGN_OR_RETURN(JsExprPtr lhs, (this->*next)());
+    while (true) {
+      bool matched = false;
+      for (size_t i = 0; i < n_ops; ++i) {
+        if (AtPunct(ops[i])) {
+          std::string op = lex_.cur().text;
+          lex_.Advance();
+          XQ_ASSIGN_OR_RETURN(JsExprPtr rhs, (this->*next)());
+          auto e = std::make_unique<JsExpr>(JsExprKind::kBinary);
+          e->str = op;
+          e->kids.push_back(std::move(lhs));
+          e->kids.push_back(std::move(rhs));
+          lhs = std::move(e);
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) return lhs;
+    }
+  }
+
+  Result<JsExprPtr> Equality() {
+    static const char* ops[] = {"===", "!==", "==", "!="};
+    return Binary(ops, 4, &JsParser::Relational);
+  }
+  Result<JsExprPtr> Relational() {
+    static const char* ops[] = {"<=", ">=", "<", ">"};
+    return Binary(ops, 4, &JsParser::Additive);
+  }
+  Result<JsExprPtr> Additive() {
+    static const char* ops[] = {"+", "-"};
+    return Binary(ops, 2, &JsParser::Multiplicative);
+  }
+  Result<JsExprPtr> Multiplicative() {
+    static const char* ops[] = {"*", "/", "%"};
+    return Binary(ops, 3, &JsParser::Unary);
+  }
+
+  Result<JsExprPtr> Unary() {
+    if (AtPunct("!") || AtPunct("-") || AtPunct("+")) {
+      std::string op = lex_.cur().text;
+      lex_.Advance();
+      XQ_ASSIGN_OR_RETURN(JsExprPtr operand, Unary());
+      auto e = std::make_unique<JsExpr>(JsExprKind::kUnary);
+      e->str = op;
+      e->kids.push_back(std::move(operand));
+      return e;
+    }
+    if (AtIdent("typeof")) {
+      lex_.Advance();
+      XQ_ASSIGN_OR_RETURN(JsExprPtr operand, Unary());
+      auto e = std::make_unique<JsExpr>(JsExprKind::kUnary);
+      e->str = "typeof";
+      e->kids.push_back(std::move(operand));
+      return e;
+    }
+    if (AtPunct("++") || AtPunct("--")) {
+      std::string op = lex_.cur().text;
+      lex_.Advance();
+      XQ_ASSIGN_OR_RETURN(JsExprPtr target, Unary());
+      auto e = std::make_unique<JsExpr>(JsExprKind::kUpdate);
+      e->str = op;
+      e->flag = true;  // prefix
+      e->kids.push_back(std::move(target));
+      return e;
+    }
+    return Postfix();
+  }
+
+  Result<JsExprPtr> Postfix() {
+    XQ_ASSIGN_OR_RETURN(JsExprPtr e, CallMember());
+    if (AtPunct("++") || AtPunct("--")) {
+      auto u = std::make_unique<JsExpr>(JsExprKind::kUpdate);
+      u->str = lex_.cur().text;
+      u->flag = false;  // postfix
+      lex_.Advance();
+      u->kids.push_back(std::move(e));
+      return u;
+    }
+    return e;
+  }
+
+  Result<JsExprPtr> CallMember() {
+    JsExprPtr e;
+    if (EatIdent("new")) {
+      auto n = std::make_unique<JsExpr>(JsExprKind::kNew);
+      XQ_ASSIGN_OR_RETURN(JsExprPtr callee, Primary());
+      n->kids.push_back(std::move(callee));
+      if (EatPunct("(")) {
+        while (!AtPunct(")") && lex_.cur().kind != Tok::kEof) {
+          XQ_ASSIGN_OR_RETURN(JsExprPtr arg, Assignment());
+          n->kids.push_back(std::move(arg));
+          if (!EatPunct(",")) break;
+        }
+        XQ_RETURN_NOT_OK(Expect(")"));
+      }
+      e = std::move(n);
+    } else {
+      XQ_ASSIGN_OR_RETURN(e, Primary());
+    }
+    while (true) {
+      if (EatPunct(".")) {
+        if (lex_.cur().kind != Tok::kIdent) {
+          return Status::SyntaxError("JS: expected member name");
+        }
+        auto m = std::make_unique<JsExpr>(JsExprKind::kMember);
+        m->str = lex_.cur().text;
+        lex_.Advance();
+        m->kids.push_back(std::move(e));
+        e = std::move(m);
+      } else if (EatPunct("[")) {
+        auto m = std::make_unique<JsExpr>(JsExprKind::kIndex);
+        m->kids.push_back(std::move(e));
+        XQ_ASSIGN_OR_RETURN(JsExprPtr idx, Expression());
+        m->kids.push_back(std::move(idx));
+        XQ_RETURN_NOT_OK(Expect("]"));
+        e = std::move(m);
+      } else if (EatPunct("(")) {
+        auto call = std::make_unique<JsExpr>(JsExprKind::kCall);
+        call->kids.push_back(std::move(e));
+        while (!AtPunct(")") && lex_.cur().kind != Tok::kEof) {
+          XQ_ASSIGN_OR_RETURN(JsExprPtr arg, Assignment());
+          call->kids.push_back(std::move(arg));
+          if (!EatPunct(",")) break;
+        }
+        XQ_RETURN_NOT_OK(Expect(")"));
+        e = std::move(call);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  // Parses "(params) { body }" after the `function` keyword and name.
+  Result<JsExprPtr> FunctionRest() {
+    auto fn = std::make_unique<JsExpr>(JsExprKind::kFunction);
+    XQ_RETURN_NOT_OK(Expect("("));
+    while (!AtPunct(")") && lex_.cur().kind != Tok::kEof) {
+      if (lex_.cur().kind != Tok::kIdent) {
+        return Status::SyntaxError("JS: expected parameter name");
+      }
+      fn->params.push_back(lex_.cur().text);
+      lex_.Advance();
+      if (!EatPunct(",")) break;
+    }
+    XQ_RETURN_NOT_OK(Expect(")"));
+    XQ_RETURN_NOT_OK(Expect("{"));
+    while (!AtPunct("}") && lex_.cur().kind != Tok::kEof) {
+      XQ_ASSIGN_OR_RETURN(JsStmtPtr s, Statement());
+      fn->body.push_back(std::move(s));
+    }
+    XQ_RETURN_NOT_OK(Expect("}"));
+    return fn;
+  }
+
+  Result<JsExprPtr> Primary() {
+    const Token& t = lex_.cur();
+    switch (t.kind) {
+      case Tok::kNumber: {
+        auto e = std::make_unique<JsExpr>(JsExprKind::kNumber);
+        e->num = t.num;
+        lex_.Advance();
+        return e;
+      }
+      case Tok::kString: {
+        auto e = std::make_unique<JsExpr>(JsExprKind::kString);
+        e->str = t.text;
+        lex_.Advance();
+        return e;
+      }
+      case Tok::kIdent: {
+        if (t.text == "true" || t.text == "false") {
+          auto e = std::make_unique<JsExpr>(JsExprKind::kBool);
+          e->flag = t.text == "true";
+          lex_.Advance();
+          return e;
+        }
+        if (t.text == "null") {
+          lex_.Advance();
+          return std::make_unique<JsExpr>(JsExprKind::kNull);
+        }
+        if (t.text == "undefined") {
+          lex_.Advance();
+          return std::make_unique<JsExpr>(JsExprKind::kUndefined);
+        }
+        if (t.text == "this") {
+          lex_.Advance();
+          return std::make_unique<JsExpr>(JsExprKind::kThis);
+        }
+        if (t.text == "function") {
+          lex_.Advance();
+          // Optional name on function expressions is ignored.
+          if (lex_.cur().kind == Tok::kIdent) lex_.Advance();
+          return FunctionRest();
+        }
+        auto e = std::make_unique<JsExpr>(JsExprKind::kIdentifier);
+        e->str = t.text;
+        lex_.Advance();
+        return e;
+      }
+      default:
+        break;
+    }
+    if (EatPunct("(")) {
+      XQ_ASSIGN_OR_RETURN(JsExprPtr e, Expression());
+      XQ_RETURN_NOT_OK(Expect(")"));
+      return e;
+    }
+    if (EatPunct("{")) {
+      auto e = std::make_unique<JsExpr>(JsExprKind::kObjectLit);
+      while (!AtPunct("}") && lex_.cur().kind != Tok::kEof) {
+        if (lex_.cur().kind != Tok::kIdent &&
+            lex_.cur().kind != Tok::kString) {
+          return Status::SyntaxError("JS: expected property name");
+        }
+        std::string name = lex_.cur().text;
+        lex_.Advance();
+        XQ_RETURN_NOT_OK(Expect(":"));
+        XQ_ASSIGN_OR_RETURN(JsExprPtr value, Assignment());
+        e->props.emplace_back(std::move(name), std::move(value));
+        if (!EatPunct(",")) break;
+      }
+      XQ_RETURN_NOT_OK(Expect("}"));
+      return e;
+    }
+    if (EatPunct("[")) {
+      auto e = std::make_unique<JsExpr>(JsExprKind::kArrayLit);
+      while (!AtPunct("]") && lex_.cur().kind != Tok::kEof) {
+        XQ_ASSIGN_OR_RETURN(JsExprPtr v, Assignment());
+        e->kids.push_back(std::move(v));
+        if (!EatPunct(",")) break;
+      }
+      XQ_RETURN_NOT_OK(Expect("]"));
+      return e;
+    }
+    XQ_RETURN_NOT_OK(lex_.status());
+    return Status::SyntaxError("JS: unexpected token '" + t.text +
+                               "' at offset " + std::to_string(t.pos));
+  }
+
+  JsLexer lex_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<JsProgram>> ParseProgram(std::string_view source) {
+  JsParser parser(source);
+  return parser.Program();
+}
+
+Result<JsExprPtr> ParseJsExpression(std::string_view source) {
+  JsParser parser(source);
+  return parser.SingleExpression();
+}
+
+}  // namespace xqib::minijs

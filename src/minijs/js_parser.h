@@ -1,0 +1,21 @@
+// Lexer + recursive-descent parser for MiniJS.
+
+#ifndef XQIB_MINIJS_JS_PARSER_H_
+#define XQIB_MINIJS_JS_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "base/result.h"
+#include "minijs/ast.h"
+
+namespace xqib::minijs {
+
+Result<std::unique_ptr<JsProgram>> ParseProgram(std::string_view source);
+
+// Parses a single expression (inline handler bodies).
+Result<JsExprPtr> ParseJsExpression(std::string_view source);
+
+}  // namespace xqib::minijs
+
+#endif  // XQIB_MINIJS_JS_PARSER_H_

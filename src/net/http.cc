@@ -1,0 +1,88 @@
+#include "net/http.h"
+
+namespace xqib::net {
+
+void HttpFabric::PutResource(const std::string& url, std::string body,
+                             std::string content_type) {
+  resources_[url] = Resource{std::move(body), std::move(content_type)};
+}
+
+bool HttpFabric::HasResource(const std::string& url) const {
+  return resources_.count(url) > 0;
+}
+
+void HttpFabric::SetHandler(const std::string& url_prefix, Handler handler) {
+  handlers_[url_prefix] = std::move(handler);
+}
+
+Result<HttpResponse> HttpFabric::Resolve(const HttpRequest& request) {
+  if (request.method == "GET") {
+    auto it = resources_.find(request.url);
+    if (it != resources_.end()) {
+      return HttpResponse{200, it->second.body, it->second.content_type};
+    }
+  }
+  // Longest matching prefix handler.
+  const Handler* best = nullptr;
+  size_t best_len = 0;
+  for (const auto& [prefix, handler] : handlers_) {
+    if (request.url.compare(0, prefix.size(), prefix) == 0 &&
+        prefix.size() >= best_len) {
+      best = &handler;
+      best_len = prefix.size();
+    }
+  }
+  if (best != nullptr) return (*best)(request);
+  return Status::Error("NETW0404", "no resource or handler for " +
+                                       request.url);
+}
+
+Result<HttpResponse> HttpFabric::Perform(const HttpRequest& request) {
+  ++stats_.requests;
+  Result<HttpResponse> response = Resolve(request);
+  size_t bytes = response.ok() ? response->body.size() : 0;
+  stats_.bytes_served += bytes;
+  stats_.simulated_latency_ms += LatencyForBytes(bytes);
+  return response;
+}
+
+Result<HttpResponse> HttpFabric::Put(const std::string& url,
+                                     std::string body) {
+  HttpRequest req;
+  req.method = "PUT";
+  req.url = url;
+  req.body = std::move(body);
+  // PUT with no handler stores the resource directly.
+  ++stats_.requests;
+  stats_.bytes_served += req.body.size();
+  stats_.simulated_latency_ms += LatencyForBytes(req.body.size());
+  for (const auto& [prefix, handler] : handlers_) {
+    if (url.compare(0, prefix.size(), prefix) == 0) return handler(req);
+  }
+  PutResource(url, std::move(req.body));
+  return HttpResponse{201, "", "text/plain"};
+}
+
+double HttpFabric::RecordRoundTrip(size_t bytes) {
+  ++stats_.requests;
+  stats_.bytes_served += bytes;
+  double delay = LatencyForBytes(bytes);
+  stats_.simulated_latency_ms += delay;
+  return delay;
+}
+
+void HttpFabric::GetAsync(const std::string& url, browser::EventLoop* loop,
+                          std::function<void(Result<HttpResponse>)> callback) {
+  // Resolve now (the server's state at request time), deliver later.
+  ++stats_.requests;
+  Result<HttpResponse> response = Resolve(HttpRequest{"GET", url, ""});
+  size_t bytes = response.ok() ? response->body.size() : 0;
+  stats_.bytes_served += bytes;
+  double delay = LatencyForBytes(bytes);
+  stats_.simulated_latency_ms += delay;
+  loop->Post(
+      [cb = std::move(callback), resp = std::move(response)]() { cb(resp); },
+      delay);
+}
+
+}  // namespace xqib::net

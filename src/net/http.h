@@ -1,0 +1,99 @@
+// A simulated HTTP fabric. The paper's applications talk to REST
+// services (weather, web cams, the Elsevier MarkLogic XML database); we
+// have no network, so requests resolve against in-process resources and
+// handlers, with a configurable latency model and per-request accounting
+// — exactly what the Figure 2 off-loading experiment needs to measure.
+
+#ifndef XQIB_NET_HTTP_H_
+#define XQIB_NET_HTTP_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "base/result.h"
+#include "browser/event_loop.h"
+
+namespace xqib::net {
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string url;
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string body;
+  std::string content_type = "application/xml";
+};
+
+class HttpFabric {
+ public:
+  using Handler = std::function<Result<HttpResponse>(const HttpRequest&)>;
+
+  struct LatencyModel {
+    double base_ms = 20.0;    // per-request round-trip floor
+    double per_kb_ms = 0.5;   // transfer cost
+  };
+
+  struct Stats {
+    uint64_t requests = 0;
+    uint64_t bytes_served = 0;
+    double simulated_latency_ms = 0;  // sum over all requests
+  };
+
+  // Registers a static resource.
+  void PutResource(const std::string& url, std::string body,
+                   std::string content_type = "application/xml");
+  bool HasResource(const std::string& url) const;
+
+  // Registers a dynamic handler for all URLs starting with `url_prefix`.
+  // Longest matching prefix wins; static resources take priority.
+  void SetHandler(const std::string& url_prefix, Handler handler);
+
+  // Synchronous round trip (simulated latency is accounted in stats).
+  Result<HttpResponse> Perform(const HttpRequest& request);
+  Result<HttpResponse> Get(const std::string& url) {
+    return Perform(HttpRequest{"GET", url, ""});
+  }
+  Result<HttpResponse> Put(const std::string& url, std::string body);
+
+  // Asynchronous round trip: the callback fires on `loop` after the
+  // simulated latency elapses (drives the paper's "behind" construct).
+  void GetAsync(const std::string& url, browser::EventLoop* loop,
+                std::function<void(Result<HttpResponse>)> callback);
+
+  double LatencyForBytes(size_t bytes) const {
+    return latency.base_ms +
+           latency.per_kb_ms * (static_cast<double>(bytes) / 1024.0);
+  }
+
+  // Accounts one request/response of `bytes` without resolving anything
+  // (used by the web-service layer, whose payloads are in-process).
+  // Returns the simulated latency charged.
+  double RecordRoundTrip(size_t bytes);
+
+  LatencyModel latency;
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats(); }
+
+ private:
+  Result<HttpResponse> Resolve(const HttpRequest& request);
+
+  struct Resource {
+    std::string body;
+    std::string content_type;
+  };
+  std::unordered_map<std::string, Resource> resources_;
+  // Ordered map so the longest matching prefix can be found reliably.
+  std::map<std::string, Handler> handlers_;
+  Stats stats_;
+};
+
+}  // namespace xqib::net
+
+#endif  // XQIB_NET_HTTP_H_

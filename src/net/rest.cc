@@ -1,0 +1,55 @@
+#include "net/rest.h"
+
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace xqib::net {
+
+using xdm::Item;
+using xdm::Sequence;
+using xquery::DynamicContext;
+
+void RegisterRestFunctions(DynamicContext* ctx, HttpFabric* fabric) {
+  xml::QName get_name(std::string(xml::kHttpNamespace), "http", "get");
+  ctx->RegisterExternal(
+      get_name, 1,
+      [fabric](std::vector<Sequence>& args,
+               DynamicContext& c) -> Result<Sequence> {
+        std::string uri = xdm::SequenceToString(args[0]);
+        XQ_ASSIGN_OR_RETURN(HttpResponse resp, fabric->Get(uri));
+        xml::ParseOptions options;
+        options.document_uri = uri;
+        XQ_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
+                            xml::ParseDocument(resp.body, options));
+        return Sequence{Item::Node(c.AdoptDocument(std::move(doc)))};
+      });
+
+  xml::QName get_text(std::string(xml::kHttpNamespace), "http", "get-text");
+  ctx->RegisterExternal(
+      get_text, 1,
+      [fabric](std::vector<Sequence>& args,
+               DynamicContext&) -> Result<Sequence> {
+        std::string uri = xdm::SequenceToString(args[0]);
+        XQ_ASSIGN_OR_RETURN(HttpResponse resp, fabric->Get(uri));
+        return Sequence{Item::String(std::move(resp.body))};
+      });
+
+  xml::QName put_name(std::string(xml::kHttpNamespace), "http", "put");
+  ctx->RegisterExternal(
+      put_name, 2,
+      [fabric](std::vector<Sequence>& args,
+               DynamicContext&) -> Result<Sequence> {
+        std::string uri = xdm::SequenceToString(args[0]);
+        std::string body;
+        if (!args[1].empty() && args[1][0].is_node()) {
+          body = xml::Serialize(args[1][0].node());
+        } else {
+          body = xdm::SequenceToString(args[1]);
+        }
+        XQ_ASSIGN_OR_RETURN(HttpResponse resp,
+                            fabric->Put(uri, std::move(body)));
+        return Sequence{Item::Integer(resp.status)};
+      });
+}
+
+}  // namespace xqib::net

@@ -1,0 +1,22 @@
+// REST support for XQuery (paper §3.4 / §5.1 "Zorba chose to first
+// support REST, synchronous REST calls are possible"): http:get and
+// friends in the http: namespace, registered as external functions on a
+// DynamicContext and backed by the simulated fabric.
+
+#ifndef XQIB_NET_REST_H_
+#define XQIB_NET_REST_H_
+
+#include "net/http.h"
+#include "xquery/context.h"
+
+namespace xqib::net {
+
+// Registers on `ctx`:
+//   http:get($uri)        -> document node of the parsed XML response
+//   http:get-text($uri)   -> response body as xs:string
+//   http:put($uri, $body) -> stores a serialized node or string
+void RegisterRestFunctions(xquery::DynamicContext* ctx, HttpFabric* fabric);
+
+}  // namespace xqib::net
+
+#endif  // XQIB_NET_REST_H_

@@ -1,0 +1,108 @@
+#include "net/webservice.h"
+
+#include "net/rest.h"
+
+namespace xqib::net {
+
+using xdm::Sequence;
+using xquery::DynamicContext;
+
+Status ServiceHost::Deploy(const std::string& source,
+                           const std::string& host) {
+  auto service = std::make_unique<Service>();
+  XQ_ASSIGN_OR_RETURN(std::string ns, service->engine.LoadLibrary(source));
+  const xquery::Module* module = service->engine.FindLibrary(ns);
+  service->module = module;
+
+  int port = module->service_port != 0 ? module->service_port : 80;
+  service->url = "http://" + host + ":" + std::to_string(port) + "/";
+
+  // A main module that only imports the library gives us a compiled
+  // query whose static context contains the service functions.
+  XQ_ASSIGN_OR_RETURN(
+      service->compiled,
+      service->engine.Compile("import module namespace svc = \"" + ns +
+                              "\" at \"" + service->url + "wsdl\"; ()"));
+
+  // Expose a WSDL-ish descriptor on the fabric so clients can probe it.
+  std::string descriptor = "<service namespace=\"" + ns + "\">";
+  for (const auto& fn : module->functions) {
+    descriptor += "<function name=\"" + fn->name.local + "\" arity=\"" +
+                  std::to_string(fn->params.size()) + "\"/>";
+  }
+  descriptor += "</service>";
+  fabric_->PutResource(service->url + "wsdl", descriptor);
+
+  services_[ns] = std::move(service);
+  return Status();
+}
+
+Result<Sequence> ServiceHost::Invoke(const std::string& ns,
+                                     const xml::QName& function,
+                                     std::vector<Sequence> args) {
+  auto it = services_.find(ns);
+  if (it == services_.end()) {
+    return Status::Error("NETW0404", "no service deployed for " + ns);
+  }
+  Service& service = *it->second;
+  // Fresh server-side context per call (stateless service semantics);
+  // fn:doc resolves against the XML store, REST against the fabric.
+  DynamicContext ctx;
+  if (store_ != nullptr) {
+    ctx.doc_resolver = store_->MakeDocResolver();
+    ctx.doc_writer = store_->MakeDocWriter();
+  }
+  RegisterRestFunctions(&ctx, fabric_);
+  XQ_RETURN_NOT_OK(service.compiled->BindGlobals(ctx));
+  return service.compiled->Call(function, std::move(args), ctx);
+}
+
+Status ServiceHost::RegisterClientStubs(const std::string& ns,
+                                        DynamicContext* ctx) {
+  auto it = services_.find(ns);
+  if (it == services_.end()) {
+    return Status::Error("NETW0404", "no service deployed for " + ns);
+  }
+  Service& service = *it->second;
+  for (const auto& fn : service.module->functions) {
+    xml::QName name = fn->name;
+    size_t arity = fn->params.size();
+    HttpFabric* fabric = fabric_;
+    ServiceHost* host = this;
+    std::string service_ns = ns;
+    ctx->RegisterExternal(
+        name, arity,
+        [host, fabric, service_ns, name](
+            std::vector<Sequence>& args,
+            DynamicContext&) -> Result<Sequence> {
+          // One simulated round trip per remote call: request carries the
+          // serialized arguments, response the serialized result.
+          size_t request_bytes = 64;  // envelope
+          for (const Sequence& a : args) {
+            request_bytes += xdm::SequenceToString(a).size();
+          }
+          XQ_ASSIGN_OR_RETURN(Sequence result,
+                              host->Invoke(service_ns, name, args));
+          fabric->RecordRoundTrip(request_bytes +
+                                  xdm::SequenceToString(result).size());
+          return result;
+        });
+  }
+  return Status();
+}
+
+void ServiceHost::RegisterStubsForImports(const xquery::Module& module,
+                                          DynamicContext* ctx) {
+  for (const auto& imp : module.imports) {
+    Status st = RegisterClientStubs(imp.ns, ctx);
+    (void)st;  // unknown imports may be satisfied elsewhere
+  }
+}
+
+const std::string& ServiceHost::ServiceUrl(const std::string& ns) const {
+  static const std::string* empty = new std::string();
+  auto it = services_.find(ns);
+  return it == services_.end() ? *empty : it->second->url;
+}
+
+}  // namespace xqib::net

@@ -1,0 +1,57 @@
+#include "net/xml_store.h"
+
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace xqib::net {
+
+Status XmlStore::Put(const std::string& uri, const std::string& xml_source) {
+  xml::ParseOptions options;
+  options.document_uri = uri;
+  XQ_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
+                      xml::ParseDocument(xml_source, options));
+  docs_[uri] = std::move(doc);
+  return Status();
+}
+
+Result<xml::Node*> XmlStore::Get(const std::string& uri) {
+  auto it = docs_.find(uri);
+  if (it == docs_.end()) {
+    return Status::Error("FODC0002", "document not found in store: " + uri);
+  }
+  return it->second->root();
+}
+
+Result<std::string> XmlStore::Serialize(const std::string& uri) const {
+  auto it = docs_.find(uri);
+  if (it == docs_.end()) {
+    return Status::Error("FODC0002", "document not found in store: " + uri);
+  }
+  return xml::Serialize(it->second->root());
+}
+
+xquery::DynamicContext::DocResolver XmlStore::MakeDocResolver() {
+  return [this](const std::string& uri) { return Get(uri); };
+}
+
+xquery::DynamicContext::DocWriter XmlStore::MakeDocWriter() {
+  return [this](const std::string& uri, const xml::Node* node) {
+    return Put(uri, xml::Serialize(node));
+  };
+}
+
+void XmlStore::MountOn(HttpFabric* fabric, const std::string& prefix) {
+  fabric->SetHandler(
+      prefix, [this, prefix](const HttpRequest& request)
+                  -> Result<HttpResponse> {
+        std::string uri = request.url.substr(prefix.size());
+        if (request.method == "PUT") {
+          XQ_RETURN_NOT_OK(Put(uri, request.body));
+          return HttpResponse{201, "", "text/plain"};
+        }
+        XQ_ASSIGN_OR_RETURN(std::string body, Serialize(uri));
+        return HttpResponse{200, std::move(body), "application/xml"};
+      });
+}
+
+}  // namespace xqib::net

@@ -1,0 +1,50 @@
+// An in-memory XML document store — the stand-in for the XML database
+// behind the paper's applications (MarkLogic in the Elsevier Reference
+// 2.0 deployment, §6.1; "products.xml" in the shopping cart, §6.3).
+// Serves parsed documents to server-side XQuery (fn:doc) and raw bodies
+// to the HTTP fabric (REST).
+
+#ifndef XQIB_NET_XML_STORE_H_
+#define XQIB_NET_XML_STORE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "base/result.h"
+#include "net/http.h"
+#include "xml/dom.h"
+#include "xquery/context.h"
+
+namespace xqib::net {
+
+class XmlStore {
+ public:
+  // Parses and stores a document under `uri`. Replaces any previous one.
+  Status Put(const std::string& uri, const std::string& xml_source);
+
+  // The live parsed document (server-side XQuery updates mutate it).
+  Result<xml::Node*> Get(const std::string& uri);
+  bool Has(const std::string& uri) const { return docs_.count(uri) > 0; }
+
+  // Serializes the current state of a stored document.
+  Result<std::string> Serialize(const std::string& uri) const;
+
+  size_t size() const { return docs_.size(); }
+
+  // A fn:doc resolver bound to this store (server-side contexts).
+  xquery::DynamicContext::DocResolver MakeDocResolver();
+  // A fn:put writer bound to this store (server-side contexts).
+  xquery::DynamicContext::DocWriter MakeDocWriter();
+
+  // Mounts the store on an HTTP fabric: GET <prefix><uri-suffix> serves
+  // the serialized document "/<uri-suffix>"; PUT writes it back.
+  void MountOn(HttpFabric* fabric, const std::string& prefix);
+
+ private:
+  std::unordered_map<std::string, std::unique_ptr<xml::Document>> docs_;
+};
+
+}  // namespace xqib::net
+
+#endif  // XQIB_NET_XML_STORE_H_

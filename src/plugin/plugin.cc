@@ -1,0 +1,731 @@
+#include "plugin/plugin.h"
+
+#include <chrono>
+
+#include "base/strings.h"
+#include "browser/css.h"
+#include "net/rest.h"
+#include "xquery/update.h"
+
+namespace xqib::plugin {
+
+using browser::Browser;
+using browser::Event;
+using browser::InlineHandler;
+using browser::Script;
+using browser::ScriptLanguage;
+using browser::Window;
+using xdm::Item;
+using xdm::Sequence;
+using xquery::DynamicContext;
+using xquery::Expr;
+
+namespace {
+
+double NowMicros() {
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now().time_since_epoch())
+                 .count()) /
+         1000.0;
+}
+
+// True if an inline handler looks like an XQuery call ("local:f(value)")
+// rather than JavaScript.
+bool LooksLikeXQueryHandler(const std::string& code) {
+  size_t colon = code.find(':');
+  size_t paren = code.find('(');
+  return colon != std::string::npos && paren != std::string::npos &&
+         colon < paren;
+}
+
+// Rewrites the JS-flavoured identifiers the paper uses in inline handler
+// attributes (onkeyup="local:showHint(value)") into XQuery variables:
+//   value -> $browser:value, event -> $browser:event,
+//   this  -> $browser:target.
+std::string RewriteInlineHandler(const std::string& code) {
+  std::string out;
+  size_t i = 0;
+  while (i < code.size()) {
+    char c = code[i];
+    if (IsNameStartChar(c)) {
+      size_t start = i;
+      while (i < code.size() && (IsNameChar(code[i]) || code[i] == ':')) ++i;
+      std::string word = code.substr(start, i - start);
+      bool call = i < code.size() && code[i] == '(';
+      bool prefixed = start > 0 && (code[start - 1] == '$' ||
+                                    code[start - 1] == ':');
+      if (!call && !prefixed && word == "value") {
+        out += "$browser:value";
+      } else if (!call && !prefixed && word == "event") {
+        out += "$browser:event";
+      } else if (!call && !prefixed && word == "this") {
+        out += "$browser:target";
+      } else {
+        out += word;
+      }
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      size_t end = code.find(c, i + 1);
+      if (end == std::string::npos) end = code.size() - 1;
+      out += code.substr(i, end - i + 1);
+      i = end + 1;
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+xml::QName BrowserQName(const char* local) {
+  return xml::QName(std::string(xml::kBrowserNamespace), "browser", local);
+}
+
+Result<xml::Node*> SingleNodeArg(const Sequence& seq, const char* what) {
+  if (seq.size() != 1 || !seq[0].is_node()) {
+    return Status::TypeError(std::string(what) +
+                             " expects exactly one node argument");
+  }
+  return seq[0].node();
+}
+
+}  // namespace
+
+XqibPlugin::XqibPlugin(Browser* browser, net::HttpFabric* fabric,
+                       net::ServiceHost* services)
+    : browser_(browser), fabric_(fabric), services_(services) {
+  confirm_responder = [](const std::string&) { return true; };
+  prompt_responder = [](const std::string&) { return std::string(); };
+}
+
+XqibPlugin::~XqibPlugin() = default;
+
+void XqibPlugin::Install() {
+  browser_->on_page_loaded = [this](Window* window) {
+    Status st = InitializePage(window);
+    if (!st.ok()) last_script_error_ = st;
+  };
+  // Dropping the shared PageContext here makes queued async tasks
+  // (behind-completions, triggers) no-ops via their weak_ptr.
+  browser_->on_window_closed = [this](Window* window) {
+    pages_.erase(window);
+  };
+}
+
+XqibPlugin::PageContext* XqibPlugin::FindPage(const Window* window) {
+  auto it = pages_.find(window);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<XqibPlugin::PageContext> XqibPlugin::FindPageShared(
+    const Window* window) {
+  auto it = pages_.find(window);
+  return it == pages_.end() ? nullptr : it->second;
+}
+
+XqibPlugin::PageContext* XqibPlugin::FindPageByContext(
+    const DynamicContext& ctx) {
+  for (auto& [window, page] : pages_) {
+    if (page->ctx.get() == &ctx) return page.get();
+  }
+  return nullptr;
+}
+
+XqibPlugin::PageContext* XqibPlugin::FindPageByDocument(
+    const xml::Document* doc) {
+  for (auto& [window, page] : pages_) {
+    if (page->window->document() == doc) return page.get();
+  }
+  return nullptr;
+}
+
+Status XqibPlugin::InitializePage(Window* window) {
+  last_init_timing_ = InitTiming();
+  auto page = std::make_shared<PageContext>();
+  page->window = window;
+  page->sctx = std::make_unique<xquery::StaticContext>();
+  page->ctx = std::make_unique<DynamicContext>();
+  page->ctx->browser_profile = true;  // fn:doc blocked (§4.2.1)
+  page->ctx->browser_binding = this;
+  DynamicContext::Focus focus;
+  focus.item = Item::Node(window->document()->root());
+  focus.position = 1;
+  focus.size = 1;
+  focus.has_item = true;
+  page->ctx->set_focus(focus);
+  RegisterBrowserFunctions(page.get());
+  if (fabric_ != nullptr) {
+    net::RegisterRestFunctions(page->ctx.get(), fabric_);
+  }
+  pages_[window] = page;
+
+  // Step 2: extract scripts and inline handlers.
+  double t0 = NowMicros();
+  std::vector<Script> scripts = browser::ExtractScripts(window->document());
+  std::vector<InlineHandler> handlers =
+      browser::ExtractInlineHandlers(window->document());
+  last_init_timing_.extract_us = NowMicros() - t0;
+
+  // Step 3: foreign (JavaScript) scripts first, per §4.1.
+  t0 = NowMicros();
+  for (const Script& script : scripts) {
+    if (script.language == ScriptLanguage::kXQuery ||
+        script.language == ScriptLanguage::kXQueryP) {
+      continue;
+    }
+    if (foreign_engine_ != nullptr &&
+        foreign_engine_->Handles(script.language)) {
+      XQ_RETURN_NOT_OK(foreign_engine_->RunScript(window, script));
+    }
+  }
+  last_init_timing_.foreign_us = NowMicros() - t0;
+
+  // Step 4: XQuery scripts (prolog compile, globals, main body).
+  for (const Script& script : scripts) {
+    if (script.language != ScriptLanguage::kXQuery &&
+        script.language != ScriptLanguage::kXQueryP) {
+      continue;
+    }
+    ++last_init_timing_.xquery_scripts;
+    XQ_RETURN_NOT_OK(RunXQueryScript(page.get(), script.code));
+  }
+
+  // The Zorba-based plug-in puts on-load code in local:main() (§5.1).
+  xml::QName main_fn("http://www.w3.org/2005/xquery-local-functions",
+                     "local", "main");
+  if (page->sctx->FindFunction(main_fn, 0) != nullptr) {
+    XQ_ASSIGN_OR_RETURN(Sequence ignored,
+                        page->evaluator->CallFunction(main_fn, {}, *page->ctx));
+    (void)ignored;
+    if (page->evaluator->exited()) page->evaluator->TakeExitValue();
+    XQ_RETURN_NOT_OK(ApplyAfterRun(page.get()));
+  }
+
+  // Inline on* handlers route to whichever engine owns them.
+  for (const InlineHandler& handler : handlers) {
+    if (!page->modules.empty() && LooksLikeXQueryHandler(handler.code)) {
+      XQ_RETURN_NOT_OK(RegisterXQueryInlineHandler(page.get(), handler));
+    } else if (foreign_engine_ != nullptr) {
+      XQ_RETURN_NOT_OK(
+          foreign_engine_->RegisterInlineHandler(window, handler));
+    }
+  }
+  last_init_timing_.listeners_registered = browser_->events().listener_count();
+  return Status();
+}
+
+Status XqibPlugin::RunXQueryScript(PageContext* page,
+                                   const std::string& code) {
+  double t0 = NowMicros();
+  XQ_ASSIGN_OR_RETURN(std::unique_ptr<xquery::Module> module,
+                      xquery::ParseModule(code));
+  last_init_timing_.compile_us += NowMicros() - t0;
+  page->sctx->AddModule(*module);
+  // (Re)build the evaluator: the static context gained declarations.
+  page->evaluator = std::make_unique<xquery::Evaluator>(*page->sctx);
+  if (services_ != nullptr) {
+    services_->RegisterStubsForImports(*module, page->ctx.get());
+  }
+
+  // Bind this module's globals.
+  t0 = NowMicros();
+  for (const xquery::VarDecl& decl : module->variables) {
+    if (decl.init == nullptr) {
+      if (!decl.external) page->ctx->env().Bind(decl.name, Sequence{});
+      continue;
+    }
+    XQ_ASSIGN_OR_RETURN(Sequence value,
+                        page->evaluator->Eval(*decl.init, *page->ctx));
+    page->ctx->env().Bind(decl.name, std::move(value));
+  }
+  last_init_timing_.bind_globals_us += NowMicros() - t0;
+
+  // Run the main body (registers listeners, builds the initial page).
+  t0 = NowMicros();
+  if (module->body != nullptr) {
+    const Expr& body = *module->body;
+    page->modules.push_back(std::move(module));
+    XQ_ASSIGN_OR_RETURN(Sequence ignored,
+                        page->evaluator->Eval(body, *page->ctx));
+    (void)ignored;
+    if (page->evaluator->exited()) page->evaluator->TakeExitValue();
+    XQ_RETURN_NOT_OK(ApplyAfterRun(page));
+  } else {
+    page->modules.push_back(std::move(module));
+  }
+  last_init_timing_.run_main_us += NowMicros() - t0;
+  return Status();
+}
+
+Status XqibPlugin::RegisterXQueryInlineHandler(PageContext* page,
+                                               const InlineHandler& handler) {
+  std::string rewritten = RewriteInlineHandler(handler.code);
+  XQ_ASSIGN_OR_RETURN(std::unique_ptr<xquery::Module> module,
+                      xquery::ParseModule(rewritten));
+  const Expr* body = module->body.get();
+  if (body == nullptr) return Status();
+  page->handler_modules.push_back(std::move(module));
+
+  std::weak_ptr<PageContext> weak = FindPageShared(page->window);
+  std::string type = handler.event;
+  browser::Listener listener;
+  listener.id = "xquery-inline:" + type + ":" + handler.code;
+  listener.callback = [this, weak, body](Event& event) {
+    std::shared_ptr<PageContext> page = weak.lock();
+    if (page == nullptr) return;
+    page->ctx->env().PushScope();
+    // The JS-flavoured identifiers are visible as browser: variables.
+    std::string value = event.value;
+    if (value.empty() && event.target != nullptr) {
+      value = event.target->GetAttributeValue("value");
+    }
+    page->ctx->env().Bind(BrowserQName("value"),
+                          Sequence{Item::String(value)});
+    page->ctx->env().Bind(BrowserQName("event"),
+                          Sequence{Item::Node(MaterializeEvent(page.get(),
+                                                               event))});
+    page->ctx->env().Bind(
+        BrowserQName("target"),
+        event.target != nullptr ? Sequence{Item::Node(event.target)}
+                                : Sequence{});
+    Result<Sequence> result = page->evaluator->Eval(*body, *page->ctx);
+    if (page->evaluator->exited()) page->evaluator->TakeExitValue();
+    page->ctx->env().PopScope();
+    if (!result.ok()) {
+      last_script_error_ = result.status();
+      return;
+    }
+    Status st = ApplyAfterRun(page.get());
+    if (!st.ok()) last_script_error_ = st;
+  };
+  browser_->events().AddListener(handler.element, type, std::move(listener));
+  return Status();
+}
+
+Status XqibPlugin::ApplyAfterRun(PageContext* page) {
+  XQ_RETURN_NOT_OK(page->ctx->pul().ApplyAll());
+  for (const Browser::BomTree& tree : page->bom_trees) {
+    XQ_RETURN_NOT_OK(browser_->SyncFromBomTree(tree, page->window->url()));
+  }
+  return Status();
+}
+
+xml::Node* XqibPlugin::MaterializeEvent(PageContext* page,
+                                        const Event& event) {
+  xml::Document* doc = page->ctx->scratch_document();
+  xml::Node* elem = doc->CreateElement(xml::QName("event"));
+  auto add = [&](const char* name, const std::string& value) {
+    xml::Node* child = doc->CreateElement(xml::QName(name));
+    if (!value.empty()) child->AppendChild(doc->CreateText(value));
+    elem->AppendChild(child);
+  };
+  add("type", event.type);
+  add("altKey", event.alt_key ? "true" : "false");
+  add("ctrlKey", event.ctrl_key ? "true" : "false");
+  add("shiftKey", event.shift_key ? "true" : "false");
+  add("button", std::to_string(event.button));
+  add("value", event.value);
+  add("phase", event.phase == Event::Phase::kCapture  ? "capture"
+               : event.phase == Event::Phase::kTarget ? "target"
+                                                      : "bubble");
+  return elem;
+}
+
+void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
+                                const Event& event) {
+  // Listener signature per §4.3.1: ($evt, $obj).
+  std::vector<Sequence> args;
+  const xquery::FunctionDecl* decl = page->sctx->FindFunction(function, 2);
+  if (decl != nullptr) {
+    args.push_back(Sequence{Item::Node(MaterializeEvent(page, event))});
+    // $obj is the node the listener is attached to (DOM `this`, i.e. the
+    // current target while capturing/bubbling), not the original target.
+    xml::Node* obj = event.current_target != nullptr ? event.current_target
+                                                     : event.target;
+    args.push_back(obj != nullptr ? Sequence{Item::Node(obj)} : Sequence{});
+  } else if (page->sctx->FindFunction(function, 1) != nullptr) {
+    args.push_back(Sequence{Item::Node(MaterializeEvent(page, event))});
+  } else if (page->sctx->FindFunction(function, 0) == nullptr) {
+    last_script_error_ = Status::Error(
+        "BRWS0004", "no listener function " + function.Lexical() +
+                        " with arity 0, 1 or 2");
+    return;
+  }
+  Result<Sequence> result =
+      page->evaluator->CallFunction(function, std::move(args), *page->ctx);
+  if (page->evaluator->exited()) page->evaluator->TakeExitValue();
+  if (!result.ok()) {
+    last_script_error_ = result.status();
+    return;
+  }
+  Status st = ApplyAfterRun(page);
+  if (!st.ok()) last_script_error_ = st;
+}
+
+Status XqibPlugin::FireEvent(xml::Node* target, Event event) {
+  browser_->loop().Post([this, target, event]() mutable {
+    browser_->events().Dispatch(target, std::move(event));
+  });
+  PumpEvents();
+  return Status();
+}
+
+size_t XqibPlugin::PumpEvents() { return browser_->loop().RunUntilIdle(); }
+
+// ------------------------------------------------- BrowserBinding impl ---
+
+Status XqibPlugin::AttachListener(const std::string& event_name,
+                                  const Sequence& targets,
+                                  const xml::QName& listener,
+                                  DynamicContext& ctx) {
+  PageContext* page = FindPageByContext(ctx);
+  if (page == nullptr) {
+    return Status::Error("BRWS0001", "no page for this context");
+  }
+  std::weak_ptr<PageContext> weak = FindPageShared(page->window);
+  for (const Item& item : targets) {
+    if (!item.is_node()) {
+      return Status::TypeError("event target must be a node");
+    }
+    browser::Listener l;
+    l.id = ListenerId(listener);
+    l.callback = [this, weak, listener](Event& event) {
+      std::shared_ptr<PageContext> page = weak.lock();
+      if (page == nullptr) return;
+      InvokeListener(page.get(), listener, event);
+    };
+    browser_->events().AddListener(item.node(), event_name, std::move(l));
+  }
+  return Status();
+}
+
+Status XqibPlugin::DetachListener(const std::string& event_name,
+                                  const Sequence& targets,
+                                  const xml::QName& listener,
+                                  DynamicContext& ctx) {
+  (void)ctx;
+  for (const Item& item : targets) {
+    if (!item.is_node()) {
+      return Status::TypeError("event target must be a node");
+    }
+    browser_->events().RemoveListener(item.node(), event_name,
+                                      ListenerId(listener));
+  }
+  return Status();
+}
+
+Status XqibPlugin::TriggerEvent(const std::string& event_name,
+                                const Sequence& targets,
+                                DynamicContext& ctx) {
+  (void)ctx;
+  for (const Item& item : targets) {
+    if (!item.is_node()) {
+      return Status::TypeError("event target must be a node");
+    }
+    xml::Node* target = item.node();
+    Event event;
+    event.type = event_name;
+    browser_->loop().Post([this, target, event]() mutable {
+      browser_->events().Dispatch(target, std::move(event));
+    });
+  }
+  return Status();
+}
+
+Status XqibPlugin::AttachBehind(const std::string& event_name,
+                                const Expr& call_expr,
+                                const xml::QName& listener,
+                                DynamicContext& ctx) {
+  PageContext* page = FindPageByContext(ctx);
+  if (page == nullptr) {
+    return Status::Error("BRWS0001", "no page for this context");
+  }
+  std::weak_ptr<PageContext> weak = FindPageShared(page->window);
+  const Expr* call = &call_expr;
+  double latency =
+      fabric_ != nullptr ? fabric_->latency.base_ms : 1.0;
+  (void)event_name;  // informational ("stateChanged") in this model
+
+  auto invoke_state = [this, weak, listener](int64_t state,
+                                             Sequence result) {
+    std::shared_ptr<PageContext> page = weak.lock();
+    if (page == nullptr) return;
+    std::vector<Sequence> args;
+    args.push_back(Sequence{Item::Integer(state)});
+    args.push_back(std::move(result));
+    Result<Sequence> r =
+        page->evaluator->CallFunction(listener, std::move(args), *page->ctx);
+    if (page->evaluator->exited()) page->evaluator->TakeExitValue();
+    if (!r.ok()) {
+      last_script_error_ = r.status();
+      return;
+    }
+    Status st = ApplyAfterRun(page.get());
+    if (!st.ok()) last_script_error_ = st;
+  };
+
+  // The call's arguments are evaluated NOW (they reference variables of
+  // the attaching scope, e.g. a function parameter $str); only the call
+  // itself is deferred — that is the remote round trip.
+  std::vector<Sequence> eager_args;
+  bool is_call = call->kind == xquery::ExprKind::kFunctionCall;
+  Sequence eager_result;
+  if (is_call) {
+    for (const xquery::ExprPtr& kid : call->kids) {
+      XQ_ASSIGN_OR_RETURN(Sequence arg, page->evaluator->Eval(*kid, ctx));
+      eager_args.push_back(std::move(arg));
+    }
+  } else {
+    XQ_ASSIGN_OR_RETURN(eager_result, page->evaluator->Eval(*call, ctx));
+  }
+
+  // readyState 1: request dispatched (immediately, asynchronously).
+  browser_->loop().Post(
+      [invoke_state]() { invoke_state(1, Sequence{}); }, 0.0);
+  // readyState 4: the call completes and its result is delivered after
+  // the simulated round-trip latency. The call is non-blocking for the
+  // main flow (§4.4: "the user keeps control").
+  browser_->loop().Post(
+      [this, weak, call, invoke_state, is_call,
+       eager_args = std::move(eager_args),
+       eager_result = std::move(eager_result)]() mutable {
+        std::shared_ptr<PageContext> page = weak.lock();
+        if (page == nullptr) return;
+        if (!is_call) {
+          invoke_state(4, std::move(eager_result));
+          return;
+        }
+        Result<Sequence> result = page->evaluator->CallFunction(
+            call->qname, std::move(eager_args), *page->ctx);
+        if (page->evaluator->exited()) page->evaluator->TakeExitValue();
+        if (!result.ok()) {
+          last_script_error_ = result.status();
+          invoke_state(4, Sequence{});
+          return;
+        }
+        invoke_state(4, std::move(result).value());
+      },
+      latency);
+  return Status();
+}
+
+Status XqibPlugin::SetStyle(const std::string& property,
+                            const Sequence& targets, const std::string& value,
+                            DynamicContext& ctx) {
+  (void)ctx;
+  for (const Item& item : targets) {
+    if (!item.is_node() || !item.node()->is_element()) {
+      return Status::TypeError("set style target must be an element");
+    }
+    browser::SetStyleProperty(item.node(), property, value);
+  }
+  return Status();
+}
+
+Result<std::string> XqibPlugin::GetStyle(const std::string& property,
+                                         const Sequence& target,
+                                         DynamicContext& ctx) {
+  (void)ctx;
+  XQ_ASSIGN_OR_RETURN(xml::Node* node, SingleNodeArg(target, "get style"));
+  if (!node->is_element()) {
+    return Status::TypeError("get style target must be an element");
+  }
+  return browser::GetStyleProperty(node, property);
+}
+
+// ------------------------------------------- browser: function library ---
+
+void XqibPlugin::RegisterBrowserFunctions(PageContext* page) {
+  DynamicContext* ctx = page->ctx.get();
+  Window* window = page->window;
+  Browser* browser = browser_;
+  PageContext* raw_page = page;
+
+  auto str_arg = [](std::vector<Sequence>& args) {
+    return args.empty() ? std::string() : xdm::SequenceToString(args[0]);
+  };
+
+  ctx->RegisterExternal(
+      BrowserQName("alert"), 1,
+      [this, str_arg](std::vector<Sequence>& args,
+                      DynamicContext&) -> Result<Sequence> {
+        alerts_.push_back(str_arg(args));
+        return Sequence{};
+      });
+  ctx->RegisterExternal(
+      BrowserQName("prompt"), 1,
+      [this, str_arg](std::vector<Sequence>& args,
+                      DynamicContext&) -> Result<Sequence> {
+        return Sequence{Item::String(prompt_responder(str_arg(args)))};
+      });
+  ctx->RegisterExternal(
+      BrowserQName("confirm"), 1,
+      [this, str_arg](std::vector<Sequence>& args,
+                      DynamicContext&) -> Result<Sequence> {
+        return Sequence{Item::Boolean(confirm_responder(str_arg(args)))};
+      });
+
+  // browser:top() — the whole window tree, security-filtered (§4.2.1).
+  // Marked non-deterministic in the paper: each call re-materializes.
+  ctx->RegisterExternal(
+      BrowserQName("top"), 0,
+      [browser, raw_page, window](std::vector<Sequence>&,
+                                  DynamicContext& c) -> Result<Sequence> {
+        Browser::BomTree tree =
+            browser->MaterializeWindowTree(c.scratch_document(),
+                                           window->url());
+        raw_page->bom_trees.push_back(tree);
+        if (tree.root == nullptr) return Sequence{};
+        return Sequence{Item::Node(tree.root)};
+      });
+
+  // browser:self() — this window's node within a fresh top tree.
+  ctx->RegisterExternal(
+      BrowserQName("self"), 0,
+      [browser, raw_page, window](std::vector<Sequence>&,
+                                  DynamicContext& c) -> Result<Sequence> {
+        Browser::BomTree tree =
+            browser->MaterializeWindowTree(c.scratch_document(),
+                                           window->url());
+        raw_page->bom_trees.push_back(tree);
+        for (const auto& [node, win] : tree.node_to_window) {
+          if (win == window) {
+            return Sequence{Item::Node(const_cast<xml::Node*>(node))};
+          }
+        }
+        return Sequence{};
+      });
+
+  ctx->RegisterExternal(
+      BrowserQName("screen"), 0,
+      [browser](std::vector<Sequence>&,
+                DynamicContext& c) -> Result<Sequence> {
+        return Sequence{
+            Item::Node(browser->MaterializeScreen(c.scratch_document()))};
+      });
+  ctx->RegisterExternal(
+      BrowserQName("navigator"), 0,
+      [browser](std::vector<Sequence>&,
+                DynamicContext& c) -> Result<Sequence> {
+        return Sequence{
+            Item::Node(browser->MaterializeNavigator(c.scratch_document()))};
+      });
+
+  // browser:document($w) — the document behind a window node, with the
+  // same-origin check; empty sequence on denial (§4.2.3).
+  ctx->RegisterExternal(
+      BrowserQName("document"), 1,
+      [browser, raw_page, window](std::vector<Sequence>& args,
+                                  DynamicContext&) -> Result<Sequence> {
+        if (args[0].empty()) return Sequence{};
+        if (!args[0][0].is_node()) {
+          return Status::TypeError("browser:document expects a window node");
+        }
+        const xml::Node* node = args[0][0].node();
+        for (const Browser::BomTree& tree : raw_page->bom_trees) {
+          Window* target =
+              browser->ResolveWindowNode(tree, node, window->url());
+          if (target != nullptr) {
+            return Sequence{Item::Node(target->document()->root())};
+          }
+        }
+        return Sequence{};
+      });
+
+  // Window management (§4.2.4).
+  ctx->RegisterExternal(
+      BrowserQName("windowOpen"), 1,
+      [browser, str_arg](std::vector<Sequence>& args,
+                         DynamicContext&) -> Result<Sequence> {
+        browser->top_window()->CreateFrame(str_arg(args));
+        return Sequence{};
+      });
+  ctx->RegisterExternal(
+      BrowserQName("windowClose"), 1,
+      [browser, raw_page, window](std::vector<Sequence>& args,
+                                  DynamicContext&) -> Result<Sequence> {
+        XQ_ASSIGN_OR_RETURN(xml::Node* node,
+                            SingleNodeArg(args[0], "browser:windowClose"));
+        for (const Browser::BomTree& tree : raw_page->bom_trees) {
+          Window* target =
+              browser->ResolveWindowNode(tree, node, window->url());
+          if (target != nullptr && target->parent() != nullptr) {
+            target->parent()->CloseFrame(target);
+            return Sequence{};
+          }
+        }
+        return Sequence{};
+      });
+  auto move_fn = [browser, raw_page, window](bool relative) {
+    return [browser, raw_page, window, relative](
+               std::vector<Sequence>& args,
+               DynamicContext&) -> Result<Sequence> {
+      XQ_ASSIGN_OR_RETURN(xml::Node* node,
+                          SingleNodeArg(args[0], "browser:windowMove"));
+      XQ_ASSIGN_OR_RETURN(int64_t x, args[1].empty()
+                                         ? Result<int64_t>(int64_t{0})
+                                         : args[1][0].Atomize().ToInteger());
+      XQ_ASSIGN_OR_RETURN(int64_t y, args[2].empty()
+                                         ? Result<int64_t>(int64_t{0})
+                                         : args[2][0].Atomize().ToInteger());
+      for (const Browser::BomTree& tree : raw_page->bom_trees) {
+        Window* target = browser->ResolveWindowNode(tree, node, window->url());
+        if (target != nullptr) {
+          if (relative) {
+            target->MoveBy(static_cast<int>(x), static_cast<int>(y));
+          } else {
+            target->MoveTo(static_cast<int>(x), static_cast<int>(y));
+          }
+          return Sequence{};
+        }
+      }
+      return Sequence{};
+    };
+  };
+  ctx->RegisterExternal(BrowserQName("windowMoveBy"), 3, move_fn(true));
+  ctx->RegisterExternal(BrowserQName("windowMoveTo"), 3, move_fn(false));
+
+  // History (§4.2.4).
+  ctx->RegisterExternal(
+      BrowserQName("historyBack"), 0,
+      [window](std::vector<Sequence>&, DynamicContext&) -> Result<Sequence> {
+        XQ_RETURN_NOT_OK(window->HistoryBack());
+        return Sequence{};
+      });
+  ctx->RegisterExternal(
+      BrowserQName("historyForward"), 0,
+      [window](std::vector<Sequence>&, DynamicContext&) -> Result<Sequence> {
+        XQ_RETURN_NOT_OK(window->HistoryForward());
+        return Sequence{};
+      });
+  ctx->RegisterExternal(
+      BrowserQName("historyGo"), 1,
+      [window](std::vector<Sequence>& args,
+               DynamicContext&) -> Result<Sequence> {
+        if (args[0].empty()) return Sequence{};
+        XQ_ASSIGN_OR_RETURN(int64_t delta, args[0][0].Atomize().ToInteger());
+        XQ_RETURN_NOT_OK(window->HistoryGo(static_cast<int>(delta)));
+        return Sequence{};
+      });
+
+  // Document write (§4.2.4; "with XQuery, best practice would be to
+  // modify the XDM" — provided for parity anyway).
+  ctx->RegisterExternal(
+      BrowserQName("write"), 1,
+      [window, str_arg](std::vector<Sequence>& args,
+                        DynamicContext&) -> Result<Sequence> {
+        window->Write(str_arg(args));
+        return Sequence{};
+      });
+  ctx->RegisterExternal(
+      BrowserQName("writeln"), 1,
+      [window, str_arg](std::vector<Sequence>& args,
+                        DynamicContext&) -> Result<Sequence> {
+        window->Write(str_arg(args) + "\n");
+        return Sequence{};
+      });
+}
+
+}  // namespace xqib::plugin

@@ -1,0 +1,167 @@
+// The XQIB plug-in (paper Section 5, Figure 1): the glue between the
+// browser and the XQuery engine.
+//
+// Pipeline per page load:
+//   1. the browser parses the XHTML document and renders (headless here),
+//   2. the plug-in extracts <script> elements and inline on* handlers,
+//   3. foreign-language scripts (JavaScript) run first — "this is the way
+//      browsers do it because JavaScript is supported natively" (§4.1),
+//   4. each XQuery script's prolog is compiled, globals are bound, and
+//      the main body runs (registering event listeners),
+//   5. the plug-in then loops: browser events are dispatched to the
+//      registered XQuery listeners (and to JavaScript listeners on the
+//      same targets, serialized in registration order, §6.2).
+//
+// The plug-in implements the BrowserBinding interface (the grammar
+// extensions "on event …", "set style …") and provides the browser:
+// function namespace of §4.2 (alert, top, self, screen, navigator,
+// document, window/history functions, write).
+
+#ifndef XQIB_PLUGIN_PLUGIN_H_
+#define XQIB_PLUGIN_PLUGIN_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "browser/bom.h"
+#include "browser/page.h"
+#include "net/http.h"
+#include "net/webservice.h"
+#include "xquery/evaluator.h"
+#include "xquery/parser.h"
+
+namespace xqib::plugin {
+
+// Interface for a coexisting script engine (MiniJS implements this).
+class ForeignScriptEngine {
+ public:
+  virtual ~ForeignScriptEngine() = default;
+  virtual bool Handles(browser::ScriptLanguage language) const = 0;
+  virtual Status RunScript(browser::Window* window,
+                           const browser::Script& script) = 0;
+  virtual Status RegisterInlineHandler(
+      browser::Window* window, const browser::InlineHandler& handler) = 0;
+};
+
+class XqibPlugin : public xquery::BrowserBinding {
+ public:
+  // `fabric` and `services` are optional (REST / web-service support).
+  XqibPlugin(browser::Browser* browser, net::HttpFabric* fabric,
+             net::ServiceHost* services);
+  ~XqibPlugin() override;
+
+  // Wires this plug-in into browser->on_page_loaded.
+  void Install();
+
+  // Coexisting engine for text/javascript scripts (may be null).
+  void set_foreign_engine(ForeignScriptEngine* engine) {
+    foreign_engine_ = engine;
+  }
+
+  // Figure 1 steps 2-4 for a freshly loaded window.
+  Status InitializePage(browser::Window* window);
+
+  // Queues a user-interaction event on the loop and pumps it.
+  Status FireEvent(xml::Node* target, browser::Event event);
+  // Runs queued tasks (event dispatches, async completions) to idle.
+  size_t PumpEvents();
+
+  // --- user-visible channels ---
+  const std::vector<std::string>& alerts() const { return alerts_; }
+  void ClearAlerts() { alerts_.clear(); }
+  // prompt()/confirm() responders (tests script them).
+  std::function<std::string(const std::string&)> prompt_responder;
+  std::function<bool(const std::string&)> confirm_responder;
+
+  // Diagnostics for benchmarks: per-page-load phase timings.
+  struct InitTiming {
+    double extract_us = 0;
+    double foreign_us = 0;
+    double compile_us = 0;
+    double bind_globals_us = 0;
+    double run_main_us = 0;
+    size_t xquery_scripts = 0;
+    size_t listeners_registered = 0;
+  };
+  const InitTiming& last_init_timing() const { return last_init_timing_; }
+
+  // Status of the last script error (pages must not crash the browser).
+  const Status& last_script_error() const { return last_script_error_; }
+
+  // --- BrowserBinding (grammar extensions §4.3-4.5) ---
+  Status AttachListener(const std::string& event_name,
+                        const xdm::Sequence& targets,
+                        const xml::QName& listener,
+                        xquery::DynamicContext& ctx) override;
+  Status DetachListener(const std::string& event_name,
+                        const xdm::Sequence& targets,
+                        const xml::QName& listener,
+                        xquery::DynamicContext& ctx) override;
+  Status TriggerEvent(const std::string& event_name,
+                      const xdm::Sequence& targets,
+                      xquery::DynamicContext& ctx) override;
+  Status AttachBehind(const std::string& event_name,
+                      const xquery::Expr& call_expr,
+                      const xml::QName& listener,
+                      xquery::DynamicContext& ctx) override;
+  Status SetStyle(const std::string& property, const xdm::Sequence& targets,
+                  const std::string& value,
+                  xquery::DynamicContext& ctx) override;
+  Result<std::string> GetStyle(const std::string& property,
+                               const xdm::Sequence& target,
+                               xquery::DynamicContext& ctx) override;
+
+  browser::Browser* browser() { return browser_; }
+
+ private:
+  // Everything the plug-in keeps per loaded page.
+  struct PageContext {
+    browser::Window* window = nullptr;
+    std::vector<std::unique_ptr<xquery::Module>> modules;  // page scripts
+    std::vector<std::unique_ptr<xquery::Module>> handler_modules;
+    std::unique_ptr<xquery::StaticContext> sctx;
+    std::unique_ptr<xquery::Evaluator> evaluator;
+    std::unique_ptr<xquery::DynamicContext> ctx;
+    std::vector<browser::Browser::BomTree> bom_trees;
+  };
+
+  std::shared_ptr<PageContext> FindPageShared(const browser::Window* window);
+  PageContext* FindPage(const browser::Window* window);
+  PageContext* FindPageByContext(const xquery::DynamicContext& ctx);
+  PageContext* FindPageByDocument(const xml::Document* doc);
+
+  void RegisterBrowserFunctions(PageContext* page);
+  Status RunXQueryScript(PageContext* page, const std::string& code);
+  Status RegisterXQueryInlineHandler(PageContext* page,
+                                     const browser::InlineHandler& handler);
+
+  // Calls an XQuery listener function with ($evt, $obj), applying the
+  // PUL and syncing the BOM afterwards.
+  void InvokeListener(PageContext* page, const xml::QName& function,
+                      const browser::Event& event);
+  Status ApplyAfterRun(PageContext* page);
+
+  // Builds the <event> element passed as $evt (paper §4.3.2).
+  xml::Node* MaterializeEvent(PageContext* page,
+                              const browser::Event& event);
+
+  static std::string ListenerId(const xml::QName& fn) {
+    return "xquery:" + fn.Clark();
+  }
+
+  browser::Browser* browser_;
+  net::HttpFabric* fabric_;
+  net::ServiceHost* services_;
+  ForeignScriptEngine* foreign_engine_ = nullptr;
+  std::unordered_map<const browser::Window*, std::shared_ptr<PageContext>>
+      pages_;
+  std::vector<std::string> alerts_;
+  InitTiming last_init_timing_;
+  Status last_script_error_;
+};
+
+}  // namespace xqib::plugin
+
+#endif  // XQIB_PLUGIN_PLUGIN_H_

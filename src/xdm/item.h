@@ -1,0 +1,146 @@
+// The XQuery 1.0 / XPath 2.0 Data Model (XDM): items are nodes or atomic
+// values; sequences are flat vectors of items. Node items are live views
+// over DOM nodes — this is the "XDM store wrapping the DOM" of the paper's
+// Figure 1: reading the XDM reads the DOM, updating it updates the DOM.
+
+#ifndef XQIB_XDM_ITEM_H_
+#define XQIB_XDM_ITEM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/result.h"
+#include "xml/dom.h"
+#include "xml/qname.h"
+
+namespace xqib::xdm {
+
+enum class AtomicType {
+  kUntypedAtomic,
+  kString,
+  kBoolean,
+  kInteger,   // xs:integer, 64-bit
+  kDecimal,   // xs:decimal, stored as double (documented precision limit)
+  kDouble,
+  kQName,
+  kAnyUri,
+  kDateTime,  // ISO-8601 lexical form, normalized
+  kDate,
+  kTime,
+  kDayTimeDuration,  // stored as seconds
+};
+
+const char* AtomicTypeName(AtomicType type);
+
+// A typed atomic value. Small, copyable.
+class AtomicValue {
+ public:
+  AtomicValue() : type_(AtomicType::kUntypedAtomic) {}
+
+  static AtomicValue Untyped(std::string s);
+  static AtomicValue String(std::string s);
+  static AtomicValue Boolean(bool b);
+  static AtomicValue Integer(int64_t i);
+  static AtomicValue Decimal(double d);
+  static AtomicValue Double(double d);
+  static AtomicValue AnyUri(std::string s);
+  static AtomicValue MakeQName(xml::QName q);
+  static AtomicValue DateTime(std::string iso);
+  static AtomicValue Date(std::string iso);
+  static AtomicValue Time(std::string iso);
+  static AtomicValue DayTimeDuration(double seconds);
+
+  AtomicType type() const { return type_; }
+  bool is_numeric() const {
+    return type_ == AtomicType::kInteger || type_ == AtomicType::kDecimal ||
+           type_ == AtomicType::kDouble;
+  }
+  bool is_untyped() const { return type_ == AtomicType::kUntypedAtomic; }
+
+  // Raw accessors (valid only for the matching type).
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const { return int_; }
+  double double_value() const { return dbl_; }
+  const std::string& string_value() const { return str_; }
+  const xml::QName& qname_value() const { return qname_; }
+
+  // The XPath string form of this value (fn:string semantics).
+  std::string ToXPathString() const;
+
+  // Numeric coercion; untyped and string values are parsed (FORG0001 on
+  // failure). Booleans convert 0/1.
+  Result<double> ToDouble() const;
+  Result<int64_t> ToInteger() const;
+
+  // Casts to a target type per XPath casting rules (subset).
+  Result<AtomicValue> CastTo(AtomicType target) const;
+
+  // Value equality/ordering for value comparisons & order by. Returns
+  // <0/0/>0; error XPTY0004 for incomparable types.
+  Result<int> Compare(const AtomicValue& other) const;
+
+ private:
+  AtomicType type_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double dbl_ = 0.0;
+  std::string str_;
+  xml::QName qname_;
+};
+
+// An XDM item: exactly one of {node, atomic value}.
+class Item {
+ public:
+  Item() : node_(nullptr) {}  // default: empty-string untyped atomic
+  explicit Item(xml::Node* node) : node_(node) {}
+  explicit Item(AtomicValue atom) : node_(nullptr), atom_(std::move(atom)) {}
+
+  static Item Node(xml::Node* n) { return Item(n); }
+  static Item Atomic(AtomicValue v) { return Item(std::move(v)); }
+  static Item String(std::string s) {
+    return Item(AtomicValue::String(std::move(s)));
+  }
+  static Item Boolean(bool b) { return Item(AtomicValue::Boolean(b)); }
+  static Item Integer(int64_t i) { return Item(AtomicValue::Integer(i)); }
+  static Item Double(double d) { return Item(AtomicValue::Double(d)); }
+
+  bool is_node() const { return node_ != nullptr; }
+  xml::Node* node() const { return node_; }
+  const AtomicValue& atomic() const { return atom_; }
+
+  // fn:string of the item.
+  std::string StringValue() const;
+
+  // fn:data of the item: the typed value. Element/attribute/text content
+  // atomizes to xs:untypedAtomic (we process untyped web pages, §3.1).
+  AtomicValue Atomize() const;
+
+ private:
+  xml::Node* node_;
+  AtomicValue atom_;
+};
+
+// A flat sequence of items (XDM sequences never nest).
+using Sequence = std::vector<Item>;
+
+// Effective boolean value (fn:boolean): empty -> false; first item node ->
+// true; singleton atomic by type; else FORG0006.
+Result<bool> EffectiveBooleanValue(const Sequence& seq);
+
+// fn:data over a sequence.
+Sequence Atomize(const Sequence& seq);
+
+// Sorts node items into document order, removing duplicates (the
+// semantics of path-expression results). Errors if a non-node slips in.
+Status SortDocumentOrderDedup(Sequence* seq);
+
+// True if all items are nodes.
+bool AllNodes(const Sequence& seq);
+
+// Serializes a sequence for display: space-joined item strings.
+std::string SequenceToString(const Sequence& seq);
+
+}  // namespace xqib::xdm
+
+#endif  // XQIB_XDM_ITEM_H_

@@ -1,0 +1,387 @@
+#include "xml/dom.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace xqib::xml {
+
+const char* NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDocument: return "document";
+    case NodeKind::kElement: return "element";
+    case NodeKind::kAttribute: return "attribute";
+    case NodeKind::kText: return "text";
+    case NodeKind::kComment: return "comment";
+    case NodeKind::kProcessingInstruction: return "processing-instruction";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------- Node ---
+
+Node* Node::Root() {
+  Node* n = this;
+  while (true) {
+    Node* up = n->parent_;
+    if (up == nullptr) return n;
+    n = up;
+  }
+}
+
+std::string Node::StringValue() const {
+  switch (kind_) {
+    case NodeKind::kText:
+    case NodeKind::kComment:
+    case NodeKind::kProcessingInstruction:
+    case NodeKind::kAttribute:
+      return value_;
+    case NodeKind::kElement:
+    case NodeKind::kDocument: {
+      std::string out;
+      // Iterative DFS collecting text descendants.
+      std::vector<const Node*> stack(children_.rbegin(), children_.rend());
+      while (!stack.empty()) {
+        const Node* n = stack.back();
+        stack.pop_back();
+        if (n->kind_ == NodeKind::kText) {
+          out += n->value_;
+        } else if (n->kind_ == NodeKind::kElement) {
+          for (auto it = n->children_.rbegin(); it != n->children_.rend();
+               ++it) {
+            stack.push_back(*it);
+          }
+        }
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+Node* Node::FindAttribute(std::string_view ns, std::string_view local) const {
+  for (Node* a : attributes_) {
+    if (a->name_.local == local && a->name_.ns == ns) return a;
+  }
+  return nullptr;
+}
+
+std::string Node::GetAttributeValue(std::string_view local) const {
+  const Node* a = FindAttribute(local);
+  return a ? a->value() : std::string();
+}
+
+void Node::CheckAdoptable(const Node* child) const {
+  (void)child;
+  assert(child != nullptr);
+  assert(child->document_ == document_ &&
+         "node belongs to a different document; use ImportCopy");
+  assert(child->parent_ == nullptr && "node is already attached");
+  assert(child->kind_ != NodeKind::kAttribute &&
+         "attributes attach via AttachAttribute");
+  assert(child->kind_ != NodeKind::kDocument);
+}
+
+void Node::AppendChild(Node* child) {
+  CheckAdoptable(child);
+  child->parent_ = this;
+  children_.push_back(child);
+  document_->InvalidateOrder();
+  document_->NotifyMutation(this);
+}
+
+void Node::InsertBefore(Node* child, Node* ref) {
+  if (ref == nullptr) {
+    AppendChild(child);
+    return;
+  }
+  CheckAdoptable(child);
+  size_t idx = ChildIndex(ref);
+  assert(idx != static_cast<size_t>(-1) && "ref is not a child");
+  child->parent_ = this;
+  children_.insert(children_.begin() + static_cast<ptrdiff_t>(idx), child);
+  document_->InvalidateOrder();
+  document_->NotifyMutation(this);
+}
+
+void Node::InsertAfter(Node* child, Node* ref) {
+  if (ref == nullptr) {
+    AppendChild(child);
+    return;
+  }
+  size_t idx = ChildIndex(ref);
+  assert(idx != static_cast<size_t>(-1) && "ref is not a child");
+  if (idx + 1 >= children_.size()) {
+    AppendChild(child);
+  } else {
+    InsertBefore(child, children_[idx + 1]);
+  }
+}
+
+void Node::InsertFirst(Node* child) {
+  InsertBefore(child, children_.empty() ? nullptr : children_.front());
+}
+
+void Node::RemoveChild(Node* child) {
+  size_t idx = ChildIndex(child);
+  assert(idx != static_cast<size_t>(-1) && "not a child of this node");
+  children_.erase(children_.begin() + static_cast<ptrdiff_t>(idx));
+  child->parent_ = nullptr;
+  child->tree_id_ = document_->next_tree_id_++;
+  document_->InvalidateOrder();
+  document_->NotifyMutation(this);
+}
+
+void Node::Detach() {
+  if (parent_ == nullptr) return;
+  if (kind_ == NodeKind::kAttribute) {
+    Node* owner = parent_;
+    for (size_t i = 0; i < owner->attributes_.size(); ++i) {
+      if (owner->attributes_[i] == this) {
+        owner->attributes_.erase(owner->attributes_.begin() +
+                                 static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    parent_ = nullptr;
+    document_->InvalidateOrder();
+    document_->NotifyMutation(owner);
+  } else {
+    parent_->RemoveChild(this);
+  }
+}
+
+Node* Node::SetAttribute(const QName& name, std::string value) {
+  assert(kind_ == NodeKind::kElement);
+  if (Node* existing = FindAttribute(name.ns, name.local)) {
+    existing->value_ = std::move(value);
+    document_->NotifyMutation(this);
+    return existing;
+  }
+  Node* attr = document_->CreateAttribute(name, std::move(value));
+  attr->parent_ = this;
+  attributes_.push_back(attr);
+  document_->InvalidateOrder();
+  document_->NotifyMutation(this);
+  return attr;
+}
+
+void Node::RemoveAttribute(std::string_view ns, std::string_view local) {
+  if (Node* attr = FindAttribute(ns, local)) attr->Detach();
+}
+
+void Node::AttachAttribute(Node* attr) {
+  assert(kind_ == NodeKind::kElement);
+  assert(attr->kind_ == NodeKind::kAttribute && attr->parent_ == nullptr);
+  assert(attr->document_ == document_);
+  // Replace any attribute with the same expanded name.
+  RemoveAttribute(attr->name_.ns, attr->name_.local);
+  attr->parent_ = this;
+  attributes_.push_back(attr);
+  document_->InvalidateOrder();
+  document_->NotifyMutation(this);
+}
+
+void Node::SetValue(std::string value) {
+  if (kind_ == NodeKind::kElement || kind_ == NodeKind::kDocument) {
+    for (Node* c : children_) {
+      c->parent_ = nullptr;
+      c->tree_id_ = document_->next_tree_id_++;
+    }
+    children_.clear();
+    if (!value.empty()) {
+      Node* text = document_->CreateText(std::move(value));
+      text->parent_ = this;
+      children_.push_back(text);
+    }
+    document_->InvalidateOrder();
+  } else {
+    value_ = std::move(value);
+  }
+  document_->NotifyMutation(this);
+}
+
+void Node::Rename(const QName& new_name) {
+  name_ = new_name;
+  document_->NotifyMutation(this);
+}
+
+size_t Node::ChildIndex(const Node* child) const {
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (children_[i] == child) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+uint64_t Node::OrderKey() const {
+  if (order_version_ != document_->order_version()) {
+    // Attached nodes get keys 1..n from one DFS of the document tree;
+    // detached subtrees get keys lazily, offset by their tree id, so a
+    // session that detaches many fragments (every replaced text node)
+    // never pays for them again.
+    Node* root = const_cast<Node*>(this)->Root();
+    if (root == document_->root()) {
+      document_->RecomputeOrder();
+    } else {
+      document_->AssignDetachedKeys(root);
+    }
+  }
+  return order_key_;
+}
+
+int Node::CompareDocumentOrder(const Node* other) const {
+  if (this == other) return 0;
+  uint64_t a = OrderKey();
+  uint64_t b = other->OrderKey();
+  if (a == b) return 0;
+  return a < b ? -1 : 1;
+}
+
+// ------------------------------------------------------------ Document ---
+
+Document::Document() {
+  root_ = NewNode(NodeKind::kDocument);
+}
+
+Node* Document::NewNode(NodeKind kind) {
+  nodes_.push_back(std::unique_ptr<Node>(new Node(this, kind)));
+  Node* n = nodes_.back().get();
+  n->tree_id_ = next_tree_id_++;
+  InvalidateOrder();
+  return n;
+}
+
+Node* Document::DocumentElement() const {
+  for (Node* c : root_->children()) {
+    if (c->is_element()) return c;
+  }
+  return nullptr;
+}
+
+Node* Document::CreateElement(const QName& name) {
+  Node* n = NewNode(NodeKind::kElement);
+  n->name_ = name;
+  return n;
+}
+
+Node* Document::CreateAttribute(const QName& name, std::string value) {
+  Node* n = NewNode(NodeKind::kAttribute);
+  n->name_ = name;
+  n->value_ = std::move(value);
+  return n;
+}
+
+Node* Document::CreateText(std::string value) {
+  Node* n = NewNode(NodeKind::kText);
+  n->value_ = std::move(value);
+  return n;
+}
+
+Node* Document::CreateComment(std::string value) {
+  Node* n = NewNode(NodeKind::kComment);
+  n->value_ = std::move(value);
+  return n;
+}
+
+Node* Document::CreateProcessingInstruction(std::string target,
+                                            std::string value) {
+  Node* n = NewNode(NodeKind::kProcessingInstruction);
+  n->name_ = QName(std::move(target));
+  n->value_ = std::move(value);
+  return n;
+}
+
+Node* Document::ImportCopy(const Node* src) {
+  switch (src->kind()) {
+    case NodeKind::kElement: {
+      Node* copy = CreateElement(src->name());
+      for (const Node* a : src->attributes()) {
+        copy->SetAttribute(a->name(), a->value());
+      }
+      for (const Node* c : src->children()) {
+        Node* child_copy = ImportCopy(c);
+        child_copy->parent_ = copy;
+        copy->children_.push_back(child_copy);
+      }
+      return copy;
+    }
+    case NodeKind::kAttribute:
+      return CreateAttribute(src->name(), src->value());
+    case NodeKind::kText:
+      return CreateText(src->value());
+    case NodeKind::kComment:
+      return CreateComment(src->value());
+    case NodeKind::kProcessingInstruction:
+      return CreateProcessingInstruction(src->name().local, src->value());
+    case NodeKind::kDocument: {
+      // Copying a document node yields a copy of its children under a new
+      // element-less fragment: we model it as a copy of the document
+      // element, which is what the update primitives need in practice.
+      Node* elem = const_cast<Node*>(src)->document()->DocumentElement();
+      assert(elem != nullptr);
+      return ImportCopy(elem);
+    }
+  }
+  return nullptr;
+}
+
+Node* Document::GetElementById(std::string_view id) const {
+  // Ids can change through arbitrary attribute mutation, so the cache is
+  // dropped wholesale on every mutation and rebuilt on the next lookup —
+  // lookup bursts between mutations (event handlers resolving targets)
+  // are O(1), and correctness never depends on tracking which mutation
+  // touched which id.
+  if (id_cache_version_ != mutation_version_) {
+    id_cache_.clear();
+    for (const auto& n : nodes_) {
+      if (n->kind() == NodeKind::kElement && n->parent() != nullptr) {
+        const Node* a = n->FindAttribute("id");
+        if (a != nullptr && !a->value().empty() && n->Root() == root_) {
+          id_cache_.emplace(a->value(), n.get());  // first wins
+        }
+      }
+    }
+    id_cache_version_ = mutation_version_;
+  }
+  auto it = id_cache_.find(std::string(id));
+  return it == id_cache_.end() ? nullptr : it->second;
+}
+
+void Document::NotifyMutation(Node* target) {
+  ++mutation_version_;
+  for (const MutationHook& hook : mutation_hooks_) hook(target);
+}
+
+// Assigns consecutive keys starting at `next` across one subtree.
+void Document::AssignKeysDfs(const Node* root, uint64_t next,
+                             uint64_t version) {
+  std::function<void(const Node*)> visit = [&](const Node* n) {
+    n->order_key_ = next++;
+    n->order_version_ = version;
+    for (const Node* a : n->attributes_) {
+      a->order_key_ = next++;
+      a->order_version_ = version;
+    }
+    for (const Node* c : n->children_) visit(c);
+  };
+  visit(root);
+}
+
+void Document::RecomputeOrder() const {
+  // Attached nodes occupy keys [1, 2^32); detached fragments live above,
+  // partitioned by tree id (AssignDetachedKeys). Mixed comparisons stay
+  // stable: attached before detached, detached ordered by creation.
+  AssignKeysDfs(root_, 1, order_version_);
+  computed_version_ = order_version_;
+}
+
+void Document::AssignDetachedKeys(const Node* detached_root) const {
+  AssignKeysDfs(detached_root, detached_root->tree_id_ << 32,
+                order_version_);
+}
+
+void VisitSubtree(Node* node, const std::function<void(Node*)>& fn) {
+  fn(node);
+  for (Node* c : node->children()) VisitSubtree(c, fn);
+}
+
+}  // namespace xqib::xml

@@ -1,0 +1,198 @@
+// A mutable DOM, the substrate the XQIB plug-in wraps with an XDM store
+// (paper Section 5.2, Figure 1). Nodes are owned by their Document and
+// referenced by raw pointers everywhere else; node identity is pointer
+// identity, exactly as XDM node identity requires.
+
+#ifndef XQIB_XML_DOM_H_
+#define XQIB_XML_DOM_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "xml/qname.h"
+
+namespace xqib::xml {
+
+class Document;
+
+enum class NodeKind {
+  kDocument,
+  kElement,
+  kAttribute,
+  kText,
+  kComment,
+  kProcessingInstruction,
+};
+
+const char* NodeKindName(NodeKind kind);
+
+// One DOM node. Created only through Document factory methods.
+class Node {
+ public:
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  const QName& name() const { return name_; }
+  // Text content for text/comment/PI/attribute nodes.
+  const std::string& value() const { return value_; }
+  Node* parent() const { return parent_; }
+  Document* document() const { return document_; }
+
+  const std::vector<Node*>& children() const { return children_; }
+  const std::vector<Node*>& attributes() const { return attributes_; }
+
+  bool is_element() const { return kind_ == NodeKind::kElement; }
+  bool is_attribute() const { return kind_ == NodeKind::kAttribute; }
+  bool is_text() const { return kind_ == NodeKind::kText; }
+
+  // The root of the tree this node belongs to (a Document node for
+  // attached trees, else the topmost detached node).
+  Node* Root();
+
+  // XDM string-value: concatenated descendant text for elements/documents,
+  // the literal value otherwise.
+  std::string StringValue() const;
+
+  // Attribute access by expanded name; nullptr if absent.
+  Node* FindAttribute(std::string_view ns, std::string_view local) const;
+  // Convenience for the common no-namespace case.
+  Node* FindAttribute(std::string_view local) const {
+    return FindAttribute("", local);
+  }
+  std::string GetAttributeValue(std::string_view local) const;
+
+  // --- Mutation (drives Document mutation hooks & order invalidation) ---
+
+  // Appends `child` (must be detached, same document, not an attribute).
+  void AppendChild(Node* child);
+  // Inserts `child` before `ref` (a current child), or appends if ref null.
+  void InsertBefore(Node* child, Node* ref);
+  void InsertAfter(Node* child, Node* ref);
+  void InsertFirst(Node* child);
+  // Detaches `child`; it stays owned by the Document.
+  void RemoveChild(Node* child);
+  // Detaches this node from its parent (no-op if already detached).
+  void Detach();
+
+  // Sets/replaces an attribute value; creates the attribute if missing.
+  Node* SetAttribute(const QName& name, std::string value);
+  void RemoveAttribute(std::string_view ns, std::string_view local);
+  // Attaches an existing detached attribute node.
+  void AttachAttribute(Node* attr);
+
+  // Replaces the value of a text/comment/PI/attribute node, or for an
+  // element: removes all children and inserts a single text node.
+  void SetValue(std::string value);
+
+  void Rename(const QName& new_name);
+
+  // Position of `child` among children_, or npos.
+  size_t ChildIndex(const Node* child) const;
+
+  // Document-order comparison: -1, 0, +1. Nodes in different trees are
+  // ordered by an arbitrary-but-stable tree id.
+  int CompareDocumentOrder(const Node* other) const;
+
+  // Stable, doc-order-consistent key (lazily recomputed after mutation).
+  uint64_t OrderKey() const;
+
+ private:
+  friend class Document;
+  Node(Document* doc, NodeKind kind) : document_(doc), kind_(kind) {}
+
+  void CheckAdoptable(const Node* child) const;
+
+  Document* document_;
+  NodeKind kind_;
+  QName name_;
+  std::string value_;
+  Node* parent_ = nullptr;
+  std::vector<Node*> children_;    // element/document content
+  std::vector<Node*> attributes_;  // element attributes
+  mutable uint64_t order_key_ = 0;
+  mutable uint64_t order_version_ = 0;
+  uint64_t tree_id_ = 0;  // assigned at creation; used as inter-tree order
+};
+
+// Owns all nodes of one XML tree (plus any detached fragments created
+// against it). Tracks id->element for fn:id / getElementById.
+class Document {
+ public:
+  Document();
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  Node* root() { return root_; }
+  const Node* root() const { return root_; }
+
+  // The single element child of the document node, or nullptr.
+  Node* DocumentElement() const;
+
+  // --- Node factories (all created detached except the doc root) ---
+  Node* CreateElement(const QName& name);
+  Node* CreateAttribute(const QName& name, std::string value);
+  Node* CreateText(std::string value);
+  Node* CreateComment(std::string value);
+  Node* CreateProcessingInstruction(std::string target, std::string value);
+
+  // Deep-copies `src` (possibly from another document) into this document;
+  // the copy is detached. Implements XQuery Update's copy-on-insert.
+  Node* ImportCopy(const Node* src);
+
+  // The first attached element (in creation order) whose "id" attribute
+  // equals `id`, or nullptr. Backed by a lazily rebuilt cache that any
+  // mutation invalidates: lookup bursts between mutations are O(1).
+  Node* GetElementById(std::string_view id) const;
+
+  // The document URI (doc("...") key / page URL).
+  const std::string& uri() const { return uri_; }
+  void set_uri(std::string uri) { uri_ = std::move(uri); }
+
+  // Mutation observers (the browser event system and BOM hook in here).
+  using MutationHook = std::function<void(Node* target)>;
+  void AddMutationHook(MutationHook hook) {
+    mutation_hooks_.push_back(std::move(hook));
+  }
+
+  // Total number of nodes ever created (diagnostics/benchmarks).
+  size_t node_count() const { return nodes_.size(); }
+
+  uint64_t order_version() const { return order_version_; }
+
+ private:
+  friend class Node;
+
+  Node* NewNode(NodeKind kind);
+  void InvalidateOrder() { ++order_version_; }
+  void NotifyMutation(Node* target);
+  void RecomputeOrder() const;
+  void AssignDetachedKeys(const Node* detached_root) const;
+  static void AssignKeysDfs(const Node* root, uint64_t next,
+                            uint64_t version);
+
+  std::deque<std::unique_ptr<Node>> nodes_;
+  Node* root_;
+  std::string uri_;
+  mutable uint64_t order_version_ = 1;
+  mutable uint64_t computed_version_ = 0;
+  uint64_t next_tree_id_ = 1;
+  std::vector<MutationHook> mutation_hooks_;
+  // id -> element cache; valid while mutation_version_ matches.
+  uint64_t mutation_version_ = 1;
+  mutable uint64_t id_cache_version_ = 0;
+  mutable std::unordered_map<std::string, Node*> id_cache_;
+};
+
+// Visits `node` and all descendants (attributes excluded) in doc order.
+void VisitSubtree(Node* node, const std::function<void(Node*)>& fn);
+
+}  // namespace xqib::xml
+
+#endif  // XQIB_XML_DOM_H_

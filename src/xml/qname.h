@@ -1,0 +1,61 @@
+// Expanded qualified names (namespace URI + local name, plus the lexical
+// prefix kept for serialization round-trips).
+
+#ifndef XQIB_XML_QNAME_H_
+#define XQIB_XML_QNAME_H_
+
+#include <string>
+#include <string_view>
+
+namespace xqib::xml {
+
+// Well-known namespace URIs.
+inline constexpr std::string_view kXmlNamespace =
+    "http://www.w3.org/XML/1998/namespace";
+inline constexpr std::string_view kXmlnsNamespace =
+    "http://www.w3.org/2000/xmlns/";
+inline constexpr std::string_view kFnNamespace =
+    "http://www.w3.org/2005/xpath-functions";
+inline constexpr std::string_view kXsNamespace =
+    "http://www.w3.org/2001/XMLSchema";
+// The browser-binding namespace proposed in Section 4.2 of the paper.
+inline constexpr std::string_view kBrowserNamespace =
+    "http://www.example.com/browser";
+// Our simulated-HTTP client functions (REST support, Section 3.4).
+inline constexpr std::string_view kHttpNamespace =
+    "http://www.example.com/http";
+
+struct QName {
+  std::string ns;      // namespace URI; empty means "no namespace"
+  std::string prefix;  // lexical prefix; not part of the identity
+  std::string local;
+
+  QName() = default;
+  explicit QName(std::string local_name) : local(std::move(local_name)) {}
+  QName(std::string ns_uri, std::string local_name)
+      : ns(std::move(ns_uri)), local(std::move(local_name)) {}
+  QName(std::string ns_uri, std::string pfx, std::string local_name)
+      : ns(std::move(ns_uri)),
+        prefix(std::move(pfx)),
+        local(std::move(local_name)) {}
+
+  // Identity per XDM: namespace URI + local name only.
+  friend bool operator==(const QName& a, const QName& b) {
+    return a.ns == b.ns && a.local == b.local;
+  }
+  friend bool operator!=(const QName& a, const QName& b) { return !(a == b); }
+
+  // The lexical form: "prefix:local" or "local".
+  std::string Lexical() const {
+    return prefix.empty() ? local : prefix + ":" + local;
+  }
+
+  // Clark notation "{ns}local", used in diagnostics and map keys.
+  std::string Clark() const {
+    return ns.empty() ? local : "{" + ns + "}" + local;
+  }
+};
+
+}  // namespace xqib::xml
+
+#endif  // XQIB_XML_QNAME_H_

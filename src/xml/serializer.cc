@@ -1,0 +1,142 @@
+#include "xml/serializer.h"
+
+#include <sstream>
+
+#include "base/strings.h"
+
+namespace xqib::xml {
+
+namespace {
+
+class Serializer {
+ public:
+  explicit Serializer(const SerializeOptions& options) : options_(options) {}
+
+  void Write(const Node* node, int depth) {
+    switch (node->kind()) {
+      case NodeKind::kDocument:
+        for (const Node* c : node->children()) Write(c, depth);
+        break;
+      case NodeKind::kElement:
+        WriteElement(node, depth);
+        break;
+      case NodeKind::kText:
+        out_ << (verbatim_ ? std::string(node->value())
+                           : EscapeText(node->value()));
+        break;
+      case NodeKind::kComment:
+        out_ << "<!--" << node->value() << "-->";
+        break;
+      case NodeKind::kProcessingInstruction:
+        out_ << "<?" << node->name().local << " " << node->value() << "?>";
+        break;
+      case NodeKind::kAttribute:
+        // A bare attribute serializes as name="value".
+        out_ << node->name().Lexical() << "=\""
+             << EscapeAttribute(node->value()) << "\"";
+        break;
+    }
+  }
+
+  std::string TakeOutput() { return out_.str(); }
+
+ private:
+  void Indent(int depth) {
+    if (!options_.indent) return;
+    out_ << "\n";
+    for (int i = 0; i < depth; ++i) out_ << "  ";
+  }
+
+  void WriteElement(const Node* node, int depth) {
+    if (options_.indent && depth > 0) Indent(depth);
+    out_ << "<" << node->name().Lexical();
+    // Emit a namespace declaration when the element's namespace is not
+    // inherited lexically; a pragmatic rule that keeps round-trips sane.
+    if (!node->name().ns.empty() && NeedsNsDecl(node)) {
+      if (node->name().prefix.empty()) {
+        out_ << " xmlns=\"" << EscapeAttribute(node->name().ns) << "\"";
+      } else {
+        out_ << " xmlns:" << node->name().prefix << "=\""
+             << EscapeAttribute(node->name().ns) << "\"";
+      }
+    }
+    for (const Node* a : node->attributes()) {
+      out_ << " " << a->name().Lexical() << "=\""
+           << EscapeAttribute(a->value()) << "\"";
+    }
+    if (node->children().empty()) {
+      out_ << "/>";
+      return;
+    }
+    out_ << ">";
+    bool was_verbatim = verbatim_;
+    if (options_.html_script_mode &&
+        (AsciiEqualsIgnoreCase(node->name().local, "script") ||
+         AsciiEqualsIgnoreCase(node->name().local, "style"))) {
+      verbatim_ = true;
+    }
+    bool element_children = false;
+    for (const Node* c : node->children()) {
+      if (c->is_element()) element_children = true;
+      Write(c, depth + 1);
+    }
+    verbatim_ = was_verbatim;
+    if (options_.indent && element_children) Indent(depth);
+    out_ << "</" << node->name().Lexical() << ">";
+  }
+
+  bool NeedsNsDecl(const Node* node) const {
+    const Node* p = node->parent();
+    while (p != nullptr && !p->is_element()) p = p->parent();
+    if (p == nullptr) return true;
+    // Same prefix & ns on the nearest element ancestor => inherited.
+    return !(p->name().ns == node->name().ns &&
+             p->name().prefix == node->name().prefix);
+  }
+
+  const SerializeOptions& options_;
+  std::ostringstream out_;
+  bool verbatim_ = false;
+};
+
+}  // namespace
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string Serialize(const Node* node, const SerializeOptions& options) {
+  Serializer s(options);
+  s.Write(node, 0);
+  return s.TakeOutput();
+}
+
+std::string Serialize(const Node* node) {
+  return Serialize(node, SerializeOptions());
+}
+
+}  // namespace xqib::xml

@@ -1,0 +1,30 @@
+// XML serialization of DOM nodes (the inverse of xml_parser).
+
+#ifndef XQIB_XML_SERIALIZER_H_
+#define XQIB_XML_SERIALIZER_H_
+
+#include <string>
+
+#include "xml/dom.h"
+
+namespace xqib::xml {
+
+struct SerializeOptions {
+  bool indent = false;
+  // When true, text content of <script> and <style> elements is emitted
+  // verbatim (HTML-style), not entity-escaped.
+  bool html_script_mode = false;
+};
+
+// Serializes a node (document: children; element: the element itself).
+std::string Serialize(const Node* node, const SerializeOptions& options);
+std::string Serialize(const Node* node);
+
+// Escapes text content (&, <, >) for element content.
+std::string EscapeText(std::string_view text);
+// Escapes attribute values (&, <, ").
+std::string EscapeAttribute(std::string_view value);
+
+}  // namespace xqib::xml
+
+#endif  // XQIB_XML_SERIALIZER_H_

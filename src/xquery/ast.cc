@@ -1,0 +1,25 @@
+#include "xquery/ast.h"
+
+namespace xqib::xquery {
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild: return "child";
+    case Axis::kDescendant: return "descendant";
+    case Axis::kDescendantOrSelf: return "descendant-or-self";
+    case Axis::kSelf: return "self";
+    case Axis::kAttribute: return "attribute";
+    case Axis::kParent: return "parent";
+    case Axis::kAncestor: return "ancestor";
+    case Axis::kAncestorOrSelf: return "ancestor-or-self";
+    case Axis::kFollowingSibling: return "following-sibling";
+    case Axis::kPrecedingSibling: return "preceding-sibling";
+    case Axis::kFollowing: return "following";
+    case Axis::kPreceding: return "preceding";
+  }
+  return "unknown";
+}
+
+ExprPtr MakeExpr(ExprKind kind) { return std::make_unique<Expr>(kind); }
+
+}  // namespace xqib::xquery

@@ -1,0 +1,122 @@
+#include "xquery/context.h"
+
+#include <ctime>
+
+#include "xquery/update.h"
+
+namespace xqib::xquery {
+
+// ------------------------------------------------------- StaticContext ---
+
+void StaticContext::AddModule(const Module& module) {
+  for (const auto& fn : module.functions) {
+    functions_[FunctionKey(fn->name, fn->params.size())] = fn;
+  }
+  for (const VarDecl& v : module.variables) {
+    globals_.push_back(&v);
+  }
+  for (const auto& [name, value] : module.options) {
+    options_[name] = value;
+  }
+}
+
+const FunctionDecl* StaticContext::FindFunction(const xml::QName& name,
+                                                size_t arity) const {
+  auto it = functions_.find(FunctionKey(name, arity));
+  return it == functions_.end() ? nullptr : it->second.get();
+}
+
+const std::string& StaticContext::option(const std::string& clark) const {
+  static const std::string* empty = new std::string();
+  auto it = options_.find(clark);
+  return it == options_.end() ? *empty : it->second;
+}
+
+// -------------------------------------------------------- Environment ---
+
+void Environment::Bind(const xml::QName& name, xdm::Sequence value) {
+  scopes_.back().vars[name.Clark()] = std::move(value);
+}
+
+Status Environment::Assign(const xml::QName& name, xdm::Sequence value) {
+  std::string key = name.Clark();
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    auto found = it->vars.find(key);
+    if (found != it->vars.end()) {
+      found->second = std::move(value);
+      return Status();
+    }
+    if (it->barrier) break;
+  }
+  // Fall through to globals.
+  auto found = scopes_.front().vars.find(key);
+  if (found != scopes_.front().vars.end()) {
+    found->second = std::move(value);
+    return Status();
+  }
+  return Status::Error("XPDY0002",
+                       "assignment to undeclared variable $" + name.Lexical());
+}
+
+Result<xdm::Sequence> Environment::Lookup(const xml::QName& name) const {
+  std::string key = name.Clark();
+  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+    auto found = it->vars.find(key);
+    if (found != it->vars.end()) return found->second;
+    if (it->barrier) break;
+  }
+  auto found = scopes_.front().vars.find(key);
+  if (found != scopes_.front().vars.end()) return found->second;
+  return Status::Error("XPDY0002",
+                       "undefined variable $" + name.Lexical());
+}
+
+bool Environment::IsBound(const xml::QName& name) const {
+  return Lookup(name).ok();
+}
+
+// ------------------------------------------------------ DynamicContext ---
+
+DynamicContext::DynamicContext() : pul_(std::make_unique<PendingUpdateList>()) {
+  clock = []() {
+    std::time_t t = std::time(nullptr);
+    std::tm tm_buf;
+    gmtime_r(&t, &tm_buf);
+    char buf[32];
+    std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%S", &tm_buf);
+    return std::string(buf);
+  };
+}
+
+DynamicContext::~DynamicContext() = default;
+
+void DynamicContext::RegisterExternal(const xml::QName& name, size_t arity,
+                                      ExternalFunction fn) {
+  externals_[name.Clark() + "#" + std::to_string(arity)] = std::move(fn);
+}
+
+const ExternalFunction* DynamicContext::FindExternal(const xml::QName& name,
+                                                     size_t arity) const {
+  auto it = externals_.find(name.Clark() + "#" + std::to_string(arity));
+  return it == externals_.end() ? nullptr : &it->second;
+}
+
+xml::Document* DynamicContext::scratch_document() {
+  if (scratch_docs_.empty()) {
+    scratch_docs_.push_back(std::make_unique<xml::Document>());
+  }
+  return scratch_docs_.front().get();
+}
+
+xml::Node* DynamicContext::AdoptDocument(std::unique_ptr<xml::Document> doc) {
+  xml::Node* root = doc->root();
+  scratch_docs_.push_back(std::move(doc));
+  return root;
+}
+
+std::vector<std::unique_ptr<xml::Document>>
+DynamicContext::TakeScratchDocuments() {
+  return std::move(scratch_docs_);
+}
+
+}  // namespace xqib::xquery

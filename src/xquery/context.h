@@ -1,0 +1,186 @@
+// Static and dynamic evaluation contexts (XQuery §2.1). The dynamic
+// context carries the hooks through which the engine reaches its host:
+// the document resolver, the external-function registry (browser:*,
+// http:*), the browser binding for the grammar extensions, the pending
+// update list, and a controllable clock.
+
+#ifndef XQIB_XQUERY_CONTEXT_H_
+#define XQIB_XQUERY_CONTEXT_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/result.h"
+#include "xdm/item.h"
+#include "xquery/ast.h"
+
+namespace xqib::xquery {
+
+class DynamicContext;
+class PendingUpdateList;
+class Profiler;
+
+// Host-provided native function: args are already-evaluated sequences.
+using ExternalFunction = std::function<Result<xdm::Sequence>(
+    std::vector<xdm::Sequence>& args, DynamicContext& ctx)>;
+
+// Host hooks for the paper's browser grammar extensions (§4.3-4.5).
+// Implemented by the plugin; absent outside the browser.
+class BrowserBinding {
+ public:
+  virtual ~BrowserBinding() = default;
+
+  virtual Status AttachListener(const std::string& event_name,
+                                const xdm::Sequence& targets,
+                                const xml::QName& listener,
+                                DynamicContext& ctx) = 0;
+  virtual Status DetachListener(const std::string& event_name,
+                                const xdm::Sequence& targets,
+                                const xml::QName& listener,
+                                DynamicContext& ctx) = 0;
+  virtual Status TriggerEvent(const std::string& event_name,
+                              const xdm::Sequence& targets,
+                              DynamicContext& ctx) = 0;
+  // "on event E behind <call> attach listener L": schedules the call
+  // asynchronously; L fires with ($readyState, $result) signals (§4.4).
+  virtual Status AttachBehind(const std::string& event_name,
+                              const Expr& call_expr,
+                              const xml::QName& listener,
+                              DynamicContext& ctx) = 0;
+  virtual Status SetStyle(const std::string& property,
+                          const xdm::Sequence& targets,
+                          const std::string& value, DynamicContext& ctx) = 0;
+  virtual Result<std::string> GetStyle(const std::string& property,
+                                       const xdm::Sequence& target,
+                                       DynamicContext& ctx) = 0;
+};
+
+// Compile-time context: user functions and global variables gathered
+// from the main module and imported library modules.
+class StaticContext {
+ public:
+  // Registers the declarations of `module`. Later registrations win on
+  // name clash (import shadowing is an error in real XQuery; we keep the
+  // permissive behaviour browsers favour).
+  void AddModule(const Module& module);
+
+  const FunctionDecl* FindFunction(const xml::QName& name,
+                                   size_t arity) const;
+
+  // Global variable declarations in registration order.
+  const std::vector<const VarDecl*>& global_variables() const {
+    return globals_;
+  }
+
+  const std::string& option(const std::string& clark) const;
+
+ private:
+  static std::string FunctionKey(const xml::QName& name, size_t arity) {
+    return name.Clark() + "#" + std::to_string(arity);
+  }
+  std::unordered_map<std::string, std::shared_ptr<FunctionDecl>> functions_;
+  std::vector<const VarDecl*> globals_;
+  std::unordered_map<std::string, std::string> options_;
+};
+
+// Variable environment: a stack of scopes. Function calls push a barrier
+// scope: lookups stop there and fall through only to globals (scope 0).
+class Environment {
+ public:
+  Environment() { scopes_.push_back({{}, false}); }
+
+  void PushScope(bool barrier = false) { scopes_.push_back({{}, barrier}); }
+  void PopScope() { scopes_.pop_back(); }
+
+  void Bind(const xml::QName& name, xdm::Sequence value);
+  // Rebinds an existing variable (scripting assignment); error XPDY0002
+  // if the variable is not in scope.
+  Status Assign(const xml::QName& name, xdm::Sequence value);
+  Result<xdm::Sequence> Lookup(const xml::QName& name) const;
+  bool IsBound(const xml::QName& name) const;
+
+ private:
+  struct Scope {
+    std::unordered_map<std::string, xdm::Sequence> vars;
+    bool barrier;
+  };
+  std::vector<Scope> scopes_;
+};
+
+// Run-time context.
+class DynamicContext {
+ public:
+  DynamicContext();
+  ~DynamicContext();
+
+  Environment& env() { return env_; }
+
+  // --- focus (context item / position / size) ---
+  struct Focus {
+    xdm::Item item;
+    int64_t position = 0;
+    int64_t size = 0;
+    bool has_item = false;
+  };
+  const Focus& focus() const { return focus_; }
+  void set_focus(Focus f) { focus_ = std::move(f); }
+
+  // --- host hooks ---
+  using DocResolver =
+      std::function<Result<xml::Node*>(const std::string& uri)>;
+  // fn:doc. Null (and in the browser profile always) -> error per §4.2.1.
+  DocResolver doc_resolver;
+  // fn:put (server profile only; blocked in the browser per §4.2.1).
+  using DocWriter =
+      std::function<Status(const std::string& uri, const xml::Node* node)>;
+  DocWriter doc_writer;
+  // The browser profile blocks fn:doc / fn:put (paper §4.2.1).
+  bool browser_profile = false;
+
+  BrowserBinding* browser_binding = nullptr;
+
+  // fn:current-dateTime etc. Returns ISO-8601 "YYYY-MM-DDThh:mm:ss".
+  std::function<std::string()> clock;
+
+  // fn:trace / browser:alert sink (tests capture this).
+  std::function<void(const std::string&)> trace_sink;
+
+  // External (native) functions keyed by Clark name + "#" + arity.
+  void RegisterExternal(const xml::QName& name, size_t arity,
+                        ExternalFunction fn);
+  const ExternalFunction* FindExternal(const xml::QName& name,
+                                       size_t arity) const;
+
+  // Documents created for constructed nodes during this evaluation. The
+  // result-owning document keeps constructed trees alive after Execute.
+  xml::Document* scratch_document();
+  // Takes ownership of a document whose nodes flow into results (e.g.
+  // REST responses parsed by http:get). Returns its root node.
+  xml::Node* AdoptDocument(std::unique_ptr<xml::Document> doc);
+  // Transfers ownership of all scratch documents to the caller.
+  std::vector<std::unique_ptr<xml::Document>> TakeScratchDocuments();
+
+  // --- pending updates (XQuery Update Facility) ---
+  PendingUpdateList& pul() { return *pul_; }
+
+  // Optional query profiler (§7 future-work tooling); owned by caller.
+  Profiler* profiler = nullptr;
+
+  // Recursion guard.
+  int call_depth = 0;
+  static constexpr int kMaxCallDepth = 512;
+
+ private:
+  Environment env_;
+  Focus focus_;
+  std::unordered_map<std::string, ExternalFunction> externals_;
+  std::vector<std::unique_ptr<xml::Document>> scratch_docs_;
+  std::unique_ptr<PendingUpdateList> pul_;
+};
+
+}  // namespace xqib::xquery
+
+#endif  // XQIB_XQUERY_CONTEXT_H_

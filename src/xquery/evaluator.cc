@@ -1,0 +1,1378 @@
+#include "xquery/evaluator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+
+#include "base/strings.h"
+#include "xquery/fulltext.h"
+#include "xquery/profiler.h"
+#include "xquery/update.h"
+
+namespace xqib::xquery {
+
+using xdm::AtomicType;
+using xdm::AtomicValue;
+using xdm::Item;
+using xdm::Sequence;
+
+namespace {
+
+bool IsReverseAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kParent:
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kPrecedingSibling:
+    case Axis::kPreceding:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool MatchesNodeTest(const NodeTest& test, const xml::Node* node,
+                     Axis axis) {
+  using Kind = NodeTest::Kind;
+  switch (test.kind) {
+    case Kind::kAnyKind:
+      return true;
+    case Kind::kText:
+      return node->kind() == xml::NodeKind::kText;
+    case Kind::kComment:
+      return node->kind() == xml::NodeKind::kComment;
+    case Kind::kDocument:
+      return node->kind() == xml::NodeKind::kDocument;
+    case Kind::kPI:
+      if (node->kind() != xml::NodeKind::kProcessingInstruction) return false;
+      return test.any_name || test.name.local.empty() ||
+             node->name().local == test.name.local;
+    case Kind::kElement:
+      if (!node->is_element()) return false;
+      return test.any_name || node->name() == test.name;
+    case Kind::kAttribute:
+      if (!node->is_attribute()) return false;
+      return test.any_name || node->name() == test.name;
+    case Kind::kName: {
+      // A name test selects the principal node kind of the axis:
+      // attributes on the attribute axis, elements elsewhere.
+      bool want_attr = axis == Axis::kAttribute;
+      if (want_attr != node->is_attribute()) return false;
+      if (!want_attr && !node->is_element()) return false;
+      if (test.any_name) return true;
+      if (test.any_ns) return node->name().local == test.name.local;
+      if (test.any_local) return node->name().ns == test.name.ns;
+      return node->name() == test.name;
+    }
+  }
+  return false;
+}
+
+void CollectDescendants(xml::Node* node, std::vector<xml::Node*>* out) {
+  for (xml::Node* c : node->children()) {
+    out->push_back(c);
+    CollectDescendants(c, out);
+  }
+}
+
+// Nodes of the axis from `node`, in axis order (reverse axes reversed).
+void AxisNodes(Axis axis, xml::Node* node, std::vector<xml::Node*>* out) {
+  switch (axis) {
+    case Axis::kChild:
+      out->assign(node->children().begin(), node->children().end());
+      break;
+    case Axis::kAttribute:
+      out->assign(node->attributes().begin(), node->attributes().end());
+      break;
+    case Axis::kSelf:
+      out->push_back(node);
+      break;
+    case Axis::kDescendant:
+      CollectDescendants(node, out);
+      break;
+    case Axis::kDescendantOrSelf:
+      out->push_back(node);
+      CollectDescendants(node, out);
+      break;
+    case Axis::kParent:
+      if (node->parent() != nullptr) out->push_back(node->parent());
+      break;
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf: {
+      if (axis == Axis::kAncestorOrSelf) out->push_back(node);
+      xml::Node* p = node->parent();
+      while (p != nullptr) {
+        out->push_back(p);
+        p = p->parent();
+      }
+      break;
+    }
+    case Axis::kFollowingSibling: {
+      xml::Node* parent = node->parent();
+      if (parent == nullptr || node->is_attribute()) break;
+      size_t idx = parent->ChildIndex(node);
+      for (size_t i = idx + 1; i < parent->children().size(); ++i) {
+        out->push_back(parent->children()[i]);
+      }
+      break;
+    }
+    case Axis::kPrecedingSibling: {
+      xml::Node* parent = node->parent();
+      if (parent == nullptr || node->is_attribute()) break;
+      size_t idx = parent->ChildIndex(node);
+      for (size_t i = idx; i > 0; --i) {
+        out->push_back(parent->children()[i - 1]);
+      }
+      break;
+    }
+    case Axis::kFollowing: {
+      // All nodes after this one in document order, minus descendants.
+      xml::Node* n = node;
+      while (n != nullptr) {
+        xml::Node* parent = n->parent();
+        if (parent != nullptr && !n->is_attribute()) {
+          size_t idx = parent->ChildIndex(n);
+          for (size_t i = idx + 1; i < parent->children().size(); ++i) {
+            out->push_back(parent->children()[i]);
+            CollectDescendants(parent->children()[i], out);
+          }
+        }
+        n = parent;
+      }
+      break;
+    }
+    case Axis::kPreceding: {
+      // All nodes before this one, minus ancestors; reverse doc order.
+      std::vector<xml::Node*> forward;
+      xml::Node* n = node;
+      while (n != nullptr) {
+        xml::Node* parent = n->parent();
+        if (parent != nullptr && !n->is_attribute()) {
+          size_t idx = parent->ChildIndex(n);
+          std::vector<xml::Node*> level;
+          for (size_t i = 0; i < idx; ++i) {
+            level.push_back(parent->children()[i]);
+            CollectDescendants(parent->children()[i], &level);
+          }
+          forward.insert(forward.begin(), level.begin(), level.end());
+        }
+        n = parent;
+      }
+      out->assign(forward.rbegin(), forward.rend());
+      break;
+    }
+  }
+}
+
+Result<AtomicValue> RequireSingleAtomic(const Sequence& seq,
+                                        std::string_view what) {
+  Sequence data = xdm::Atomize(seq);
+  if (data.size() != 1) {
+    return Status::TypeError(std::string(what) +
+                             " requires a single atomic value, got a "
+                             "sequence of " +
+                             std::to_string(data.size()));
+  }
+  return data[0].atomic();
+}
+
+// Untyped promotion for general comparisons: untyped vs numeric compares
+// numerically, untyped vs anything else compares as string.
+Result<int> GeneralCompareAtoms(const AtomicValue& a, const AtomicValue& b) {
+  if (a.is_untyped() && b.is_numeric()) {
+    XQ_ASSIGN_OR_RETURN(AtomicValue pa, a.CastTo(AtomicType::kDouble));
+    return pa.Compare(b);
+  }
+  if (b.is_untyped() && a.is_numeric()) {
+    XQ_ASSIGN_OR_RETURN(AtomicValue pb, b.CastTo(AtomicType::kDouble));
+    return a.Compare(pb);
+  }
+  return a.Compare(b);
+}
+
+bool CompareSatisfies(int cmp, CompOp op) {
+  switch (op) {
+    case CompOp::kGenEq: case CompOp::kValEq: return cmp == 0;
+    case CompOp::kGenNe: case CompOp::kValNe: return cmp != 0 && cmp != 2;
+    case CompOp::kGenLt: case CompOp::kValLt: return cmp == -1;
+    case CompOp::kGenLe: case CompOp::kValLe: return cmp == -1 || cmp == 0;
+    case CompOp::kGenGt: case CompOp::kValGt: return cmp == 1;
+    case CompOp::kGenGe: case CompOp::kValGe: return cmp == 1 || cmp == 0;
+    default: return false;
+  }
+}
+
+}  // namespace
+
+// -------------------------------------------------------------- Eval ---
+
+Result<Sequence> Evaluator::Eval(const Expr& e, DynamicContext& ctx) {
+  if (ctx.profiler == nullptr) return EvalImpl(e, ctx);
+  // Profiled evaluation: inclusive time via a clock, self time via a
+  // running child-time accumulator threaded through the recursion.
+  double* slot = ctx.profiler->child_time_slot();
+  double saved = *slot;
+  *slot = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  Result<Sequence> result = EvalImpl(e, ctx);
+  double inclusive_us =
+      static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count()) /
+      1000.0;
+  ctx.profiler->Record(&e, inclusive_us, *slot);
+  *slot = saved + inclusive_us;
+  return result;
+}
+
+Result<Sequence> Evaluator::EvalImpl(const Expr& e, DynamicContext& ctx) {
+  if (exit_flag_) return Sequence{};
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      return Sequence{Item::Atomic(e.atom)};
+    case ExprKind::kVarRef:
+      return ctx.env().Lookup(e.qname);
+    case ExprKind::kContextItem: {
+      if (!ctx.focus().has_item) {
+        return Status::Error("XPDY0002", "context item is undefined");
+      }
+      return Sequence{ctx.focus().item};
+    }
+    case ExprKind::kSequence: {
+      Sequence out;
+      for (const ExprPtr& kid : e.kids) {
+        XQ_ASSIGN_OR_RETURN(Sequence part, Eval(*kid, ctx));
+        out.insert(out.end(), part.begin(), part.end());
+        if (exit_flag_) break;
+      }
+      return out;
+    }
+    case ExprKind::kRange: {
+      XQ_ASSIGN_OR_RETURN(Sequence lo_seq, Eval(*e.kids[0], ctx));
+      XQ_ASSIGN_OR_RETURN(Sequence hi_seq, Eval(*e.kids[1], ctx));
+      if (lo_seq.empty() || hi_seq.empty()) return Sequence{};
+      XQ_ASSIGN_OR_RETURN(AtomicValue lo_a,
+                          RequireSingleAtomic(lo_seq, "range"));
+      XQ_ASSIGN_OR_RETURN(AtomicValue hi_a,
+                          RequireSingleAtomic(hi_seq, "range"));
+      XQ_ASSIGN_OR_RETURN(int64_t lo, lo_a.ToInteger());
+      XQ_ASSIGN_OR_RETURN(int64_t hi, hi_a.ToInteger());
+      Sequence out;
+      if (hi >= lo) out.reserve(static_cast<size_t>(hi - lo + 1));
+      for (int64_t v = lo; v <= hi; ++v) out.push_back(Item::Integer(v));
+      return out;
+    }
+    case ExprKind::kArith:
+    case ExprKind::kUnary:
+      return EvalArith(e, ctx);
+    case ExprKind::kComparison:
+      return EvalComparison(e, ctx);
+    case ExprKind::kLogical: {
+      XQ_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.kids[0], ctx));
+      XQ_ASSIGN_OR_RETURN(bool lv, xdm::EffectiveBooleanValue(lhs));
+      if (e.logical_and && !lv) return Sequence{Item::Boolean(false)};
+      if (!e.logical_and && lv) return Sequence{Item::Boolean(true)};
+      XQ_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.kids[1], ctx));
+      XQ_ASSIGN_OR_RETURN(bool rv, xdm::EffectiveBooleanValue(rhs));
+      return Sequence{Item::Boolean(rv)};
+    }
+    case ExprKind::kPath:
+      return EvalPath(e, ctx);
+    case ExprKind::kFilter: {
+      XQ_ASSIGN_OR_RETURN(Sequence input, Eval(*e.kids[0], ctx));
+      return ApplyPredicates(e.predicates, std::move(input), ctx);
+    }
+    case ExprKind::kFLWOR:
+      return EvalFLWOR(e, ctx);
+    case ExprKind::kQuantified:
+      return EvalQuantified(e, ctx);
+    case ExprKind::kIf: {
+      XQ_ASSIGN_OR_RETURN(Sequence cond, Eval(*e.kids[0], ctx));
+      XQ_ASSIGN_OR_RETURN(bool b, xdm::EffectiveBooleanValue(cond));
+      return Eval(b ? *e.kids[1] : *e.kids[2], ctx);
+    }
+    case ExprKind::kFunctionCall:
+      return EvalFunctionCall(e, ctx);
+    case ExprKind::kCast:
+      return EvalCast(e, ctx);
+    case ExprKind::kTypeswitch: {
+      XQ_ASSIGN_OR_RETURN(Sequence operand, Eval(*e.kids[0], ctx));
+      for (size_t i = 0; i < e.clauses.size(); ++i) {
+        XQ_ASSIGN_OR_RETURN(bool match,
+                            MatchesSequenceType(operand, e.case_types[i]));
+        if (!match) continue;
+        const Clause& clause = e.clauses[i];
+        ctx.env().PushScope();
+        if (!clause.var.local.empty()) {
+          ctx.env().Bind(clause.var, operand);
+        }
+        Result<Sequence> r = Eval(*clause.expr, ctx);
+        ctx.env().PopScope();
+        return r;
+      }
+      ctx.env().PushScope();
+      if (!e.qname.local.empty()) ctx.env().Bind(e.qname, operand);
+      Result<Sequence> r = Eval(*e.kids[1], ctx);
+      ctx.env().PopScope();
+      return r;
+    }
+    case ExprKind::kSetOp:
+      return EvalSetOp(e, ctx);
+    case ExprKind::kFtContains:
+      return EvalFtContains(e, ctx);
+    case ExprKind::kDirectElement:
+      return EvalDirectElement(e, ctx);
+    case ExprKind::kComputedElement:
+    case ExprKind::kComputedAttribute:
+    case ExprKind::kComputedText:
+    case ExprKind::kComputedComment:
+    case ExprKind::kComputedPI:
+      return EvalComputedConstructor(e, ctx);
+    case ExprKind::kEnclosed:
+      return Eval(*e.kids[0], ctx);
+    case ExprKind::kInsert:
+      return EvalInsert(e, ctx);
+    case ExprKind::kDelete:
+      return EvalDelete(e, ctx);
+    case ExprKind::kReplace:
+      return EvalReplace(e, ctx);
+    case ExprKind::kRename:
+      return EvalRename(e, ctx);
+    case ExprKind::kTransform:
+      return EvalTransform(e, ctx);
+    case ExprKind::kBlock:
+      return EvalBlock(e, ctx);
+    case ExprKind::kVarDecl: {
+      Sequence init;
+      if (!e.kids.empty()) {
+        XQ_ASSIGN_OR_RETURN(init, Eval(*e.kids[0], ctx));
+      }
+      ctx.env().Bind(e.qname, std::move(init));
+      return Sequence{};
+    }
+    case ExprKind::kAssign: {
+      XQ_ASSIGN_OR_RETURN(Sequence value, Eval(*e.kids[0], ctx));
+      XQ_RETURN_NOT_OK(ctx.env().Assign(e.qname, std::move(value)));
+      return Sequence{};
+    }
+    case ExprKind::kWhile:
+      return EvalWhile(e, ctx);
+    case ExprKind::kExitWith: {
+      XQ_ASSIGN_OR_RETURN(Sequence value, Eval(*e.kids[0], ctx));
+      exit_value_ = std::move(value);
+      exit_flag_ = true;
+      return Sequence{};
+    }
+    case ExprKind::kEventAttach:
+    case ExprKind::kEventDetach:
+    case ExprKind::kEventTrigger:
+    case ExprKind::kSetStyle:
+    case ExprKind::kGetStyle:
+      return EvalBrowserExtension(e, ctx);
+  }
+  return Status::NotImplemented("unhandled expression kind");
+}
+
+// -------------------------------------------------------------- paths ---
+
+Result<Sequence> Evaluator::EvalPath(const Expr& e, DynamicContext& ctx) {
+  Sequence current;
+  if (!e.kids.empty()) {
+    XQ_ASSIGN_OR_RETURN(current, Eval(*e.kids[0], ctx));
+  } else if (e.root_anchored) {
+    if (!ctx.focus().has_item || !ctx.focus().item.is_node()) {
+      return Status::Error("XPDY0002",
+                           "no context node for a root-anchored path");
+    }
+    current = {Item::Node(ctx.focus().item.node()->Root())};
+  } else {
+    if (!ctx.focus().has_item) {
+      return Status::Error("XPDY0002",
+                           "no context item for a relative path");
+    }
+    current = {ctx.focus().item};
+  }
+  if (e.steps.empty()) return current;
+
+  for (const Step& step : e.steps) {
+    Sequence next;
+    for (const Item& item : current) {
+      if (!item.is_node()) {
+        return Status::Error("XPTY0019",
+                             "path step applied to an atomic value");
+      }
+      XQ_ASSIGN_OR_RETURN(Sequence part, EvalStep(step, item.node(), ctx));
+      next.insert(next.end(), part.begin(), part.end());
+    }
+    XQ_RETURN_NOT_OK(xdm::SortDocumentOrderDedup(&next));
+    current = std::move(next);
+  }
+  return current;
+}
+
+Result<Sequence> Evaluator::EvalStep(const Step& step, xml::Node* node,
+                                     DynamicContext& ctx) {
+  std::vector<xml::Node*> axis_nodes;
+  AxisNodes(step.axis, node, &axis_nodes);
+  Sequence result;
+  result.reserve(axis_nodes.size());
+  for (xml::Node* n : axis_nodes) {
+    if (MatchesNodeTest(step.test, n, step.axis)) {
+      result.push_back(Item::Node(n));
+    }
+  }
+  if (step.predicates.empty()) return result;
+  // Predicates see axis order: position 1 is the nearest node on reverse
+  // axes. ApplyPredicates uses the sequence as given.
+  (void)IsReverseAxis(step.axis);
+  return ApplyPredicates(step.predicates, std::move(result), ctx);
+}
+
+Result<Sequence> Evaluator::ApplyPredicates(
+    const std::vector<ExprPtr>& predicates, Sequence input,
+    DynamicContext& ctx) {
+  for (const ExprPtr& pred : predicates) {
+    Sequence output;
+    int64_t size = static_cast<int64_t>(input.size());
+    DynamicContext::Focus saved = ctx.focus();
+    for (int64_t i = 0; i < size; ++i) {
+      DynamicContext::Focus f;
+      f.item = input[static_cast<size_t>(i)];
+      f.position = i + 1;
+      f.size = size;
+      f.has_item = true;
+      ctx.set_focus(f);
+      Result<Sequence> value = Eval(*pred, ctx);
+      if (!value.ok()) {
+        ctx.set_focus(saved);
+        return value.status();
+      }
+      // Numeric predicate: positional selection.
+      bool keep = false;
+      const Sequence& v = *value;
+      if (v.size() == 1 && !v[0].is_node() && v[0].atomic().is_numeric()) {
+        Result<double> d = v[0].atomic().ToDouble();
+        if (!d.ok()) {
+          ctx.set_focus(saved);
+          return d.status();
+        }
+        keep = (*d == static_cast<double>(i + 1));
+      } else {
+        Result<bool> b = xdm::EffectiveBooleanValue(v);
+        if (!b.ok()) {
+          ctx.set_focus(saved);
+          return b.status();
+        }
+        keep = *b;
+      }
+      if (keep) output.push_back(input[static_cast<size_t>(i)]);
+    }
+    ctx.set_focus(saved);
+    input = std::move(output);
+  }
+  return input;
+}
+
+// -------------------------------------------------------------- FLWOR ---
+
+Result<Sequence> Evaluator::EvalFLWOR(const Expr& e, DynamicContext& ctx) {
+  struct Tuple {
+    std::vector<AtomicValue> keys;
+    std::vector<bool> key_empty;
+    Sequence value;
+  };
+  std::vector<Tuple> tuples;
+  Status error;
+
+  ctx.env().PushScope();
+
+  // Recursive expansion of for/let clauses.
+  std::function<Status(size_t)> expand = [&](size_t ci) -> Status {
+    if (exit_flag_) return Status();
+    if (ci == e.clauses.size()) {
+      if (e.where != nullptr) {
+        XQ_ASSIGN_OR_RETURN(Sequence w, Eval(*e.where, ctx));
+        XQ_ASSIGN_OR_RETURN(bool keep, xdm::EffectiveBooleanValue(w));
+        if (!keep) return Status();
+      }
+      Tuple t;
+      for (const OrderSpec& spec : e.order_specs) {
+        XQ_ASSIGN_OR_RETURN(Sequence key_seq, Eval(*spec.key, ctx));
+        if (key_seq.empty()) {
+          t.keys.push_back(AtomicValue());
+          t.key_empty.push_back(true);
+        } else {
+          XQ_ASSIGN_OR_RETURN(AtomicValue key,
+                              RequireSingleAtomic(key_seq, "order by key"));
+          t.keys.push_back(std::move(key));
+          t.key_empty.push_back(false);
+        }
+      }
+      XQ_ASSIGN_OR_RETURN(t.value, Eval(*e.kids[0], ctx));
+      tuples.push_back(std::move(t));
+      return Status();
+    }
+    const Clause& clause = e.clauses[ci];
+    XQ_ASSIGN_OR_RETURN(Sequence binding_seq, Eval(*clause.expr, ctx));
+    if (clause.kind == Clause::Kind::kLet) {
+      ctx.env().Bind(clause.var, std::move(binding_seq));
+      return expand(ci + 1);
+    }
+    for (size_t i = 0; i < binding_seq.size(); ++i) {
+      ctx.env().Bind(clause.var, Sequence{binding_seq[i]});
+      if (!clause.pos_var.local.empty()) {
+        ctx.env().Bind(clause.pos_var,
+                       Sequence{Item::Integer(static_cast<int64_t>(i + 1))});
+      }
+      XQ_RETURN_NOT_OK(expand(ci + 1));
+      if (exit_flag_) break;
+    }
+    return Status();
+  };
+  Status st = expand(0);
+  ctx.env().PopScope();
+  XQ_RETURN_NOT_OK(st);
+
+  if (!e.order_specs.empty()) {
+    bool cmp_error = false;
+    Status cmp_status;
+    std::stable_sort(
+        tuples.begin(), tuples.end(), [&](const Tuple& a, const Tuple& b) {
+          if (cmp_error) return false;
+          for (size_t k = 0; k < e.order_specs.size(); ++k) {
+            const OrderSpec& spec = e.order_specs[k];
+            if (a.key_empty[k] || b.key_empty[k]) {
+              if (a.key_empty[k] == b.key_empty[k]) continue;
+              bool a_first = a.key_empty[k] != spec.empty_greatest;
+              return spec.descending ? !a_first : a_first;
+            }
+            Result<int> cmp = a.keys[k].Compare(b.keys[k]);
+            if (!cmp.ok()) {
+              cmp_error = true;
+              cmp_status = cmp.status();
+              return false;
+            }
+            if (*cmp == 2) continue;  // unordered (NaN)
+            if (*cmp != 0) return spec.descending ? *cmp > 0 : *cmp < 0;
+          }
+          return false;
+        });
+    if (cmp_error) return cmp_status;
+  }
+
+  Sequence out;
+  for (Tuple& t : tuples) {
+    out.insert(out.end(), t.value.begin(), t.value.end());
+  }
+  return out;
+}
+
+Result<Sequence> Evaluator::EvalQuantified(const Expr& e,
+                                           DynamicContext& ctx) {
+  bool every = e.quant_every;
+  bool result = every;
+  Status error;
+  ctx.env().PushScope();
+  std::function<Status(size_t)> expand = [&](size_t ci) -> Status {
+    if (ci == e.clauses.size()) {
+      XQ_ASSIGN_OR_RETURN(Sequence t, Eval(*e.kids[0], ctx));
+      XQ_ASSIGN_OR_RETURN(bool b, xdm::EffectiveBooleanValue(t));
+      if (every && !b) result = false;
+      if (!every && b) result = true;
+      return Status();
+    }
+    XQ_ASSIGN_OR_RETURN(Sequence seq, Eval(*e.clauses[ci].expr, ctx));
+    for (const Item& item : seq) {
+      ctx.env().Bind(e.clauses[ci].var, Sequence{item});
+      XQ_RETURN_NOT_OK(expand(ci + 1));
+      if (result != every) return Status();  // early exit
+    }
+    return Status();
+  };
+  Status st = expand(0);
+  ctx.env().PopScope();
+  XQ_RETURN_NOT_OK(st);
+  return Sequence{Item::Boolean(result)};
+}
+
+// -------------------------------------------------- comparisons, arith ---
+
+Result<Sequence> Evaluator::EvalComparison(const Expr& e,
+                                           DynamicContext& ctx) {
+  XQ_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.kids[0], ctx));
+  XQ_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.kids[1], ctx));
+
+  if (e.comp_op == CompOp::kIs || e.comp_op == CompOp::kPrecedes ||
+      e.comp_op == CompOp::kFollows) {
+    if (lhs.empty() || rhs.empty()) return Sequence{};
+    if (lhs.size() != 1 || rhs.size() != 1 || !lhs[0].is_node() ||
+        !rhs[0].is_node()) {
+      return Status::TypeError("node comparison requires single nodes");
+    }
+    int cmp = lhs[0].node()->CompareDocumentOrder(rhs[0].node());
+    bool v = e.comp_op == CompOp::kIs        ? lhs[0].node() == rhs[0].node()
+             : e.comp_op == CompOp::kPrecedes ? cmp < 0
+                                              : cmp > 0;
+    return Sequence{Item::Boolean(v)};
+  }
+
+  bool general = e.comp_op >= CompOp::kGenEq && e.comp_op <= CompOp::kGenGe;
+  Sequence la = xdm::Atomize(lhs);
+  Sequence ra = xdm::Atomize(rhs);
+  if (general) {
+    for (const Item& a : la) {
+      for (const Item& b : ra) {
+        XQ_ASSIGN_OR_RETURN(int cmp,
+                            GeneralCompareAtoms(a.atomic(), b.atomic()));
+        if (CompareSatisfies(cmp, e.comp_op)) {
+          return Sequence{Item::Boolean(true)};
+        }
+      }
+    }
+    return Sequence{Item::Boolean(false)};
+  }
+  // Value comparison: empty operand -> empty result.
+  if (la.empty() || ra.empty()) return Sequence{};
+  if (la.size() != 1 || ra.size() != 1) {
+    return Status::TypeError("value comparison requires singletons");
+  }
+  AtomicValue a = la[0].atomic();
+  AtomicValue b = ra[0].atomic();
+  // Untyped operands in value comparisons are treated as strings.
+  if (a.is_untyped()) a = AtomicValue::String(a.ToXPathString());
+  if (b.is_untyped()) b = AtomicValue::String(b.ToXPathString());
+  XQ_ASSIGN_OR_RETURN(int cmp, a.Compare(b));
+  return Sequence{Item::Boolean(CompareSatisfies(cmp, e.comp_op))};
+}
+
+Result<Sequence> Evaluator::EvalArith(const Expr& e, DynamicContext& ctx) {
+  if (e.kind == ExprKind::kUnary) {
+    XQ_ASSIGN_OR_RETURN(Sequence v, Eval(*e.kids[0], ctx));
+    if (v.empty()) return Sequence{};
+    XQ_ASSIGN_OR_RETURN(AtomicValue a, RequireSingleAtomic(v, "unary"));
+    if (e.arith_op == ArithOp::kAdd) {
+      XQ_ASSIGN_OR_RETURN(double d, a.ToDouble());
+      if (a.type() == AtomicType::kInteger) {
+        return Sequence{Item::Integer(a.int_value())};
+      }
+      return Sequence{Item::Double(d)};
+    }
+    if (a.type() == AtomicType::kInteger) {
+      return Sequence{Item::Integer(-a.int_value())};
+    }
+    XQ_ASSIGN_OR_RETURN(double d, a.ToDouble());
+    return Sequence{Item::Double(-d)};
+  }
+
+  XQ_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.kids[0], ctx));
+  XQ_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.kids[1], ctx));
+  if (lhs.empty() || rhs.empty()) return Sequence{};
+  XQ_ASSIGN_OR_RETURN(AtomicValue a, RequireSingleAtomic(lhs, "arithmetic"));
+  XQ_ASSIGN_OR_RETURN(AtomicValue b, RequireSingleAtomic(rhs, "arithmetic"));
+
+  bool int_op = a.type() == AtomicType::kInteger &&
+                b.type() == AtomicType::kInteger;
+  if (int_op) {
+    int64_t x = a.int_value(), y = b.int_value();
+    switch (e.arith_op) {
+      case ArithOp::kAdd: return Sequence{Item::Integer(x + y)};
+      case ArithOp::kSub: return Sequence{Item::Integer(x - y)};
+      case ArithOp::kMul: return Sequence{Item::Integer(x * y)};
+      case ArithOp::kDiv: {
+        if (y == 0) {
+          return Status::Error("FOAR0001", "integer division by zero");
+        }
+        if (x % y == 0) return Sequence{Item::Integer(x / y)};
+        return Sequence{
+            Item::Atomic(AtomicValue::Decimal(static_cast<double>(x) /
+                                              static_cast<double>(y)))};
+      }
+      case ArithOp::kIDiv:
+        if (y == 0) {
+          return Status::Error("FOAR0001", "integer division by zero");
+        }
+        return Sequence{Item::Integer(x / y)};
+      case ArithOp::kMod:
+        if (y == 0) {
+          return Status::Error("FOAR0001", "integer modulo by zero");
+        }
+        return Sequence{Item::Integer(x % y)};
+    }
+  }
+  XQ_ASSIGN_OR_RETURN(double x, a.ToDouble());
+  XQ_ASSIGN_OR_RETURN(double y, b.ToDouble());
+  double r = 0;
+  switch (e.arith_op) {
+    case ArithOp::kAdd: r = x + y; break;
+    case ArithOp::kSub: r = x - y; break;
+    case ArithOp::kMul: r = x * y; break;
+    case ArithOp::kDiv: r = x / y; break;
+    case ArithOp::kIDiv: {
+      if (y == 0) return Status::Error("FOAR0001", "idiv by zero");
+      return Sequence{Item::Integer(static_cast<int64_t>(x / y))};
+    }
+    case ArithOp::kMod: r = std::fmod(x, y); break;
+  }
+  return Sequence{Item::Double(r)};
+}
+
+Result<Sequence> Evaluator::EvalSetOp(const Expr& e, DynamicContext& ctx) {
+  XQ_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.kids[0], ctx));
+  XQ_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.kids[1], ctx));
+  if (!xdm::AllNodes(lhs) || !xdm::AllNodes(rhs)) {
+    return Status::TypeError("set operations require node sequences");
+  }
+  Sequence out;
+  if (e.str == "union") {
+    out = std::move(lhs);
+    out.insert(out.end(), rhs.begin(), rhs.end());
+  } else {
+    std::unordered_map<const xml::Node*, bool> in_rhs;
+    for (const Item& i : rhs) in_rhs[i.node()] = true;
+    bool keep_if_present = e.str == "intersect";
+    for (const Item& i : lhs) {
+      if (in_rhs.count(i.node()) == static_cast<size_t>(keep_if_present)) {
+        out.push_back(i);
+      }
+    }
+  }
+  XQ_RETURN_NOT_OK(xdm::SortDocumentOrderDedup(&out));
+  return out;
+}
+
+// ----------------------------------------------------------- functions ---
+
+Result<Sequence> Evaluator::EvalFunctionCall(const Expr& e,
+                                             DynamicContext& ctx) {
+  std::vector<Sequence> args;
+  args.reserve(e.kids.size());
+  for (const ExprPtr& kid : e.kids) {
+    XQ_ASSIGN_OR_RETURN(Sequence arg, Eval(*kid, ctx));
+    args.push_back(std::move(arg));
+  }
+  return CallFunction(e.qname, std::move(args), ctx);
+}
+
+Result<Sequence> Evaluator::CallFunction(const xml::QName& name,
+                                         std::vector<Sequence> args,
+                                         DynamicContext& ctx) {
+  // 1. user-declared functions
+  if (const FunctionDecl* fn = sctx_.FindFunction(name, args.size())) {
+    if (fn->external) {
+      const ExternalFunction* ext = ctx.FindExternal(name, args.size());
+      if (ext == nullptr) {
+        return Status::Error("XPDY0002",
+                             "external function " + name.Lexical() +
+                                 " has no implementation");
+      }
+      return (*ext)(args, ctx);
+    }
+    if (++ctx.call_depth > DynamicContext::kMaxCallDepth) {
+      --ctx.call_depth;
+      return Status::DynamicError("XQIB0002",
+                                  "maximum recursion depth exceeded in " +
+                                      name.Lexical());
+    }
+    ctx.env().PushScope(/*barrier=*/true);
+    for (size_t i = 0; i < fn->params.size(); ++i) {
+      ctx.env().Bind(fn->params[i].name, std::move(args[i]));
+    }
+    // XQIB deviation from strict XQuery: the page document stays the
+    // context item inside function bodies (the paper's listeners run
+    // //div[...] paths directly, §4.4), so the focus is inherited.
+    Result<Sequence> result = Eval(*fn->body, ctx);
+    ctx.env().PopScope();
+    --ctx.call_depth;
+    if (!result.ok()) return result;
+    // "exit with" terminates the function, yielding the exit value.
+    if (exit_flag_) return TakeExitValue();
+    return result;
+  }
+  // 2. host externals (browser:*, http:*, imported service stubs)
+  if (const ExternalFunction* ext = ctx.FindExternal(name, args.size())) {
+    return (*ext)(args, ctx);
+  }
+  // 3. built-in library
+  bool handled = false;
+  Result<Sequence> r = CallBuiltinFunction(name, args, *this, ctx, &handled);
+  if (handled) return r;
+  return Status::Error("XPST0017",
+                       "unknown function " + name.Clark() + "#" +
+                           std::to_string(args.size()));
+}
+
+// ---------------------------------------------------------------- cast ---
+
+Result<bool> Evaluator::MatchesSequenceType(const Sequence& value,
+                                            const SequenceType& st) {
+  using IK = SequenceType::ItemKind;
+  if (st.item == IK::kEmptySequence) return value.empty();
+  switch (st.occ) {
+    case SequenceType::Occurrence::kOne:
+      if (value.size() != 1) return false;
+      break;
+    case SequenceType::Occurrence::kOptional:
+      if (value.size() > 1) return false;
+      break;
+    case SequenceType::Occurrence::kPlus:
+      if (value.empty()) return false;
+      break;
+    case SequenceType::Occurrence::kStar:
+      break;
+  }
+  for (const Item& item : value) {
+    switch (st.item) {
+      case IK::kAnyItem:
+        break;
+      case IK::kAnyNode:
+        if (!item.is_node()) return false;
+        break;
+      case IK::kElement:
+        if (!item.is_node() || !item.node()->is_element()) return false;
+        break;
+      case IK::kAttribute:
+        if (!item.is_node() || !item.node()->is_attribute()) return false;
+        break;
+      case IK::kText:
+        if (!item.is_node() || !item.node()->is_text()) return false;
+        break;
+      case IK::kDocument:
+        if (!item.is_node() ||
+            item.node()->kind() != xml::NodeKind::kDocument) {
+          return false;
+        }
+        break;
+      case IK::kAtomic: {
+        if (item.is_node()) return false;
+        AtomicType t = item.atomic().type();
+        if (st.atomic == AtomicType::kUntypedAtomic) break;  // anyAtomic
+        if (t != st.atomic &&
+            !(st.atomic == AtomicType::kDouble && item.atomic().is_numeric()) &&
+            !(st.atomic == AtomicType::kDecimal &&
+              (t == AtomicType::kInteger || t == AtomicType::kDecimal))) {
+          return false;
+        }
+        break;
+      }
+      case IK::kEmptySequence:
+        return false;
+    }
+  }
+  return true;
+}
+
+Result<Sequence> Evaluator::EvalCast(const Expr& e, DynamicContext& ctx) {
+  XQ_ASSIGN_OR_RETURN(Sequence value, Eval(*e.kids[0], ctx));
+  if (e.cast_op == "instance") {
+    XQ_ASSIGN_OR_RETURN(bool ok, MatchesSequenceType(value, e.seq_type));
+    return Sequence{Item::Boolean(ok)};
+  }
+  if (e.cast_op == "treat") {
+    XQ_ASSIGN_OR_RETURN(bool ok, MatchesSequenceType(value, e.seq_type));
+    if (!ok) {
+      return Status::Error("XPDY0050", "treat as: value does not match type");
+    }
+    return value;
+  }
+  // cast / castable: target must be atomic.
+  if (e.seq_type.item != SequenceType::ItemKind::kAtomic) {
+    return Status::SyntaxError("cast target must be an atomic type");
+  }
+  Sequence data = xdm::Atomize(value);
+  if (data.empty()) {
+    bool optional = e.seq_type.occ == SequenceType::Occurrence::kOptional;
+    if (e.cast_op == "castable") {
+      return Sequence{Item::Boolean(optional)};
+    }
+    if (optional) return Sequence{};
+    return Status::TypeError("cast of an empty sequence to a non-optional "
+                             "type");
+  }
+  if (data.size() > 1) {
+    if (e.cast_op == "castable") return Sequence{Item::Boolean(false)};
+    return Status::TypeError("cast applied to a sequence of several items");
+  }
+  Result<AtomicValue> cast = data[0].atomic().CastTo(e.seq_type.atomic);
+  if (e.cast_op == "castable") {
+    return Sequence{Item::Boolean(cast.ok())};
+  }
+  if (!cast.ok()) return cast.status();
+  return Sequence{Item::Atomic(std::move(cast).value())};
+}
+
+// ------------------------------------------------------------ fulltext ---
+
+Result<Sequence> Evaluator::EvalFtContains(const Expr& e,
+                                           DynamicContext& ctx) {
+  XQ_ASSIGN_OR_RETURN(Sequence searched, Eval(*e.kids[0], ctx));
+  // ftcontains is true if any item in the searched sequence matches.
+  for (const Item& item : searched) {
+    std::vector<std::string> tokens = TokenizeWords(item.StringValue());
+    XQ_ASSIGN_OR_RETURN(bool match, EvalFtSelection(*e.ft, tokens, ctx));
+    if (match) return Sequence{Item::Boolean(true)};
+  }
+  return Sequence{Item::Boolean(false)};
+}
+
+Result<bool> Evaluator::EvalFtSelection(const FtSelection& sel,
+                                        const std::vector<std::string>& tokens,
+                                        DynamicContext& ctx) {
+  switch (sel.kind) {
+    case FtSelection::Kind::kWords: {
+      XQ_ASSIGN_OR_RETURN(Sequence words, Eval(*sel.words, ctx));
+      // Any of the word items matching satisfies the selection ("any" is
+      // the XQFT default for a sequence of search strings).
+      for (const Item& w : words) {
+        if (ContainsPhrase(tokens, w.StringValue(), sel.with_stemming)) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case FtSelection::Kind::kAnd: {
+      for (const auto& kid : sel.kids) {
+        XQ_ASSIGN_OR_RETURN(bool b, EvalFtSelection(*kid, tokens, ctx));
+        if (!b) return false;
+      }
+      return true;
+    }
+    case FtSelection::Kind::kOr: {
+      for (const auto& kid : sel.kids) {
+        XQ_ASSIGN_OR_RETURN(bool b, EvalFtSelection(*kid, tokens, ctx));
+        if (b) return true;
+      }
+      return false;
+    }
+    case FtSelection::Kind::kNot: {
+      XQ_ASSIGN_OR_RETURN(bool b, EvalFtSelection(*sel.kids[0], tokens, ctx));
+      return !b;
+    }
+  }
+  return false;
+}
+
+// --------------------------------------------------------- constructors ---
+
+Status Evaluator::AppendContent(const Sequence& content, xml::Node* parent,
+                                xml::Document* doc) {
+  // XQuery content semantics: adjacent atomic values join with a space
+  // into one text node; nodes are deep-copied; attributes attach to the
+  // element (only allowed before other content, relaxed here).
+  std::string pending_text;
+  bool have_pending = false;
+  auto flush = [&]() {
+    if (have_pending) {
+      parent->AppendChild(doc->CreateText(pending_text));
+      pending_text.clear();
+      have_pending = false;
+    }
+  };
+  for (const Item& item : content) {
+    if (item.is_node()) {
+      xml::Node* n = item.node();
+      if (n->is_attribute()) {
+        flush();
+        if (!parent->is_element()) {
+          return Status::TypeError(
+              "attribute node in non-element content");
+        }
+        parent->SetAttribute(n->name(), n->value());
+        continue;
+      }
+      if (n->kind() == xml::NodeKind::kDocument) {
+        flush();
+        for (xml::Node* c : n->children()) {
+          parent->AppendChild(doc->ImportCopy(c));
+        }
+        continue;
+      }
+      flush();
+      parent->AppendChild(doc->ImportCopy(n));
+    } else {
+      if (have_pending) pending_text += " ";
+      pending_text += item.atomic().ToXPathString();
+      have_pending = true;
+    }
+  }
+  flush();
+  return Status();
+}
+
+Result<xml::Node*> Evaluator::BuildDirectNode(const DirectNode& d,
+                                              xml::Document* doc,
+                                              DynamicContext& ctx) {
+  switch (d.kind) {
+    case DirectNode::Kind::kText:
+      return doc->CreateText(d.text);
+    case DirectNode::Kind::kComment:
+      return doc->CreateComment(d.text);
+    case DirectNode::Kind::kPI:
+      return doc->CreateProcessingInstruction(d.name.local, d.text);
+    case DirectNode::Kind::kEnclosedExpr:
+      // Handled by the caller (expands to a sequence).
+      return Status::NotImplemented("enclosed expr outside element content");
+    case DirectNode::Kind::kElement: {
+      xml::Node* element = doc->CreateElement(d.name);
+      for (const DirectNode::Attr& attr : d.attrs) {
+        std::string value;
+        for (const DirectNode::AttrPart& part : attr.parts) {
+          if (part.expr != nullptr) {
+            XQ_ASSIGN_OR_RETURN(Sequence v, Eval(*part.expr, ctx));
+            Sequence data = xdm::Atomize(v);
+            for (size_t i = 0; i < data.size(); ++i) {
+              if (i > 0) value += " ";
+              value += data[i].atomic().ToXPathString();
+            }
+          } else {
+            value += part.literal;
+          }
+        }
+        element->SetAttribute(attr.name, std::move(value));
+      }
+      for (const auto& child : d.children) {
+        if (child->kind == DirectNode::Kind::kEnclosedExpr) {
+          XQ_ASSIGN_OR_RETURN(Sequence content, Eval(*child->expr, ctx));
+          XQ_RETURN_NOT_OK(AppendContent(content, element, doc));
+        } else {
+          XQ_ASSIGN_OR_RETURN(xml::Node* n,
+                              BuildDirectNode(*child, doc, ctx));
+          element->AppendChild(n);
+        }
+      }
+      return element;
+    }
+  }
+  return Status::NotImplemented("unknown direct node kind");
+}
+
+Result<Sequence> Evaluator::EvalDirectElement(const Expr& e,
+                                              DynamicContext& ctx) {
+  xml::Document* doc = ctx.scratch_document();
+  XQ_ASSIGN_OR_RETURN(xml::Node* node, BuildDirectNode(*e.direct, doc, ctx));
+  return Sequence{Item::Node(node)};
+}
+
+Result<Sequence> Evaluator::EvalComputedConstructor(const Expr& e,
+                                                    DynamicContext& ctx) {
+  xml::Document* doc = ctx.scratch_document();
+  size_t content_idx = 0;
+  xml::QName name = e.qname;
+  if (e.str == "computed-name") {
+    XQ_ASSIGN_OR_RETURN(Sequence name_seq, Eval(*e.kids[0], ctx));
+    XQ_ASSIGN_OR_RETURN(AtomicValue nv,
+                        RequireSingleAtomic(name_seq, "computed name"));
+    if (nv.type() == AtomicType::kQName) {
+      name = nv.qname_value();
+    } else {
+      name = xml::QName(nv.ToXPathString());
+    }
+    content_idx = 1;
+  }
+  Sequence content;
+  if (e.kids.size() > content_idx) {
+    XQ_ASSIGN_OR_RETURN(content, Eval(*e.kids[content_idx], ctx));
+  }
+  switch (e.kind) {
+    case ExprKind::kComputedElement: {
+      xml::Node* element = doc->CreateElement(name);
+      XQ_RETURN_NOT_OK(AppendContent(content, element, doc));
+      return Sequence{Item::Node(element)};
+    }
+    case ExprKind::kComputedAttribute: {
+      Sequence data = xdm::Atomize(content);
+      std::string value;
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (i > 0) value += " ";
+        value += data[i].atomic().ToXPathString();
+      }
+      return Sequence{Item::Node(doc->CreateAttribute(name, value))};
+    }
+    case ExprKind::kComputedText: {
+      Sequence data = xdm::Atomize(content);
+      std::string value;
+      for (size_t i = 0; i < data.size(); ++i) {
+        if (i > 0) value += " ";
+        value += data[i].atomic().ToXPathString();
+      }
+      return Sequence{Item::Node(doc->CreateText(value))};
+    }
+    case ExprKind::kComputedComment:
+      return Sequence{
+          Item::Node(doc->CreateComment(xdm::SequenceToString(content)))};
+    case ExprKind::kComputedPI:
+      return Sequence{Item::Node(doc->CreateProcessingInstruction(
+          e.str, xdm::SequenceToString(content)))};
+    default:
+      return Status::NotImplemented("constructor kind");
+  }
+}
+
+// -------------------------------------------------------------- update ---
+
+Result<Sequence> Evaluator::EvalInsert(const Expr& e, DynamicContext& ctx) {
+  XQ_ASSIGN_OR_RETURN(Sequence source, Eval(*e.kids[0], ctx));
+  XQ_ASSIGN_OR_RETURN(Sequence target_seq, Eval(*e.kids[1], ctx));
+  if (target_seq.size() != 1 || !target_seq[0].is_node()) {
+    return Status::Error("XUTY0008",
+                         "insert target must be a single node");
+  }
+  xml::Node* target = target_seq[0].node();
+  bool into = e.insert_mode == InsertMode::kInto ||
+              e.insert_mode == InsertMode::kAsFirstInto ||
+              e.insert_mode == InsertMode::kAsLastInto;
+  if (into && !target->is_element() &&
+      target->kind() != xml::NodeKind::kDocument) {
+    return Status::Error("XUTY0005",
+                         "insert into target must be an element or document");
+  }
+  if (!into && target->parent() == nullptr) {
+    return Status::Error("XUDY0029",
+                         "insert before/after target has no parent");
+  }
+  xml::Document* doc = target->document();
+  PendingUpdateList::Primitive prim;
+  PendingUpdateList::Primitive attr_prim;
+  attr_prim.kind = PendingUpdateList::Kind::kInsertAttributes;
+  attr_prim.target = into ? target : target->parent();
+  for (const Item& item : source) {
+    if (!item.is_node()) {
+      // Atomic content becomes a text node (convenience extension).
+      prim.content.push_back(
+          doc->CreateText(item.atomic().ToXPathString()));
+      continue;
+    }
+    xml::Node* copy = doc->ImportCopy(item.node());
+    if (copy->is_attribute()) {
+      attr_prim.content.push_back(copy);
+    } else {
+      prim.content.push_back(copy);
+    }
+  }
+  switch (e.insert_mode) {
+    case InsertMode::kInto:
+    case InsertMode::kAsLastInto:
+      prim.kind = PendingUpdateList::Kind::kInsertLast;
+      break;
+    case InsertMode::kAsFirstInto:
+      prim.kind = PendingUpdateList::Kind::kInsertFirst;
+      break;
+    case InsertMode::kBefore:
+      prim.kind = PendingUpdateList::Kind::kInsertBefore;
+      break;
+    case InsertMode::kAfter:
+      prim.kind = PendingUpdateList::Kind::kInsertAfter;
+      break;
+  }
+  prim.target = target;
+  if (!attr_prim.content.empty()) {
+    if (!attr_prim.target->is_element()) {
+      return Status::Error("XUTY0022",
+                           "attribute insertion into a non-element");
+    }
+    ctx.pul().Add(std::move(attr_prim));
+  }
+  if (!prim.content.empty()) ctx.pul().Add(std::move(prim));
+  return Sequence{};
+}
+
+Result<Sequence> Evaluator::EvalDelete(const Expr& e, DynamicContext& ctx) {
+  XQ_ASSIGN_OR_RETURN(Sequence targets, Eval(*e.kids[0], ctx));
+  for (const Item& item : targets) {
+    if (!item.is_node()) {
+      return Status::Error("XUTY0007", "delete target must be nodes");
+    }
+    PendingUpdateList::Primitive prim;
+    prim.kind = PendingUpdateList::Kind::kDelete;
+    prim.target = item.node();
+    ctx.pul().Add(std::move(prim));
+  }
+  return Sequence{};
+}
+
+Result<Sequence> Evaluator::EvalReplace(const Expr& e, DynamicContext& ctx) {
+  XQ_ASSIGN_OR_RETURN(Sequence target_seq, Eval(*e.kids[0], ctx));
+  XQ_ASSIGN_OR_RETURN(Sequence source, Eval(*e.kids[1], ctx));
+  if (target_seq.size() != 1 || !target_seq[0].is_node()) {
+    return Status::Error("XUTY0008",
+                         "replace target must be a single node");
+  }
+  xml::Node* target = target_seq[0].node();
+  PendingUpdateList::Primitive prim;
+  prim.target = target;
+  if (e.replace_value_of) {
+    // replace value of node T with S: S atomizes to the new string value.
+    Sequence data = xdm::Atomize(source);
+    std::string value;
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (i > 0) value += " ";
+      value += data[i].atomic().ToXPathString();
+    }
+    prim.kind = target->is_element()
+                    ? PendingUpdateList::Kind::kReplaceElementContent
+                    : PendingUpdateList::Kind::kReplaceValue;
+    prim.value = std::move(value);
+  } else {
+    if (target->parent() == nullptr) {
+      return Status::Error("XUDY0009", "replace target has no parent");
+    }
+    prim.kind = PendingUpdateList::Kind::kReplaceNode;
+    xml::Document* doc = target->document();
+    for (const Item& item : source) {
+      if (item.is_node()) {
+        prim.content.push_back(doc->ImportCopy(item.node()));
+      } else {
+        prim.content.push_back(
+            doc->CreateText(item.atomic().ToXPathString()));
+      }
+    }
+  }
+  ctx.pul().Add(std::move(prim));
+  return Sequence{};
+}
+
+Result<Sequence> Evaluator::EvalRename(const Expr& e, DynamicContext& ctx) {
+  XQ_ASSIGN_OR_RETURN(Sequence target_seq, Eval(*e.kids[0], ctx));
+  XQ_ASSIGN_OR_RETURN(Sequence name_seq, Eval(*e.kids[1], ctx));
+  if (target_seq.size() != 1 || !target_seq[0].is_node()) {
+    return Status::Error("XUTY0008", "rename target must be a single node");
+  }
+  XQ_ASSIGN_OR_RETURN(AtomicValue nv,
+                      RequireSingleAtomic(name_seq, "rename name"));
+  xml::QName new_name = nv.type() == AtomicType::kQName
+                            ? nv.qname_value()
+                            : xml::QName(nv.ToXPathString());
+  PendingUpdateList::Primitive prim;
+  prim.kind = PendingUpdateList::Kind::kRename;
+  prim.target = target_seq[0].node();
+  prim.name = std::move(new_name);
+  ctx.pul().Add(std::move(prim));
+  return Sequence{};
+}
+
+Result<Sequence> Evaluator::EvalTransform(const Expr& e,
+                                          DynamicContext& ctx) {
+  XQ_ASSIGN_OR_RETURN(Sequence source, Eval(*e.kids[0], ctx));
+  if (source.size() != 1 || !source[0].is_node()) {
+    return Status::Error("XUTY0013", "copy source must be a single node");
+  }
+  xml::Document* doc = ctx.scratch_document();
+  xml::Node* copy = doc->ImportCopy(source[0].node());
+  ctx.env().PushScope();
+  ctx.env().Bind(e.qname, Sequence{Item::Node(copy)});
+  // The modify clause updates only the copy: evaluate it with a private
+  // PUL and apply immediately.
+  auto saved = ctx.pul().Take();
+  Result<Sequence> modify = Eval(*e.kids[1], ctx);
+  Status apply = modify.ok() ? ctx.pul().ApplyAll() : Status();
+  ctx.pul().Restore(std::move(saved));
+  if (!modify.ok()) {
+    ctx.env().PopScope();
+    return modify.status();
+  }
+  if (!apply.ok()) {
+    ctx.env().PopScope();
+    return apply;
+  }
+  Result<Sequence> result = Eval(*e.kids[2], ctx);
+  ctx.env().PopScope();
+  return result;
+}
+
+// ----------------------------------------------------------- scripting ---
+
+Result<Sequence> Evaluator::EvalBlock(const Expr& e, DynamicContext& ctx) {
+  ctx.env().PushScope();
+  Sequence last;
+  for (const ExprPtr& stmt : e.kids) {
+    Result<Sequence> r = Eval(*stmt, ctx);
+    if (!r.ok()) {
+      ctx.env().PopScope();
+      return r;
+    }
+    // Scripting semantics (§3.3): updates become visible at every
+    // statement boundary.
+    Status apply = ctx.pul().ApplyAll();
+    if (!apply.ok()) {
+      ctx.env().PopScope();
+      return apply;
+    }
+    last = std::move(r).value();
+    if (exit_flag_) break;
+  }
+  ctx.env().PopScope();
+  return last;
+}
+
+Result<Sequence> Evaluator::EvalWhile(const Expr& e, DynamicContext& ctx) {
+  Sequence last;
+  while (true) {
+    XQ_ASSIGN_OR_RETURN(Sequence cond, Eval(*e.kids[0], ctx));
+    XQ_ASSIGN_OR_RETURN(bool b, xdm::EffectiveBooleanValue(cond));
+    if (!b) break;
+    XQ_ASSIGN_OR_RETURN(last, Eval(*e.kids[1], ctx));
+    XQ_RETURN_NOT_OK(ctx.pul().ApplyAll());
+    if (exit_flag_) break;
+  }
+  return last;
+}
+
+// ----------------------------------------------- browser grammar ext. ---
+
+Result<Sequence> Evaluator::EvalBrowserExtension(const Expr& e,
+                                                 DynamicContext& ctx) {
+  if (ctx.browser_binding == nullptr) {
+    return Status::Error("BRWS0001",
+                         "browser extension used outside a browser context");
+  }
+  BrowserBinding& bb = *ctx.browser_binding;
+  switch (e.kind) {
+    case ExprKind::kEventAttach: {
+      XQ_ASSIGN_OR_RETURN(Sequence name_seq, Eval(*e.kids[0], ctx));
+      std::string event_name = xdm::SequenceToString(name_seq);
+      if (e.behind) {
+        XQ_RETURN_NOT_OK(bb.AttachBehind(event_name, *e.kids[1], e.qname,
+                                         ctx));
+        return Sequence{};
+      }
+      XQ_ASSIGN_OR_RETURN(Sequence targets, Eval(*e.kids[1], ctx));
+      XQ_RETURN_NOT_OK(bb.AttachListener(event_name, targets, e.qname, ctx));
+      return Sequence{};
+    }
+    case ExprKind::kEventDetach: {
+      XQ_ASSIGN_OR_RETURN(Sequence name_seq, Eval(*e.kids[0], ctx));
+      XQ_ASSIGN_OR_RETURN(Sequence targets, Eval(*e.kids[1], ctx));
+      XQ_RETURN_NOT_OK(bb.DetachListener(xdm::SequenceToString(name_seq),
+                                         targets, e.qname, ctx));
+      return Sequence{};
+    }
+    case ExprKind::kEventTrigger: {
+      XQ_ASSIGN_OR_RETURN(Sequence name_seq, Eval(*e.kids[0], ctx));
+      XQ_ASSIGN_OR_RETURN(Sequence targets, Eval(*e.kids[1], ctx));
+      XQ_RETURN_NOT_OK(bb.TriggerEvent(xdm::SequenceToString(name_seq),
+                                       targets, ctx));
+      return Sequence{};
+    }
+    case ExprKind::kSetStyle: {
+      XQ_ASSIGN_OR_RETURN(Sequence prop, Eval(*e.kids[0], ctx));
+      XQ_ASSIGN_OR_RETURN(Sequence targets, Eval(*e.kids[1], ctx));
+      XQ_ASSIGN_OR_RETURN(Sequence value, Eval(*e.kids[2], ctx));
+      XQ_RETURN_NOT_OK(bb.SetStyle(xdm::SequenceToString(prop), targets,
+                                   xdm::SequenceToString(value), ctx));
+      return Sequence{};
+    }
+    case ExprKind::kGetStyle: {
+      XQ_ASSIGN_OR_RETURN(Sequence prop, Eval(*e.kids[0], ctx));
+      XQ_ASSIGN_OR_RETURN(Sequence target, Eval(*e.kids[1], ctx));
+      XQ_ASSIGN_OR_RETURN(std::string value,
+                          bb.GetStyle(xdm::SequenceToString(prop), target,
+                                      ctx));
+      return Sequence{Item::String(value)};
+    }
+    default:
+      return Status::NotImplemented("browser extension kind");
+  }
+}
+
+}  // namespace xqib::xquery

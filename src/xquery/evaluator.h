@@ -1,0 +1,96 @@
+// Tree-walking evaluator for the XQIB dialect. One Evaluator can be
+// reused across queries sharing a StaticContext (the plugin keeps one per
+// page and re-enters it for every event listener call, Figure 1).
+
+#ifndef XQIB_XQUERY_EVALUATOR_H_
+#define XQIB_XQUERY_EVALUATOR_H_
+
+#include <vector>
+
+#include "base/result.h"
+#include "xdm/item.h"
+#include "xquery/ast.h"
+#include "xquery/context.h"
+
+namespace xqib::xquery {
+
+class Evaluator {
+ public:
+  explicit Evaluator(const StaticContext& sctx) : sctx_(sctx) {}
+
+  // Evaluates an expression. Updating sub-expressions append to
+  // ctx.pul(); the caller decides when to apply (snapshot vs scripting).
+  Result<xdm::Sequence> Eval(const Expr& e, DynamicContext& ctx);
+
+  // Invokes a user-declared or external function with pre-evaluated
+  // arguments. Used by the plugin to dispatch event listeners.
+  Result<xdm::Sequence> CallFunction(const xml::QName& name,
+                                     std::vector<xdm::Sequence> args,
+                                     DynamicContext& ctx);
+
+  // Scripting "exit with": set while unwinding; cleared by function-call
+  // boundaries and by TakeExitValue().
+  bool exited() const { return exit_flag_; }
+  xdm::Sequence TakeExitValue() {
+    exit_flag_ = false;
+    return std::move(exit_value_);
+  }
+
+  const StaticContext& static_context() const { return sctx_; }
+
+ private:
+  // The per-kind dispatch; Eval wraps it with optional profiling.
+  Result<xdm::Sequence> EvalImpl(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalPath(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalStep(const Step& step, xml::Node* node,
+                                 DynamicContext& ctx);
+  Result<xdm::Sequence> ApplyPredicates(
+      const std::vector<ExprPtr>& predicates, xdm::Sequence input,
+      DynamicContext& ctx);
+  Result<xdm::Sequence> EvalFLWOR(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalQuantified(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalComparison(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalArith(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalSetOp(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalFunctionCall(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalCast(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalFtContains(const Expr& e, DynamicContext& ctx);
+  Result<bool> EvalFtSelection(const FtSelection& sel,
+                               const std::vector<std::string>& tokens,
+                               DynamicContext& ctx);
+  Result<xdm::Sequence> EvalDirectElement(const Expr& e, DynamicContext& ctx);
+  Result<xml::Node*> BuildDirectNode(const DirectNode& d, xml::Document* doc,
+                                     DynamicContext& ctx);
+  Result<xdm::Sequence> EvalComputedConstructor(const Expr& e,
+                                                DynamicContext& ctx);
+  Status AppendContent(const xdm::Sequence& content, xml::Node* parent,
+                       xml::Document* doc);
+  Result<xdm::Sequence> EvalInsert(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalDelete(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalReplace(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalRename(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalTransform(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalBlock(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalWhile(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalBrowserExtension(const Expr& e,
+                                             DynamicContext& ctx);
+
+  // Checks a value against a sequence type (instance of / treat).
+  Result<bool> MatchesSequenceType(const xdm::Sequence& value,
+                                   const SequenceType& st);
+
+  const StaticContext& sctx_;
+  bool exit_flag_ = false;
+  xdm::Sequence exit_value_;
+};
+
+// Built-in function dispatch (functions.cc). Sets *handled=false if the
+// name is not a known built-in.
+Result<xdm::Sequence> CallBuiltinFunction(const xml::QName& name,
+                                          std::vector<xdm::Sequence>& args,
+                                          Evaluator& ev, DynamicContext& ctx,
+                                          bool* handled);
+
+}  // namespace xqib::xquery
+
+#endif  // XQIB_XQUERY_EVALUATOR_H_

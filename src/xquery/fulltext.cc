@@ -1,0 +1,87 @@
+#include "xquery/fulltext.h"
+
+#include "base/strings.h"
+
+namespace xqib::xquery {
+
+namespace {
+
+bool IsWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || static_cast<unsigned char>(c) >= 0x80;
+}
+
+}  // namespace
+
+std::vector<std::string> TokenizeWords(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (IsWordChar(c)) {
+      current.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c);
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::string StemWord(std::string_view word) {
+  std::string w = AsciiToLower(word);
+  auto strip = [&](std::string_view suffix, size_t min_stem) {
+    if (w.size() >= suffix.size() + min_stem && EndsWith(w, suffix)) {
+      w.resize(w.size() - suffix.size());
+      return true;
+    }
+    return false;
+  };
+  // Plural / verb forms, longest suffix first.
+  if (strip("sses", 2)) {
+    w += "ss";
+  } else if (strip("ies", 2)) {
+    w += "i";
+  } else if (!EndsWith(w, "ss")) {
+    strip("s", 2);
+  }
+  if (strip("eed", 1)) {
+    w += "ee";
+  } else if (strip("ing", 2) || strip("ed", 2)) {
+    // undouble final consonant: running -> run
+    if (w.size() >= 2 && w[w.size() - 1] == w[w.size() - 2] &&
+        w.back() != 'l' && w.back() != 's' && w.back() != 'z') {
+      w.pop_back();
+    }
+  }
+  strip("ly", 2);
+  if (strip("ment", 2) || strip("ness", 2) || strip("tion", 2)) {
+    // stripped derivational suffixes
+  }
+  return w;
+}
+
+bool ContainsPhrase(const std::vector<std::string>& tokens,
+                    std::string_view phrase, bool stemming) {
+  std::vector<std::string> needle = TokenizeWords(phrase);
+  if (needle.empty()) return false;
+  if (stemming) {
+    for (std::string& t : needle) t = StemWord(t);
+  }
+  if (needle.size() > tokens.size()) return false;
+  for (size_t i = 0; i + needle.size() <= tokens.size(); ++i) {
+    bool match = true;
+    for (size_t j = 0; j < needle.size(); ++j) {
+      const std::string& hay =
+          stemming ? StemWord(tokens[i + j]) : tokens[i + j];
+      if (hay != needle[j]) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+}  // namespace xqib::xquery

@@ -1,0 +1,29 @@
+// Simplified XQuery Full Text (paper §3.1): word tokenization, an
+// English suffix-stripping stemmer, and phrase matching used by the
+// ftcontains operator with ftand / ftor / ftnot and "with stemming".
+
+#ifndef XQIB_XQUERY_FULLTEXT_H_
+#define XQIB_XQUERY_FULLTEXT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xqib::xquery {
+
+// Splits text into lowercase word tokens (letters/digits runs).
+std::vector<std::string> TokenizeWords(std::string_view text);
+
+// A light English stemmer (Porter-style suffix stripping: plural forms,
+// -ed, -ing, -ly, -ment, ...). Deterministic and cheap; good enough for
+// the paper's "dog with stemming" examples.
+std::string StemWord(std::string_view word);
+
+// True if `phrase`'s tokens occur consecutively in `tokens`; with
+// `stemming`, tokens are compared by stem.
+bool ContainsPhrase(const std::vector<std::string>& tokens,
+                    std::string_view phrase, bool stemming);
+
+}  // namespace xqib::xquery
+
+#endif  // XQIB_XQUERY_FULLTEXT_H_

@@ -1,0 +1,208 @@
+#include "xquery/lexer.h"
+
+#include "base/strings.h"
+
+namespace xqib::xquery {
+
+namespace {
+
+// Multi-character symbols, longest first.
+constexpr std::string_view kSymbols[] = {
+    ":=", "!=", "<=", ">=", "<<", ">>", "//", "..", "::",
+    "(",  ")",  "[",  "]",  "{",  "}",  ",",  ";",  ".",
+    "/",  "@",  "*",  "+",  "-",  "=",  "<",  ">",  "|",
+    "?",  "$",  ":",
+};
+
+}  // namespace
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (pos_ < in_.size()) {
+    char c = in_[pos_];
+    if (IsXmlWhitespace(c)) {
+      ++pos_;
+    } else if (c == '(' && pos_ + 1 < in_.size() && in_[pos_ + 1] == ':') {
+      // Nested XQuery comments (: ... :).
+      int depth = 0;
+      while (pos_ < in_.size()) {
+        if (in_.substr(pos_, 2) == "(:") {
+          ++depth;
+          pos_ += 2;
+        } else if (in_.substr(pos_, 2) == ":)") {
+          --depth;
+          pos_ += 2;
+          if (depth == 0) break;
+        } else {
+          ++pos_;
+        }
+      }
+    } else {
+      break;
+    }
+  }
+}
+
+Result<Token> Lexer::LexOne() {
+  SkipWhitespaceAndComments();
+  Token tok;
+  tok.pos = pos_;
+  if (pos_ >= in_.size()) {
+    tok.kind = TokKind::kEof;
+    return tok;
+  }
+  char c = in_[pos_];
+
+  // String literals with doubled-quote escapes.
+  if (c == '"' || c == '\'') {
+    char quote = c;
+    ++pos_;
+    std::string text;
+    while (true) {
+      if (pos_ >= in_.size()) {
+        return Status::SyntaxError("unterminated string literal");
+      }
+      char d = in_[pos_];
+      if (d == quote) {
+        if (pos_ + 1 < in_.size() && in_[pos_ + 1] == quote) {
+          text.push_back(quote);
+          pos_ += 2;
+        } else {
+          ++pos_;
+          break;
+        }
+      } else {
+        text.push_back(d);
+        ++pos_;
+      }
+    }
+    tok.kind = TokKind::kString;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  // Numeric literals: 12, 12.5, .5, 1e3, 1.5E-2.
+  if ((c >= '0' && c <= '9') ||
+      (c == '.' && pos_ + 1 < in_.size() && in_[pos_ + 1] >= '0' &&
+       in_[pos_ + 1] <= '9')) {
+    size_t start = pos_;
+    bool has_dot = false, has_exp = false;
+    while (pos_ < in_.size()) {
+      char d = in_[pos_];
+      if (d >= '0' && d <= '9') {
+        ++pos_;
+      } else if (d == '.' && !has_dot && !has_exp) {
+        // ".." must stay a path token.
+        if (pos_ + 1 < in_.size() && in_[pos_ + 1] == '.') break;
+        has_dot = true;
+        ++pos_;
+      } else if ((d == 'e' || d == 'E') && !has_exp) {
+        has_exp = true;
+        ++pos_;
+        if (pos_ < in_.size() && (in_[pos_] == '+' || in_[pos_] == '-')) {
+          ++pos_;
+        }
+      } else {
+        break;
+      }
+    }
+    tok.kind = has_exp   ? TokKind::kDouble
+               : has_dot ? TokKind::kDecimal
+                         : TokKind::kInteger;
+    tok.text = std::string(in_.substr(start, pos_ - start));
+    return tok;
+  }
+
+  // Variables: $name or $prefix:name.
+  if (c == '$') {
+    ++pos_;
+    SkipWhitespaceAndComments();
+    if (pos_ >= in_.size() || !IsNameStartChar(in_[pos_])) {
+      return Status::SyntaxError("expected variable name after '$'");
+    }
+    size_t start = pos_;
+    while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+    if (pos_ < in_.size() && in_[pos_] == ':' && pos_ + 1 < in_.size() &&
+        IsNameStartChar(in_[pos_ + 1])) {
+      ++pos_;
+      while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+    }
+    tok.kind = TokKind::kVariable;
+    tok.text = std::string(in_.substr(start, pos_ - start));
+    return tok;
+  }
+
+  // Names / lexical QNames. A ':' joins two NCNames only when immediately
+  // adjacent (no whitespace), which distinguishes "axis ::" handled below.
+  if (IsNameStartChar(c)) {
+    size_t start = pos_;
+    while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+    if (pos_ + 1 < in_.size() && in_[pos_] == ':' &&
+        in_[pos_ + 1] != ':' &&  // don't eat axis "child::"
+        (IsNameStartChar(in_[pos_ + 1]) || in_[pos_ + 1] == '*')) {
+      ++pos_;
+      if (in_[pos_] == '*') {
+        ++pos_;  // prefix:* wildcard
+      } else {
+        while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+      }
+    }
+    tok.kind = TokKind::kName;
+    tok.text = std::string(in_.substr(start, pos_ - start));
+    return tok;
+  }
+
+  // "*:name" wildcard lexes as symbol '*' + ... we instead emit a name.
+  if (c == '*' && pos_ + 1 < in_.size() && in_[pos_ + 1] == ':') {
+    size_t start = pos_;
+    pos_ += 2;
+    while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
+    tok.kind = TokKind::kName;
+    tok.text = std::string(in_.substr(start, pos_ - start));
+    return tok;
+  }
+
+  for (std::string_view sym : kSymbols) {
+    if (in_.substr(pos_, sym.size()) == sym) {
+      pos_ += sym.size();
+      tok.kind = TokKind::kSymbol;
+      tok.text = std::string(sym);
+      return tok;
+    }
+  }
+  return Status::SyntaxError(std::string("unexpected character '") + c +
+                             "' at offset " + std::to_string(tok.pos));
+}
+
+const Token& Lexer::Peek() { return Peek(0); }
+
+const Token& Lexer::Peek(size_t k) {
+  while (buffered_.size() <= k) {
+    if (!status_.ok()) return eof_token_;
+    Result<Token> tok = LexOne();
+    if (!tok.ok()) {
+      status_ = tok.status();
+      return eof_token_;
+    }
+    buffered_.push_back(std::move(tok).value());
+    if (buffered_.back().kind == TokKind::kEof && buffered_.size() <= k) {
+      return buffered_.back();
+    }
+  }
+  return buffered_[k];
+}
+
+Token Lexer::Next() {
+  const Token& t = Peek();
+  Token out = t;
+  if (!buffered_.empty()) buffered_.pop_front();
+  return out;
+}
+
+size_t Lexer::TokenStart() { return Peek().pos; }
+
+void Lexer::RawSeek(size_t pos) {
+  buffered_.clear();
+  pos_ = pos;
+}
+
+}  // namespace xqib::xquery

@@ -1,0 +1,79 @@
+// Tokenizer for the XQuery grammar (XPath 2.0 core, FLWOR, constructors,
+// the Update Facility, the Scripting Extension, and the paper's browser
+// grammar extensions). XQuery keywords are context-sensitive, so the lexer
+// emits names and lets the parser decide what is a keyword. Direct element
+// constructors switch the parser into raw scanning; the lexer therefore
+// exposes its raw cursor.
+
+#ifndef XQIB_XQUERY_LEXER_H_
+#define XQIB_XQUERY_LEXER_H_
+
+#include <deque>
+#include <string>
+#include <string_view>
+
+#include "base/result.h"
+
+namespace xqib::xquery {
+
+enum class TokKind {
+  kEof,
+  kName,     // NCName or lexical QName (text: "local" or "prefix:local")
+  kString,   // string literal, text already unescaped
+  kInteger,
+  kDecimal,
+  kDouble,
+  kVariable,  // $name or $prefix:name (text excludes '$')
+  kSymbol,    // punctuation / operators, text is the symbol itself
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  size_t pos = 0;  // byte offset in the source, for diagnostics
+
+  bool IsSymbol(std::string_view s) const {
+    return kind == TokKind::kSymbol && text == s;
+  }
+  bool IsName(std::string_view s) const {
+    return kind == TokKind::kName && text == s;
+  }
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input) : in_(input) {}
+
+  // Current token (lexed on demand). Parse errors surface via status().
+  const Token& Peek();
+  // Looks ahead k tokens (k=0 is Peek()).
+  const Token& Peek(size_t k);
+  // Consumes and returns the current token.
+  Token Next();
+
+  // Non-OK if tokenization failed; once set, Peek returns kEof.
+  const Status& status() const { return status_; }
+
+  // --- Raw access for direct constructors (parser-driven scanning) ---
+
+  // Byte offset where the *current token* starts (whitespace/comments
+  // skipped). Calling RawSeek invalidates buffered tokens.
+  size_t TokenStart();
+  // Raw input and cursor control.
+  std::string_view input() const { return in_; }
+  void RawSeek(size_t pos);
+
+ private:
+  Result<Token> LexOne();
+  void SkipWhitespaceAndComments();
+
+  std::string_view in_;
+  size_t pos_ = 0;
+  std::deque<Token> buffered_;
+  Status status_;
+  Token eof_token_;
+};
+
+}  // namespace xqib::xquery
+
+#endif  // XQIB_XQUERY_LEXER_H_

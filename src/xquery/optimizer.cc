@@ -1,0 +1,396 @@
+#include "xquery/optimizer.h"
+
+#include <cmath>
+
+#include "xml/qname.h"
+
+namespace xqib::xquery {
+
+namespace {
+
+using xdm::AtomicType;
+using xdm::AtomicValue;
+
+class Rewriter {
+ public:
+  Rewriter(const OptimizerOptions& options, OptimizerStats* stats)
+      : options_(options), stats_(stats) {}
+
+  void Rewrite(ExprPtr* slot) {
+    if (*slot == nullptr) return;
+    Expr& e = **slot;
+    // Bottom-up: children first.
+    for (ExprPtr& kid : e.kids) Rewrite(&kid);
+    for (ExprPtr& pred : e.predicates) Rewrite(&pred);
+    for (Clause& clause : e.clauses) Rewrite(&clause.expr);
+    for (OrderSpec& spec : e.order_specs) Rewrite(&spec.key);
+    if (e.where != nullptr) Rewrite(&e.where);
+    for (Step& step : e.steps) {
+      for (ExprPtr& pred : step.predicates) Rewrite(&pred);
+    }
+    if (e.ft != nullptr) RewriteFt(e.ft.get());
+    if (e.direct != nullptr) RewriteDirect(e.direct.get());
+
+    switch (e.kind) {
+      case ExprKind::kArith:
+        if (options_.constant_folding) FoldArith(slot);
+        break;
+      case ExprKind::kUnary:
+        if (options_.constant_folding) FoldUnary(slot);
+        break;
+      case ExprKind::kComparison:
+        if (options_.cardinality_rewrites) RewriteCountComparison(slot);
+        if (*slot != nullptr && (*slot)->kind == ExprKind::kComparison &&
+            options_.constant_folding) {
+          FoldComparison(slot);
+        }
+        break;
+      case ExprKind::kLogical:
+        if (options_.branch_elimination) FoldLogical(slot);
+        break;
+      case ExprKind::kIf:
+        if (options_.branch_elimination) FoldIf(slot);
+        break;
+      case ExprKind::kFLWOR:
+        if (options_.branch_elimination) FoldWhereFalse(slot);
+        break;
+      case ExprKind::kFunctionCall:
+        if (options_.boolean_simplification) SimplifyBooleanCalls(slot);
+        break;
+      case ExprKind::kPath:
+        if (options_.path_collapsing) CollapseDescendantSteps(&e);
+        break;
+      default:
+        break;
+    }
+  }
+
+ private:
+  void RewriteFt(FtSelection* sel) {
+    if (sel->words != nullptr) Rewrite(&sel->words);
+    for (auto& kid : sel->kids) RewriteFt(kid.get());
+  }
+
+  void RewriteDirect(DirectNode* node) {
+    if (node->expr != nullptr) Rewrite(&node->expr);
+    for (auto& attr : node->attrs) {
+      for (auto& part : attr.parts) {
+        if (part.expr != nullptr) Rewrite(&part.expr);
+      }
+    }
+    for (auto& child : node->children) RewriteDirect(child.get());
+  }
+
+  static bool IsLiteral(const ExprPtr& e) {
+    return e != nullptr && e->kind == ExprKind::kLiteral;
+  }
+  static bool IsNumericLiteral(const ExprPtr& e) {
+    return IsLiteral(e) && e->atom.is_numeric();
+  }
+  static bool IsIntegerLiteral(const ExprPtr& e, int64_t value) {
+    return IsLiteral(e) && e->atom.type() == AtomicType::kInteger &&
+           e->atom.int_value() == value;
+  }
+
+  void ReplaceWithLiteral(ExprPtr* slot, AtomicValue value) {
+    ExprPtr lit = MakeExpr(ExprKind::kLiteral);
+    lit->atom = std::move(value);
+    *slot = std::move(lit);
+  }
+
+  void FoldArith(ExprPtr* slot) {
+    Expr& e = **slot;
+    if (!IsNumericLiteral(e.kids[0]) || !IsNumericLiteral(e.kids[1])) return;
+    const AtomicValue& a = e.kids[0]->atom;
+    const AtomicValue& b = e.kids[1]->atom;
+    bool ints = a.type() == AtomicType::kInteger &&
+                b.type() == AtomicType::kInteger;
+    if (ints) {
+      int64_t x = a.int_value(), y = b.int_value();
+      int64_t r = 0;
+      switch (e.arith_op) {
+        case ArithOp::kAdd: r = x + y; break;
+        case ArithOp::kSub: r = x - y; break;
+        case ArithOp::kMul: r = x * y; break;
+        case ArithOp::kIDiv:
+          if (y == 0) return;  // leave the runtime error in place
+          r = x / y;
+          break;
+        case ArithOp::kMod:
+          if (y == 0) return;
+          r = x % y;
+          break;
+        case ArithOp::kDiv:
+          if (y == 0 || x % y != 0) return;  // fold only exact divisions
+          r = x / y;
+          break;
+      }
+      ++stats_->folded_constants;
+      ReplaceWithLiteral(slot, AtomicValue::Integer(r));
+      return;
+    }
+    Result<double> xr = a.ToDouble();
+    Result<double> yr = b.ToDouble();
+    if (!xr.ok() || !yr.ok()) return;
+    double x = *xr, y = *yr, r = 0;
+    switch (e.arith_op) {
+      case ArithOp::kAdd: r = x + y; break;
+      case ArithOp::kSub: r = x - y; break;
+      case ArithOp::kMul: r = x * y; break;
+      case ArithOp::kDiv: r = x / y; break;
+      case ArithOp::kIDiv:
+        if (y == 0) return;
+        r = std::trunc(x / y);
+        break;
+      case ArithOp::kMod: r = std::fmod(x, y); break;
+    }
+    ++stats_->folded_constants;
+    ReplaceWithLiteral(slot, AtomicValue::Double(r));
+  }
+
+  void FoldUnary(ExprPtr* slot) {
+    Expr& e = **slot;
+    if (!IsNumericLiteral(e.kids[0])) return;
+    const AtomicValue& v = e.kids[0]->atom;
+    ++stats_->folded_constants;
+    if (e.arith_op == ArithOp::kAdd) {
+      ReplaceWithLiteral(slot, v);
+    } else if (v.type() == AtomicType::kInteger) {
+      ReplaceWithLiteral(slot, AtomicValue::Integer(-v.int_value()));
+    } else {
+      ReplaceWithLiteral(slot, AtomicValue::Double(-v.double_value()));
+    }
+  }
+
+  void FoldComparison(ExprPtr* slot) {
+    Expr& e = **slot;
+    if (!IsLiteral(e.kids[0]) || !IsLiteral(e.kids[1])) return;
+    if (e.comp_op == CompOp::kIs || e.comp_op == CompOp::kPrecedes ||
+        e.comp_op == CompOp::kFollows) {
+      return;
+    }
+    Result<int> cmp = e.kids[0]->atom.Compare(e.kids[1]->atom);
+    if (!cmp.ok() || *cmp == 2) return;
+    bool value = false;
+    switch (e.comp_op) {
+      case CompOp::kGenEq: case CompOp::kValEq: value = *cmp == 0; break;
+      case CompOp::kGenNe: case CompOp::kValNe: value = *cmp != 0; break;
+      case CompOp::kGenLt: case CompOp::kValLt: value = *cmp < 0; break;
+      case CompOp::kGenLe: case CompOp::kValLe: value = *cmp <= 0; break;
+      case CompOp::kGenGt: case CompOp::kValGt: value = *cmp > 0; break;
+      case CompOp::kGenGe: case CompOp::kValGe: value = *cmp >= 0; break;
+      default: return;
+    }
+    ++stats_->folded_constants;
+    ReplaceWithLiteral(slot, AtomicValue::Boolean(value));
+  }
+
+  // Literal boolean value of an expression, if statically known.
+  static int StaticBool(const ExprPtr& e) {
+    if (!IsLiteral(e)) return -1;
+    const AtomicValue& v = e->atom;
+    if (v.type() == AtomicType::kBoolean) return v.bool_value() ? 1 : 0;
+    return -1;
+  }
+
+  void FoldLogical(ExprPtr* slot) {
+    Expr& e = **slot;
+    int lhs = StaticBool(e.kids[0]);
+    int rhs = StaticBool(e.kids[1]);
+    if (e.logical_and) {
+      if (lhs == 0 || rhs == 0) {
+        ++stats_->eliminated_branches;
+        ReplaceWithLiteral(slot, AtomicValue::Boolean(false));
+      } else if (lhs == 1 && rhs == 1) {
+        ++stats_->eliminated_branches;
+        ReplaceWithLiteral(slot, AtomicValue::Boolean(true));
+      } else if (lhs == 1) {
+        ++stats_->eliminated_branches;
+        ExprPtr kept = std::move(e.kids[1]);
+        *slot = WrapBoolean(std::move(kept));
+      }
+    } else {
+      if (lhs == 1 || rhs == 1) {
+        ++stats_->eliminated_branches;
+        ReplaceWithLiteral(slot, AtomicValue::Boolean(true));
+      } else if (lhs == 0 && rhs == 0) {
+        ++stats_->eliminated_branches;
+        ReplaceWithLiteral(slot, AtomicValue::Boolean(false));
+      } else if (lhs == 0) {
+        ++stats_->eliminated_branches;
+        ExprPtr kept = std::move(e.kids[1]);
+        *slot = WrapBoolean(std::move(kept));
+      }
+    }
+  }
+
+  static ExprPtr WrapBoolean(ExprPtr inner) {
+    ExprPtr call = MakeExpr(ExprKind::kFunctionCall);
+    call->qname = xml::QName(std::string(xml::kFnNamespace), "", "boolean");
+    call->kids.push_back(std::move(inner));
+    return call;
+  }
+
+  void FoldIf(ExprPtr* slot) {
+    Expr& e = **slot;
+    int cond = StaticBool(e.kids[0]);
+    if (cond < 0) return;
+    ++stats_->eliminated_branches;
+    ExprPtr kept = std::move(e.kids[cond == 1 ? 1 : 2]);
+    *slot = std::move(kept);
+  }
+
+  void FoldWhereFalse(ExprPtr* slot) {
+    Expr& e = **slot;
+    if (e.where == nullptr) return;
+    if (StaticBool(e.where) == 0) {
+      // The whole FLWOR yields the empty sequence. Binding expressions
+      // cannot be updating, so dropping them is safe.
+      ++stats_->eliminated_branches;
+      *slot = MakeExpr(ExprKind::kSequence);
+    } else if (StaticBool(e.where) == 1) {
+      e.where = nullptr;
+      ++stats_->eliminated_branches;
+    }
+  }
+
+  static bool IsFnCall(const Expr& e, const char* name, size_t arity) {
+    return e.kind == ExprKind::kFunctionCall &&
+           e.qname.ns == xml::kFnNamespace && e.qname.local == name &&
+           e.kids.size() == arity;
+  }
+
+  // count(E) = 0 -> empty(E);  count(E) > 0, count(E) != 0, count(E) >= 1
+  // -> exists(E). Saves materializing the full sequence when the
+  // evaluator only needs emptiness.
+  void RewriteCountComparison(ExprPtr* slot) {
+    Expr& e = **slot;
+    ExprPtr* count_side = nullptr;
+    ExprPtr* lit_side = nullptr;
+    if (e.kids[0]->kind == ExprKind::kFunctionCall) {
+      count_side = &e.kids[0];
+      lit_side = &e.kids[1];
+    } else if (e.kids[1]->kind == ExprKind::kFunctionCall) {
+      count_side = &e.kids[1];
+      lit_side = &e.kids[0];
+    } else {
+      return;
+    }
+    if (!IsFnCall(**count_side, "count", 1)) return;
+    bool count_on_left = count_side == &e.kids[0];
+
+    // Normalize to count(E) OP literal.
+    CompOp op = e.comp_op;
+    if (!count_on_left) {
+      switch (op) {
+        case CompOp::kGenLt: op = CompOp::kGenGt; break;
+        case CompOp::kGenGt: op = CompOp::kGenLt; break;
+        case CompOp::kGenLe: op = CompOp::kGenGe; break;
+        case CompOp::kGenGe: op = CompOp::kGenLe; break;
+        case CompOp::kValLt: op = CompOp::kValGt; break;
+        case CompOp::kValGt: op = CompOp::kValLt; break;
+        case CompOp::kValLe: op = CompOp::kValGe; break;
+        case CompOp::kValGe: op = CompOp::kValLe; break;
+        default: break;
+      }
+    }
+    const char* replacement = nullptr;
+    if (IsIntegerLiteral(*lit_side, 0)) {
+      if (op == CompOp::kGenEq || op == CompOp::kValEq) {
+        replacement = "empty";
+      } else if (op == CompOp::kGenNe || op == CompOp::kValNe ||
+                 op == CompOp::kGenGt || op == CompOp::kValGt) {
+        replacement = "exists";
+      }
+    } else if (IsIntegerLiteral(*lit_side, 1) &&
+               (op == CompOp::kGenGe || op == CompOp::kValGe)) {
+      replacement = "exists";
+    }
+    if (replacement == nullptr) return;
+    ++stats_->cardinality_rewritten;
+    ExprPtr arg = std::move((*count_side)->kids[0]);
+    ExprPtr call = MakeExpr(ExprKind::kFunctionCall);
+    call->qname =
+        xml::QName(std::string(xml::kFnNamespace), "", replacement);
+    call->kids.push_back(std::move(arg));
+    *slot = std::move(call);
+  }
+
+  // not(not(E)) -> boolean(E); not(empty(E)) -> exists(E);
+  // not(exists(E)) -> empty(E).
+  void SimplifyBooleanCalls(ExprPtr* slot) {
+    Expr& e = **slot;
+    if (!IsFnCall(e, "not", 1)) return;
+    Expr& inner = *e.kids[0];
+    const char* replacement = nullptr;
+    if (IsFnCall(inner, "not", 1)) replacement = "boolean";
+    else if (IsFnCall(inner, "empty", 1)) replacement = "exists";
+    else if (IsFnCall(inner, "exists", 1)) replacement = "empty";
+    if (replacement == nullptr) return;
+    ++stats_->boolean_simplified;
+    ExprPtr arg = std::move(inner.kids[0]);
+    ExprPtr call = MakeExpr(ExprKind::kFunctionCall);
+    call->qname =
+        xml::QName(std::string(xml::kFnNamespace), "", replacement);
+    call->kids.push_back(std::move(arg));
+    *slot = std::move(call);
+  }
+
+  // descendant-or-self::node() (no predicates) followed by child::T
+  // selects exactly descendant::T; fusing the steps avoids materializing
+  // every node of the subtree as an intermediate sequence.
+  void CollapseDescendantSteps(Expr* e) {
+    auto is_dos_node = [](const Step& s) {
+      return s.axis == Axis::kDescendantOrSelf &&
+             s.test.kind == NodeTest::Kind::kAnyKind &&
+             s.predicates.empty();
+    };
+    std::vector<Step> out;
+    out.reserve(e->steps.size());
+    for (size_t i = 0; i < e->steps.size(); ++i) {
+      // Only predicate-free child steps fuse: predicates see per-parent
+      // positions on child:: but per-subtree positions on descendant::,
+      // so "//a[1]" must NOT become "descendant::a[1]".
+      if (i + 1 < e->steps.size() && is_dos_node(e->steps[i]) &&
+          e->steps[i + 1].axis == Axis::kChild &&
+          e->steps[i + 1].predicates.empty()) {
+        Step fused = std::move(e->steps[i + 1]);
+        fused.axis = Axis::kDescendant;
+        out.push_back(std::move(fused));
+        ++i;
+        ++stats_->paths_collapsed;
+        continue;
+      }
+      out.push_back(std::move(e->steps[i]));
+    }
+    e->steps = std::move(out);
+  }
+
+  const OptimizerOptions& options_;
+  OptimizerStats* stats_;
+};
+
+}  // namespace
+
+OptimizerStats OptimizeExpr(ExprPtr* expr, const OptimizerOptions& options) {
+  OptimizerStats stats;
+  Rewriter rewriter(options, &stats);
+  rewriter.Rewrite(expr);
+  return stats;
+}
+
+OptimizerStats OptimizeModule(Module* module,
+                              const OptimizerOptions& options) {
+  OptimizerStats stats;
+  Rewriter rewriter(options, &stats);
+  for (VarDecl& decl : module->variables) {
+    if (decl.init != nullptr) rewriter.Rewrite(&decl.init);
+  }
+  for (auto& fn : module->functions) {
+    if (fn->body != nullptr) rewriter.Rewrite(&fn->body);
+  }
+  if (module->body != nullptr) rewriter.Rewrite(&module->body);
+  return stats;
+}
+
+}  // namespace xqib::xquery

@@ -1,0 +1,56 @@
+// Rule-based AST rewriter backing the paper's §1 claim that "XQuery is
+// carefully designed to be highly optimisable": because expressions are
+// declarative, the engine can rewrite them without changing semantics.
+//
+// Implemented rules (each individually toggleable for the A1 ablation
+// benchmark):
+//   * constant folding      — arithmetic/comparison/logic over literals
+//   * branch elimination    — if/where/logical with constant conditions
+//   * cardinality rewrites  — count(E) = 0 -> empty(E),
+//                             count(E) > 0 / != 0 -> exists(E)
+//   * positional shortcut   — E[1] marks first-match-only evaluation
+//                             hints for the evaluator (predicate is kept;
+//                             the rewrite is the canonical exists form)
+//   * boolean simplification— not(not(E)) -> boolean(E),
+//                             empty(E) inverted to exists and vice versa
+//   * path collapsing       — descendant-or-self::node()/child::T
+//                             -> descendant::T, avoiding the full-node
+//                             intermediate sequence "//T" otherwise builds
+
+#ifndef XQIB_XQUERY_OPTIMIZER_H_
+#define XQIB_XQUERY_OPTIMIZER_H_
+
+#include "xquery/ast.h"
+
+namespace xqib::xquery {
+
+struct OptimizerOptions {
+  bool constant_folding = true;
+  bool branch_elimination = true;
+  bool cardinality_rewrites = true;
+  bool boolean_simplification = true;
+  bool path_collapsing = true;
+};
+
+struct OptimizerStats {
+  int folded_constants = 0;
+  int eliminated_branches = 0;
+  int cardinality_rewritten = 0;
+  int boolean_simplified = 0;
+  int paths_collapsed = 0;
+  int total() const {
+    return folded_constants + eliminated_branches + cardinality_rewritten +
+           boolean_simplified + paths_collapsed;
+  }
+};
+
+// Rewrites the expression tree in place; returns rewrite statistics.
+OptimizerStats OptimizeExpr(ExprPtr* expr, const OptimizerOptions& options);
+
+// Optimizes a whole module: global variable initializers, function
+// bodies, and the query body.
+OptimizerStats OptimizeModule(Module* module, const OptimizerOptions& options);
+
+}  // namespace xqib::xquery
+
+#endif  // XQIB_XQUERY_OPTIMIZER_H_

@@ -1,0 +1,169 @@
+#include "xquery/update.h"
+
+#include <unordered_set>
+
+namespace xqib::xquery {
+
+Status PendingUpdateList::CheckCompatibility() const {
+  // XUDY0015: two renames of the same node; XUDY0016: two replaces of the
+  // same node; XUDY0017: two replace-values of the same node.
+  std::unordered_set<xml::Node*> renamed, replaced, value_replaced;
+  for (const Primitive& p : primitives_) {
+    switch (p.kind) {
+      case Kind::kRename:
+        if (!renamed.insert(p.target).second) {
+          return Status::Error("XUDY0015",
+                               "node is renamed by more than one primitive "
+                               "in the same snapshot");
+        }
+        break;
+      case Kind::kReplaceNode:
+        if (!replaced.insert(p.target).second) {
+          return Status::Error("XUDY0016",
+                               "node is replaced by more than one primitive "
+                               "in the same snapshot");
+        }
+        break;
+      case Kind::kReplaceValue:
+      case Kind::kReplaceElementContent:
+        if (!value_replaced.insert(p.target).second) {
+          return Status::Error("XUDY0017",
+                               "node value is replaced by more than one "
+                               "primitive in the same snapshot");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return Status();
+}
+
+Status PendingUpdateList::ApplyAll() {
+  XQ_RETURN_NOT_OK(CheckCompatibility());
+
+  // Pre-validate structural requirements so application is all-or-
+  // nothing: no primitive runs if any primitive would fail.
+  for (const Primitive& p : primitives_) {
+    switch (p.kind) {
+      case Kind::kInsertBefore:
+      case Kind::kInsertAfter:
+        if (p.target->parent() == nullptr) {
+          return Status::Error("XUDY0029",
+                               "insert before/after target has no parent");
+        }
+        break;
+      case Kind::kReplaceNode:
+        if (p.target->parent() == nullptr) {
+          return Status::Error("XUDY0009", "replace target has no parent");
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  // Spec application order: inserts/renames first, then replaces, element
+  // content replacement, and deletes last, so that targets referenced by
+  // several primitives are still attached when each primitive runs.
+  auto apply_phase = [&](auto pred) -> Status {
+    for (Primitive& p : primitives_) {
+      if (!pred(p.kind)) continue;
+      switch (p.kind) {
+        case Kind::kInsertInto:
+        case Kind::kInsertLast:
+          for (xml::Node* n : p.content) {
+            if (n->is_attribute()) {
+              p.target->AttachAttribute(n);
+            } else {
+              p.target->AppendChild(n);
+            }
+          }
+          break;
+        case Kind::kInsertFirst: {
+          xml::Node* anchor =
+              p.target->children().empty() ? nullptr : p.target->children()[0];
+          for (xml::Node* n : p.content) {
+            if (n->is_attribute()) {
+              p.target->AttachAttribute(n);
+            } else {
+              p.target->InsertBefore(n, anchor);
+            }
+          }
+          break;
+        }
+        case Kind::kInsertBefore: {
+          xml::Node* parent = p.target->parent();
+          if (parent == nullptr) {
+            return Status::Error("XUDY0029",
+                                 "insert before/after target has no parent");
+          }
+          for (xml::Node* n : p.content) parent->InsertBefore(n, p.target);
+          break;
+        }
+        case Kind::kInsertAfter: {
+          xml::Node* parent = p.target->parent();
+          if (parent == nullptr) {
+            return Status::Error("XUDY0029",
+                                 "insert before/after target has no parent");
+          }
+          xml::Node* anchor = p.target;
+          for (xml::Node* n : p.content) {
+            parent->InsertAfter(n, anchor);
+            anchor = n;
+          }
+          break;
+        }
+        case Kind::kInsertAttributes:
+          for (xml::Node* n : p.content) p.target->AttachAttribute(n);
+          break;
+        case Kind::kRename:
+          p.target->Rename(p.name);
+          break;
+        case Kind::kReplaceValue:
+          p.target->SetValue(p.value);
+          break;
+        case Kind::kReplaceElementContent:
+          p.target->SetValue(p.value);
+          break;
+        case Kind::kReplaceNode: {
+          xml::Node* parent = p.target->parent();
+          if (parent == nullptr) {
+            return Status::Error("XUDY0009",
+                                 "replace target has no parent");
+          }
+          if (p.target->is_attribute()) {
+            xml::Node* owner = parent;
+            p.target->Detach();
+            for (xml::Node* n : p.content) owner->AttachAttribute(n);
+          } else {
+            for (xml::Node* n : p.content) parent->InsertBefore(n, p.target);
+            parent->RemoveChild(p.target);
+          }
+          break;
+        }
+        case Kind::kDelete:
+          p.target->Detach();
+          break;
+      }
+    }
+    return Status();
+  };
+
+  XQ_RETURN_NOT_OK(apply_phase([](Kind k) {
+    return k == Kind::kInsertInto || k == Kind::kInsertLast ||
+           k == Kind::kInsertFirst || k == Kind::kInsertBefore ||
+           k == Kind::kInsertAfter || k == Kind::kInsertAttributes ||
+           k == Kind::kRename;
+  }));
+  XQ_RETURN_NOT_OK(apply_phase([](Kind k) {
+    return k == Kind::kReplaceValue || k == Kind::kReplaceNode ||
+           k == Kind::kReplaceElementContent;
+  }));
+  XQ_RETURN_NOT_OK(apply_phase([](Kind k) { return k == Kind::kDelete; }));
+
+  primitives_.clear();
+  return Status();
+}
+
+}  // namespace xqib::xquery

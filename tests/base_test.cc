@@ -1,0 +1,133 @@
+// Unit tests for the base layer: Status/Result and string utilities.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "base/result.h"
+#include "base/status.h"
+#include "base/strings.h"
+
+namespace xqib {
+namespace {
+
+TEST(StatusTest, OkAndError) {
+  Status ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.ToString(), "OK");
+  EXPECT_EQ(ok.code(), "");
+
+  Status err = Status::Error("XPST0003", "bad syntax");
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.code(), "XPST0003");
+  EXPECT_EQ(err.message(), "bad syntax");
+  EXPECT_EQ(err.ToString(), "[XPST0003] bad syntax");
+  EXPECT_TRUE(err.IsSyntaxError());
+  EXPECT_FALSE(Status::TypeError("x").IsSyntaxError());
+}
+
+TEST(StatusTest, CopySharesRep) {
+  Status a = Status::Error("E", "m");
+  Status b = a;
+  EXPECT_EQ(b.code(), "E");
+  EXPECT_EQ(b.message(), "m");
+}
+
+TEST(ResultTest, ValueAndStatus) {
+  Result<int> ok(42);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.ValueOr(-1), 42);
+
+  Result<int> err(Status::TypeError("nope"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), "XPTY0004");
+  EXPECT_EQ(err.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MacrosPropagate) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::Error("E1", "inner");
+    return 7;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    XQ_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 8);
+  EXPECT_EQ(outer(true).status().code(), "E1");
+
+  auto st_fn = [&](bool fail) -> Status {
+    XQ_RETURN_NOT_OK(outer(fail).status());
+    return Status();
+  };
+  EXPECT_TRUE(st_fn(false).ok());
+  EXPECT_FALSE(st_fn(true).ok());
+}
+
+TEST(Strings, TrimAndNormalize) {
+  EXPECT_EQ(TrimWhitespace("  a b \t\n"), "a b");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(NormalizeSpace(" a \n\t b   c "), "a b c");
+  EXPECT_EQ(NormalizeSpace("   "), "");
+}
+
+TEST(Strings, SplitChar) {
+  auto parts = SplitChar("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(SplitChar("", ',').size(), 1u);
+}
+
+TEST(Strings, CaseHelpers) {
+  EXPECT_EQ(AsciiToUpper("aBc-1"), "ABC-1");
+  EXPECT_EQ(AsciiToLower("AbC-1"), "abc-1");
+  EXPECT_TRUE(AsciiEqualsIgnoreCase("Script", "sCRIPT"));
+  EXPECT_FALSE(AsciiEqualsIgnoreCase("a", "ab"));
+}
+
+TEST(Strings, Predicates) {
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_FALSE(StartsWith("he", "hello"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_TRUE(Contains("hello", "ell"));
+}
+
+TEST(Strings, Utf8RoundTrip) {
+  // "héllo 🌍" — 2-byte, 4-byte sequences.
+  std::string s = "h\xC3\xA9llo \xF0\x9F\x8C\x8D";
+  auto cps = Utf8ToCodepoints(s);
+  ASSERT_EQ(cps.size(), 7u);
+  EXPECT_EQ(cps[1], 0xE9u);
+  EXPECT_EQ(cps[6], 0x1F30Du);
+  EXPECT_EQ(CodepointsToUtf8(cps), s);
+  EXPECT_EQ(Utf8Length(s), 7u);
+}
+
+TEST(Strings, InvalidUtf8YieldsReplacement) {
+  std::string bad = "a\xFFz";
+  auto cps = Utf8ToCodepoints(bad);
+  ASSERT_EQ(cps.size(), 3u);
+  EXPECT_EQ(cps[1], 0xFFFDu);
+}
+
+TEST(Strings, NCNames) {
+  EXPECT_TRUE(IsValidNCName("abc"));
+  EXPECT_TRUE(IsValidNCName("_a-b.c1"));
+  EXPECT_FALSE(IsValidNCName("1abc"));
+  EXPECT_FALSE(IsValidNCName(""));
+  EXPECT_FALSE(IsValidNCName("-x"));
+}
+
+TEST(Strings, DoubleToXPathString) {
+  EXPECT_EQ(DoubleToXPathString(0.0), "0");
+  EXPECT_EQ(DoubleToXPathString(-0.0), "-0");
+  EXPECT_EQ(DoubleToXPathString(2.0), "2");
+  EXPECT_EQ(DoubleToXPathString(2.5), "2.5");
+  EXPECT_EQ(DoubleToXPathString(-1e15), "-1e+15");
+  EXPECT_EQ(DoubleToXPathString(std::nan("")), "NaN");
+  EXPECT_EQ(DoubleToXPathString(-1.0 / 0.0), "-INF");
+}
+
+}  // namespace
+}  // namespace xqib

@@ -1,0 +1,384 @@
+// Unit tests for the browser substrate: CSS style handling, the event
+// system (capture/target/bubble, stopPropagation), the event loop, the
+// security policy, the BOM (windows, history, materialization), and
+// page script extraction.
+
+#include <gtest/gtest.h>
+
+#include "browser/bom.h"
+#include "browser/css.h"
+#include "browser/event_loop.h"
+#include "browser/events.h"
+#include "browser/page.h"
+#include "browser/security.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+
+namespace xqib::browser {
+namespace {
+
+// ------------------------------------------------------------------ CSS ---
+
+TEST(Css, ParseAndSerialize) {
+  auto decls = ParseStyleAttribute("color: red; margin:2px ;bad;x:");
+  ASSERT_EQ(decls.size(), 2u);
+  EXPECT_EQ(decls[0].first, "color");
+  EXPECT_EQ(decls[0].second, "red");
+  EXPECT_EQ(decls[1].first, "margin");
+  EXPECT_EQ(decls[1].second, "2px");
+  EXPECT_EQ(SerializeStyleAttribute(decls), "color: red; margin: 2px");
+}
+
+TEST(Css, GetSetOnElement) {
+  auto doc = std::move(xml::ParseDocument("<d/>")).value();
+  xml::Node* d = doc->DocumentElement();
+  EXPECT_EQ(GetStyleProperty(d, "color"), "");
+  SetStyleProperty(d, "color", "red");
+  SetStyleProperty(d, "border-margin", "2px");
+  EXPECT_EQ(GetStyleProperty(d, "color"), "red");
+  EXPECT_EQ(GetStyleProperty(d, "border-margin"), "2px");
+  EXPECT_EQ(d->GetAttributeValue("style"),
+            "color: red; border-margin: 2px");
+  // Update one property, keep the other.
+  SetStyleProperty(d, "color", "blue");
+  EXPECT_EQ(GetStyleProperty(d, "color"), "blue");
+  EXPECT_EQ(GetStyleProperty(d, "border-margin"), "2px");
+  // Removing all properties removes the attribute.
+  SetStyleProperty(d, "color", "");
+  SetStyleProperty(d, "border-margin", "");
+  EXPECT_EQ(d->FindAttribute("style"), nullptr);
+}
+
+TEST(Css, PropertyNamesAreCaseInsensitive) {
+  auto doc = std::move(xml::ParseDocument("<d style=\"Color: red\"/>"))
+                 .value();
+  EXPECT_EQ(GetStyleProperty(doc->DocumentElement(), "color"), "red");
+}
+
+// --------------------------------------------------------------- events ---
+
+class EventsTest : public ::testing::Test {
+ protected:
+  EventsTest() {
+    doc_ = std::move(
+               xml::ParseDocument("<r><mid><leaf/></mid></r>"))
+               .value();
+    root_ = doc_->DocumentElement();
+    mid_ = root_->children()[0];
+    leaf_ = mid_->children()[0];
+  }
+  Listener Track(const std::string& id, bool capture = false) {
+    Listener l;
+    l.id = id;
+    l.capture = capture;
+    l.callback = [this, id](Event& e) {
+      const char* phase = e.phase == Event::Phase::kCapture  ? "C"
+                          : e.phase == Event::Phase::kTarget ? "T"
+                                                             : "B";
+      log_ += id + ":" + phase + " ";
+    };
+    return l;
+  }
+  std::unique_ptr<xml::Document> doc_;
+  xml::Node* root_;
+  xml::Node* mid_;
+  xml::Node* leaf_;
+  EventSystem events_;
+  std::string log_;
+};
+
+TEST_F(EventsTest, CaptureTargetBubbleOrder) {
+  events_.AddListener(root_, "click", Track("root-c", true));
+  events_.AddListener(root_, "click", Track("root-b", false));
+  events_.AddListener(mid_, "click", Track("mid-c", true));
+  events_.AddListener(mid_, "click", Track("mid-b", false));
+  events_.AddListener(leaf_, "click", Track("leaf", false));
+  Event e;
+  e.type = "click";
+  size_t n = events_.Dispatch(leaf_, e);
+  EXPECT_EQ(n, 5u);
+  // Capture: root→target; bubble: target→root.
+  EXPECT_EQ(log_, "root-c:C mid-c:C leaf:T mid-b:B root-b:B ");
+}
+
+TEST_F(EventsTest, RegistrationOrderWithinTarget) {
+  events_.AddListener(leaf_, "click", Track("first"));
+  events_.AddListener(leaf_, "click", Track("second"));
+  Event e;
+  e.type = "click";
+  events_.Dispatch(leaf_, e);
+  EXPECT_EQ(log_, "first:T second:T ");
+}
+
+TEST_F(EventsTest, DuplicateRegistrationIgnored) {
+  events_.AddListener(leaf_, "click", Track("x"));
+  events_.AddListener(leaf_, "click", Track("x"));
+  EXPECT_EQ(events_.listener_count(), 1u);
+}
+
+TEST_F(EventsTest, StopPropagationHaltsBubble) {
+  Listener stopper;
+  stopper.id = "stopper";
+  stopper.callback = [this](Event& e) {
+    log_ += "stop ";
+    e.stop_propagation = true;
+  };
+  events_.AddListener(leaf_, "click", std::move(stopper));
+  events_.AddListener(root_, "click", Track("root"));
+  Event e;
+  e.type = "click";
+  events_.Dispatch(leaf_, e);
+  EXPECT_EQ(log_, "stop ");
+}
+
+TEST_F(EventsTest, RemoveListener) {
+  events_.AddListener(leaf_, "click", Track("x"));
+  events_.RemoveListener(leaf_, "click", "x");
+  Event e;
+  e.type = "click";
+  EXPECT_EQ(events_.Dispatch(leaf_, e), 0u);
+}
+
+TEST_F(EventsTest, NonBubblingEvent) {
+  events_.AddListener(root_, "focus", Track("root"));
+  events_.AddListener(leaf_, "focus", Track("leaf"));
+  Event e;
+  e.type = "focus";
+  e.bubbles = false;
+  events_.Dispatch(leaf_, e);
+  // Capture still runs; bubble does not.
+  EXPECT_EQ(log_, "leaf:T ");
+}
+
+TEST_F(EventsTest, ClearDocumentDropsListeners) {
+  events_.AddListener(leaf_, "click", Track("x"));
+  events_.AddListener(mid_, "other", Track("y"));
+  events_.ClearDocument(doc_.get());
+  EXPECT_EQ(events_.listener_count(), 0u);
+}
+
+TEST_F(EventsTest, TypeIsolation) {
+  events_.AddListener(leaf_, "click", Track("c"));
+  events_.AddListener(leaf_, "keyup", Track("k"));
+  Event e;
+  e.type = "keyup";
+  events_.Dispatch(leaf_, e);
+  EXPECT_EQ(log_, "k:T ");
+}
+
+// ----------------------------------------------------------- event loop ---
+
+TEST(EventLoopTest, OrderingAndSimulatedTime) {
+  EventLoop loop;
+  std::string log;
+  loop.Post([&] { log += "a"; }, 10);
+  loop.Post([&] { log += "b"; }, 5);
+  loop.Post([&] { log += "c"; }, 5);  // same due time: posting order
+  loop.Post([&] { log += "d"; });     // immediate
+  EXPECT_EQ(loop.RunUntilIdle(), 4u);
+  EXPECT_EQ(log, "dbca");
+  EXPECT_DOUBLE_EQ(loop.now_ms(), 10.0);
+}
+
+TEST(EventLoopTest, TasksCanPostTasks) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> chain = [&]() {
+    if (++depth < 5) loop.Post(chain, 1);
+  };
+  loop.Post(chain);
+  loop.RunUntilIdle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(loop.now_ms(), 4.0);
+}
+
+TEST(EventLoopTest, MaxTasksGuard) {
+  EventLoop loop;
+  std::function<void()> forever = [&]() { loop.Post(forever); };
+  loop.Post(forever);
+  EXPECT_EQ(loop.RunUntilIdle(10), 10u);
+  EXPECT_FALSE(loop.idle());
+}
+
+// ------------------------------------------------------------- security ---
+
+TEST(Security, OriginParsing) {
+  Origin o = OriginFromUrl("https://shop.example.com:8443/a/b?q=1");
+  EXPECT_EQ(o.scheme, "https");
+  EXPECT_EQ(o.host, "shop.example.com");
+  EXPECT_EQ(o.EffectivePort(), 8443);
+  EXPECT_EQ(OriginFromUrl("http://x.org/p").EffectivePort(), 80);
+  EXPECT_EQ(OriginFromUrl("https://x.org").EffectivePort(), 443);
+  EXPECT_TRUE(OriginFromUrl("about:blank").host.empty());
+}
+
+TEST(Security, SameOriginPolicy) {
+  SecurityPolicy policy(SecurityPolicy::Mode::kSameOrigin);
+  EXPECT_TRUE(policy.CanAccess("http://a.com/x", "http://a.com/y"));
+  EXPECT_TRUE(policy.CanAccess("http://a.com:80/x", "http://a.com/y"));
+  EXPECT_FALSE(policy.CanAccess("http://a.com/", "http://b.com/"));
+  EXPECT_FALSE(policy.CanAccess("http://a.com/", "https://a.com/"));
+  EXPECT_FALSE(policy.CanAccess("http://a.com/", "http://a.com:81/"));
+  EXPECT_FALSE(policy.CanAccess("about:blank", "about:blank"));
+}
+
+TEST(Security, PolicyModes) {
+  SecurityPolicy permissive(SecurityPolicy::Mode::kPermissive);
+  EXPECT_TRUE(permissive.CanAccess("http://a.com/", "http://b.com/"));
+  SecurityPolicy deny(SecurityPolicy::Mode::kDenyAll);
+  EXPECT_FALSE(deny.CanAccess("http://a.com/", "http://a.com/"));
+}
+
+// ------------------------------------------------------------------ BOM ---
+
+TEST(Bom, WindowTreeMaterialization) {
+  Browser browser;
+  browser.policy().set_mode(SecurityPolicy::Mode::kPermissive);
+  Window* top = browser.top_window();
+  (void)top->LoadSource("http://a.com/", "<html><body/></html>");
+  Window* frame = top->CreateFrame("child1");
+  (void)frame->LoadSource("http://a.com/f", "<html><body/></html>");
+  top->set_status("Welcome");
+
+  xml::Document scratch;
+  Browser::BomTree tree =
+      browser.MaterializeWindowTree(&scratch, "http://a.com/");
+  ASSERT_NE(tree.root, nullptr);
+  EXPECT_EQ(tree.root->GetAttributeValue("name"), "top_window");
+  // Children per the paper's §4.2.1 shape.
+  std::string serialized = xml::Serialize(tree.root);
+  EXPECT_TRUE(serialized.find("<status>Welcome</status>") !=
+              std::string::npos);
+  EXPECT_TRUE(serialized.find("<href>http://a.com/</href>") !=
+              std::string::npos);
+  EXPECT_TRUE(serialized.find("name=\"child1\"") != std::string::npos);
+}
+
+TEST(Bom, SyncStatusBack) {
+  Browser browser;
+  browser.policy().set_mode(SecurityPolicy::Mode::kPermissive);
+  (void)browser.top_window()->LoadSource("http://a.com/",
+                                         "<html><body/></html>");
+  xml::Document scratch;
+  Browser::BomTree tree =
+      browser.MaterializeWindowTree(&scratch, "http://a.com/");
+  // Edit the materialized <status> and sync.
+  for (xml::Node* c : tree.root->children()) {
+    if (c->name().local == "status") c->SetValue("Changed");
+  }
+  ASSERT_TRUE(browser.SyncFromBomTree(tree, "http://a.com/").ok());
+  EXPECT_EQ(browser.top_window()->status(), "Changed");
+}
+
+TEST(Bom, DeniedWindowIsEmptyShell) {
+  Browser browser;  // same-origin
+  Window* top = browser.top_window();
+  (void)top->LoadSource("http://a.com/", "<html><body/></html>");
+  Window* foreign = top->CreateFrame("evil");
+  (void)foreign->LoadSource("http://evil.com/", "<html><body/></html>");
+  xml::Document scratch;
+  Browser::BomTree tree =
+      browser.MaterializeWindowTree(&scratch, "http://a.com/");
+  // Find the foreign window element: it must have no name and no kids.
+  xml::Node* frames = nullptr;
+  for (xml::Node* c : tree.root->children()) {
+    if (c->name().local == "frames") frames = c;
+  }
+  ASSERT_NE(frames, nullptr);
+  ASSERT_EQ(frames->children().size(), 1u);
+  xml::Node* shell = frames->children()[0];
+  EXPECT_EQ(shell->attributes().size(), 0u);
+  EXPECT_EQ(shell->children().size(), 0u);
+  // And resolving it yields no window.
+  EXPECT_EQ(browser.ResolveWindowNode(tree, shell, "http://a.com/"),
+            nullptr);
+}
+
+TEST(Bom, HistoryNavigation) {
+  Browser browser;
+  browser.page_fetcher = [](const std::string& url) -> Result<std::string> {
+    return "<html><body><p id=\"u\">" + url + "</p></body></html>";
+  };
+  Window* w = browser.top_window();
+  ASSERT_TRUE(w->Navigate("http://a.com/1").ok());
+  ASSERT_TRUE(w->Navigate("http://a.com/2").ok());
+  ASSERT_TRUE(w->Navigate("http://a.com/3").ok());
+  EXPECT_EQ(w->history_length(), 3u);
+  ASSERT_TRUE(w->HistoryBack().ok());
+  EXPECT_EQ(w->url(), "http://a.com/2");
+  ASSERT_TRUE(w->HistoryBack().ok());
+  EXPECT_EQ(w->url(), "http://a.com/1");
+  ASSERT_TRUE(w->HistoryForward().ok());
+  EXPECT_EQ(w->url(), "http://a.com/2");
+  // Out-of-range goes are silently ignored.
+  ASSERT_TRUE(w->HistoryGo(99).ok());
+  EXPECT_EQ(w->url(), "http://a.com/2");
+  // Navigating truncates the forward branch.
+  ASSERT_TRUE(w->Navigate("http://a.com/4").ok());
+  ASSERT_TRUE(w->HistoryForward().ok());
+  EXPECT_EQ(w->url(), "http://a.com/4");
+}
+
+TEST(Bom, WriteAppendsToBody) {
+  Browser browser;
+  Window* w = browser.top_window();
+  (void)w->LoadSource("http://a.com/",
+                      "<html><body><p>x</p></body></html>");
+  w->Write("written");
+  EXPECT_TRUE(xml::Serialize(w->document()->root()).find("written") !=
+              std::string::npos);
+}
+
+TEST(Bom, WindowGeometry) {
+  Browser browser;
+  Window* w = browser.top_window();
+  w->MoveTo(100, 50);
+  w->MoveBy(-10, 25);
+  EXPECT_EQ(w->screen_x(), 90);
+  EXPECT_EQ(w->screen_y(), 75);
+}
+
+// ----------------------------------------------------------------- page ---
+
+TEST(Page, ScriptExtraction) {
+  auto doc = std::move(xml::ParseDocument(R"(<html><head>
+      <script type="text/javascript">var x = 1;</script>
+      <script type="text/xquery">1 + 1</script>
+      <script type="text/xqueryp">{ 1; }</script>
+      <script>no.type();</script>
+      </head><body/></html>)"))
+                 .value();
+  auto scripts = ExtractScripts(doc.get());
+  ASSERT_EQ(scripts.size(), 4u);
+  EXPECT_EQ(scripts[0].language, ScriptLanguage::kJavaScript);
+  EXPECT_EQ(scripts[1].language, ScriptLanguage::kXQuery);
+  EXPECT_EQ(scripts[2].language, ScriptLanguage::kXQueryP);
+  EXPECT_EQ(scripts[3].language, ScriptLanguage::kJavaScript);
+}
+
+TEST(Page, InlineHandlerExtraction) {
+  auto doc = std::move(xml::ParseDocument(
+                 "<html><body><input onkeyup=\"f(value)\" "
+                 "onClick=\"g()\" id=\"i\"/></body></html>"))
+                 .value();
+  auto handlers = ExtractInlineHandlers(doc.get());
+  ASSERT_EQ(handlers.size(), 2u);
+  EXPECT_EQ(handlers[0].event, "onkeyup");
+  EXPECT_EQ(handlers[0].code, "f(value)");
+  EXPECT_EQ(handlers[1].event, "onclick");  // case-folded
+}
+
+TEST(Page, IeFoldedScriptElementsStillFound) {
+  xml::ParseOptions ie;
+  ie.ie_tag_folding = true;
+  auto doc = std::move(xml::ParseDocument(
+                 "<html><head><script type=\"text/xquery\">1"
+                 "</script></head><body/></html>",
+                 ie))
+                 .value();
+  auto scripts = ExtractScripts(doc.get());
+  ASSERT_EQ(scripts.size(), 1u);  // matches SCRIPT case-insensitively
+}
+
+}  // namespace
+}  // namespace xqib::browser

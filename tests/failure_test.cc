@@ -1,0 +1,208 @@
+// Failure-injection tests: errors in services, listeners, updates, and
+// navigation must degrade gracefully — a browser never crashes because a
+// page is broken.
+
+#include <gtest/gtest.h>
+
+#include "app/environment.h"
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+#include "xquery/engine.h"
+#include "xquery/update.h"
+
+namespace xqib {
+namespace {
+
+using app::BrowserEnvironment;
+
+TEST(FailureInjection, BehindWithFailingServiceDeliversReadyState4) {
+  // The remote call fails; the listener still receives readyState 4 with
+  // an empty result, and the script error is recorded.
+  BrowserEnvironment env;
+  Status st = env.LoadPage("http://app.example.com/", R"(
+    <html><body><span id="state">none</span>
+    <script type="text/xqueryp"><![CDATA[
+      declare updating function local:onResult($readyState, $result) {
+        replace value of //span[@id="state"]
+          with concat("state-", string($readyState))
+      };
+      on event "stateChanged" behind http:get("http://down.example.com/x")
+        attach listener local:onResult
+    ]]></script></body></html>)");
+  // The attach itself succeeds; failures happen asynchronously.
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  env.plugin().PumpEvents();
+  EXPECT_EQ(env.ById("state")->StringValue(), "state-4");
+  EXPECT_EQ(env.plugin().last_script_error().code(), "NETW0404");
+}
+
+TEST(FailureInjection, ListenerErrorDoesNotBlockOtherListeners) {
+  BrowserEnvironment env;
+  Status st = env.LoadPage("http://app.example.com/", R"(
+    <html><body><input id="b"/><div id="log"/>
+    <script type="text/xqueryp"><![CDATA[
+      declare updating function local:bad($evt, $obj) {
+        replace value of //div[@id="nonexistent"] with "x"
+      };
+      declare updating function local:good($evt, $obj) {
+        insert node <ok/> into //div[@id="log"]
+      };
+      on event "onclick" at //input[@id="b"] attach listener local:bad;
+      on event "onclick" at //input[@id="b"] attach listener local:good
+    ]]></script></body></html>)");
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  browser::Event e;
+  e.type = "onclick";
+  (void)env.plugin().FireEvent(env.ById("b"), e);
+  // The bad listener errored (XUTY0008: empty target)...
+  EXPECT_FALSE(env.plugin().last_script_error().ok());
+  // ...but the good one still ran.
+  EXPECT_EQ(env.ById("log")->children().size(), 1u);
+}
+
+TEST(FailureInjection, PulApplicationIsAllOrNothing) {
+  // One primitive in the snapshot is incompatible (two value-replaces of
+  // the same node, XUDY0017); nothing at all must be applied — including
+  // the perfectly valid insert that precedes it.
+  auto doc = std::move(xml::ParseDocument("<r><a/><b/></r>")).value();
+  xquery::Engine engine;
+  auto q = engine.Compile(
+      "insert node <x/> into /r, "
+      "replace value of node /r/a with '1', "
+      "replace value of node /r/a with '2'");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  xquery::DynamicContext ctx;
+  xquery::DynamicContext::Focus f;
+  f.item = xdm::Item::Node(doc->root());
+  f.position = 1;
+  f.size = 1;
+  f.has_item = true;
+  ctx.set_focus(f);
+  auto r = (*q)->Run(ctx);
+  EXPECT_EQ(r.status().code(), "XUDY0017");
+  // The insert was NOT applied even though it preceded the conflict.
+  EXPECT_EQ(xml::Serialize(doc->root()), "<r><a/><b/></r>");
+}
+
+TEST(FailureInjection, NavigationToMissingPageFails) {
+  BrowserEnvironment env;
+  Status st = env.Navigate("http://nowhere.example.com/");
+  EXPECT_EQ(st.code(), "NETW0404");
+  // The old document survives a failed navigation.
+  EXPECT_NE(env.window()->document(), nullptr);
+}
+
+TEST(FailureInjection, MalformedPageFailsToLoadCleanly) {
+  BrowserEnvironment env;
+  Status st = env.LoadPage("http://app.example.com/",
+                           "<html><body><div></body></html>");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(FailureInjection, MalformedScriptReportsButKeepsPage) {
+  BrowserEnvironment env;
+  Status st = env.LoadPage("http://app.example.com/",
+                           "<html><body><p id=\"keep\">x</p>"
+                           "<script type=\"text/xquery\">1 +++</script>"
+                           "</body></html>");
+  EXPECT_EQ(st.code(), "BRWS0005");
+  // The DOM itself loaded fine.
+  EXPECT_NE(env.ById("keep"), nullptr);
+}
+
+TEST(FailureInjection, MalformedJsReportsButKeepsPage) {
+  BrowserEnvironment env;
+  Status st = env.LoadPage("http://app.example.com/",
+                           "<html><body><p id=\"keep\">x</p>"
+                           "<script type=\"text/javascript\">function {"
+                           "</script></body></html>");
+  EXPECT_EQ(st.code(), "BRWS0005");
+  EXPECT_NE(env.ById("keep"), nullptr);
+}
+
+TEST(FailureInjection, ServiceFunctionErrorPropagatesToClient) {
+  BrowserEnvironment env;
+  ASSERT_TRUE(env.services()
+                  .Deploy("module namespace f=\"urn:f\" port:2001;\n"
+                          "declare function f:boom() { 1 idiv 0 };",
+                          "f.example.com")
+                  .ok());
+  Status st = env.LoadPage("http://app.example.com/", R"(
+    <html><body><script type="text/xquery">
+    import module namespace f = "urn:f" at "http://f.example.com/wsdl";
+    browser:alert(string(f:boom()))
+    </script></body></html>)");
+  EXPECT_EQ(st.code(), "BRWS0005");
+  EXPECT_TRUE(env.ScriptErrors().find("FOAR0001") != std::string::npos)
+      << env.ScriptErrors();
+}
+
+TEST(FailureInjection, DetachedWindowNodeGoesDeadAfterNavigation) {
+  // Paper §4.2.1: a captured window node becomes useless once the policy
+  // no longer allows access ("the user navigated to another domain").
+  BrowserEnvironment env;
+  env.fabric().PutResource("http://other-origin.example.net/page",
+                           "<html><body/></html>");
+  browser::Window* frame = env.window()->CreateFrame("f");
+  ASSERT_TRUE(frame
+                  ->LoadSource("http://app.example.com/frame",
+                               "<html><body/></html>")
+                  .ok());
+  ASSERT_TRUE(env.LoadPage("http://app.example.com/", R"(
+    <html><body><span id="count1">-</span><span id="count2">-</span>
+    <script type="text/xqueryp"><![CDATA[
+      declare variable $win := browser:self()/frames/window[1];
+      replace value of //span[@id="count1"]
+        with string(count($win/*));
+      replace value of node $win/location/href
+        with "http://other-origin.example.net/page";
+      replace value of //span[@id="count2"]
+        with string(count(browser:top()//window[not(@name)]/*))
+    ]]></script></body></html>)")
+                  .ok())
+      << env.ScriptErrors();
+  // Before navigation the frame had visible children; afterwards the
+  // re-materialized window is an empty shell.
+  EXPECT_NE(env.ById("count1")->StringValue(), "0");
+  EXPECT_EQ(env.ById("count2")->StringValue(), "0");
+}
+
+TEST(FailureInjection, ClosedFrameDropsItsPageStateSafely) {
+  // A behind-completion queued by a frame's script must become a no-op
+  // when the frame is closed before the loop drains.
+  BrowserEnvironment env;
+  env.fabric().PutResource("http://app.example.com/slow.xml", "<r/>");
+  env.fabric().latency.base_ms = 100;  // completion stays queued
+  browser::Window* frame = env.window()->CreateFrame("f");
+  ASSERT_TRUE(frame
+                  ->LoadSource("http://app.example.com/frame", R"(
+    <html><body><span id="s">-</span>
+    <script type="text/xqueryp"><![CDATA[
+      declare updating function local:done($state, $result) {
+        replace value of //span[@id="s"] with "done"
+      };
+      on event "stateChanged"
+        behind http:get("http://app.example.com/slow.xml")
+        attach listener local:done
+    ]]></script></body></html>)")
+                  .ok())
+      << env.ScriptErrors();
+  ASSERT_GT(env.browser().loop().pending(), 0u);
+  env.window()->CloseFrame(frame);  // frame (and its document) die
+  // Draining the loop must not crash or touch freed state.
+  env.plugin().PumpEvents();
+  SUCCEED();
+}
+
+TEST(FailureInjection, FnSerializeRoundtrip) {
+  xquery::Engine engine;
+  auto q = engine.Compile("serialize(<a x=\"1\"><b/></a>)");
+  ASSERT_TRUE(q.ok());
+  xquery::DynamicContext ctx;
+  auto r = (*q)->Run(ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(xdm::SequenceToString(*r), "<a x=\"1\"><b/></a>");
+}
+
+}  // namespace
+}  // namespace xqib

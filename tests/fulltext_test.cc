@@ -1,0 +1,147 @@
+// Unit tests for the full-text substrate: word tokenization, the
+// suffix-stripping stemmer, phrase matching — plus the XQuery lexer.
+
+#include <gtest/gtest.h>
+
+#include "xquery/fulltext.h"
+#include "xquery/lexer.h"
+
+namespace xqib::xquery {
+namespace {
+
+TEST(Tokenizer, SplitsOnNonWordChars) {
+  auto t = TokenizeWords("The dog-house, and 2 cats!");
+  ASSERT_EQ(t.size(), 6u);
+  EXPECT_EQ(t[0], "the");
+  EXPECT_EQ(t[1], "dog");
+  EXPECT_EQ(t[2], "house");
+  EXPECT_EQ(t[5], "cats");
+}
+
+TEST(Tokenizer, EmptyAndPunctuationOnly) {
+  EXPECT_TRUE(TokenizeWords("").empty());
+  EXPECT_TRUE(TokenizeWords(" .,;! ").empty());
+}
+
+TEST(Stemmer, PluralForms) {
+  EXPECT_EQ(StemWord("dogs"), StemWord("dog"));
+  EXPECT_EQ(StemWord("queries"), "queri");  // Porter-style -ies -> -i
+  EXPECT_EQ(StemWord("classes"), "class");
+  EXPECT_EQ(StemWord("class"), "class");  // -ss is not a plural
+}
+
+TEST(Stemmer, VerbForms) {
+  EXPECT_EQ(StemWord("running"), "run");
+  EXPECT_EQ(StemWord("barked"), "bark");
+  EXPECT_EQ(StemWord("agreed"), "agree");
+}
+
+TEST(Stemmer, CaseInsensitive) {
+  EXPECT_EQ(StemWord("Dogs"), StemWord("dog"));
+}
+
+TEST(Stemmer, Idempotent) {
+  for (const char* w : {"dogs", "running", "classes", "quickly",
+                        "movement", "darkness"}) {
+    std::string once = StemWord(w);
+    EXPECT_EQ(StemWord(once), once) << w;
+  }
+}
+
+TEST(PhraseMatch, ConsecutiveTokensRequired) {
+  auto tokens = TokenizeWords("the quick brown fox");
+  EXPECT_TRUE(ContainsPhrase(tokens, "quick brown", false));
+  EXPECT_FALSE(ContainsPhrase(tokens, "quick fox", false));
+  EXPECT_TRUE(ContainsPhrase(tokens, "THE QUICK", false));  // case-folded
+  EXPECT_FALSE(ContainsPhrase(tokens, "", false));
+}
+
+TEST(PhraseMatch, StemmingBridgesMorphology) {
+  auto tokens = TokenizeWords("dogs barked loudly");
+  EXPECT_FALSE(ContainsPhrase(tokens, "dog", false));
+  EXPECT_TRUE(ContainsPhrase(tokens, "dog", true));
+  EXPECT_TRUE(ContainsPhrase(tokens, "dogs bark", true));
+}
+
+// ------------------------------------------------------------- lexer ---
+
+std::vector<Token> LexAll(const std::string& in) {
+  Lexer lex(in);
+  std::vector<Token> out;
+  while (lex.Peek().kind != TokKind::kEof) out.push_back(lex.Next());
+  EXPECT_TRUE(lex.status().ok()) << lex.status().ToString();
+  return out;
+}
+
+TEST(LexerTest, NumbersAndNames) {
+  auto t = LexAll("12 3.5 1e3 .5 abc p:q xs:integer");
+  ASSERT_EQ(t.size(), 7u);
+  EXPECT_EQ(t[0].kind, TokKind::kInteger);
+  EXPECT_EQ(t[1].kind, TokKind::kDecimal);
+  EXPECT_EQ(t[2].kind, TokKind::kDouble);
+  EXPECT_EQ(t[3].kind, TokKind::kDecimal);
+  EXPECT_EQ(t[4].kind, TokKind::kName);
+  EXPECT_EQ(t[5].text, "p:q");
+  EXPECT_EQ(t[6].text, "xs:integer");
+}
+
+TEST(LexerTest, RangeDotsDoNotEatNumbers) {
+  auto t = LexAll("1..2");
+  // "1" ".." "2" — the number must not swallow the path dots.
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[1].text, "..");
+}
+
+TEST(LexerTest, AxisColonsStaySeparate) {
+  auto t = LexAll("child::a");
+  ASSERT_EQ(t.size(), 3u);
+  EXPECT_EQ(t[0].text, "child");
+  EXPECT_EQ(t[1].text, "::");
+  EXPECT_EQ(t[2].text, "a");
+}
+
+TEST(LexerTest, Variables) {
+  auto t = LexAll("$x $p:y");
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].kind, TokKind::kVariable);
+  EXPECT_EQ(t[0].text, "x");
+  EXPECT_EQ(t[1].text, "p:y");
+}
+
+TEST(LexerTest, MultiCharSymbols) {
+  auto t = LexAll(":= != <= >= << >> // .. ::");
+  for (const Token& tok : t) EXPECT_EQ(tok.kind, TokKind::kSymbol);
+  ASSERT_EQ(t.size(), 9u);
+  EXPECT_EQ(t[0].text, ":=");
+  EXPECT_EQ(t[6].text, "//");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Lexer lex("'abc");
+  lex.Peek();
+  EXPECT_FALSE(lex.status().ok());
+}
+
+TEST(LexerTest, PeekAheadIsStable) {
+  Lexer lex("a b c d");
+  const Token& t0 = lex.Peek(0);
+  const Token& t3 = lex.Peek(3);
+  // Deque-backed buffer: earlier references stay valid across peeks.
+  EXPECT_EQ(t0.text, "a");
+  EXPECT_EQ(t3.text, "d");
+  EXPECT_EQ(lex.Next().text, "a");
+  EXPECT_EQ(lex.Peek().text, "b");
+}
+
+TEST(LexerTest, RawSeekRestartsTokenization) {
+  Lexer lex("abc def");
+  EXPECT_EQ(lex.Peek().text, "abc");
+  size_t pos = lex.Peek().pos;
+  lex.Next();
+  EXPECT_EQ(lex.Peek().text, "def");
+  lex.RawSeek(pos);
+  EXPECT_EQ(lex.Peek().text, "abc");
+}
+
+}  // namespace
+}  // namespace xqib::xquery

@@ -1,0 +1,194 @@
+// Cross-module integration tests: multi-page flows, frames, repeated
+// event rounds, multi-script pages, and longer-running stateful
+// interactions — the "whole browser session" level above plugin_test.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "app/environment.h"
+#include "xml/serializer.h"
+
+namespace xqib {
+namespace {
+
+using app::BrowserEnvironment;
+
+TEST(Integration, MultiPageNavigationRunsEachPagesScripts) {
+  BrowserEnvironment env;
+  for (int i = 1; i <= 3; ++i) {
+    env.fabric().PutResource(
+        "http://site.example.com/p" + std::to_string(i),
+        "<html><body><p id=\"n\">" + std::to_string(i) +
+            "</p><script type=\"text/xquery\">browser:alert(string(//p["
+            "@id=\"n\"]))</script></body></html>");
+  }
+  ASSERT_TRUE(env.Navigate("http://site.example.com/p1").ok());
+  ASSERT_TRUE(env.Navigate("http://site.example.com/p2").ok());
+  ASSERT_TRUE(env.Navigate("http://site.example.com/p3").ok());
+  ASSERT_EQ(env.plugin().alerts().size(), 3u);
+  EXPECT_EQ(env.plugin().alerts()[0], "1");
+  EXPECT_EQ(env.plugin().alerts()[2], "3");
+  // History works across the whole session.
+  ASSERT_TRUE(env.window()->HistoryBack().ok());
+  EXPECT_EQ(env.window()->url(), "http://site.example.com/p2");
+}
+
+TEST(Integration, OldPageListenersDieOnNavigation) {
+  BrowserEnvironment env;
+  env.fabric().PutResource("http://site.example.com/a",
+                           R"(<html><body><input id="b"/>
+      <script type="text/xquery">
+      declare updating function local:l($e, $o) {
+        insert node <hit/> into /html/body
+      };
+      on event "onclick" at //input[@id="b"] attach listener local:l
+      </script></body></html>)");
+  env.fabric().PutResource("http://site.example.com/b",
+                           "<html><body/></html>");
+  ASSERT_TRUE(env.Navigate("http://site.example.com/a").ok());
+  EXPECT_GE(env.browser().events().listener_count(), 1u);
+  ASSERT_TRUE(env.Navigate("http://site.example.com/b").ok());
+  EXPECT_EQ(env.browser().events().listener_count(), 0u);
+}
+
+TEST(Integration, HundredEventRoundsAccumulateState) {
+  BrowserEnvironment env;
+  ASSERT_TRUE(env.LoadPage("http://app.example.com/", R"(
+    <html><body><input id="inc"/><span id="n">0</span>
+    <script type="text/xqueryp"><![CDATA[
+      declare updating function local:inc($e, $o) {
+        replace value of //span[@id="n"]
+          with xs:integer(string(//span[@id="n"])) + 1
+      };
+      on event "onclick" at //input[@id="inc"] attach listener local:inc
+    ]]></script></body></html>)")
+                  .ok());
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(env.ClickId("inc").ok()) << "round " << i;
+  }
+  EXPECT_EQ(env.ById("n")->StringValue(), "100");
+}
+
+TEST(Integration, MultipleXQueryScriptsShareContext) {
+  // Script 1 declares a function and a global; script 2 uses both.
+  BrowserEnvironment env;
+  ASSERT_TRUE(env.LoadPage("http://app.example.com/", R"(
+    <html><head>
+    <script type="text/xquery">
+      declare variable $greeting := "Hello";
+      declare function local:shout($s) { upper-case($s) };
+    </script>
+    <script type="text/xquery">
+      browser:alert(local:shout(concat($greeting, " world")))
+    </script>
+    </head><body/></html>)")
+                  .ok());
+  ASSERT_EQ(env.plugin().alerts().size(), 1u);
+  EXPECT_EQ(env.plugin().alerts()[0], "HELLO WORLD");
+}
+
+TEST(Integration, FramesWithDifferentPagesAndCrossFrameQuery) {
+  BrowserEnvironment env;
+  browser::Window* left = env.window()->CreateFrame("left");
+  browser::Window* right = env.window()->CreateFrame("right");
+  ASSERT_TRUE(left->LoadSource("http://app.example.com/left",
+                               "<html><body><p id='x'>L</p></body></html>")
+                  .ok());
+  ASSERT_TRUE(right
+                  ->LoadSource("http://app.example.com/right",
+                               "<html><body><p id='x'>R</p></body></html>")
+                  .ok());
+  ASSERT_TRUE(env.LoadPage("http://app.example.com/", R"(
+    <html><body><script type="text/xquery">
+    browser:alert(string-join(
+      for $w in browser:self()/frames/window
+      return string(browser:document($w)//p[@id="x"]), "+"))
+    </script></body></html>)")
+                  .ok())
+      << env.ScriptErrors();
+  ASSERT_EQ(env.plugin().alerts().size(), 1u);
+  EXPECT_EQ(env.plugin().alerts()[0], "L+R");
+}
+
+TEST(Integration, ServiceBackedFormRoundTrip) {
+  // A form whose submit button calls a deployed web service and writes
+  // the response into the page — the full §3.4 + §4.3 stack in one flow.
+  BrowserEnvironment env;
+  ASSERT_TRUE(env.services()
+                  .Deploy(R"(module namespace calc="urn:calc" port:2001;
+                     declare function calc:add($a, $b) {
+                       xs:integer($a) + xs:integer($b) };)",
+                          "calc.example.com")
+                  .ok());
+  ASSERT_TRUE(env.LoadPage("http://app.example.com/", R"(
+    <html><head><script type="text/xqueryp"><![CDATA[
+    import module namespace calc = "urn:calc"
+      at "http://calc.example.com:2001/wsdl";
+    declare updating function local:go($e, $o) {
+      replace value of //span[@id="out"]
+        with calc:add(string(//input[@id="a"]/@value),
+                      string(//input[@id="b"]/@value))
+    };
+    on event "onclick" at //input[@id="go"] attach listener local:go
+    ]]></script></head><body>
+    <input id="a" value="19"/><input id="b" value="23"/>
+    <input type="button" id="go"/><span id="out">?</span>
+    </body></html>)")
+                  .ok())
+      << env.ScriptErrors();
+  uint64_t before = env.fabric().stats().requests;
+  ASSERT_TRUE(env.ClickId("go").ok()) << env.ScriptErrors();
+  EXPECT_EQ(env.ById("out")->StringValue(), "42");
+  EXPECT_EQ(env.fabric().stats().requests, before + 1);
+}
+
+TEST(Integration, LargePageManySmallUpdates) {
+  // Stress: a 2 000-row page, a listener that touches one row per event,
+  // 50 events. Exercises id cache invalidation + PUL + dispatch together.
+  std::ostringstream page;
+  page << R"(<html><body><input id="step"/><table id="t">)";
+  for (int i = 0; i < 2000; ++i) {
+    page << "<tr id=\"r" << i << "\"><td>0</td></tr>";
+  }
+  page << R"(</table>
+    <script type="text/xqueryp"><![CDATA[
+    declare variable $cursor := 0;
+    declare updating function local:step($e, $o) {
+      replace value of //tr[@id=concat("r", string($cursor * 40))]/td
+        with "1";
+      set $cursor := $cursor + 1;
+    };
+    on event "onclick" at //input[@id="step"] attach listener local:step
+    ]]></script></body></html>)";
+  BrowserEnvironment env;
+  ASSERT_TRUE(env.LoadPage("http://app.example.com/", page.str()).ok())
+      << env.ScriptErrors();
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(env.ClickId("step").ok()) << env.ScriptErrors();
+  }
+  // Rows 0, 40, 80, ... 1960 flipped to 1.
+  EXPECT_EQ(env.ById("r40")->StringValue(), "1");
+  EXPECT_EQ(env.ById("r1960")->StringValue(), "1");
+  EXPECT_EQ(env.ById("r41")->StringValue(), "0");
+}
+
+TEST(Integration, PromptAndConfirmResponders) {
+  BrowserEnvironment env;
+  env.plugin().prompt_responder = [](const std::string& q) {
+    return q == "Your name?" ? "Ada" : "?";
+  };
+  env.plugin().confirm_responder = [](const std::string&) { return false; };
+  ASSERT_TRUE(env.LoadPage("http://app.example.com/", R"(
+    <html><body><script type="text/xquery">
+    ( browser:alert(concat("hi ", browser:prompt("Your name?"))),
+      browser:alert(string(browser:confirm("Sure?"))) )
+    </script></body></html>)")
+                  .ok());
+  ASSERT_EQ(env.plugin().alerts().size(), 2u);
+  EXPECT_EQ(env.plugin().alerts()[0], "hi Ada");
+  EXPECT_EQ(env.plugin().alerts()[1], "false");
+}
+
+}  // namespace
+}  // namespace xqib

@@ -1,0 +1,274 @@
+// Unit tests for the simulated network: HTTP fabric (resources,
+// handlers, latency accounting, async), the XML store, REST functions,
+// and XQuery-module web services.
+
+#include <gtest/gtest.h>
+
+#include "browser/event_loop.h"
+#include "net/http.h"
+#include "net/rest.h"
+#include "net/webservice.h"
+#include "net/xml_store.h"
+#include "xml/serializer.h"
+#include "xquery/engine.h"
+
+namespace xqib::net {
+namespace {
+
+TEST(HttpFabric, StaticResources) {
+  HttpFabric fabric;
+  fabric.PutResource("http://a.com/x.xml", "<x/>");
+  auto r = fabric.Get("http://a.com/x.xml");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 200);
+  EXPECT_EQ(r->body, "<x/>");
+  EXPECT_FALSE(fabric.Get("http://a.com/missing").ok());
+  EXPECT_EQ(fabric.Get("http://a.com/missing").status().code(), "NETW0404");
+}
+
+TEST(HttpFabric, HandlersLongestPrefixWins) {
+  HttpFabric fabric;
+  fabric.SetHandler("http://a.com/", [](const HttpRequest&) {
+    return Result<HttpResponse>(HttpResponse{200, "root", "text/plain"});
+  });
+  fabric.SetHandler("http://a.com/api/", [](const HttpRequest&) {
+    return Result<HttpResponse>(HttpResponse{200, "api", "text/plain"});
+  });
+  EXPECT_EQ(fabric.Get("http://a.com/other")->body, "root");
+  EXPECT_EQ(fabric.Get("http://a.com/api/v1")->body, "api");
+  // Static resources shadow handlers.
+  fabric.PutResource("http://a.com/api/static", "fixed");
+  EXPECT_EQ(fabric.Get("http://a.com/api/static")->body, "fixed");
+}
+
+TEST(HttpFabric, StatsAndLatencyModel) {
+  HttpFabric fabric;
+  fabric.latency.base_ms = 10;
+  fabric.latency.per_kb_ms = 1;
+  fabric.PutResource("http://a.com/k", std::string(2048, 'x'));
+  (void)fabric.Get("http://a.com/k");
+  (void)fabric.Get("http://a.com/k");
+  EXPECT_EQ(fabric.stats().requests, 2u);
+  EXPECT_EQ(fabric.stats().bytes_served, 4096u);
+  EXPECT_DOUBLE_EQ(fabric.stats().simulated_latency_ms, 2 * (10 + 2));
+  fabric.ResetStats();
+  EXPECT_EQ(fabric.stats().requests, 0u);
+}
+
+TEST(HttpFabric, FailedRequestsStillCounted) {
+  HttpFabric fabric;
+  (void)fabric.Get("http://nowhere/");
+  EXPECT_EQ(fabric.stats().requests, 1u);
+}
+
+TEST(HttpFabric, PutStoresResource) {
+  HttpFabric fabric;
+  auto r = fabric.Put("http://a.com/doc", "<doc/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 201);
+  EXPECT_EQ(fabric.Get("http://a.com/doc")->body, "<doc/>");
+}
+
+TEST(HttpFabric, AsyncDeliversOnLoopAfterLatency) {
+  HttpFabric fabric;
+  fabric.latency.base_ms = 25;
+  fabric.PutResource("http://a.com/x", "payload");
+  browser::EventLoop loop;
+  std::string got;
+  fabric.GetAsync("http://a.com/x", &loop,
+                  [&](Result<HttpResponse> r) { got = r->body; });
+  EXPECT_EQ(got, "");  // not yet delivered
+  loop.RunUntilIdle();
+  EXPECT_EQ(got, "payload");
+  EXPECT_GE(loop.now_ms(), 25.0);
+}
+
+TEST(XmlStoreTest, PutGetSerialize) {
+  XmlStore store;
+  ASSERT_TRUE(store.Put("/lib.xml", "<lib><b/></lib>").ok());
+  auto root = store.Get("/lib.xml");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(xml::Serialize(*root), "<lib><b/></lib>");
+  EXPECT_FALSE(store.Get("/nope.xml").ok());
+  EXPECT_TRUE(store.Has("/lib.xml"));
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(XmlStoreTest, LiveDocumentMutationVisibleInSerialization) {
+  XmlStore store;
+  ASSERT_TRUE(store.Put("/d.xml", "<d/>").ok());
+  xml::Node* root = *store.Get("/d.xml");
+  xml::Node* elem = root->document()->CreateElement(xml::QName("new"));
+  root->document()->DocumentElement()->AppendChild(elem);
+  EXPECT_EQ(*store.Serialize("/d.xml"), "<d><new/></d>");
+}
+
+TEST(XmlStoreTest, MountOnFabricServesAndWrites) {
+  XmlStore store;
+  HttpFabric fabric;
+  ASSERT_TRUE(store.Put("/a.xml", "<a/>").ok());
+  store.MountOn(&fabric, "http://db.example.com");
+  EXPECT_EQ(fabric.Get("http://db.example.com/a.xml")->body, "<a/>");
+  HttpRequest put;
+  put.method = "PUT";
+  put.url = "http://db.example.com/b.xml";
+  put.body = "<b/>";
+  ASSERT_TRUE(fabric.Perform(put).ok());
+  EXPECT_TRUE(store.Has("/b.xml"));
+}
+
+TEST(XmlStoreTest, DocResolverBlocksMissing) {
+  XmlStore store;
+  ASSERT_TRUE(store.Put("/x.xml", "<x/>").ok());
+  auto resolver = store.MakeDocResolver();
+  EXPECT_TRUE(resolver("/x.xml").ok());
+  EXPECT_EQ(resolver("/y.xml").status().code(), "FODC0002");
+}
+
+// ------------------------------------------------------------------ REST ---
+
+TEST(Rest, GetParsesXml) {
+  HttpFabric fabric;
+  fabric.PutResource("http://api/x", "<v>41</v>");
+  xquery::Engine engine;
+  auto q = engine.Compile("http:get(\"http://api/x\")//v + 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  xquery::DynamicContext ctx;
+  RegisterRestFunctions(&ctx, &fabric);
+  auto r = (*q)->Run(ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(xdm::SequenceToString(*r), "42");
+}
+
+TEST(Rest, GetTextReturnsRawBody) {
+  HttpFabric fabric;
+  fabric.PutResource("http://api/t", "plain payload", "text/plain");
+  xquery::Engine engine;
+  auto q = engine.Compile("http:get-text(\"http://api/t\")");
+  ASSERT_TRUE(q.ok());
+  xquery::DynamicContext ctx;
+  RegisterRestFunctions(&ctx, &fabric);
+  auto r = (*q)->Run(ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(xdm::SequenceToString(*r), "plain payload");
+}
+
+TEST(Rest, PutWritesNode) {
+  HttpFabric fabric;
+  xquery::Engine engine;
+  auto q = engine.Compile("http:put(\"http://api/out\", <data v=\"1\"/>)");
+  ASSERT_TRUE(q.ok());
+  xquery::DynamicContext ctx;
+  RegisterRestFunctions(&ctx, &fabric);
+  auto r = (*q)->Run(ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(xdm::SequenceToString(*r), "201");
+  EXPECT_EQ(fabric.Get("http://api/out")->body, "<data v=\"1\"/>");
+}
+
+TEST(Rest, ErrorsPropagate) {
+  HttpFabric fabric;
+  xquery::Engine engine;
+  auto q = engine.Compile("http:get(\"http://api/missing\")");
+  ASSERT_TRUE(q.ok());
+  xquery::DynamicContext ctx;
+  RegisterRestFunctions(&ctx, &fabric);
+  EXPECT_EQ((*q)->Run(ctx).status().code(), "NETW0404");
+}
+
+// ------------------------------------------------------------ services ---
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : host_(&fabric_, &store_) {}
+  HttpFabric fabric_;
+  XmlStore store_;
+  ServiceHost host_;
+};
+
+TEST_F(ServiceTest, DeployPublishesWsdl) {
+  ASSERT_TRUE(host_
+                  .Deploy("module namespace ex=\"urn:svc\" port:2001;\n"
+                          "declare function ex:mul($a, $b) { $a * $b };",
+                          "svc.example.com")
+                  .ok());
+  EXPECT_EQ(host_.ServiceUrl("urn:svc"), "http://svc.example.com:2001/");
+  auto wsdl = fabric_.Get("http://svc.example.com:2001/wsdl");
+  ASSERT_TRUE(wsdl.ok());
+  EXPECT_TRUE(wsdl->body.find("name=\"mul\"") != std::string::npos);
+}
+
+TEST_F(ServiceTest, InvokeRunsServerSide) {
+  ASSERT_TRUE(host_
+                  .Deploy("module namespace ex=\"urn:svc\" port:2001;\n"
+                          "declare function ex:mul($a, $b) { $a * $b };",
+                          "svc.example.com")
+                  .ok());
+  xml::QName mul("urn:svc", "ex", "mul");
+  auto r = host_.Invoke("urn:svc", mul,
+                        {xdm::Sequence{xdm::Item::Integer(2)},
+                         xdm::Sequence{xdm::Item::Integer(5)}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(xdm::SequenceToString(*r), "10");
+}
+
+TEST_F(ServiceTest, ServiceFunctionsCanUseTheXmlStore) {
+  ASSERT_TRUE(store_.Put("/inventory.xml",
+                         "<inv><item>5</item><item>7</item></inv>")
+                  .ok());
+  ASSERT_TRUE(host_
+                  .Deploy("module namespace inv=\"urn:inv\" port:2002;\n"
+                          "declare function inv:total() { "
+                          "sum(doc(\"/inventory.xml\")//item) };",
+                          "inv.example.com")
+                  .ok());
+  xml::QName total("urn:inv", "inv", "total");
+  auto r = host_.Invoke("urn:inv", total, {});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(xdm::SequenceToString(*r), "12");
+}
+
+TEST_F(ServiceTest, ClientStubsAccountRoundTrips) {
+  ASSERT_TRUE(host_
+                  .Deploy("module namespace ex=\"urn:svc\" port:2001;\n"
+                          "declare function ex:mul($a, $b) { $a * $b };",
+                          "svc.example.com")
+                  .ok());
+  xquery::Engine engine;
+  auto q = engine.Compile(
+      "import module namespace ab=\"urn:svc\" at \"http://svc/wsdl\";\n"
+      "ab:mul(6, 7)");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  xquery::DynamicContext ctx;
+  ASSERT_TRUE(host_.RegisterClientStubs("urn:svc", &ctx).ok());
+  uint64_t before = fabric_.stats().requests;
+  auto r = (*q)->Run(ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(xdm::SequenceToString(*r), "42");
+  EXPECT_EQ(fabric_.stats().requests, before + 1);  // one RPC round trip
+}
+
+TEST_F(ServiceTest, ServiceFunctionsCanWriteWithFnPut) {
+  ASSERT_TRUE(store_.Put("/log.xml", "<log/>").ok());
+  ASSERT_TRUE(host_
+                  .Deploy("module namespace w=\"urn:w\" port:2003;\n"
+                          "declare function w:save($v) { "
+                          "put(<saved>{$v}</saved>, \"/out.xml\") };",
+                          "w.example.com")
+                  .ok());
+  xml::QName save("urn:w", "w", "save");
+  auto r = host_.Invoke("urn:w", save,
+                        {xdm::Sequence{xdm::Item::Integer(7)}});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(*store_.Serialize("/out.xml"), "<saved>7</saved>");
+}
+
+TEST_F(ServiceTest, UnknownServiceFails) {
+  EXPECT_EQ(host_.Invoke("urn:none", xml::QName("f"), {}).status().code(),
+            "NETW0404");
+  xquery::DynamicContext ctx;
+  EXPECT_EQ(host_.RegisterClientStubs("urn:none", &ctx).code(), "NETW0404");
+}
+
+}  // namespace
+}  // namespace xqib::net

@@ -1,0 +1,461 @@
+// Integration tests for the XQIB plug-in (paper Sections 4-5): page
+// initialization, browser: functions, the event grammar extension, CSS
+// extension, the BOM, security, and the asynchronous "behind" construct.
+
+#include <gtest/gtest.h>
+
+#include "browser/css.h"
+#include "net/rest.h"
+#include "net/webservice.h"
+#include "plugin/plugin.h"
+#include "xml/serializer.h"
+
+namespace xqib::plugin {
+namespace {
+
+using browser::Browser;
+using browser::Event;
+using browser::Window;
+
+class PluginTest : public ::testing::Test {
+ protected:
+  PluginTest()
+      : services_(&fabric_, &store_), plugin_(&browser_, &fabric_, &services_) {
+    plugin_.Install();
+    browser_.policy().set_mode(browser::SecurityPolicy::Mode::kSameOrigin);
+    browser_.page_fetcher = [this](const std::string& url)
+        -> Result<std::string> {
+      auto resp = fabric_.Get(url);
+      if (!resp.ok()) return resp.status();
+      return resp->body;
+    };
+  }
+
+  // Loads page source into the top window (as if fetched from `url`).
+  Window* Load(const std::string& source,
+               const std::string& url = "http://app.example.com/index.xhtml") {
+    Window* w = LoadRaw(source, url);
+    EXPECT_TRUE(plugin_.last_script_error().ok())
+        << plugin_.last_script_error().ToString();
+    return w;
+  }
+
+  // Same, but tolerates script errors (tests that expect them).
+  Window* LoadRaw(const std::string& source,
+                  const std::string& url =
+                      "http://app.example.com/index.xhtml") {
+    Status st = browser_.top_window()->LoadSource(url, source);
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    return browser_.top_window();
+  }
+
+  xml::Node* ById(Window* w, const std::string& id) {
+    return w->document()->GetElementById(id);
+  }
+
+  void Click(xml::Node* target) {
+    Event e;
+    e.type = "onclick";
+    plugin_.FireEvent(target, e);
+  }
+
+  net::HttpFabric fabric_;
+  net::XmlStore store_;
+  net::ServiceHost services_;
+  Browser browser_;
+  XqibPlugin plugin_;
+};
+
+TEST_F(PluginTest, HelloWorldAlertOnLoad) {
+  // The paper's §4.1 hello-world page, verbatim.
+  Load(R"(<html><head>
+      <title>Hello World Page</title>
+      <script type="text/xquery">
+      browser:alert("Hello, World!")
+      </script>
+      </head><body/></html>)");
+  ASSERT_EQ(plugin_.alerts().size(), 1u);
+  EXPECT_EQ(plugin_.alerts()[0], "Hello, World!");
+}
+
+TEST_F(PluginTest, MainBodyCanUpdateTheDom) {
+  Window* w = Load(R"(<html><body><div id="out"/>
+      <script type="text/xquery">
+      insert node <p>generated</p> into //div[@id="out"]
+      </script></body></html>)");
+  xml::Node* out = ById(w, "out");
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(xml::Serialize(out), "<div id=\"out\"><p>generated</p></div>");
+}
+
+TEST_F(PluginTest, LocalMainConvention) {
+  // §5.1: "the code executed when the page is loaded is put in a
+  // function local:main()".
+  Load(R"(<html><body><script type="text/xquery">
+      declare sequential function local:main() {
+        browser:alert("from main")
+      };
+      </script></body></html>)");
+  ASSERT_EQ(plugin_.alerts().size(), 1u);
+  EXPECT_EQ(plugin_.alerts()[0], "from main");
+}
+
+TEST_F(PluginTest, EventAttachAndDispatch) {
+  Window* w = Load(R"(<html><body>
+      <input type="button" id="button" value="Go"/>
+      <div id="log"/>
+      <script type="text/xquery">
+      declare updating function local:onClick($evt, $obj) {
+        insert node <hit>{string($evt/type)}</hit>
+          into //div[@id="log"]
+      };
+      on event "onclick" at //input[@id="button"]
+        attach listener local:onClick
+      </script></body></html>)");
+  Click(ById(w, "button"));
+  Click(ById(w, "button"));
+  EXPECT_EQ(xml::Serialize(ById(w, "log")),
+            "<div id=\"log\"><hit>onclick</hit><hit>onclick</hit></div>");
+}
+
+TEST_F(PluginTest, EventListenerReceivesEventNodeAndTarget) {
+  Window* w = Load(R"(<html><body>
+      <input id="b" value="x"/>
+      <script type="text/xquery">
+      declare sequential function local:l($evt, $obj) {
+        browser:alert(concat(string($evt/type), "@",
+                             string($obj/@id)))
+      };
+      on event "onclick" at //input[@id="b"] attach listener local:l
+      </script></body></html>)");
+  Click(ById(w, "b"));
+  ASSERT_EQ(plugin_.alerts().size(), 1u);
+  EXPECT_EQ(plugin_.alerts()[0], "onclick@b");
+}
+
+TEST_F(PluginTest, EventDetach) {
+  Window* w = Load(R"(<html><body>
+      <input id="b"/><div id="log"/>
+      <script type="text/xquery">
+      declare updating function local:l($evt, $obj) {
+        insert node <hit/> into //div[@id="log"]
+      };
+      declare updating function local:off($evt, $obj) {
+        on event "onclick" at //input[@id="b"] detach listener local:l
+      };
+      { on event "onclick" at //input[@id="b"] attach listener local:l;
+        on event "onoff" at //input[@id="b"] attach listener local:off; }
+      </script></body></html>)");
+  Click(ById(w, "b"));
+  Event off;
+  off.type = "onoff";
+  plugin_.FireEvent(ById(w, "b"), off);
+  Click(ById(w, "b"));
+  EXPECT_EQ(xml::Serialize(ById(w, "log")), "<div id=\"log\"><hit/></div>");
+}
+
+TEST_F(PluginTest, TriggerEventSimulatesClick) {
+  Window* w = Load(R"(<html><body>
+      <input id="myButton"/><div id="log"/>
+      <script type="text/xquery">
+      declare updating function local:l($evt, $obj) {
+        insert node <hit/> into //div[@id="log"]
+      };
+      { on event "onclick" at //input[@id="myButton"]
+          attach listener local:l;
+        trigger event "onclick" at //input[@id="myButton"]; }
+      </script></body></html>)");
+  plugin_.PumpEvents();
+  EXPECT_EQ(xml::Serialize(ById(w, "log")), "<div id=\"log\"><hit/></div>");
+}
+
+TEST_F(PluginTest, EventsBubbleToAncestors) {
+  Window* w = Load(R"(<html><body>
+      <div id="outer"><input id="inner"/></div><div id="log"/>
+      <script type="text/xquery">
+      declare updating function local:l($evt, $obj) {
+        insert node <hit at="{string($obj/@id)}"/> into //div[@id="log"]
+      };
+      { on event "onclick" at //div[@id="outer"] attach listener local:l;
+        on event "onclick" at //input[@id="inner"] attach listener local:l; }
+      </script></body></html>)");
+  Click(ById(w, "inner"));
+  EXPECT_EQ(xml::Serialize(ById(w, "log")),
+            "<div id=\"log\"><hit at=\"inner\"/><hit at=\"outer\"/></div>");
+}
+
+TEST_F(PluginTest, SetAndGetStyle) {
+  // The §4.5 examples.
+  Window* w = Load(R"(<html><body>
+      <table id="thistable"><tr><td>x</td></tr></table>
+      <script type="text/xquery">
+      { set style "border-margin" of //table[@id="thistable"] to "2px";
+        browser:alert(get style "border-margin"
+                      of //table[@id="thistable"]); }
+      </script></body></html>)");
+  EXPECT_EQ(browser::GetStyleProperty(ById(w, "thistable"), "border-margin"),
+            "2px");
+  ASSERT_EQ(plugin_.alerts().size(), 1u);
+  EXPECT_EQ(plugin_.alerts()[0], "2px");
+}
+
+TEST_F(PluginTest, NavigatorAndScreen) {
+  browser_.navigator.app_name = "Internet Explorer";
+  browser_.screen.height = 768;
+  Load(R"(<html><body><script type="text/xquery">
+      { if (browser:navigator()/appName ftcontains "Internet Explorer")
+        then browser:alert("You are running IE") else ();
+        browser:alert(string(browser:screen()/height)); }
+      </script></body></html>)");
+  ASSERT_EQ(plugin_.alerts().size(), 2u);
+  EXPECT_EQ(plugin_.alerts()[0], "You are running IE");
+  EXPECT_EQ(plugin_.alerts()[1], "768");
+}
+
+TEST_F(PluginTest, BrowserTopAndWindowNavigation) {
+  Window* top = browser_.top_window();
+  Window* frame = top->CreateFrame("leftframe");
+  (void)frame->LoadSource("http://app.example.com/frame.xhtml",
+                          "<html><body/></html>");
+  Load(R"(<html><body><script type="text/xquery">
+      browser:alert(string(
+        browser:top()//window[@name="leftframe"]/@name))
+      </script></body></html>)");
+  ASSERT_EQ(plugin_.alerts().size(), 1u);
+  EXPECT_EQ(plugin_.alerts()[0], "leftframe");
+}
+
+TEST_F(PluginTest, ReplaceStatusViaWindowNode) {
+  // §4.2.1: replace value of node browser:self()/status with "Welcome".
+  Load(R"(<html><body><script type="text/xquery">
+      replace value of node browser:self()/status with "Welcome"
+      </script></body></html>)");
+  EXPECT_EQ(browser_.top_window()->status(), "Welcome");
+}
+
+TEST_F(PluginTest, LocationHrefChangeNavigates) {
+  fabric_.PutResource("http://app.example.com/second.xhtml",
+                      "<html><body><p id='second'>two</p></body></html>");
+  Load(R"(<html><body><script type="text/xquery">
+      replace value of node browser:self()/location/href
+        with "http://app.example.com/second.xhtml"
+      </script></body></html>)");
+  EXPECT_EQ(browser_.top_window()->url(),
+            "http://app.example.com/second.xhtml");
+  EXPECT_NE(ById(browser_.top_window(), "second"), nullptr);
+}
+
+TEST_F(PluginTest, SecurityCrossOriginWindowIsEmpty) {
+  Window* top = browser_.top_window();
+  Window* foreign = top->CreateFrame("foreignframe");
+  (void)foreign->LoadSource("http://evil.example.org/index.xhtml",
+                            "<html><body><p id='secret'/></body></html>");
+  Load(R"(<html><body><script type="text/xquery">
+      { browser:alert(string(count(
+          browser:top()//window[@name="foreignframe"])));
+        browser:alert(string(count(
+          browser:top()//window[not(@name)]/*))); }
+      </script></body></html>)");
+  ASSERT_EQ(plugin_.alerts().size(), 2u);
+  // The foreign frame has no name attribute and no children at all: the
+  // accessor learns nothing (paper §4.2.1).
+  EXPECT_EQ(plugin_.alerts()[0], "0");
+  EXPECT_EQ(plugin_.alerts()[1], "0");
+}
+
+TEST_F(PluginTest, SecurityBrowserDocumentDeniedYieldsEmpty) {
+  Window* top = browser_.top_window();
+  Window* foreign = top->CreateFrame("f");
+  (void)foreign->LoadSource("http://evil.example.org/x.xhtml",
+                            "<html><body><p id='secret'/></body></html>");
+  Load(R"(<html><body><script type="text/xquery">
+      browser:alert(string(count(browser:document(
+        browser:top()/frames/window[1]))))
+      </script></body></html>)");
+  ASSERT_EQ(plugin_.alerts().size(), 1u);
+  EXPECT_EQ(plugin_.alerts()[0], "0");
+}
+
+TEST_F(PluginTest, SameOriginFrameDocumentAccessible) {
+  Window* top = browser_.top_window();
+  Window* frame = top->CreateFrame("child");
+  (void)frame->LoadSource("http://app.example.com/frame.xhtml",
+                          "<html><body><p id='inframe'>hi</p></body></html>");
+  Load(R"(<html><body><script type="text/xquery">
+      browser:alert(string(browser:document(
+        browser:self()/frames/window[1])//p[@id="inframe"]))
+      </script></body></html>)");
+  ASSERT_EQ(plugin_.alerts().size(), 1u);
+  EXPECT_EQ(plugin_.alerts()[0], "hi");
+}
+
+TEST_F(PluginTest, FnDocIsBlockedInBrowserProfile) {
+  store_.MountOn(&fabric_, "http://db.example.com/");
+  (void)store_.Put("/lib.xml", "<lib/>");
+  LoadRaw(R"(<html><body><script type="text/xquery">
+      doc("http://db.example.com/lib.xml")
+      </script></body></html>)");
+  // §4.2.1: fn:doc is blocked; the page reports a script error.
+  EXPECT_EQ(plugin_.last_script_error().code(), "BRWS0002");
+}
+
+TEST_F(PluginTest, RestGetWorksInBrowser) {
+  fabric_.PutResource("http://api.example.com/data.xml",
+                      "<data><v>41</v></data>");
+  // Same-origin policy applies to windows, not REST (as in the paper's
+  // mash-up, which calls foreign weather services).
+  Load(R"(<html><body><script type="text/xquery">
+      browser:alert(string(
+        http:get("http://api.example.com/data.xml")//v + 1))
+      </script></body></html>)");
+  ASSERT_EQ(plugin_.alerts().size(), 1u);
+  EXPECT_EQ(plugin_.alerts()[0], "42");
+}
+
+TEST_F(PluginTest, WebServiceImportAndCall) {
+  // §3.4: a web-service module and a client that imports and calls it.
+  ASSERT_TRUE(services_
+                  .Deploy(R"(module namespace ex="www.example.ch" port:2001;
+                     declare option fn:webservice "true";
+                     declare function ex:mul($a, $b) { $a * $b };)",
+                          "www.example.ch")
+                  .ok());
+  Window* w = Load(R"(<html><body>
+      <input name="textbox" value="unset"/>
+      <script type="text/xquery">
+      import module namespace ab="www.example.ch"
+        at "http://www.example.ch:2001/wsdl";
+      replace value of node //input[@name="textbox"]/@value
+        with ab:mul(2, 5)
+      </script></body></html>)");
+  xml::Node* input = nullptr;
+  xml::VisitSubtree(w->document()->root(), [&](xml::Node* n) {
+    if (n->is_element() && n->name().local == "input") input = n;
+  });
+  ASSERT_NE(input, nullptr);
+  EXPECT_EQ(input->GetAttributeValue("value"), "10");
+  EXPECT_GE(fabric_.stats().requests, 1u);
+}
+
+TEST_F(PluginTest, BehindConstructAjaxSuggest) {
+  // The §4.4 AJAX example: onkeyup calls local:showHint(value), which
+  // asynchronously calls the web service "behind" and fills in the hint
+  // when readyState reaches 4.
+  ASSERT_TRUE(services_
+                  .Deploy(R"(module namespace hints="http://example.com" port:2001;
+                     declare function hints:getHint($s) {
+                       concat("Did you mean ", $s, "a?") };)",
+                          "example.com")
+                  .ok());
+  Window* w = Load(R"XQ(<html><head>
+      <script type="text/xquery">
+      import module namespace ab = "http://example.com"
+        at "http://example.com:2001/wsdl";
+      declare updating function local:showHint($str as xs:string) {
+        if (string-length($str) eq 0)
+        then replace value of node //*[@id="txtHint"] with ""
+        else
+          on event "stateChanged" behind ab:getHint($str)
+          attach listener local:onResult
+      };
+      declare updating function local:onResult($readyState, $result) {
+        if ($readyState eq 4)
+        then replace value of node //*[@id="txtHint"] with $result
+        else ()
+      };
+      </script></head><body>
+      <form>First Name: <input type="text" id="text1"
+        onkeyup="local:showHint(value)"/></form>
+      <p>Suggestions: <span id="txtHint"/></p>
+      </body></html>)XQ");
+  Event keyup;
+  keyup.type = "onkeyup";
+  keyup.value = "Ann";
+  plugin_.FireEvent(ById(w, "text1"), keyup);
+  plugin_.PumpEvents();
+  EXPECT_EQ(ById(w, "txtHint")->StringValue(), "Did you mean Anna?");
+}
+
+TEST_F(PluginTest, HistoryFunctions) {
+  fabric_.PutResource("http://app.example.com/a.xhtml",
+                      "<html><body><p id='a'/></body></html>");
+  fabric_.PutResource("http://app.example.com/b.xhtml",
+                      "<html><body><p id='b'/>"
+                      "<script type=\"text/xquery\">"
+                      "browser:historyBack()</script></body></html>");
+  Window* w = browser_.top_window();
+  ASSERT_TRUE(w->Navigate("http://app.example.com/a.xhtml").ok());
+  ASSERT_TRUE(w->Navigate("http://app.example.com/b.xhtml").ok());
+  // b's on-load script navigated back to a.
+  EXPECT_EQ(w->url(), "http://app.example.com/a.xhtml");
+  EXPECT_NE(ById(w, "a"), nullptr);
+}
+
+TEST_F(PluginTest, ShoppingCartXQueryOnly) {
+  // The §6.3 XQuery-only shopping cart; products served via REST
+  // instead of fn:doc (blocked in the browser).
+  fabric_.PutResource("http://shop.example.com/products.xml",
+                      "<products>"
+                      "<product><name>laptop</name></product>"
+                      "<product><name>mouse</name></product>"
+                      "</products>");
+  Window* w = Load(R"(<html><head><script type="text/xqueryp"><![CDATA[
+      declare updating function local:buy($evt, $obj) {
+        insert node <p>{string($obj/@id)}</p> as first
+          into //div[@id="shoppingcart"]
+      };
+      { insert node
+          <div id="productlist">{
+            for $p in http:get(
+              "http://shop.example.com/products.xml")//product
+            return <div>{string($p/name)}
+              <input type="button" value="Buy" id="{$p/name}"/>
+            </div>
+          }</div>
+          into /html/body;
+        on event "onclick" at //input attach listener local:buy; }
+      ]]></script></head><body>
+      <div>Shopping cart</div>
+      <div id="shoppingcart"/>
+      </body></html>)",
+                   "http://shop.example.com/cart.xhtml");
+  // Two products rendered client-side.
+  xml::Node* list = ById(w, "productlist");
+  ASSERT_NE(list, nullptr);
+  EXPECT_EQ(list->children().size(), 2u);
+  // Click "Buy" on the laptop.
+  Click(ById(w, "laptop"));
+  EXPECT_EQ(xml::Serialize(ById(w, "shoppingcart")),
+            "<div id=\"shoppingcart\"><p>laptop</p></div>");
+  Click(ById(w, "mouse"));
+  EXPECT_EQ(xml::Serialize(ById(w, "shoppingcart")),
+            "<div id=\"shoppingcart\"><p>mouse</p><p>laptop</p></div>");
+}
+
+TEST_F(PluginTest, IeTagFoldingRequiresUppercaseXPath) {
+  // §5.1: IE uppercases HTML tags, so XPath must use upper-case names —
+  // "XQuery code could be incompatible between browsers".
+  browser_.parse_options.ie_tag_folding = true;
+  Window* w = Load(R"(<html><body><div id="out"/>
+      <script type="text/xquery">
+      { browser:alert(string(count(//div[@id="out"])));
+        browser:alert(string(count(//DIV[@id="out"])));
+        insert node <hit/> into //DIV[@id="out"]; }
+      </script></body></html>)");
+  ASSERT_EQ(plugin_.alerts().size(), 2u);
+  EXPECT_EQ(plugin_.alerts()[0], "0");  // lower-case test finds nothing
+  EXPECT_EQ(plugin_.alerts()[1], "1");
+  xml::Node* out = ById(w, "out");
+  ASSERT_NE(out, nullptr);
+  ASSERT_EQ(out->children().size(), 1u);
+}
+
+TEST_F(PluginTest, ScriptErrorsDoNotCrashThePage) {
+  LoadRaw(R"(<html><body><script type="text/xquery">
+      1 idiv 0
+      </script></body></html>)");
+  EXPECT_EQ(plugin_.last_script_error().code(), "FOAR0001");
+}
+
+}  // namespace
+}  // namespace xqib::plugin

@@ -1,0 +1,156 @@
+// Unit tests for the XDM layer: atomic values (casts, comparisons,
+// lexical forms), items, effective boolean value, atomization, and
+// document-order sorting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "xdm/item.h"
+#include "xml/xml_parser.h"
+
+namespace xqib::xdm {
+namespace {
+
+TEST(AtomicValues, XPathStringForms) {
+  EXPECT_EQ(AtomicValue::Integer(42).ToXPathString(), "42");
+  EXPECT_EQ(AtomicValue::Integer(-7).ToXPathString(), "-7");
+  EXPECT_EQ(AtomicValue::Double(2.5).ToXPathString(), "2.5");
+  EXPECT_EQ(AtomicValue::Double(1000.0).ToXPathString(), "1000");
+  EXPECT_EQ(AtomicValue::Double(std::nan("")).ToXPathString(), "NaN");
+  EXPECT_EQ(AtomicValue::Double(1e308 * 10).ToXPathString(), "INF");
+  EXPECT_EQ(AtomicValue::Boolean(true).ToXPathString(), "true");
+  EXPECT_EQ(AtomicValue::String("x").ToXPathString(), "x");
+  EXPECT_EQ(AtomicValue::DayTimeDuration(90).ToXPathString(), "PT90S");
+}
+
+TEST(AtomicValues, NumericCoercion) {
+  EXPECT_EQ(*AtomicValue::Untyped("42").ToDouble(), 42.0);
+  EXPECT_EQ(*AtomicValue::Untyped(" 3.5 ").ToDouble(), 3.5);
+  EXPECT_EQ(*AtomicValue::String("-7").ToInteger(), -7);
+  EXPECT_EQ(*AtomicValue::Boolean(true).ToDouble(), 1.0);
+  EXPECT_FALSE(AtomicValue::String("abc").ToDouble().ok());
+  EXPECT_EQ(AtomicValue::String("abc").ToDouble().status().code(),
+            "FORG0001");
+  EXPECT_FALSE(AtomicValue::String("").ToInteger().ok());
+  EXPECT_TRUE(std::isinf(*AtomicValue::String("INF").ToDouble()));
+  EXPECT_TRUE(std::isnan(*AtomicValue::String("NaN").ToDouble()));
+}
+
+TEST(AtomicValues, Casts) {
+  auto cast = [](AtomicValue v, AtomicType t) {
+    auto r = v.CastTo(t);
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? *r : AtomicValue();
+  };
+  EXPECT_EQ(cast(AtomicValue::Integer(5), AtomicType::kString)
+                .string_value(),
+            "5");
+  EXPECT_EQ(cast(AtomicValue::String("true"), AtomicType::kBoolean)
+                .bool_value(),
+            true);
+  EXPECT_EQ(cast(AtomicValue::String("0"), AtomicType::kBoolean)
+                .bool_value(),
+            false);
+  EXPECT_EQ(cast(AtomicValue::Double(3.9), AtomicType::kInteger)
+                .int_value(),
+            3);
+  EXPECT_FALSE(
+      AtomicValue::String("maybe").CastTo(AtomicType::kBoolean).ok());
+}
+
+TEST(AtomicValues, CompareNumericPromotion) {
+  EXPECT_EQ(*AtomicValue::Integer(2).Compare(AtomicValue::Double(2.0)), 0);
+  EXPECT_EQ(*AtomicValue::Integer(1).Compare(AtomicValue::Decimal(1.5)),
+            -1);
+  EXPECT_EQ(*AtomicValue::Untyped("10").Compare(AtomicValue::Integer(9)),
+            1);
+  // NaN is unordered: compare yields the sentinel 2.
+  EXPECT_EQ(*AtomicValue::Double(std::nan("")).Compare(
+                AtomicValue::Integer(1)),
+            2);
+}
+
+TEST(AtomicValues, CompareStringsAndDates) {
+  EXPECT_EQ(*AtomicValue::String("a").Compare(AtomicValue::String("b")),
+            -1);
+  EXPECT_EQ(*AtomicValue::DateTime("2008-01-01T00:00:00")
+                 .Compare(AtomicValue::DateTime("2009-01-01T00:00:00")),
+            -1);
+  EXPECT_FALSE(AtomicValue::MakeQName(xml::QName("a"))
+                   .Compare(AtomicValue::Integer(1))
+                   .ok());
+}
+
+TEST(Items, NodeAtomizationIsUntyped) {
+  auto doc = std::move(xml::ParseDocument("<a>12</a>")).value();
+  Item item = Item::Node(doc->DocumentElement());
+  AtomicValue v = item.Atomize();
+  EXPECT_EQ(v.type(), AtomicType::kUntypedAtomic);
+  EXPECT_EQ(v.string_value(), "12");
+  EXPECT_EQ(item.StringValue(), "12");
+}
+
+TEST(EffectiveBoolean, AllCases) {
+  auto ebv = [](Sequence s) {
+    auto r = EffectiveBooleanValue(s);
+    EXPECT_TRUE(r.ok());
+    return r.ok() && *r;
+  };
+  EXPECT_FALSE(ebv({}));
+  EXPECT_TRUE(ebv({Item::Boolean(true)}));
+  EXPECT_FALSE(ebv({Item::Boolean(false)}));
+  EXPECT_FALSE(ebv({Item::String("")}));
+  EXPECT_TRUE(ebv({Item::String("x")}));
+  EXPECT_FALSE(ebv({Item::Integer(0)}));
+  EXPECT_TRUE(ebv({Item::Integer(-1)}));
+  EXPECT_FALSE(ebv({Item::Double(std::nan(""))}));
+
+  auto doc = std::move(xml::ParseDocument("<a/>")).value();
+  EXPECT_TRUE(ebv({Item::Node(doc->root())}));
+  // Node-first sequences of any length are true.
+  EXPECT_TRUE(ebv({Item::Node(doc->root()), Item::Integer(1)}));
+  // Multi-item atomic sequences raise FORG0006.
+  auto bad = EffectiveBooleanValue({Item::Integer(1), Item::Integer(2)});
+  EXPECT_EQ(bad.status().code(), "FORG0006");
+}
+
+TEST(Sequences, SortDocumentOrderDedup) {
+  auto doc = std::move(xml::ParseDocument("<r><a/><b/><c/></r>")).value();
+  xml::Node* r = doc->DocumentElement();
+  Sequence seq{Item::Node(r->children()[2]), Item::Node(r->children()[0]),
+               Item::Node(r->children()[2]), Item::Node(r->children()[1])};
+  ASSERT_TRUE(SortDocumentOrderDedup(&seq).ok());
+  ASSERT_EQ(seq.size(), 3u);
+  EXPECT_EQ(seq[0].node()->name().local, "a");
+  EXPECT_EQ(seq[1].node()->name().local, "b");
+  EXPECT_EQ(seq[2].node()->name().local, "c");
+  Sequence mixed{Item::Integer(1)};
+  EXPECT_FALSE(SortDocumentOrderDedup(&mixed).ok());
+}
+
+TEST(Sequences, SequenceToString) {
+  EXPECT_EQ(SequenceToString({}), "");
+  EXPECT_EQ(SequenceToString({Item::Integer(1), Item::String("a")}), "1 a");
+}
+
+// Property sweep: CastTo(kString) then back round-trips for values that
+// have exact lexical forms.
+class AtomicRoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(AtomicRoundTrip, IntegerStringInteger) {
+  AtomicValue v = AtomicValue::Integer(GetParam());
+  auto s = v.CastTo(AtomicType::kString);
+  ASSERT_TRUE(s.ok());
+  auto back = s->CastTo(AtomicType::kInteger);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->int_value(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, AtomicRoundTrip,
+                         ::testing::Values(0, 1, -1, 42, -9999999,
+                                           1234567890123LL,
+                                           -1234567890123LL));
+
+}  // namespace
+}  // namespace xqib::xdm

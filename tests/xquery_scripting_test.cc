@@ -1,0 +1,180 @@
+// Tests for the XQuery Scripting Extension (paper §3.3): sequential
+// blocks, variable declaration and assignment, statement-boundary update
+// visibility, while loops, and exit with.
+
+#include <gtest/gtest.h>
+
+#include "xml/serializer.h"
+#include "xml/xml_parser.h"
+#include "xquery/engine.h"
+
+namespace xqib::xquery {
+namespace {
+
+struct Outcome {
+  std::string result;
+  std::string doc;
+  std::string error;
+};
+
+Outcome Exec(const std::string& query, const std::string& xml = "<a/>") {
+  Outcome out;
+  Engine engine;
+  auto q = engine.Compile(query);
+  if (!q.ok()) {
+    out.error = q.status().ToString();
+    return out;
+  }
+  auto doc = std::move(xml::ParseDocument(xml)).value();
+  DynamicContext ctx;
+  DynamicContext::Focus f;
+  f.item = xdm::Item::Node(doc->root());
+  f.position = 1;
+  f.size = 1;
+  f.has_item = true;
+  ctx.set_focus(f);
+  Status b = (*q)->BindGlobals(ctx);
+  if (!b.ok()) {
+    out.error = b.ToString();
+    return out;
+  }
+  auto r = (*q)->Run(ctx);
+  if (!r.ok()) {
+    out.error = r.status().ToString();
+    return out;
+  }
+  out.result = xdm::SequenceToString(*r);
+  out.doc = xml::Serialize(doc->root());
+  return out;
+}
+
+TEST(Blocks, SequentialStatements) {
+  Outcome r = Exec("{ declare variable $x := 1; set $x := $x + 1; $x }");
+  EXPECT_EQ(r.error, "");
+  EXPECT_EQ(r.result, "2");
+}
+
+TEST(Blocks, AssignWithStandardSyntax) {
+  Outcome r = Exec("{ declare variable $x := 5; $x := $x * 2; $x }");
+  EXPECT_EQ(r.result, "10");
+}
+
+TEST(Blocks, TopLevelStatementsWithSemicolons) {
+  // The main body itself can be a statement list (our main-module rule).
+  Outcome r = Exec("declare variable $g := 1; "
+               "set $g := $g + 10; $g");
+  EXPECT_EQ(r.error, "");
+  EXPECT_EQ(r.result, "11");
+}
+
+TEST(Blocks, UpdatesVisibleAtStatementBoundaries) {
+  // §3.3: "updates become visible during the execution of a program".
+  Outcome r = Exec("{ insert node <b/> into /a; count(/a/b) }");
+  EXPECT_EQ(r.result, "1");
+  EXPECT_EQ(r.doc, "<a><b/></a>");
+}
+
+TEST(Blocks, PaperLibraryExample) {
+  // The paper's §3.3 block: insert a book, re-read it (seeing the side
+  // effect), then insert a comment into the inserted copy.
+  Outcome r = Exec(
+      "{ declare variable $b; "
+      "  set $b := //book[title=\"starwars\"]; "
+      "  insert node $b into /lib/books; "
+      "  set $b := /lib/books/book[title=\"starwars\"]; "
+      "  insert node <comment>6 movies</comment> into $b; }",
+      "<lib><shelf><book><title>starwars</title></book></shelf>"
+      "<books/></lib>");
+  EXPECT_EQ(r.error, "");
+  EXPECT_EQ(r.doc,
+            "<lib><shelf><book><title>starwars</title></book></shelf>"
+            "<books><book><title>starwars</title>"
+            "<comment>6 movies</comment></book></books></lib>");
+}
+
+TEST(Blocks, ScopingIsBlockLocal) {
+  Outcome r = Exec("{ declare variable $x := 1; "
+               "  { declare variable $x := 2; $x }; "
+               "  $x }");
+  EXPECT_EQ(r.result, "1");
+}
+
+TEST(Blocks, AssignToUndeclaredFails) {
+  Outcome r = Exec("{ set $nope := 1; $nope }");
+  EXPECT_TRUE(r.error.find("XPDY0002") != std::string::npos) << r.error;
+}
+
+TEST(While, CountsUp) {
+  Outcome r = Exec("{ declare variable $i := 0; "
+               "  while ($i < 5) { set $i := $i + 1; }; "
+               "  $i }");
+  EXPECT_EQ(r.error, "");
+  EXPECT_EQ(r.result, "5");
+}
+
+TEST(While, BuildsDocumentIncrementally) {
+  Outcome r = Exec("{ declare variable $i := 0; "
+               "  while ($i < 3) { "
+               "    insert node <row n=\"{$i}\"/> into /a; "
+               "    set $i := $i + 1; "
+               "  }; "
+               "  count(/a/row) }");
+  EXPECT_EQ(r.result, "3");
+  EXPECT_EQ(r.doc,
+            "<a><row n=\"0\"/><row n=\"1\"/><row n=\"2\"/></a>");
+}
+
+TEST(ExitWith, TerminatesBlock) {
+  Outcome r = Exec("{ declare variable $x := 1; "
+               "  exit with 'done'; "
+               "  set $x := 99; $x }");
+  EXPECT_EQ(r.result, "done");
+}
+
+TEST(ExitWith, TerminatesFunctionOnly) {
+  Outcome r = Exec(
+      "declare sequential function local:f($n) { "
+      "  if ($n > 2) then exit with 'big' else (); "
+      "  'small' }; "
+      "local:f(5), local:f(1)");
+  EXPECT_EQ(r.error, "");
+  EXPECT_EQ(r.result, "big small");
+}
+
+TEST(ExitWith, InsideWhile) {
+  Outcome r = Exec("{ declare variable $i := 0; "
+               "  while (true()) { "
+               "    set $i := $i + 1; "
+               "    if ($i ge 4) then exit with $i else (); "
+               "  }; "
+               "  'unreached' }");
+  EXPECT_EQ(r.result, "4");
+}
+
+TEST(SequentialFunction, PaperEventListenerShape) {
+  // The §4.3.1 listener shape: a sequential function ending in exit with.
+  Outcome r = Exec(
+      "declare sequential function local:listener($evt, $obj) { "
+      "  declare variable $message := <message>Event: {$evt}</message>; "
+      "  exit with string($message) }; "
+      "local:listener('click', 'button1')");
+  EXPECT_EQ(r.error, "");
+  EXPECT_EQ(r.result, "Event: click");
+}
+
+TEST(Scripting, SnapshotVsScriptingContrast) {
+  // In one expression (comma), the second read does NOT see the insert...
+  Outcome snapshot = Exec("(insert node <b/> into /a, count(/a/b))");
+  EXPECT_EQ(snapshot.result, "0");
+  // ...but across block statements it does.
+  Outcome scripted = Exec("{ insert node <b/> into /a; count(/a/b) }");
+  EXPECT_EQ(scripted.result, "1");
+}
+
+TEST(Scripting, DeclareWithoutInitializer) {
+  Outcome r = Exec("{ declare variable $x; count($x) }");
+  EXPECT_EQ(r.result, "0");
+}
+
+}  // namespace
+}  // namespace xqib::xquery
