@@ -78,7 +78,8 @@ void RunLoop(benchmark::State& state, bool optimize) {
   options.optimize = optimize;
   auto q = engine.Compile(
       "sum(for $i in 1 to " + std::to_string(state.range(0)) +
-      " return $i * (2 + 3) - (10 idiv 5))");
+      " return $i * (2 + 3) - (10 idiv 5))",
+      options);
   if (!q.ok()) {
     state.SkipWithError(q.status().ToString().c_str());
     return;
@@ -100,6 +101,42 @@ void BM_A1_HotLoopOptimized(benchmark::State& state) {
   RunLoop(state, true);
 }
 BENCHMARK(BM_A1_HotLoopOptimized)->Arg(1000)->Arg(100000);
+
+// Static-analyzer ablation: exists($i) on a for variable only folds
+// when the optimizer has the analyzer's inferred-cardinality facts —
+// syntactic rewriting cannot prove the variable is a singleton. Both
+// runs use the full syntactic optimizer; only analysis is toggled.
+void RunAnalyzerLoop(benchmark::State& state, bool analyze) {
+  Engine engine;
+  CompileOptions options;
+  options.analyze = analyze;
+  auto q = engine.Compile(
+      "sum(for $i in 1 to " + std::to_string(state.range(0)) +
+      " return (if (exists($i)) then $i else 0))",
+      options);
+  if (!q.ok()) {
+    state.SkipWithError(q.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    DynamicContext ctx;
+    auto r = (*q)->Run(ctx);
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["inferred_rewrites"] =
+      static_cast<double>((*q)->optimizer_stats().inferred_rewrites);
+}
+
+void BM_A1_AnalyzerOff(benchmark::State& state) {
+  RunAnalyzerLoop(state, false);
+}
+BENCHMARK(BM_A1_AnalyzerOff)->Arg(1000)->Arg(100000);
+
+void BM_A1_AnalyzerOn(benchmark::State& state) {
+  RunAnalyzerLoop(state, true);
+}
+BENCHMARK(BM_A1_AnalyzerOn)->Arg(1000)->Arg(100000);
 
 // Compilation overhead of the optimizer itself (paid once per page).
 void BM_A1_CompileCost(benchmark::State& state) {

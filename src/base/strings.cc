@@ -159,6 +159,26 @@ bool IsValidNCName(std::string_view s) {
   return true;
 }
 
+LineCol OffsetToLineCol(std::string_view text, size_t offset) {
+  if (offset > text.size()) offset = text.size();
+  LineCol lc;
+  for (size_t i = 0; i < offset; ++i) {
+    if (text[i] == '\n') {
+      ++lc.line;
+      lc.column = 1;
+    } else {
+      ++lc.column;
+    }
+  }
+  return lc;
+}
+
+std::string FormatLineCol(std::string_view text, size_t offset) {
+  LineCol lc = OffsetToLineCol(text, offset);
+  return "line " + std::to_string(lc.line) + ", column " +
+         std::to_string(lc.column);
+}
+
 std::string DoubleToXPathString(double d) {
   if (std::isnan(d)) return "NaN";
   if (std::isinf(d)) return d > 0 ? "INF" : "-INF";

@@ -46,6 +46,17 @@ void AppendUtf8(uint32_t cp, std::string* out);
 // Number of Unicode codepoints in a UTF-8 string.
 size_t Utf8Length(std::string_view s);
 
+// 1-based line/column of a byte offset inside a source text. Columns
+// count bytes (adequate for the ASCII-dominant scripts we diagnose).
+struct LineCol {
+  int line = 1;
+  int column = 1;
+};
+LineCol OffsetToLineCol(std::string_view text, size_t offset);
+
+// Renders "line L, column C" for diagnostics.
+std::string FormatLineCol(std::string_view text, size_t offset);
+
 // True for XML whitespace characters.
 inline bool IsXmlWhitespace(char c) {
   return c == ' ' || c == '\t' || c == '\r' || c == '\n';

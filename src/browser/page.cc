@@ -59,4 +59,47 @@ std::vector<InlineHandler> ExtractInlineHandlers(xml::Document* doc) {
   return handlers;
 }
 
+bool LooksLikeXQueryHandler(const std::string& code) {
+  size_t colon = code.find(':');
+  size_t paren = code.find('(');
+  return colon != std::string::npos && paren != std::string::npos &&
+         colon < paren;
+}
+
+std::string RewriteInlineHandler(const std::string& code) {
+  std::string out;
+  size_t i = 0;
+  while (i < code.size()) {
+    char c = code[i];
+    if (IsNameStartChar(c)) {
+      size_t start = i;
+      while (i < code.size() && (IsNameChar(code[i]) || code[i] == ':')) ++i;
+      std::string word = code.substr(start, i - start);
+      bool call = i < code.size() && code[i] == '(';
+      bool prefixed = start > 0 && (code[start - 1] == '$' ||
+                                    code[start - 1] == ':');
+      if (!call && !prefixed && word == "value") {
+        out += "$browser:value";
+      } else if (!call && !prefixed && word == "event") {
+        out += "$browser:event";
+      } else if (!call && !prefixed && word == "this") {
+        out += "$browser:target";
+      } else {
+        out += word;
+      }
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      size_t end = code.find(c, i + 1);
+      if (end == std::string::npos) end = code.size() - 1;
+      out += code.substr(i, end - i + 1);
+      i = end + 1;
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
 }  // namespace xqib::browser

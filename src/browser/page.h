@@ -41,6 +41,17 @@ std::vector<InlineHandler> ExtractInlineHandlers(xml::Document* doc);
 
 ScriptLanguage ScriptLanguageFromType(const std::string& type);
 
+// True if an inline handler looks like an XQuery call ("local:f(value)")
+// rather than JavaScript. Shared by the plug-in's handler routing and
+// the xq_lint static checker.
+bool LooksLikeXQueryHandler(const std::string& code);
+
+// Rewrites the JS-flavoured identifiers the paper uses in inline handler
+// attributes (onkeyup="local:showHint(value)") into XQuery variables:
+//   value -> $browser:value, event -> $browser:event,
+//   this  -> $browser:target.
+std::string RewriteInlineHandler(const std::string& code);
+
 }  // namespace xqib::browser
 
 #endif  // XQIB_BROWSER_PAGE_H_

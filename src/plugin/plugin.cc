@@ -12,6 +12,8 @@ namespace xqib::plugin {
 using browser::Browser;
 using browser::Event;
 using browser::InlineHandler;
+using browser::LooksLikeXQueryHandler;
+using browser::RewriteInlineHandler;
 using browser::Script;
 using browser::ScriptLanguage;
 using browser::Window;
@@ -28,55 +30,6 @@ double NowMicros() {
                  std::chrono::steady_clock::now().time_since_epoch())
                  .count()) /
          1000.0;
-}
-
-// True if an inline handler looks like an XQuery call ("local:f(value)")
-// rather than JavaScript.
-bool LooksLikeXQueryHandler(const std::string& code) {
-  size_t colon = code.find(':');
-  size_t paren = code.find('(');
-  return colon != std::string::npos && paren != std::string::npos &&
-         colon < paren;
-}
-
-// Rewrites the JS-flavoured identifiers the paper uses in inline handler
-// attributes (onkeyup="local:showHint(value)") into XQuery variables:
-//   value -> $browser:value, event -> $browser:event,
-//   this  -> $browser:target.
-std::string RewriteInlineHandler(const std::string& code) {
-  std::string out;
-  size_t i = 0;
-  while (i < code.size()) {
-    char c = code[i];
-    if (IsNameStartChar(c)) {
-      size_t start = i;
-      while (i < code.size() && (IsNameChar(code[i]) || code[i] == ':')) ++i;
-      std::string word = code.substr(start, i - start);
-      bool call = i < code.size() && code[i] == '(';
-      bool prefixed = start > 0 && (code[start - 1] == '$' ||
-                                    code[start - 1] == ':');
-      if (!call && !prefixed && word == "value") {
-        out += "$browser:value";
-      } else if (!call && !prefixed && word == "event") {
-        out += "$browser:event";
-      } else if (!call && !prefixed && word == "this") {
-        out += "$browser:target";
-      } else {
-        out += word;
-      }
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      size_t end = code.find(c, i + 1);
-      if (end == std::string::npos) end = code.size() - 1;
-      out += code.substr(i, end - i + 1);
-      i = end + 1;
-      continue;
-    }
-    out.push_back(c);
-    ++i;
-  }
-  return out;
 }
 
 xml::QName BrowserQName(const char* local) {
@@ -182,14 +135,50 @@ Status XqibPlugin::InitializePage(Window* window) {
   }
   last_init_timing_.foreign_us = NowMicros() - t0;
 
-  // Step 4: XQuery scripts (prolog compile, globals, main body).
+  // Step 4a: parse ALL XQuery scripts before running any — the page's
+  // scripts share one static context (a listener registered by script 1
+  // may call a function declared by script 3), so analysis needs every
+  // prolog up front.
+  t0 = NowMicros();
+  std::vector<std::unique_ptr<xquery::Module>> parsed;
   for (const Script& script : scripts) {
     if (script.language != ScriptLanguage::kXQuery &&
         script.language != ScriptLanguage::kXQueryP) {
       continue;
     }
     ++last_init_timing_.xquery_scripts;
-    XQ_RETURN_NOT_OK(RunXQueryScript(page.get(), script.code));
+    XQ_ASSIGN_OR_RETURN(std::unique_ptr<xquery::Module> module,
+                        xquery::ParseModule(script.code));
+    parsed.push_back(std::move(module));
+  }
+
+  // Step 4b: joint static analysis. A script with error-severity
+  // diagnostics rejects the whole page at load time — a broken listener
+  // should fail here, not at event-dispatch time in front of the user.
+  last_diagnostics_.clear();
+  Status analysis_failure;
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    xquery::analysis::Analyzer analyzer;
+    for (size_t j = 0; j < parsed.size(); ++j) {
+      if (j != i) analyzer.AddContextModule(*parsed[j]);
+    }
+    xquery::analysis::AnalysisResult result = analyzer.Analyze(*parsed[i]);
+    if (analysis_failure.ok() && result.has_errors()) {
+      analysis_failure = result.ToStatus();
+    }
+    for (const std::string& key : result.facts.pure_functions) {
+      page->pure_functions.insert(key);
+    }
+    for (auto& d : result.diagnostics) {
+      last_diagnostics_.push_back(std::move(d));
+    }
+  }
+  last_init_timing_.compile_us += NowMicros() - t0;
+  XQ_RETURN_NOT_OK(analysis_failure);
+
+  // Step 4c: install each script (prolog, globals, main body) in order.
+  for (auto& module : parsed) {
+    XQ_RETURN_NOT_OK(RunXQueryModule(page.get(), std::move(module)));
   }
 
   // The Zorba-based plug-in puts on-load code in local:main() (§5.1).
@@ -216,12 +205,8 @@ Status XqibPlugin::InitializePage(Window* window) {
   return Status();
 }
 
-Status XqibPlugin::RunXQueryScript(PageContext* page,
-                                   const std::string& code) {
-  double t0 = NowMicros();
-  XQ_ASSIGN_OR_RETURN(std::unique_ptr<xquery::Module> module,
-                      xquery::ParseModule(code));
-  last_init_timing_.compile_us += NowMicros() - t0;
+Status XqibPlugin::RunXQueryModule(PageContext* page,
+                                   std::unique_ptr<xquery::Module> module) {
   page->sctx->AddModule(*module);
   // (Re)build the evaluator: the static context gained declarations.
   page->evaluator = std::make_unique<xquery::Evaluator>(*page->sctx);
@@ -230,7 +215,7 @@ Status XqibPlugin::RunXQueryScript(PageContext* page,
   }
 
   // Bind this module's globals.
-  t0 = NowMicros();
+  double t0 = NowMicros();
   for (const xquery::VarDecl& decl : module->variables) {
     if (decl.init == nullptr) {
       if (!decl.external) page->ctx->env().Bind(decl.name, Sequence{});
@@ -264,6 +249,15 @@ Status XqibPlugin::RegisterXQueryInlineHandler(PageContext* page,
   std::string rewritten = RewriteInlineHandler(handler.code);
   XQ_ASSIGN_OR_RETURN(std::unique_ptr<xquery::Module> module,
                       xquery::ParseModule(rewritten));
+  // Inline handlers get the same load-time checking as script blocks:
+  // an onclick calling an undeclared function is rejected here.
+  xquery::analysis::Analyzer analyzer;
+  for (const auto& m : page->modules) analyzer.AddContextModule(*m);
+  xquery::analysis::AnalysisResult analyzed = analyzer.Analyze(*module);
+  for (auto& d : analyzed.diagnostics) {
+    last_diagnostics_.push_back(std::move(d));
+  }
+  XQ_RETURN_NOT_OK(analyzed.ToStatus());
   const Expr* body = module->body.get();
   if (body == nullptr) return Status();
   page->handler_modules.push_back(std::move(module));
@@ -337,8 +331,10 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
                                 const Event& event) {
   // Listener signature per §4.3.1: ($evt, $obj).
   std::vector<Sequence> args;
+  size_t arity = 0;
   const xquery::FunctionDecl* decl = page->sctx->FindFunction(function, 2);
   if (decl != nullptr) {
+    arity = 2;
     args.push_back(Sequence{Item::Node(MaterializeEvent(page, event))});
     // $obj is the node the listener is attached to (DOM `this`, i.e. the
     // current target while capturing/bubbling), not the original target.
@@ -346,6 +342,7 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
                                                      : event.target;
     args.push_back(obj != nullptr ? Sequence{Item::Node(obj)} : Sequence{});
   } else if (page->sctx->FindFunction(function, 1) != nullptr) {
+    arity = 1;
     args.push_back(Sequence{Item::Node(MaterializeEvent(page, event))});
   } else if (page->sctx->FindFunction(function, 0) == nullptr) {
     last_script_error_ = Status::Error(
@@ -358,6 +355,15 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
   if (page->evaluator->exited()) page->evaluator->TakeExitValue();
   if (!result.ok()) {
     last_script_error_ = result.status();
+    return;
+  }
+  // A listener the analyzer proved DOM-pure cannot have produced update
+  // primitives or touched BOM trees: skip the apply/re-render pass. The
+  // PUL-empty check stays as a belt-and-braces runtime guard.
+  if (page->pure_functions.count(xquery::analysis::AnalysisFacts::FunctionKey(
+          function.Clark(), arity)) > 0 &&
+      page->ctx->pul().empty()) {
+    ++pure_listener_skips_;
     return;
   }
   Status st = ApplyAfterRun(page);

@@ -23,12 +23,14 @@
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "browser/bom.h"
 #include "browser/page.h"
 #include "net/http.h"
 #include "net/webservice.h"
+#include "xquery/analysis/analyzer.h"
 #include "xquery/evaluator.h"
 #include "xquery/parser.h"
 
@@ -90,6 +92,18 @@ class XqibPlugin : public xquery::BrowserBinding {
   // Status of the last script error (pages must not crash the browser).
   const Status& last_script_error() const { return last_script_error_; }
 
+  // Static-analysis diagnostics from the last page load (all scripts,
+  // warnings included). A page whose scripts carry error-severity
+  // diagnostics is rejected at load time: InitializePage fails with the
+  // first error, rendered exactly as xq_lint renders it.
+  const std::vector<xquery::analysis::Diagnostic>& last_diagnostics() const {
+    return last_diagnostics_;
+  }
+
+  // Number of listener invocations whose post-run apply/re-render pass
+  // was skipped because the analyzer proved the listener DOM-pure.
+  size_t pure_listener_skips() const { return pure_listener_skips_; }
+
   // --- BrowserBinding (grammar extensions §4.3-4.5) ---
   Status AttachListener(const std::string& event_name,
                         const xdm::Sequence& targets,
@@ -125,6 +139,9 @@ class XqibPlugin : public xquery::BrowserBinding {
     std::unique_ptr<xquery::Evaluator> evaluator;
     std::unique_ptr<xquery::DynamicContext> ctx;
     std::vector<browser::Browser::BomTree> bom_trees;
+    // Declared functions ("Clark#arity") the analyzer proved DOM-pure;
+    // listener calls resolving to one of these skip the apply pass.
+    std::unordered_set<std::string> pure_functions;
   };
 
   std::shared_ptr<PageContext> FindPageShared(const browser::Window* window);
@@ -133,7 +150,10 @@ class XqibPlugin : public xquery::BrowserBinding {
   PageContext* FindPageByDocument(const xml::Document* doc);
 
   void RegisterBrowserFunctions(PageContext* page);
-  Status RunXQueryScript(PageContext* page, const std::string& code);
+  // Installs an already-parsed (and analyzed) script module: adds its
+  // declarations to the static context, binds globals, runs the body.
+  Status RunXQueryModule(PageContext* page,
+                         std::unique_ptr<xquery::Module> module);
   Status RegisterXQueryInlineHandler(PageContext* page,
                                      const browser::InlineHandler& handler);
 
@@ -160,6 +180,8 @@ class XqibPlugin : public xquery::BrowserBinding {
   std::vector<std::string> alerts_;
   InitTiming last_init_timing_;
   Status last_script_error_;
+  std::vector<xquery::analysis::Diagnostic> last_diagnostics_;
+  size_t pure_listener_skips_ = 0;
 };
 
 }  // namespace xqib::plugin

@@ -1,0 +1,111 @@
+#include "xquery/analysis/builtins.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace xqib::xquery::analysis {
+
+const BuiltinSignature* FindFnBuiltin(const std::string& local) {
+  static const std::unordered_map<std::string, BuiltinSignature>* kTable =
+      new std::unordered_map<std::string, BuiltinSignature>{
+          // --- context ---
+          {"position", {0, 0}},
+          {"last", {0, 0}},
+          // --- accessors / conversion ---
+          {"string", {0, 1}},
+          {"data", {1, 1}},
+          {"number", {0, 1}},
+          {"name", {0, 1}},
+          {"local-name", {0, 1}},
+          {"namespace-uri", {0, 1}},
+          {"node-name", {1, 1}},
+          {"root", {0, 1}},
+          {"boolean", {1, 1}},
+          {"not", {1, 1}},
+          {"true", {0, 0}},
+          {"false", {0, 0}},
+          // --- numeric / aggregate ---
+          {"count", {1, 1}},
+          {"abs", {1, 1}},
+          {"ceiling", {1, 1}},
+          {"floor", {1, 1}},
+          {"round", {1, 1}},
+          {"sum", {1, 2}},
+          {"avg", {1, 1}},
+          {"min", {1, 1}},
+          {"max", {1, 1}},
+          // --- strings ---
+          {"concat", {2, -1}},
+          {"string-join", {2, 2}},
+          {"substring", {2, 3}},
+          {"string-length", {0, 1}},
+          {"length", {1, 1}},
+          {"upper-case", {1, 1}},
+          {"lower-case", {1, 1}},
+          {"contains", {2, 2}},
+          {"starts-with", {2, 2}},
+          {"ends-with", {2, 2}},
+          {"substring-before", {2, 2}},
+          {"substring-after", {2, 2}},
+          {"translate", {3, 3}},
+          {"normalize-space", {0, 1}},
+          {"compare", {2, 2}},
+          {"codepoints-to-string", {1, 1}},
+          {"string-to-codepoints", {1, 1}},
+          {"matches", {2, 2}},
+          {"replace", {3, 3}},
+          {"tokenize", {2, 2}},
+          {"encode-for-uri", {1, 1}},
+          // --- sequences ---
+          {"empty", {1, 1}},
+          {"exists", {1, 1}},
+          {"distinct-values", {1, 1}},
+          {"reverse", {1, 1}},
+          {"subsequence", {2, 3}},
+          {"insert-before", {3, 3}},
+          {"remove", {2, 2}},
+          {"index-of", {2, 2}},
+          {"exactly-one", {1, 1}},
+          {"zero-or-one", {1, 1}},
+          {"one-or-more", {1, 1}},
+          {"deep-equal", {2, 2}},
+          // --- documents ---
+          {"doc", {1, 1}},
+          {"doc-available", {1, 1}},
+          {"put", {2, 2}},
+          {"id", {1, 2}},
+          // --- date/time ---
+          {"current-dateTime", {0, 0}},
+          {"current-date", {0, 0}},
+          {"current-time", {0, 0}},
+          {"year-from-dateTime", {1, 1}},
+          {"month-from-dateTime", {1, 1}},
+          {"day-from-dateTime", {1, 1}},
+          {"hours-from-dateTime", {1, 1}},
+          {"minutes-from-dateTime", {1, 1}},
+          {"seconds-from-dateTime", {1, 1}},
+          {"year-from-date", {1, 1}},
+          {"month-from-date", {1, 1}},
+          {"day-from-date", {1, 1}},
+          {"hours-from-time", {1, 1}},
+          {"minutes-from-time", {1, 1}},
+          {"seconds-from-time", {1, 1}},
+          // --- misc ---
+          {"error", {0, 3}},
+          {"serialize", {1, 1}},
+          {"trace", {2, 2}},
+      };
+  auto it = kTable->find(local);
+  return it == kTable->end() ? nullptr : &it->second;
+}
+
+bool IsXsConstructor(const std::string& local) {
+  static const std::unordered_set<std::string>* kCtors =
+      new std::unordered_set<std::string>{
+          "string", "boolean", "integer", "int", "decimal", "double",
+          "float", "anyURI", "untypedAtomic", "dateTime", "date", "time",
+      };
+  return kCtors->count(local) > 0;
+}
+
+}  // namespace xqib::xquery::analysis

@@ -1,0 +1,28 @@
+// Signature table for the builtin function library (fn: namespace) and
+// the xs: constructor functions, used by the analyzer's scope/symbol
+// pass to report undefined functions and arity mismatches at compile
+// time instead of XPST0017 at event-dispatch time.
+
+#ifndef XQIB_XQUERY_ANALYSIS_BUILTINS_H_
+#define XQIB_XQUERY_ANALYSIS_BUILTINS_H_
+
+#include <string>
+
+namespace xqib::xquery::analysis {
+
+struct BuiltinSignature {
+  int min_arity = 0;
+  int max_arity = 0;  // -1 = variadic (fn:concat)
+};
+
+// Looks up an fn: builtin by local name; nullptr when unknown. The table
+// mirrors the dispatch in src/xquery/functions.cc.
+const BuiltinSignature* FindFnBuiltin(const std::string& local);
+
+// True for the xs: constructor functions (xs:integer(...), ...); all are
+// unary. Mirrors the kCtors map in src/xquery/functions.cc.
+bool IsXsConstructor(const std::string& local);
+
+}  // namespace xqib::xquery::analysis
+
+#endif  // XQIB_XQUERY_ANALYSIS_BUILTINS_H_

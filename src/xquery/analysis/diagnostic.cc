@@ -1,0 +1,95 @@
+#include "xquery/analysis/diagnostic.h"
+
+#include <cstdio>
+
+#include "base/strings.h"
+
+namespace xqib::xquery::analysis {
+
+std::string_view SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "error";
+}
+
+std::string Diagnostic::Render() const {
+  std::string out = code + ": " + message;
+  if (span.line > 0) {
+    out += " (line " + std::to_string(span.line) + ", column " +
+           std::to_string(span.column) + ")";
+  }
+  return out;
+}
+
+Status Diagnostic::ToStatus() const {
+  return Status::Error(code, Render());
+}
+
+SourceSpan SpanAt(std::string_view source, size_t offset, size_t length) {
+  SourceSpan span;
+  span.offset = offset;
+  span.length = length;
+  LineCol lc = OffsetToLineCol(source, offset);
+  span.line = lc.line;
+  span.column = lc.column;
+  return span;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diags) {
+  for (const Diagnostic& d : diags) {
+    if (d.severity == Severity::kError) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void AppendJsonString(std::string_view s, std::string* out) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\r': *out += "\\r"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diags) {
+  std::string out = "[";
+  for (size_t i = 0; i < diags.size(); ++i) {
+    const Diagnostic& d = diags[i];
+    if (i > 0) out += ",";
+    out += "{\"code\":";
+    AppendJsonString(d.code, &out);
+    out += ",\"severity\":";
+    AppendJsonString(SeverityName(d.severity), &out);
+    out += ",\"message\":";
+    AppendJsonString(d.message, &out);
+    out += ",\"offset\":" + std::to_string(d.span.offset);
+    out += ",\"length\":" + std::to_string(d.span.length);
+    out += ",\"line\":" + std::to_string(d.span.line);
+    out += ",\"column\":" + std::to_string(d.span.column);
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace xqib::xquery::analysis

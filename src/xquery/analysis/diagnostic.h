@@ -1,0 +1,56 @@
+// Diagnostics produced by the static analyzer (XQSA### codes). Every
+// diagnostic carries a source span so tooling — the xq_lint CLI, the
+// plug-in's load-time rejection path, editors — can point at the exact
+// place in the script that triggered it.
+
+#ifndef XQIB_XQUERY_ANALYSIS_DIAGNOSTIC_H_
+#define XQIB_XQUERY_ANALYSIS_DIAGNOSTIC_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/status.h"
+
+namespace xqib::xquery::analysis {
+
+enum class Severity { kInfo, kWarning, kError };
+
+std::string_view SeverityName(Severity s);
+
+// Half-open byte range in the analyzed script, plus its 1-based
+// line/column (derived from the module's retained source text).
+struct SourceSpan {
+  size_t offset = 0;
+  size_t length = 0;
+  int line = 0;    // 0 = unknown
+  int column = 0;
+};
+
+struct Diagnostic {
+  std::string code;  // "XQSA001"
+  Severity severity = Severity::kError;
+  std::string message;
+  SourceSpan span;
+
+  // "XQSA001: undefined variable $x (line 2, column 7)" — the canonical
+  // rendering, shared verbatim by xq_lint and the plug-in's load errors.
+  std::string Render() const;
+
+  // Wraps the rendered diagnostic in a Status whose error code is the
+  // diagnostic code, for surfacing through the engine's error model.
+  Status ToStatus() const;
+};
+
+// Computes line/column for `span` from the script source.
+SourceSpan SpanAt(std::string_view source, size_t offset, size_t length);
+
+bool HasErrors(const std::vector<Diagnostic>& diags);
+
+// JSON array rendering for `xq_lint --json` (one object per diagnostic:
+// code, severity, message, offset, length, line, column).
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diags);
+
+}  // namespace xqib::xquery::analysis
+
+#endif  // XQIB_XQUERY_ANALYSIS_DIAGNOSTIC_H_

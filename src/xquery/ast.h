@@ -124,6 +124,7 @@ struct Clause {
   xml::QName var;
   xml::QName pos_var;      // "at $i"; empty local means absent
   ExprPtr expr;
+  size_t source_pos = 0;   // byte offset of the bound variable
 };
 
 struct OrderSpec {
@@ -172,6 +173,9 @@ struct SequenceType {
                         kText, kDocument, kEmptySequence };
   ItemKind item = ItemKind::kAnyItem;
   xdm::AtomicType atomic = xdm::AtomicType::kUntypedAtomic;
+  // True when the type was written in the source (an `as` clause); the
+  // static analyzer only trusts declared types.
+  bool declared = false;
 };
 
 struct Expr {
@@ -240,6 +244,7 @@ ExprPtr MakeExpr(ExprKind kind);
 struct Param {
   xml::QName name;
   SequenceType type;
+  size_t source_pos = 0;
 };
 
 // A user function from the prolog.
@@ -251,6 +256,7 @@ struct FunctionDecl {
   bool updating = false;
   bool sequential = false;
   bool external = false;
+  size_t source_pos = 0;  // byte offset of the function name
 };
 
 // A prolog variable declaration.
@@ -258,6 +264,8 @@ struct VarDecl {
   xml::QName name;
   ExprPtr init;  // null for external
   bool external = false;
+  SequenceType type;      // `as` clause; type.declared marks presence
+  size_t source_pos = 0;  // byte offset of the variable name
 };
 
 // A parsed module: prolog + body (body may be null for library modules).
@@ -282,6 +290,10 @@ struct Module {
   std::vector<Import> imports;
 
   ExprPtr body;
+
+  // Original query text, retained so diagnostics can map byte offsets
+  // (Expr::source_pos) to line/column positions.
+  std::string source_text;
 };
 
 }  // namespace xqib::xquery

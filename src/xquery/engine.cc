@@ -74,10 +74,8 @@ Result<std::unique_ptr<CompiledQuery>> Engine::Compile(
 Result<std::unique_ptr<CompiledQuery>> Engine::Compile(
     std::string_view source, const CompileOptions& options) {
   XQ_ASSIGN_OR_RETURN(std::unique_ptr<Module> module, ParseModule(source));
-  OptimizerStats stats;
-  if (options.optimize) {
-    stats = OptimizeModule(module.get(), options.optimizer);
-  }
+  // Imports are resolved before analysis so imported declarations are
+  // visible to the scope pass and the purity fixpoint.
   StaticContext sctx;
   std::vector<const Module*> imported;
   for (const Module::Import& imp : module->imports) {
@@ -88,10 +86,26 @@ Result<std::unique_ptr<CompiledQuery>> Engine::Compile(
     }
     // Unresolved imports are deferred to external functions at run time.
   }
+  analysis::AnalysisResult analyzed;
+  if (options.analyze) {
+    analysis::Analyzer analyzer(options.analyzer);
+    for (const Module* lib : imported) analyzer.AddContextModule(*lib);
+    analyzed = analyzer.Analyze(*module);
+    if (options.strict && analyzed.has_errors()) {
+      return analyzed.ToStatus();
+    }
+  }
+  OptimizerStats stats;
+  if (options.optimize) {
+    stats = OptimizeModule(module.get(), options.optimizer,
+                           options.analyze ? &analyzed.facts : nullptr);
+  }
   sctx.AddModule(*module);
   auto compiled = std::unique_ptr<CompiledQuery>(new CompiledQuery(
       std::move(module), std::move(sctx), std::move(imported)));
   compiled->optimizer_stats_ = stats;
+  compiled->diagnostics_ = std::move(analyzed.diagnostics);
+  compiled->pure_functions_ = std::move(analyzed.facts.pure_functions);
   return compiled;
 }
 

@@ -10,8 +10,11 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
+#include <vector>
 
 #include "base/result.h"
+#include "xquery/analysis/analyzer.h"
 #include "xquery/ast.h"
 #include "xquery/context.h"
 #include "xquery/evaluator.h"
@@ -24,6 +27,14 @@ class Engine;
 struct CompileOptions {
   bool optimize = true;
   OptimizerOptions optimizer;
+  // Static analysis. Lenient by default: diagnostics are collected on
+  // the CompiledQuery (and feed the optimizer's inferred rewrites) but
+  // do not fail compilation — scripts with only dynamic errors still
+  // run. `strict` turns error-severity diagnostics into compile
+  // failures; the plug-in and xq_lint use that mode.
+  bool analyze = true;
+  bool strict = false;
+  analysis::AnalyzerOptions analyzer;
 };
 
 // A compiled main module plus its resolved static context.
@@ -49,6 +60,17 @@ class CompiledQuery {
   Evaluator& evaluator() { return evaluator_; }
   const OptimizerStats& optimizer_stats() const { return optimizer_stats_; }
 
+  // Static-analysis output. Diagnostics include warnings/infos even in
+  // lenient mode; pure_functions lists declared functions ("Clark#arity")
+  // whose bodies provably do not mutate the DOM/BOM — the plug-in event
+  // loop uses this to skip re-render work after pure listeners.
+  const std::vector<analysis::Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+  const std::unordered_set<std::string>& pure_functions() const {
+    return pure_functions_;
+  }
+
  private:
   friend class Engine;
   CompiledQuery(std::unique_ptr<Module> module, StaticContext sctx,
@@ -63,6 +85,10 @@ class CompiledQuery {
   std::vector<const Module*> imported_;  // for global binding order
   Evaluator evaluator_;
   OptimizerStats optimizer_stats_;
+  std::vector<analysis::Diagnostic> diagnostics_;
+  // Note: inferred cardinalities are NOT retained — they key on AST
+  // nodes the optimizer may have replaced. Purity facts key on names.
+  std::unordered_set<std::string> pure_functions_;
 };
 
 // Compiles queries and holds registered library modules (importable by

@@ -59,7 +59,8 @@ Result<Token> Lexer::LexOne() {
     std::string text;
     while (true) {
       if (pos_ >= in_.size()) {
-        return Status::SyntaxError("unterminated string literal");
+        return Status::SyntaxError("unterminated string literal (at " +
+                                   FormatLineCol(in_, tok.pos) + ")");
       }
       char d = in_[pos_];
       if (d == quote) {
@@ -117,7 +118,8 @@ Result<Token> Lexer::LexOne() {
     ++pos_;
     SkipWhitespaceAndComments();
     if (pos_ >= in_.size() || !IsNameStartChar(in_[pos_])) {
-      return Status::SyntaxError("expected variable name after '$'");
+      return Status::SyntaxError("expected variable name after '$' (at " +
+                                 FormatLineCol(in_, tok.pos) + ")");
     }
     size_t start = pos_;
     while (pos_ < in_.size() && IsNameChar(in_[pos_])) ++pos_;
@@ -170,7 +172,7 @@ Result<Token> Lexer::LexOne() {
     }
   }
   return Status::SyntaxError(std::string("unexpected character '") + c +
-                             "' at offset " + std::to_string(tok.pos));
+                             "' (at " + FormatLineCol(in_, tok.pos) + ")");
 }
 
 const Token& Lexer::Peek() { return Peek(0); }

@@ -1,6 +1,7 @@
 #include "xquery/optimizer.h"
 
 #include <cmath>
+#include <limits>
 
 #include "xml/qname.h"
 
@@ -13,8 +14,9 @@ using xdm::AtomicValue;
 
 class Rewriter {
  public:
-  Rewriter(const OptimizerOptions& options, OptimizerStats* stats)
-      : options_(options), stats_(stats) {}
+  Rewriter(const OptimizerOptions& options, OptimizerStats* stats,
+           const analysis::AnalysisFacts* facts)
+      : options_(options), stats_(stats), facts_(facts) {}
 
   void Rewrite(ExprPtr* slot) {
     if (*slot == nullptr) return;
@@ -55,7 +57,14 @@ class Rewriter {
         if (options_.branch_elimination) FoldWhereFalse(slot);
         break;
       case ExprKind::kFunctionCall:
-        if (options_.boolean_simplification) SimplifyBooleanCalls(slot);
+        if (options_.inferred_rewrites) RewriteInferredCall(slot);
+        if (*slot != nullptr && (*slot)->kind == ExprKind::kFunctionCall &&
+            options_.boolean_simplification) {
+          SimplifyBooleanCalls(slot);
+        }
+        break;
+      case ExprKind::kFilter:
+        if (options_.inferred_rewrites) RewriteInferredFilter(slot);
         break;
       case ExprKind::kPath:
         if (options_.path_collapsing) CollapseDescendantSteps(&e);
@@ -336,6 +345,72 @@ class Rewriter {
     *slot = std::move(call);
   }
 
+  const analysis::Cardinality* CardinalityOf(const Expr* e) const {
+    if (facts_ == nullptr) return nullptr;
+    auto it = facts_->cardinality.find(e);
+    return it == facts_->cardinality.end() ? nullptr : &it->second;
+  }
+
+  // Only expressions that can neither fail nor observe evaluation order
+  // may be discarded when a fact makes their value statically known.
+  static bool IsDiscardable(const Expr& e) {
+    return e.kind == ExprKind::kVarRef || e.kind == ExprKind::kLiteral ||
+           e.kind == ExprKind::kContextItem;
+  }
+
+  // count/exists/empty over an argument whose cardinality the analyzer
+  // proved: exists($i) -> true() when $i is bound one-per-iteration by a
+  // for clause — a rewrite the purely syntactic rules can never make.
+  void RewriteInferredCall(ExprPtr* slot) {
+    Expr& e = **slot;
+    bool is_count = IsFnCall(e, "count", 1);
+    bool is_exists = IsFnCall(e, "exists", 1);
+    bool is_empty = IsFnCall(e, "empty", 1);
+    if (!is_count && !is_exists && !is_empty) return;
+    const Expr* arg = e.kids[0].get();
+    if (!IsDiscardable(*arg)) return;
+    const analysis::Cardinality* card = CardinalityOf(arg);
+    if (card == nullptr) return;
+    if (is_count && card->IsExact() &&
+        card->min <= static_cast<uint64_t>(
+                         std::numeric_limits<int64_t>::max())) {
+      ++stats_->inferred_rewrites;
+      ReplaceWithLiteral(
+          slot, AtomicValue::Integer(static_cast<int64_t>(card->min)));
+    } else if (is_exists && card->IsNonEmpty()) {
+      ++stats_->inferred_rewrites;
+      ReplaceWithLiteral(slot, AtomicValue::Boolean(true));
+    } else if (is_exists && card->IsEmpty()) {
+      ++stats_->inferred_rewrites;
+      ReplaceWithLiteral(slot, AtomicValue::Boolean(false));
+    } else if (is_empty && card->IsNonEmpty()) {
+      ++stats_->inferred_rewrites;
+      ReplaceWithLiteral(slot, AtomicValue::Boolean(false));
+    } else if (is_empty && card->IsEmpty()) {
+      ++stats_->inferred_rewrites;
+      ReplaceWithLiteral(slot, AtomicValue::Boolean(true));
+    }
+  }
+
+  // $x[1] -> $x when the analyzer proved $x is a singleton.
+  void RewriteInferredFilter(ExprPtr* slot) {
+    Expr& e = **slot;
+    if (e.predicates.size() != 1) return;
+    const Expr& pred = *e.predicates[0];
+    if (pred.kind != ExprKind::kLiteral ||
+        pred.atom.type() != AtomicType::kInteger ||
+        pred.atom.int_value() != 1) {
+      return;
+    }
+    const Expr* primary = e.kids[0].get();
+    if (!IsDiscardable(*primary)) return;
+    const analysis::Cardinality* card = CardinalityOf(primary);
+    if (card == nullptr || !card->IsSingleton()) return;
+    ++stats_->inferred_rewrites;
+    ExprPtr kept = std::move(e.kids[0]);
+    *slot = std::move(kept);
+  }
+
   // descendant-or-self::node() (no predicates) followed by child::T
   // selects exactly descendant::T; fusing the steps avoids materializing
   // every node of the subtree as an intermediate sequence.
@@ -368,21 +443,23 @@ class Rewriter {
 
   const OptimizerOptions& options_;
   OptimizerStats* stats_;
+  const analysis::AnalysisFacts* facts_;
 };
 
 }  // namespace
 
-OptimizerStats OptimizeExpr(ExprPtr* expr, const OptimizerOptions& options) {
+OptimizerStats OptimizeExpr(ExprPtr* expr, const OptimizerOptions& options,
+                            const analysis::AnalysisFacts* facts) {
   OptimizerStats stats;
-  Rewriter rewriter(options, &stats);
+  Rewriter rewriter(options, &stats, facts);
   rewriter.Rewrite(expr);
   return stats;
 }
 
-OptimizerStats OptimizeModule(Module* module,
-                              const OptimizerOptions& options) {
+OptimizerStats OptimizeModule(Module* module, const OptimizerOptions& options,
+                              const analysis::AnalysisFacts* facts) {
   OptimizerStats stats;
-  Rewriter rewriter(options, &stats);
+  Rewriter rewriter(options, &stats, facts);
   for (VarDecl& decl : module->variables) {
     if (decl.init != nullptr) rewriter.Rewrite(&decl.init);
   }

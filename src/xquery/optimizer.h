@@ -16,10 +16,16 @@
 //   * path collapsing       — descendant-or-self::node()/child::T
 //                             -> descendant::T, avoiding the full-node
 //                             intermediate sequence "//T" otherwise builds
+//   * inferred rewrites     — cardinalities proved by the static analyzer
+//                             (AnalysisFacts) let count/exists/empty and
+//                             positional filters fold on *inferred*
+//                             singletons, not just syntactic ones:
+//                             exists($i) -> true() when $i: exactly-one
 
 #ifndef XQIB_XQUERY_OPTIMIZER_H_
 #define XQIB_XQUERY_OPTIMIZER_H_
 
+#include "xquery/analysis/facts.h"
 #include "xquery/ast.h"
 
 namespace xqib::xquery {
@@ -30,6 +36,7 @@ struct OptimizerOptions {
   bool cardinality_rewrites = true;
   bool boolean_simplification = true;
   bool path_collapsing = true;
+  bool inferred_rewrites = true;  // no-op unless facts are supplied
 };
 
 struct OptimizerStats {
@@ -38,18 +45,23 @@ struct OptimizerStats {
   int cardinality_rewritten = 0;
   int boolean_simplified = 0;
   int paths_collapsed = 0;
+  int inferred_rewrites = 0;
   int total() const {
     return folded_constants + eliminated_branches + cardinality_rewritten +
-           boolean_simplified + paths_collapsed;
+           boolean_simplified + paths_collapsed + inferred_rewrites;
   }
 };
 
 // Rewrites the expression tree in place; returns rewrite statistics.
-OptimizerStats OptimizeExpr(ExprPtr* expr, const OptimizerOptions& options);
+// `facts` (optional) supplies analyzer-inferred cardinalities keyed by
+// the pre-rewrite Expr nodes; run the analyzer on the same tree first.
+OptimizerStats OptimizeExpr(ExprPtr* expr, const OptimizerOptions& options,
+                            const analysis::AnalysisFacts* facts = nullptr);
 
 // Optimizes a whole module: global variable initializers, function
 // bodies, and the query body.
-OptimizerStats OptimizeModule(Module* module, const OptimizerOptions& options);
+OptimizerStats OptimizeModule(Module* module, const OptimizerOptions& options,
+                              const analysis::AnalysisFacts* facts = nullptr);
 
 }  // namespace xqib::xquery
 

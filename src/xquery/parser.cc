@@ -24,6 +24,7 @@ class ParserImpl {
   Result<std::unique_ptr<Module>> ParseModuleAll() {
     auto module = std::make_unique<Module>();
     module_ = module.get();
+    module_->source_text = std::string(lex_.input());
     XQ_RETURN_NOT_OK(ParseProlog());
     if (!module_->is_library) {
       XQ_ASSIGN_OR_RETURN(module_->body, ParseStatementsUntilEof());
@@ -42,9 +43,9 @@ class ParserImpl {
 
   Status Err(std::string_view msg) {
     if (!lex_.status().ok()) return lex_.status();
-    return Status::SyntaxError(std::string(msg) + " (at offset " +
-                               std::to_string(Peek().pos) + ", near '" +
-                               Peek().text + "')");
+    return Status::SyntaxError(std::string(msg) + " (at " +
+                               FormatLineCol(lex_.input(), Peek().pos) +
+                               ", near '" + Peek().text + "')");
   }
 
   bool AtName(std::string_view s) { return Peek().IsName(s); }
@@ -202,9 +203,10 @@ class ParserImpl {
     }
     if (EatName("variable")) {
       VarDecl decl;
+      decl.source_pos = Peek().pos;
       XQ_ASSIGN_OR_RETURN(decl.name, ParseVarName());
       if (EatName("as")) {
-        XQ_RETURN_NOT_OK(ParseSequenceType().status());
+        XQ_ASSIGN_OR_RETURN(decl.type, ParseSequenceType());
       }
       if (EatSymbol(":=") || EatSymbol("=")) {
         XQ_ASSIGN_OR_RETURN(decl.init, ParseExprSingle());
@@ -232,6 +234,7 @@ class ParserImpl {
       fn->updating = updating;
       fn->sequential = sequential;
       if (Peek().kind != TokKind::kName) return Err("expected function name");
+      fn->source_pos = Peek().pos;
       Token name_tok = Next();
       // Function declarations without a prefix default to local:.
       std::string raw = name_tok.text;
@@ -241,6 +244,7 @@ class ParserImpl {
       if (!AtSymbol(")")) {
         while (true) {
           Param p;
+          p.source_pos = Peek().pos;
           XQ_ASSIGN_OR_RETURN(p.name, ParseVarName());
           if (EatName("as")) {
             XQ_ASSIGN_OR_RETURN(p.type, ParseSequenceType());
@@ -319,11 +323,19 @@ class ParserImpl {
   }
 
   Result<ExprPtr> ParseStatement() {
+    size_t start = Peek().pos;
+    XQ_ASSIGN_OR_RETURN(ExprPtr e, ParseStatementBare());
+    if (e != nullptr && e->source_pos == 0) e->source_pos = start;
+    return e;
+  }
+
+  Result<ExprPtr> ParseStatementBare() {
     // declare variable $x := expr   (block-local declaration)
     if (AtName("declare") && Peek(1).IsName("variable")) {
       Next();
       Next();
       ExprPtr decl = MakeExpr(ExprKind::kVarDecl);
+      decl->source_pos = Peek().pos;
       XQ_ASSIGN_OR_RETURN(decl->qname, ParseVarName());
       if (EatName("as")) {
         XQ_RETURN_NOT_OK(ParseSequenceType().status());
@@ -395,6 +407,13 @@ class ParserImpl {
   }
 
   Result<ExprPtr> ParseExprSingle() {
+    size_t start = Peek().pos;
+    XQ_ASSIGN_OR_RETURN(ExprPtr e, ParseExprSingleBare());
+    if (e != nullptr && e->source_pos == 0) e->source_pos = start;
+    return e;
+  }
+
+  Result<ExprPtr> ParseExprSingleBare() {
     const Token& t = Peek();
     if (t.kind == TokKind::kName) {
       const std::string& kw = t.text;
@@ -464,6 +483,7 @@ class ParserImpl {
       XQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
       ExprPtr e = MakeExpr(ExprKind::kLogical);
       e->logical_and = false;
+      e->source_pos = lhs->source_pos;
       e->kids.push_back(std::move(lhs));
       e->kids.push_back(std::move(rhs));
       lhs = std::move(e);
@@ -478,6 +498,7 @@ class ParserImpl {
       XQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
       ExprPtr e = MakeExpr(ExprKind::kLogical);
       e->logical_and = true;
+      e->source_pos = lhs->source_pos;
       e->kids.push_back(std::move(lhs));
       e->kids.push_back(std::move(rhs));
       lhs = std::move(e);
@@ -508,6 +529,7 @@ class ParserImpl {
     XQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseFtContains());
     ExprPtr e = MakeExpr(ExprKind::kComparison);
     e->comp_op = op;
+    e->source_pos = lhs->source_pos;
     e->kids.push_back(std::move(lhs));
     e->kids.push_back(std::move(rhs));
     return e;
@@ -518,6 +540,7 @@ class ParserImpl {
     if (!AtName("ftcontains")) return lhs;
     Next();
     ExprPtr e = MakeExpr(ExprKind::kFtContains);
+    e->source_pos = lhs->source_pos;
     e->kids.push_back(std::move(lhs));
     XQ_ASSIGN_OR_RETURN(e->ft, ParseFtOr());
     return e;
@@ -589,6 +612,7 @@ class ParserImpl {
     Next();
     XQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
     ExprPtr e = MakeExpr(ExprKind::kRange);
+    e->source_pos = lhs->source_pos;
     e->kids.push_back(std::move(lhs));
     e->kids.push_back(std::move(rhs));
     return e;
@@ -602,6 +626,7 @@ class ParserImpl {
       XQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
       ExprPtr e = MakeExpr(ExprKind::kArith);
       e->arith_op = op;
+      e->source_pos = lhs->source_pos;
       e->kids.push_back(std::move(lhs));
       e->kids.push_back(std::move(rhs));
       lhs = std::move(e);
@@ -622,6 +647,7 @@ class ParserImpl {
       XQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseUnion());
       ExprPtr e = MakeExpr(ExprKind::kArith);
       e->arith_op = op;
+      e->source_pos = lhs->source_pos;
       e->kids.push_back(std::move(lhs));
       e->kids.push_back(std::move(rhs));
       lhs = std::move(e);
@@ -636,6 +662,7 @@ class ParserImpl {
       XQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseIntersectExcept());
       ExprPtr e = MakeExpr(ExprKind::kSetOp);
       e->str = "union";
+      e->source_pos = lhs->source_pos;
       e->kids.push_back(std::move(lhs));
       e->kids.push_back(std::move(rhs));
       lhs = std::move(e);
@@ -650,6 +677,7 @@ class ParserImpl {
       XQ_ASSIGN_OR_RETURN(ExprPtr rhs, ParseInstanceOf());
       ExprPtr e = MakeExpr(ExprKind::kSetOp);
       e->str = op;
+      e->source_pos = lhs->source_pos;
       e->kids.push_back(std::move(lhs));
       e->kids.push_back(std::move(rhs));
       lhs = std::move(e);
@@ -664,6 +692,7 @@ class ParserImpl {
       Next();
       ExprPtr e = MakeExpr(ExprKind::kCast);
       e->cast_op = "instance";
+      e->source_pos = lhs->source_pos;
       XQ_ASSIGN_OR_RETURN(e->seq_type, ParseSequenceType());
       e->kids.push_back(std::move(lhs));
       return e;
@@ -682,6 +711,7 @@ class ParserImpl {
       Next();
       ExprPtr e = MakeExpr(ExprKind::kCast);
       e->cast_op = op;
+      e->source_pos = lhs->source_pos;
       XQ_ASSIGN_OR_RETURN(e->seq_type, ParseSequenceType());
       e->kids.push_back(std::move(lhs));
       lhs = std::move(e);
@@ -696,6 +726,7 @@ class ParserImpl {
       Next();
       ExprPtr e = MakeExpr(ExprKind::kCast);
       e->cast_op = "cast";
+      e->source_pos = lhs->source_pos;
       XQ_ASSIGN_OR_RETURN(e->seq_type, ParseSequenceType());
       e->kids.push_back(std::move(lhs));
       return e;
@@ -705,11 +736,13 @@ class ParserImpl {
 
   Result<ExprPtr> ParseUnary() {
     if (AtSymbol("-") || AtSymbol("+")) {
+      size_t start = Peek().pos;
       ArithOp op = AtSymbol("-") ? ArithOp::kSub : ArithOp::kAdd;
       Next();
       XQ_ASSIGN_OR_RETURN(ExprPtr operand, ParseUnary());
       ExprPtr e = MakeExpr(ExprKind::kUnary);
       e->arith_op = op;
+      e->source_pos = start;
       e->kids.push_back(std::move(operand));
       return e;
     }
@@ -720,6 +753,7 @@ class ParserImpl {
 
   Result<ExprPtr> ParsePath() {
     ExprPtr path = MakeExpr(ExprKind::kPath);
+    path->source_pos = Peek().pos;
     bool leading_slash = false;
     if (AtSymbol("/")) {
       Next();
@@ -932,6 +966,7 @@ class ParserImpl {
     XQ_ASSIGN_OR_RETURN(ExprPtr primary, ParsePrimary());
     if (!AtSymbol("[")) return primary;
     ExprPtr filter = MakeExpr(ExprKind::kFilter);
+    filter->source_pos = primary->source_pos;
     filter->kids.push_back(std::move(primary));
     XQ_RETURN_NOT_OK(ParsePredicates(&filter->predicates));
     return filter;
@@ -941,29 +976,35 @@ class ParserImpl {
 
   Result<ExprPtr> ParsePrimary() {
     const Token& t = Peek();
+    size_t start = t.pos;
     switch (t.kind) {
       case TokKind::kString: {
         ExprPtr e = MakeExpr(ExprKind::kLiteral);
+        e->source_pos = start;
         e->atom = xdm::AtomicValue::String(Next().text);
         return e;
       }
       case TokKind::kInteger: {
         ExprPtr e = MakeExpr(ExprKind::kLiteral);
+        e->source_pos = start;
         e->atom = xdm::AtomicValue::Integer(std::stoll(Next().text));
         return e;
       }
       case TokKind::kDecimal: {
         ExprPtr e = MakeExpr(ExprKind::kLiteral);
+        e->source_pos = start;
         e->atom = xdm::AtomicValue::Decimal(std::stod(Next().text));
         return e;
       }
       case TokKind::kDouble: {
         ExprPtr e = MakeExpr(ExprKind::kLiteral);
+        e->source_pos = start;
         e->atom = xdm::AtomicValue::Double(std::stod(Next().text));
         return e;
       }
       case TokKind::kVariable: {
         ExprPtr e = MakeExpr(ExprKind::kVarRef);
+        e->source_pos = start;
         XQ_ASSIGN_OR_RETURN(e->qname, ParseVarName());
         return e;
       }
@@ -1039,6 +1080,7 @@ class ParserImpl {
   Result<ExprPtr> ParseFunctionCall() {
     Token name_tok = Next();
     ExprPtr call = MakeExpr(ExprKind::kFunctionCall);
+    call->source_pos = name_tok.pos;
     XQ_ASSIGN_OR_RETURN(call->qname,
                         ResolveLexical(name_tok.text, NameKind::kFunction));
     XQ_RETURN_NOT_OK(ExpectSymbol("("));
@@ -1427,6 +1469,7 @@ class ParserImpl {
       while (true) {
         Clause clause;
         clause.kind = is_for ? Clause::Kind::kFor : Clause::Kind::kLet;
+        clause.source_pos = Peek().pos;
         XQ_ASSIGN_OR_RETURN(clause.var, ParseVarName());
         if (EatName("as")) {
           XQ_RETURN_NOT_OK(ParseSequenceType().status());
@@ -1493,6 +1536,7 @@ class ParserImpl {
     while (AtName("case")) {
       Next();
       Clause clause;
+      clause.source_pos = Peek().pos;
       if (Peek().kind == TokKind::kVariable) {
         XQ_ASSIGN_OR_RETURN(clause.var, ParseVarName());
         XQ_RETURN_NOT_OK(ExpectName("as"));
@@ -1524,6 +1568,7 @@ class ParserImpl {
     while (true) {
       Clause clause;
       clause.kind = Clause::Kind::kFor;
+      clause.source_pos = Peek().pos;
       XQ_ASSIGN_OR_RETURN(clause.var, ParseVarName());
       if (EatName("as")) {
         XQ_RETURN_NOT_OK(ParseSequenceType().status());
@@ -1719,6 +1764,7 @@ class ParserImpl {
 
   Result<SequenceType> ParseSequenceType() {
     SequenceType st;
+    st.declared = true;
     if (AtName("empty-sequence") && Peek(1).IsSymbol("(")) {
       Next();
       Next();

@@ -27,6 +27,22 @@ TEST(ParserErrors, Syntax) {
   EXPECT_EQ(ParseErrorCode("declare variable $x 1; $x"), "XPST0003");
 }
 
+TEST(ParserErrors, MessagesCarryExactLineAndColumn) {
+  // Every parser/lexer error embeds the position of the offending token.
+  auto message = [](const std::string& query) {
+    auto m = ParseModule(query);
+    return m.ok() ? std::string("OK") : m.status().message();
+  };
+  EXPECT_EQ(message("'unterminated"),
+            "unterminated string literal (at line 1, column 1)");
+  EXPECT_EQ(message("let $x := 1\nreturn $$"),
+            "expected variable name after '$' (at line 2, column 8)");
+  EXPECT_EQ(message("1 2"),
+            "unexpected trailing content (at line 1, column 3, near '2')");
+  EXPECT_EQ(message("if (1)\nthen 2"),
+            "expected 'else' (at line 2, column 7, near '')");
+}
+
 TEST(ParserErrors, UndeclaredPrefix) {
   EXPECT_EQ(ParseErrorCode("zz:func(1)"), "XPST0081");
   EXPECT_EQ(ParseErrorCode("//zz:elem"), "XPST0081");
