@@ -5,6 +5,7 @@
 #include "base/strings.h"
 #include "browser/css.h"
 #include "net/rest.h"
+#include "xquery/optimizer.h"
 #include "xquery/update.h"
 
 namespace xqib::plugin {
@@ -157,6 +158,10 @@ Status XqibPlugin::InitializePage(Window* window) {
   // should fail here, not at event-dispatch time in front of the user.
   last_diagnostics_.clear();
   Status analysis_failure;
+  // Per-module facts are kept for the optimizer: its ordering/elision
+  // and inferred rewrites key off analyzer cardinalities, and the
+  // listener loop re-runs these ASTs on every event.
+  std::vector<xquery::analysis::AnalysisFacts> module_facts(parsed.size());
   for (size_t i = 0; i < parsed.size(); ++i) {
     xquery::analysis::Analyzer analyzer;
     for (size_t j = 0; j < parsed.size(); ++j) {
@@ -172,13 +177,15 @@ Status XqibPlugin::InitializePage(Window* window) {
     for (auto& d : result.diagnostics) {
       last_diagnostics_.push_back(std::move(d));
     }
+    module_facts[i] = std::move(result.facts);
   }
   last_init_timing_.compile_us += NowMicros() - t0;
   XQ_RETURN_NOT_OK(analysis_failure);
 
   // Step 4c: install each script (prolog, globals, main body) in order.
-  for (auto& module : parsed) {
-    XQ_RETURN_NOT_OK(RunXQueryModule(page.get(), std::move(module)));
+  for (size_t i = 0; i < parsed.size(); ++i) {
+    XQ_RETURN_NOT_OK(RunXQueryModule(page.get(), std::move(parsed[i]),
+                                     &module_facts[i]));
   }
 
   // The Zorba-based plug-in puts on-load code in local:main() (§5.1).
@@ -206,10 +213,17 @@ Status XqibPlugin::InitializePage(Window* window) {
 }
 
 Status XqibPlugin::RunXQueryModule(PageContext* page,
-                                   std::unique_ptr<xquery::Module> module) {
+                                   std::unique_ptr<xquery::Module> module,
+                                   const xquery::analysis::AnalysisFacts* facts) {
+  // Optimize before installing: page scripts are compiled once but their
+  // listener bodies run on every event, so the rewrite passes (path
+  // collapsing, ordering elision, constant folding) pay off at dispatch
+  // time.
+  xquery::OptimizeModule(module.get(), xquery::OptimizerOptions(), facts);
   page->sctx->AddModule(*module);
   // (Re)build the evaluator: the static context gained declarations.
   page->evaluator = std::make_unique<xquery::Evaluator>(*page->sctx);
+  page->evaluator->set_options(eval_options_);
   if (services_ != nullptr) {
     services_->RegisterStubsForImports(*module, page->ctx.get());
   }
@@ -258,6 +272,8 @@ Status XqibPlugin::RegisterXQueryInlineHandler(PageContext* page,
     last_diagnostics_.push_back(std::move(d));
   }
   XQ_RETURN_NOT_OK(analyzed.ToStatus());
+  xquery::OptimizeModule(module.get(), xquery::OptimizerOptions(),
+                         &analyzed.facts);
   const Expr* body = module->body.get();
   if (body == nullptr) return Status();
   page->handler_modules.push_back(std::move(module));
@@ -350,8 +366,16 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
                         " with arity 0, 1 or 2");
     return;
   }
+  xquery::Evaluator::EvalStats before = page->evaluator->stats();
   Result<Sequence> result =
       page->evaluator->CallFunction(function, std::move(args), *page->ctx);
+  const xquery::Evaluator::EvalStats& after = page->evaluator->stats();
+  last_event_stats_ = EventStats{
+      after.sorts_elided - before.sorts_elided,
+      after.sorts_performed - before.sorts_performed,
+      after.name_index_hits - before.name_index_hits,
+      after.early_exits - before.early_exits,
+  };
   if (page->evaluator->exited()) page->evaluator->TakeExitValue();
   if (!result.ok()) {
     last_script_error_ = result.status();
@@ -368,6 +392,14 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
   }
   Status st = ApplyAfterRun(page);
   if (!st.ok()) last_script_error_ = st;
+}
+
+void XqibPlugin::set_eval_options(
+    const xquery::Evaluator::EvalOptions& options) {
+  eval_options_ = options;
+  for (auto& [window, page] : pages_) {
+    if (page->evaluator != nullptr) page->evaluator->set_options(options);
+  }
 }
 
 Status XqibPlugin::FireEvent(xml::Node* target, Event event) {

@@ -104,6 +104,24 @@ class XqibPlugin : public xquery::BrowserBinding {
   // was skipped because the analyzer proved the listener DOM-pure.
   size_t pure_listener_skips() const { return pure_listener_skips_; }
 
+  // Path fast-path work done by the most recent listener invocation
+  // (delta of the page evaluator's counters across the call). Benchmarks
+  // assert the per-event dispatch actually hit the fast paths.
+  struct EventStats {
+    uint64_t sorts_elided = 0;
+    uint64_t sorts_performed = 0;
+    uint64_t name_index_hits = 0;
+    uint64_t early_exits = 0;
+  };
+  const EventStats& last_event_stats() const { return last_event_stats_; }
+
+  // Applies `options` to every live page evaluator and to evaluators of
+  // pages loaded later (benchmark ablations flip the fast paths off).
+  void set_eval_options(const xquery::Evaluator::EvalOptions& options);
+  const xquery::Evaluator::EvalOptions& eval_options() const {
+    return eval_options_;
+  }
+
   // --- BrowserBinding (grammar extensions §4.3-4.5) ---
   Status AttachListener(const std::string& event_name,
                         const xdm::Sequence& targets,
@@ -150,10 +168,12 @@ class XqibPlugin : public xquery::BrowserBinding {
   PageContext* FindPageByDocument(const xml::Document* doc);
 
   void RegisterBrowserFunctions(PageContext* page);
-  // Installs an already-parsed (and analyzed) script module: adds its
-  // declarations to the static context, binds globals, runs the body.
+  // Installs an already-parsed (and analyzed) script module: optimizes
+  // it (using the analyzer's `facts` when given), adds its declarations
+  // to the static context, binds globals, runs the body.
   Status RunXQueryModule(PageContext* page,
-                         std::unique_ptr<xquery::Module> module);
+                         std::unique_ptr<xquery::Module> module,
+                         const xquery::analysis::AnalysisFacts* facts);
   Status RegisterXQueryInlineHandler(PageContext* page,
                                      const browser::InlineHandler& handler);
 
@@ -182,6 +202,8 @@ class XqibPlugin : public xquery::BrowserBinding {
   Status last_script_error_;
   std::vector<xquery::analysis::Diagnostic> last_diagnostics_;
   size_t pure_listener_skips_ = 0;
+  EventStats last_event_stats_;
+  xquery::Evaluator::EvalOptions eval_options_;
 };
 
 }  // namespace xqib::plugin

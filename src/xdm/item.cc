@@ -297,6 +297,14 @@ std::string Item::StringValue() const {
   return is_node() ? node_->StringValue() : atom_.ToXPathString();
 }
 
+void Item::AppendStringValue(std::string* out) const {
+  if (is_node()) {
+    node_->AppendStringValue(out);
+  } else {
+    out->append(atom_.ToXPathString());
+  }
+}
+
 AtomicValue Item::Atomize() const {
   if (!is_node()) return atom_;
   // Untyped documents: everything atomizes to xs:untypedAtomic.
@@ -365,7 +373,7 @@ std::string SequenceToString(const Sequence& seq) {
   std::string out;
   for (size_t i = 0; i < seq.size(); ++i) {
     if (i > 0) out += " ";
-    out += seq[i].StringValue();
+    seq[i].AppendStringValue(&out);
   }
   return out;
 }

@@ -111,6 +111,8 @@ class Item {
 
   // fn:string of the item.
   std::string StringValue() const;
+  // Appends fn:string of the item to `out` (single-buffer atomization).
+  void AppendStringValue(std::string* out) const;
 
   // fn:data of the item: the typed value. Element/attribute/text content
   // atomizes to xs:untypedAtomic (we process untyped web pages, §3.1).

@@ -28,34 +28,53 @@ Node* Node::Root() {
   }
 }
 
-std::string Node::StringValue() const {
+namespace {
+
+// Total length of the text descendants of `node` (string-value size for
+// elements/documents), so StringValue can reserve once.
+size_t TextLength(const Node* node) {
+  size_t total = 0;
+  for (const Node* c : node->children()) {
+    if (c->is_text()) {
+      total += c->value().size();
+    } else if (c->is_element()) {
+      total += TextLength(c);
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+void Node::AppendStringValue(std::string* out) const {
   switch (kind_) {
     case NodeKind::kText:
     case NodeKind::kComment:
     case NodeKind::kProcessingInstruction:
     case NodeKind::kAttribute:
-      return value_;
+      out->append(value_);
+      return;
     case NodeKind::kElement:
-    case NodeKind::kDocument: {
-      std::string out;
-      // Iterative DFS collecting text descendants.
-      std::vector<const Node*> stack(children_.rbegin(), children_.rend());
-      while (!stack.empty()) {
-        const Node* n = stack.back();
-        stack.pop_back();
-        if (n->kind_ == NodeKind::kText) {
-          out += n->value_;
-        } else if (n->kind_ == NodeKind::kElement) {
-          for (auto it = n->children_.rbegin(); it != n->children_.rend();
-               ++it) {
-            stack.push_back(*it);
-          }
+    case NodeKind::kDocument:
+      for (const Node* c : children_) {
+        if (c->kind_ == NodeKind::kText) {
+          out->append(c->value_);
+        } else if (c->kind_ == NodeKind::kElement) {
+          c->AppendStringValue(out);
         }
       }
-      return out;
-    }
+      return;
   }
-  return {};
+}
+
+std::string Node::StringValue() const {
+  if (kind_ == NodeKind::kElement || kind_ == NodeKind::kDocument) {
+    std::string out;
+    out.reserve(TextLength(this));
+    AppendStringValue(&out);
+    return out;
+  }
+  return value_;
 }
 
 Node* Node::FindAttribute(std::string_view ns, std::string_view local) const {
@@ -344,6 +363,31 @@ Node* Document::GetElementById(std::string_view id) const {
   }
   auto it = id_cache_.find(std::string(id));
   return it == id_cache_.end() ? nullptr : it->second;
+}
+
+const std::vector<Node*>& Document::ElementsByName(const QName& name) const {
+  // Same wholesale scheme as the id cache: renames, inserts, detaches and
+  // value edits all bump mutation_version_, so a stale index can never be
+  // observed. Rebuilding is one DFS of the attached tree; lookup bursts
+  // between mutations (the plug-in's per-event listener paths) are O(1)
+  // plus the size of the answer.
+  if (name_index_version_ != mutation_version_) {
+    name_index_.clear();
+    std::function<void(const Node*)> visit = [&](const Node* n) {
+      for (const Node* c : n->children_) {
+        if (c->kind_ == NodeKind::kElement) {
+          name_index_[c->name_.Clark()].push_back(const_cast<Node*>(c));
+          visit(c);
+        }
+      }
+    };
+    visit(root_);
+    name_index_version_ = mutation_version_;
+    ++name_index_builds_;
+  }
+  static const std::vector<Node*> kNoNodes;
+  auto it = name_index_.find(name.Clark());
+  return it == name_index_.end() ? kNoNodes : it->second;
 }
 
 void Document::NotifyMutation(Node* target) {

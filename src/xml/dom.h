@@ -59,6 +59,10 @@ class Node {
   // XDM string-value: concatenated descendant text for elements/documents,
   // the literal value otherwise.
   std::string StringValue() const;
+  // Appends the string-value to `out`. StringValue() reserves the exact
+  // length up front and delegates here; atomization-heavy callers can
+  // reuse one buffer across nodes.
+  void AppendStringValue(std::string* out) const;
 
   // Attribute access by expanded name; nullptr if absent.
   Node* FindAttribute(std::string_view ns, std::string_view local) const;
@@ -151,6 +155,16 @@ class Document {
   // mutation invalidates: lookup bursts between mutations are O(1).
   Node* GetElementById(std::string_view id) const;
 
+  // All attached elements with expanded name `name`, in document order.
+  // Backed by a lazily rebuilt whole-tree index with the same wholesale
+  // invalidation scheme as the id cache: any mutation drops it, the next
+  // lookup rebuilds it in one DFS. The evaluator routes whole-tree
+  // descendant name steps (//name) through this so per-event path
+  // evaluation touches only matching nodes.
+  const std::vector<Node*>& ElementsByName(const QName& name) const;
+  // Number of times the name index has been (re)built (tests/benchmarks).
+  uint64_t name_index_builds() const { return name_index_builds_; }
+
   // The document URI (doc("...") key / page URL).
   const std::string& uri() const { return uri_; }
   void set_uri(std::string uri) { uri_ = std::move(uri); }
@@ -188,6 +202,10 @@ class Document {
   uint64_t mutation_version_ = 1;
   mutable uint64_t id_cache_version_ = 0;
   mutable std::unordered_map<std::string, Node*> id_cache_;
+  // Clark name -> attached elements in doc order; same validity rule.
+  mutable uint64_t name_index_version_ = 0;
+  mutable uint64_t name_index_builds_ = 0;
+  mutable std::unordered_map<std::string, std::vector<Node*>> name_index_;
 };
 
 // Visits `node` and all descendants (attributes excluded) in doc order.

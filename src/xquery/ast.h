@@ -115,6 +115,12 @@ struct Step {
   Axis axis = Axis::kChild;
   NodeTest test;
   std::vector<ExprPtr> predicates;
+  // Set by the optimizer's ordering pass: the step's raw output (before
+  // the evaluator's per-step sort) is statically known to be in document
+  // order / duplicate-free given the proven context state. When both
+  // hold the evaluator elides SortDocumentOrderDedup for the step.
+  bool preserves_order = false;
+  bool no_duplicates = false;
 };
 
 // FLWOR / quantified binding clause.

@@ -166,6 +166,94 @@ void AxisNodes(Axis axis, xml::Node* node, std::vector<xml::Node*>* out) {
   }
 }
 
+// Streams the matching nodes of a forward axis from `node` without
+// materializing the full axis: `fn` is invoked per match in document
+// order (`reverse` false) or reverse document order (`reverse` true) and
+// returns false to stop the walk. Returns false when the axis cannot be
+// streamed (reverse axes, following/preceding); the caller then falls
+// back to the materializing EvalStep.
+bool StreamAxis(Axis axis, bool reverse, xml::Node* node,
+                const NodeTest& test,
+                const std::function<bool(xml::Node*)>& fn) {
+  if (IsReverseAxis(axis)) return false;
+  auto emit = [&](xml::Node* n) {
+    return !MatchesNodeTest(test, n, axis) || fn(n);
+  };
+  // Early-stopping subtree walk; emits strictly in (reverse) doc order.
+  std::function<bool(xml::Node*)> walk = [&](xml::Node* n) {
+    if (!reverse) {
+      for (xml::Node* c : n->children()) {
+        if (!emit(c) || !walk(c)) return false;
+      }
+    } else {
+      const std::vector<xml::Node*>& kids = n->children();
+      for (size_t i = kids.size(); i > 0; --i) {
+        if (!walk(kids[i - 1]) || !emit(kids[i - 1])) return false;
+      }
+    }
+    return true;
+  };
+  switch (axis) {
+    case Axis::kSelf:
+      emit(node);
+      return true;
+    case Axis::kChild: {
+      const std::vector<xml::Node*>& kids = node->children();
+      if (!reverse) {
+        for (xml::Node* c : kids) {
+          if (!emit(c)) break;
+        }
+      } else {
+        for (size_t i = kids.size(); i > 0; --i) {
+          if (!emit(kids[i - 1])) break;
+        }
+      }
+      return true;
+    }
+    case Axis::kAttribute: {
+      const std::vector<xml::Node*>& attrs = node->attributes();
+      if (!reverse) {
+        for (xml::Node* a : attrs) {
+          if (!emit(a)) break;
+        }
+      } else {
+        for (size_t i = attrs.size(); i > 0; --i) {
+          if (!emit(attrs[i - 1])) break;
+        }
+      }
+      return true;
+    }
+    case Axis::kDescendant:
+      walk(node);
+      return true;
+    case Axis::kDescendantOrSelf:
+      if (!reverse) {
+        if (emit(node)) walk(node);
+      } else {
+        if (walk(node)) emit(node);
+      }
+      return true;
+    case Axis::kFollowingSibling: {
+      xml::Node* parent = node->parent();
+      if (parent == nullptr || node->is_attribute()) return true;
+      size_t idx = parent->ChildIndex(node);
+      const std::vector<xml::Node*>& sibs = parent->children();
+      if (!reverse) {
+        for (size_t i = idx + 1; i < sibs.size(); ++i) {
+          if (!emit(sibs[i])) break;
+        }
+      } else {
+        for (size_t i = sibs.size(); i > idx + 1; --i) {
+          if (!emit(sibs[i - 1])) break;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;  // following/preceding: materialize
+  }
+}
+
 Result<AtomicValue> RequireSingleAtomic(const Sequence& seq,
                                         std::string_view what) {
   Sequence data = xdm::Atomize(seq);
@@ -228,6 +316,10 @@ Result<Sequence> Evaluator::Eval(const Expr& e, DynamicContext& ctx) {
 }
 
 Result<Sequence> Evaluator::EvalImpl(const Expr& e, DynamicContext& ctx) {
+  // Consume any armed bounded-evaluation limit: it applies to exactly
+  // this expression (paths honor it; every other kind evaluates fully),
+  // so nested evaluations can never observe a stale limit.
+  DynamicContext::EvalLimit limit = ctx.TakeEvalLimit();
   if (exit_flag_) return Sequence{};
   switch (e.kind) {
     case ExprKind::kLiteral:
@@ -270,17 +362,37 @@ Result<Sequence> Evaluator::EvalImpl(const Expr& e, DynamicContext& ctx) {
     case ExprKind::kComparison:
       return EvalComparison(e, ctx);
     case ExprKind::kLogical: {
-      XQ_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.kids[0], ctx));
-      XQ_ASSIGN_OR_RETURN(bool lv, xdm::EffectiveBooleanValue(lhs));
+      XQ_ASSIGN_OR_RETURN(bool lv, EvalBool(*e.kids[0], ctx));
       if (e.logical_and && !lv) return Sequence{Item::Boolean(false)};
       if (!e.logical_and && lv) return Sequence{Item::Boolean(true)};
-      XQ_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.kids[1], ctx));
-      XQ_ASSIGN_OR_RETURN(bool rv, xdm::EffectiveBooleanValue(rhs));
+      XQ_ASSIGN_OR_RETURN(bool rv, EvalBool(*e.kids[1], ctx));
       return Sequence{Item::Boolean(rv)};
     }
     case ExprKind::kPath:
-      return EvalPath(e, ctx);
+      return EvalPath(e, ctx, limit);
     case ExprKind::kFilter: {
+      // Positional shortcut: E[1] / E[last()] over a path primary needs
+      // only the first / last item, so arm an ordered limit. The path
+      // only honors it when its steps prove document order, and the
+      // predicate below still runs either way, so semantics never change.
+      if (options_.bounded_eval && e.predicates.size() == 1 &&
+          e.kids[0]->kind == ExprKind::kPath) {
+        const Expr& pred = *e.predicates[0];
+        bool is_one = pred.kind == ExprKind::kLiteral &&
+                      pred.atom.type() == AtomicType::kInteger &&
+                      pred.atom.int_value() == 1;
+        bool is_last = pred.kind == ExprKind::kFunctionCall &&
+                       pred.kids.empty() &&
+                       pred.qname.ns == xml::kFnNamespace &&
+                       pred.qname.local == "last" &&
+                       sctx_.FindFunction(pred.qname, 0) == nullptr &&
+                       ctx.FindExternal(pred.qname, 0) == nullptr;
+        if (is_one) {
+          ctx.ArmEvalLimit({1, /*ordered=*/true, /*from_end=*/false});
+        } else if (is_last) {
+          ctx.ArmEvalLimit({1, /*ordered=*/true, /*from_end=*/true});
+        }
+      }
       XQ_ASSIGN_OR_RETURN(Sequence input, Eval(*e.kids[0], ctx));
       return ApplyPredicates(e.predicates, std::move(input), ctx);
     }
@@ -289,8 +401,7 @@ Result<Sequence> Evaluator::EvalImpl(const Expr& e, DynamicContext& ctx) {
     case ExprKind::kQuantified:
       return EvalQuantified(e, ctx);
     case ExprKind::kIf: {
-      XQ_ASSIGN_OR_RETURN(Sequence cond, Eval(*e.kids[0], ctx));
-      XQ_ASSIGN_OR_RETURN(bool b, xdm::EffectiveBooleanValue(cond));
+      XQ_ASSIGN_OR_RETURN(bool b, EvalBool(*e.kids[0], ctx));
       return Eval(b ? *e.kids[1] : *e.kids[2], ctx);
     }
     case ExprKind::kFunctionCall:
@@ -377,7 +488,8 @@ Result<Sequence> Evaluator::EvalImpl(const Expr& e, DynamicContext& ctx) {
 
 // -------------------------------------------------------------- paths ---
 
-Result<Sequence> Evaluator::EvalPath(const Expr& e, DynamicContext& ctx) {
+Result<Sequence> Evaluator::EvalPath(const Expr& e, DynamicContext& ctx,
+                                     DynamicContext::EvalLimit limit) {
   Sequence current;
   if (!e.kids.empty()) {
     XQ_ASSIGN_OR_RETURN(current, Eval(*e.kids[0], ctx));
@@ -395,21 +507,165 @@ Result<Sequence> Evaluator::EvalPath(const Expr& e, DynamicContext& ctx) {
     current = {ctx.focus().item};
   }
   if (e.steps.empty()) return current;
+  if (!options_.bounded_eval) limit = DynamicContext::EvalLimit{};
 
-  for (const Step& step : e.steps) {
+  for (size_t si = 0; si < e.steps.size(); ++si) {
+    const Step& step = e.steps[si];
+    const bool last_step = si + 1 == e.steps.size();
+    // Steps annotated by the optimizer's ordering pass need no per-step
+    // sort: their raw output is already in doc order, duplicate-free.
+    const bool elide = options_.honor_sort_elision && step.preserves_order &&
+                       step.no_duplicates;
+    // Bounded modes (final step only). Existence needs any `count`
+    // witnesses; first/last need the true first/last items, which is only
+    // sound when this step's raw output order is proven (elide).
+    const bool exist_mode = last_step && limit.count > 0 && !limit.ordered;
+    const bool first_mode = last_step && limit.count > 0 && limit.ordered &&
+                            !limit.from_end && elide;
+    const bool last_mode = last_step && limit.count > 0 && limit.ordered &&
+                           limit.from_end && elide;
+    // Per-node axis streaming is only possible without predicates (they
+    // need the full per-node sequence for positions).
+    const bool can_stream = step.predicates.empty();
+
     Sequence next;
-    for (const Item& item : current) {
-      if (!item.is_node()) {
-        return Status::Error("XPTY0019",
-                             "path step applied to an atomic value");
+    bool indexed = false;
+    bool exited_early = false;
+
+    if (options_.use_name_index && TryIndexedStep(step, current, &next)) {
+      indexed = true;
+      ++stats_.name_index_hits;
+      if (ctx.profiler != nullptr) {
+        ++ctx.profiler->fast_path().name_index_hits;
       }
-      XQ_ASSIGN_OR_RETURN(Sequence part, EvalStep(step, item.node(), ctx));
-      next.insert(next.end(), part.begin(), part.end());
+      if (!step.predicates.empty()) {
+        XQ_ASSIGN_OR_RETURN(
+            next, ApplyPredicates(step.predicates, std::move(next), ctx));
+      } else if ((exist_mode || first_mode) && next.size() > limit.count) {
+        next.resize(limit.count);
+        exited_early = true;
+      } else if (last_mode && next.size() > limit.count) {
+        next.erase(next.begin(),
+                   next.end() - static_cast<ptrdiff_t>(limit.count));
+        exited_early = true;
+      }
+    } else if (last_mode) {
+      // Collect a doc-order suffix holding at least the last `count`
+      // items: context nodes are walked back to front, each node's axis
+      // in reverse document order, stopping at `count` matches.
+      Sequence rev;  // reverse document order
+      for (size_t i = current.size();
+           i > 0 && rev.size() < limit.count; --i) {
+        const Item& item = current[i - 1];
+        if (!item.is_node()) {
+          return Status::Error("XPTY0019",
+                               "path step applied to an atomic value");
+        }
+        bool streamed =
+            can_stream &&
+            StreamAxis(step.axis, /*reverse=*/true, item.node(), step.test,
+                       [&](xml::Node* n) {
+                         rev.push_back(Item::Node(n));
+                         return rev.size() < limit.count;
+                       });
+        if (!streamed) {
+          XQ_ASSIGN_OR_RETURN(Sequence part,
+                              EvalStep(step, item.node(), ctx));
+          for (size_t j = part.size(); j > 0; --j) {
+            rev.push_back(part[j - 1]);
+          }
+        }
+      }
+      exited_early = true;
+      next.assign(rev.rbegin(), rev.rend());
+    } else {
+      for (const Item& item : current) {
+        if (!item.is_node()) {
+          return Status::Error("XPTY0019",
+                               "path step applied to an atomic value");
+        }
+        bool streamed = false;
+        if ((exist_mode || first_mode) && can_stream) {
+          streamed = StreamAxis(step.axis, /*reverse=*/false, item.node(),
+                                step.test, [&](xml::Node* n) {
+                                  next.push_back(Item::Node(n));
+                                  return next.size() < limit.count;
+                                });
+        }
+        if (!streamed) {
+          XQ_ASSIGN_OR_RETURN(Sequence part,
+                              EvalStep(step, item.node(), ctx));
+          next.insert(next.end(), part.begin(), part.end());
+        }
+        if ((exist_mode || first_mode) && next.size() >= limit.count) {
+          exited_early = true;
+          break;
+        }
+      }
     }
-    XQ_RETURN_NOT_OK(xdm::SortDocumentOrderDedup(&next));
+
+    if (exited_early) {
+      ++stats_.early_exits;
+      if (ctx.profiler != nullptr) ++ctx.profiler->fast_path().early_exits;
+    }
+    // Existence consumers only observe emptiness, so their (possibly
+    // unordered) witnesses skip the sort even without an elision proof.
+    if (indexed || elide || exist_mode) {
+      ++stats_.sorts_elided;
+      if (ctx.profiler != nullptr) ++ctx.profiler->fast_path().sorts_elided;
+    } else {
+      ++stats_.sorts_performed;
+      if (ctx.profiler != nullptr) {
+        ++ctx.profiler->fast_path().sorts_performed;
+      }
+      XQ_RETURN_NOT_OK(xdm::SortDocumentOrderDedup(&next));
+    }
     current = std::move(next);
   }
   return current;
+}
+
+bool Evaluator::TryIndexedStep(const Step& step, const Sequence& current,
+                               Sequence* out) {
+  if (step.axis != Axis::kDescendant &&
+      step.axis != Axis::kDescendantOrSelf) {
+    return false;
+  }
+  // Exact element-name tests only (wildcards would need the full walk).
+  const NodeTest& t = step.test;
+  bool exact_name = (t.kind == NodeTest::Kind::kName ||
+                     t.kind == NodeTest::Kind::kElement) &&
+                    !t.any_name && !t.any_ns && !t.any_local &&
+                    !t.name.local.empty();
+  if (!exact_name) return false;
+  if (current.size() != 1 || !current[0].is_node()) return false;
+  xml::Node* n = current[0].node();
+  xml::Document* doc = n->document();
+  // Whole-tree steps only: from the document node, or from the document
+  // element when it is the root's only element child (then its
+  // descendants are every other attached element).
+  bool from_doc = n == doc->root();
+  bool from_doc_elem = false;
+  if (!from_doc && n->is_element() && n->parent() == doc->root()) {
+    from_doc_elem = true;
+    for (const xml::Node* c : doc->root()->children()) {
+      if (c->is_element() && c != n) {
+        from_doc_elem = false;
+        break;
+      }
+    }
+  }
+  if (!from_doc && !from_doc_elem) return false;
+  const std::vector<xml::Node*>& hits = doc->ElementsByName(t.name);
+  out->clear();
+  out->reserve(hits.size());
+  for (xml::Node* h : hits) {
+    // descendant:: excludes the context node itself; descendant-or-self
+    // keeps it (the document node is never in the element index).
+    if (h == n && step.axis == Axis::kDescendant) continue;
+    out->push_back(Item::Node(h));
+  }
+  return true;
 }
 
 Result<Sequence> Evaluator::EvalStep(const Step& step, xml::Node* node,
@@ -424,10 +680,20 @@ Result<Sequence> Evaluator::EvalStep(const Step& step, xml::Node* node,
     }
   }
   if (step.predicates.empty()) return result;
-  // Predicates see axis order: position 1 is the nearest node on reverse
-  // axes. ApplyPredicates uses the sequence as given.
-  (void)IsReverseAxis(step.axis);
+  // Predicates see axis order, which AxisNodes already provides: reverse
+  // axes are emitted nearest-first, so position 1 is the nearest node.
   return ApplyPredicates(step.predicates, std::move(result), ctx);
+}
+
+Result<bool> Evaluator::EvalBool(const Expr& e, DynamicContext& ctx) {
+  // Paths produce only nodes, so their effective boolean value is pure
+  // non-emptiness: one witness suffices (XQuery §2.3.4 allows skipping
+  // the rest of the evaluation).
+  if (options_.bounded_eval && e.kind == ExprKind::kPath) {
+    ctx.ArmEvalLimit({1, /*ordered=*/false, /*from_end=*/false});
+  }
+  XQ_ASSIGN_OR_RETURN(Sequence v, Eval(e, ctx));
+  return xdm::EffectiveBooleanValue(v);
 }
 
 Result<Sequence> Evaluator::ApplyPredicates(
@@ -444,6 +710,12 @@ Result<Sequence> Evaluator::ApplyPredicates(
       f.size = size;
       f.has_item = true;
       ctx.set_focus(f);
+      // A path predicate is an existence test (its value can only be
+      // nodes, so the numeric-predicate branch below cannot apply): one
+      // witness suffices.
+      if (options_.bounded_eval && pred->kind == ExprKind::kPath) {
+        ctx.ArmEvalLimit({1, /*ordered=*/false, /*from_end=*/false});
+      }
       Result<Sequence> value = Eval(*pred, ctx);
       if (!value.ok()) {
         ctx.set_focus(saved);
@@ -493,8 +765,7 @@ Result<Sequence> Evaluator::EvalFLWOR(const Expr& e, DynamicContext& ctx) {
     if (exit_flag_) return Status();
     if (ci == e.clauses.size()) {
       if (e.where != nullptr) {
-        XQ_ASSIGN_OR_RETURN(Sequence w, Eval(*e.where, ctx));
-        XQ_ASSIGN_OR_RETURN(bool keep, xdm::EffectiveBooleanValue(w));
+        XQ_ASSIGN_OR_RETURN(bool keep, EvalBool(*e.where, ctx));
         if (!keep) return Status();
       }
       Tuple t;
@@ -577,8 +848,7 @@ Result<Sequence> Evaluator::EvalQuantified(const Expr& e,
   ctx.env().PushScope();
   std::function<Status(size_t)> expand = [&](size_t ci) -> Status {
     if (ci == e.clauses.size()) {
-      XQ_ASSIGN_OR_RETURN(Sequence t, Eval(*e.kids[0], ctx));
-      XQ_ASSIGN_OR_RETURN(bool b, xdm::EffectiveBooleanValue(t));
+      XQ_ASSIGN_OR_RETURN(bool b, EvalBool(*e.kids[0], ctx));
       if (every && !b) result = false;
       if (!every && b) result = true;
       return Status();
@@ -746,6 +1016,19 @@ Result<Sequence> Evaluator::EvalSetOp(const Expr& e, DynamicContext& ctx) {
 
 Result<Sequence> Evaluator::EvalFunctionCall(const Expr& e,
                                              DynamicContext& ctx) {
+  // fn:exists / fn:empty / fn:not / fn:boolean over a path argument only
+  // observe (non-)emptiness — one witness node decides them — so the
+  // path may stop at its first hit. Guarded against user-declared or
+  // host-external functions shadowing the fn: names.
+  if (options_.bounded_eval && e.kids.size() == 1 &&
+      e.kids[0]->kind == ExprKind::kPath &&
+      e.qname.ns == xml::kFnNamespace &&
+      (e.qname.local == "exists" || e.qname.local == "empty" ||
+       e.qname.local == "not" || e.qname.local == "boolean") &&
+      sctx_.FindFunction(e.qname, 1) == nullptr &&
+      ctx.FindExternal(e.qname, 1) == nullptr) {
+    ctx.ArmEvalLimit({1, /*ordered=*/false, /*from_end=*/false});
+  }
   std::vector<Sequence> args;
   args.reserve(e.kids.size());
   for (const ExprPtr& kid : e.kids) {
@@ -1308,8 +1591,7 @@ Result<Sequence> Evaluator::EvalBlock(const Expr& e, DynamicContext& ctx) {
 Result<Sequence> Evaluator::EvalWhile(const Expr& e, DynamicContext& ctx) {
   Sequence last;
   while (true) {
-    XQ_ASSIGN_OR_RETURN(Sequence cond, Eval(*e.kids[0], ctx));
-    XQ_ASSIGN_OR_RETURN(bool b, xdm::EffectiveBooleanValue(cond));
+    XQ_ASSIGN_OR_RETURN(bool b, EvalBool(*e.kids[0], ctx));
     if (!b) break;
     XQ_ASSIGN_OR_RETURN(last, Eval(*e.kids[1], ctx));
     XQ_RETURN_NOT_OK(ctx.pul().ApplyAll());

@@ -5,6 +5,7 @@
 #ifndef XQIB_XQUERY_EVALUATOR_H_
 #define XQIB_XQUERY_EVALUATOR_H_
 
+#include <cstdint>
 #include <vector>
 
 #include "base/result.h"
@@ -17,6 +18,32 @@ namespace xqib::xquery {
 class Evaluator {
  public:
   explicit Evaluator(const StaticContext& sctx) : sctx_(sctx) {}
+
+  // Runtime toggles for the path fast paths. All on by default; the
+  // benchmark ablations flip them off to measure each axis in isolation.
+  struct EvalOptions {
+    // Skip SortDocumentOrderDedup for steps the optimizer annotated
+    // order-preserving + duplicate-free.
+    bool honor_sort_elision = true;
+    // Route whole-tree descendant name steps (//name) through the
+    // document's lazily built element-name index.
+    bool use_name_index = true;
+    // Stop path evaluation early for existence tests ([pred], exists,
+    // empty, and/or/if/where conditions) and positional [1]/[last()].
+    bool bounded_eval = true;
+  };
+  const EvalOptions& options() const { return options_; }
+  void set_options(const EvalOptions& options) { options_ = options; }
+
+  // Cumulative fast-path counters across all Eval/CallFunction calls.
+  struct EvalStats {
+    uint64_t sorts_performed = 0;
+    uint64_t sorts_elided = 0;
+    uint64_t name_index_hits = 0;
+    uint64_t early_exits = 0;
+  };
+  const EvalStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = EvalStats{}; }
 
   // Evaluates an expression. Updating sub-expressions append to
   // ctx.pul(); the caller decides when to apply (snapshot vs scripting).
@@ -41,9 +68,19 @@ class Evaluator {
  private:
   // The per-kind dispatch; Eval wraps it with optional profiling.
   Result<xdm::Sequence> EvalImpl(const Expr& e, DynamicContext& ctx);
-  Result<xdm::Sequence> EvalPath(const Expr& e, DynamicContext& ctx);
+  Result<xdm::Sequence> EvalPath(const Expr& e, DynamicContext& ctx,
+                                 DynamicContext::EvalLimit limit);
   Result<xdm::Sequence> EvalStep(const Step& step, xml::Node* node,
                                  DynamicContext& ctx);
+  // Evaluates `e` and returns its effective boolean value; for path
+  // operands it arms an existence limit first so the path stops at the
+  // first witness node.
+  Result<bool> EvalBool(const Expr& e, DynamicContext& ctx);
+  // Whole-tree descendant name step answered from the document's
+  // element-name index; fills *out (doc order, duplicate-free, step
+  // predicates NOT yet applied) and returns true when applicable.
+  bool TryIndexedStep(const Step& step, const xdm::Sequence& current,
+                      xdm::Sequence* out);
   Result<xdm::Sequence> ApplyPredicates(
       const std::vector<ExprPtr>& predicates, xdm::Sequence input,
       DynamicContext& ctx);
@@ -82,6 +119,8 @@ class Evaluator {
   const StaticContext& sctx_;
   bool exit_flag_ = false;
   xdm::Sequence exit_value_;
+  EvalOptions options_;
+  EvalStats stats_;
 };
 
 // Built-in function dispatch (functions.cc). Sets *handled=false if the

@@ -68,6 +68,7 @@ class Rewriter {
         break;
       case ExprKind::kPath:
         if (options_.path_collapsing) CollapseDescendantSteps(&e);
+        if (options_.ordering_elision) AnnotateOrdering(&e);
         break;
       default:
         break;
@@ -439,6 +440,110 @@ class Rewriter {
       out.push_back(std::move(e->steps[i]));
     }
     e->steps = std::move(out);
+  }
+
+  // Abstract state of the context sequence flowing into a step, for the
+  // ordering/dedup elision proof (AnnotateOrdering below).
+  enum class PathCtx {
+    kSingleton,  // at most one node
+    kAntichain,  // doc order, duplicate-free, no node is an ancestor of
+                 // another (e.g. a sibling set)
+    kOrdered,    // doc order, duplicate-free, ancestor pairs possible
+    kUnknown,    // nothing proven
+  };
+
+  // Annotates each step with preserves_order/no_duplicates when the raw
+  // axis output — context items in order, each item's axis nodes in axis
+  // order — is provably already in document order and duplicate-free, so
+  // the evaluator can elide its per-step SortDocumentOrderDedup.
+  //
+  // Soundness hinges on the context-state lattice:
+  //   * child::/attribute:: from an antichain: the selected children of
+  //     distinct non-nested context nodes occupy disjoint doc-order
+  //     ranges, in context order — ordered, duplicate-free. From a
+  //     context with ancestor pairs (kOrdered) the same step can
+  //     interleave or duplicate, so it must sort.
+  //   * descendant::/descendant-or-self:: from an antichain: subtrees of
+  //     non-nested nodes are disjoint — ordered. The result may contain
+  //     ancestor pairs, hence kOrdered, never kAntichain.
+  //   * attribute:: stays elidable even from kOrdered: attribute keys
+  //     fall between their element and its first child in the key
+  //     assignment (AssignKeysDfs), and attributes of distinct elements
+  //     never collide.
+  //   * reverse axes (ancestor, preceding, ...) emit nearest-first, the
+  //     reverse of doc order — never elidable.
+  // Predicates only filter a step's output, so they preserve every
+  // property above and do not affect the state transition.
+  void AnnotateOrdering(Expr* e) {
+    PathCtx state;
+    if (e->kids.empty()) {
+      // Root-anchored ("/a/b") or relative from the focus: one node.
+      state = PathCtx::kSingleton;
+    } else {
+      const analysis::Cardinality* card = CardinalityOf(e->kids[0].get());
+      state = (card != nullptr && card->max <= 1) ? PathCtx::kSingleton
+                                                  : PathCtx::kUnknown;
+    }
+    for (Step& step : e->steps) {
+      bool elide = false;
+      PathCtx next = PathCtx::kOrdered;  // post-sort state
+      bool flat = state == PathCtx::kSingleton ||
+                  state == PathCtx::kAntichain;
+      switch (step.axis) {
+        case Axis::kSelf:
+          if (state != PathCtx::kUnknown) {
+            elide = true;
+            next = state;
+          }
+          break;
+        case Axis::kChild:
+          if (flat) {
+            elide = true;
+            next = PathCtx::kAntichain;
+          }
+          break;
+        case Axis::kAttribute:
+          if (state != PathCtx::kUnknown) {
+            elide = true;
+            next = PathCtx::kAntichain;
+          }
+          break;
+        case Axis::kDescendant:
+        case Axis::kDescendantOrSelf:
+          if (flat) {
+            elide = true;
+            next = PathCtx::kOrdered;
+          }
+          break;
+        case Axis::kParent:
+          if (state == PathCtx::kSingleton) {
+            elide = true;
+            next = PathCtx::kSingleton;
+          }
+          break;
+        case Axis::kFollowingSibling:
+          if (state == PathCtx::kSingleton) {
+            elide = true;
+            next = PathCtx::kAntichain;
+          }
+          break;
+        case Axis::kFollowing:
+          if (state == PathCtx::kSingleton) {
+            elide = true;
+            next = PathCtx::kOrdered;
+          }
+          break;
+        case Axis::kAncestor:
+        case Axis::kAncestorOrSelf:
+        case Axis::kPrecedingSibling:
+        case Axis::kPreceding:
+          break;  // reverse axes emit nearest-first: always sort
+      }
+      step.preserves_order = elide;
+      step.no_duplicates = elide;
+      if (elide) ++stats_->sort_elisions;
+      state = next;
+    }
   }
 
   const OptimizerOptions& options_;

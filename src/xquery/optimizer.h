@@ -21,6 +21,11 @@
 //                             positional filters fold on *inferred*
 //                             singletons, not just syntactic ones:
 //                             exists($i) -> true() when $i: exactly-one
+//   * ordering elision      — path steps whose raw output is provably in
+//                             document order and duplicate-free (e.g. a
+//                             singleton-context child::/attribute::/
+//                             self:: chain) are annotated so the
+//                             evaluator skips SortDocumentOrderDedup
 
 #ifndef XQIB_XQUERY_OPTIMIZER_H_
 #define XQIB_XQUERY_OPTIMIZER_H_
@@ -37,6 +42,7 @@ struct OptimizerOptions {
   bool boolean_simplification = true;
   bool path_collapsing = true;
   bool inferred_rewrites = true;  // no-op unless facts are supplied
+  bool ordering_elision = true;
 };
 
 struct OptimizerStats {
@@ -46,9 +52,11 @@ struct OptimizerStats {
   int boolean_simplified = 0;
   int paths_collapsed = 0;
   int inferred_rewrites = 0;
+  int sort_elisions = 0;  // steps annotated order-preserving + dup-free
   int total() const {
     return folded_constants + eliminated_branches + cardinality_rewritten +
-           boolean_simplified + paths_collapsed + inferred_rewrites;
+           boolean_simplified + paths_collapsed + inferred_rewrites +
+           sort_elisions;
   }
 };
 

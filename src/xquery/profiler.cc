@@ -123,6 +123,14 @@ std::string Profiler::Report(size_t limit) const {
                   e.total_us, DescribeExpr(*e.expr).c_str());
     out += line;
   }
+  std::snprintf(line, sizeof(line),
+                "  path fast path: %llu sorts elided, %llu performed, "
+                "%llu index hits, %llu early exits\n",
+                static_cast<unsigned long long>(fast_path_.sorts_elided),
+                static_cast<unsigned long long>(fast_path_.sorts_performed),
+                static_cast<unsigned long long>(fast_path_.name_index_hits),
+                static_cast<unsigned long long>(fast_path_.early_exits));
+  out += line;
   return out;
 }
 

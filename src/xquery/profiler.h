@@ -42,6 +42,18 @@ class Profiler {
   // Running child-time accumulator used to compute self time.
   double* child_time_slot() { return &child_time_; }
 
+  // Path fast-path counters (PR-2): bumped by the evaluator alongside its
+  // own stats whenever a profiler is attached, and appended to Report()
+  // so hot-spot dumps show how often the fast paths fired.
+  struct FastPathCounters {
+    uint64_t sorts_performed = 0;
+    uint64_t sorts_elided = 0;
+    uint64_t name_index_hits = 0;
+    uint64_t early_exits = 0;
+  };
+  FastPathCounters& fast_path() { return fast_path_; }
+  const FastPathCounters& fast_path() const { return fast_path_; }
+
   // Entries sorted by self time, descending.
   std::vector<Entry> HotSpots() const;
 
@@ -49,11 +61,15 @@ class Profiler {
   std::string Report(size_t limit = 20) const;
 
   uint64_t total_evaluations() const;
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    entries_.clear();
+    fast_path_ = FastPathCounters{};
+  }
 
  private:
   std::unordered_map<const Expr*, Entry> entries_;
   double child_time_ = 0;
+  FastPathCounters fast_path_;
 };
 
 // Short human-readable label for an expression ("FLWOR", "path //a/b",

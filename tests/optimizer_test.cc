@@ -185,8 +185,56 @@ TEST(Optimizer, DisabledRulesDoNothing) {
   off.cardinality_rewrites = false;
   off.boolean_simplification = false;
   off.path_collapsing = false;
+  off.ordering_elision = false;
   OptimizerStats stats = OptimizeModule(module->get(), off);
   EXPECT_EQ(stats.total(), 0);
+}
+
+TEST(OrderingElision, ChildChainsFullyElide) {
+  // Root-anchored child chains stay sorted at every step.
+  EXPECT_EQ(Optimize("/a/b/c").sort_elisions, 3);
+  EXPECT_EQ(Optimize("/a/@id").sort_elisions, 2);
+  // After a descendant step, a child step can interleave: only the
+  // first two steps are provably ordered ("//b" collapses to one
+  // descendant step from the root).
+  EXPECT_EQ(Optimize("//b/c").sort_elisions, 1);
+}
+
+TEST(OrderingElision, ReverseAxesNeverElide) {
+  EXPECT_EQ(Optimize("/a/b/ancestor::*").sort_elisions, 2);
+  EXPECT_EQ(Optimize("/a/b/preceding-sibling::*").sort_elisions, 2);
+  EXPECT_EQ(Optimize("/a/b/preceding::*").sort_elisions, 2);
+}
+
+TEST(OrderingElision, AttributesElideEvenAfterDescendant) {
+  // Attribute keys sort between their element and its first child, and
+  // attributes of distinct elements never collide — elidable even from
+  // a context with ancestor pairs.
+  EXPECT_EQ(Optimize("//@p").sort_elisions, 2);
+}
+
+TEST(OrderingElision, UnknownContextBlocksElision) {
+  // Without analyzer facts, $x has unproven cardinality, so $x/b must
+  // sort; the only elision is "//a" (collapsed to one descendant step).
+  EXPECT_EQ(Optimize("for $x in //a return $x/b").sort_elisions, 1);
+}
+
+TEST(OrderingElision, DisabledFlagLeavesStepsUnannotated) {
+  OptimizerOptions off;
+  off.ordering_elision = false;
+  auto module = ParseModule("/a/b/c");
+  ASSERT_TRUE(module.ok());
+  OptimizerStats stats = OptimizeModule(module->get(), off);
+  EXPECT_EQ(stats.sort_elisions, 0);
+}
+
+TEST(OrderingElision, PreservesSemantics) {
+  const char* xml = "<r><a p='1'><b/><b/></a><a p='2'><b/></a></r>";
+  EXPECT_EQ(EvalBoth("/r/a/b", xml), EvalBoth("/r/a/b", xml));
+  EXPECT_EQ(EvalBoth("count(//a/b)", xml), "3");
+  EXPECT_EQ(EvalBoth("//a/@p", xml), "1 2");
+  EXPECT_EQ(EvalBoth("string-join(for $x in //b return 'b', '')", xml),
+            "bbb");
 }
 
 // Property-style sweep: the optimizer must preserve results on a corpus

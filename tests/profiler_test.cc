@@ -100,6 +100,32 @@ TEST(Profiler, ClearResets) {
   EXPECT_EQ(profiler.total_evaluations(), 0u);
 }
 
+TEST(Profiler, TracksPathFastPathCounters) {
+  Engine engine;
+  auto q = engine.Compile("count(//a) + count(/r/a) + number(exists(//b))");
+  ASSERT_TRUE(q.ok());
+  auto doc =
+      std::move(xml::ParseDocument("<r><a/><b/><a/><b/></r>")).value();
+  DynamicContext ctx;
+  DynamicContext::Focus f;
+  f.item = xdm::Item::Node(doc->root());
+  f.position = 1;
+  f.size = 1;
+  f.has_item = true;
+  ctx.set_focus(f);
+  Profiler profiler;
+  ctx.profiler = &profiler;
+  auto r = (*q)->Run(ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(xdm::SequenceToString(*r), "5");
+  EXPECT_GT(profiler.fast_path().sorts_elided, 0u);
+  EXPECT_GT(profiler.fast_path().name_index_hits, 0u);
+  EXPECT_GT(profiler.fast_path().early_exits, 0u);
+  EXPECT_NE(profiler.Report().find("path fast path"), std::string::npos);
+  profiler.Clear();
+  EXPECT_EQ(profiler.fast_path().sorts_elided, 0u);
+}
+
 TEST(Profiler, NoProfilerMeansNoOverheadPath) {
   // Smoke: evaluation without a profiler still works (the common path).
   Engine engine;

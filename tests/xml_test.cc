@@ -207,6 +207,81 @@ TEST(Dom, GetElementById) {
   EXPECT_EQ(doc->GetElementById("one"), nullptr);
 }
 
+// ---------------------------------------------- element-name index ---
+
+TEST(Dom, ElementsByNameFindsInDocumentOrder) {
+  auto doc = Parse("<r><p/><q><p/><r/></q><p/></r>");
+  const std::vector<Node*>& ps = doc->ElementsByName(QName("p"));
+  ASSERT_EQ(ps.size(), 3u);
+  // Strictly ascending document order.
+  EXPECT_LT(ps[0]->CompareDocumentOrder(ps[1]), 0);
+  EXPECT_LT(ps[1]->CompareDocumentOrder(ps[2]), 0);
+  EXPECT_EQ(doc->ElementsByName(QName("zzz")).size(), 0u);
+  // The index keys on expanded names, not local names.
+  auto doc2 = Parse("<a xmlns:n=\"urn:n\"><n:p/><p/></a>");
+  EXPECT_EQ(doc2->ElementsByName(QName("urn:n", "p")).size(), 1u);
+  EXPECT_EQ(doc2->ElementsByName(QName("p")).size(), 1u);
+}
+
+TEST(Dom, ElementsByNameIsLazyAndCached) {
+  auto doc = Parse("<r><a/><a/></r>");
+  EXPECT_EQ(doc->name_index_builds(), 0u);
+  EXPECT_EQ(doc->ElementsByName(QName("a")).size(), 2u);
+  EXPECT_EQ(doc->name_index_builds(), 1u);
+  // Repeated lookups (any name) reuse the build.
+  doc->ElementsByName(QName("a"));
+  doc->ElementsByName(QName("r"));
+  EXPECT_EQ(doc->name_index_builds(), 1u);
+}
+
+TEST(Dom, ElementsByNameInvalidatedByMutation) {
+  auto doc = Parse("<r><a/><b><a/></b></r>");
+  Node* r = doc->DocumentElement();
+  ASSERT_EQ(doc->ElementsByName(QName("a")).size(), 2u);
+
+  // Insert: the new element must be visible.
+  r->AppendChild(doc->CreateElement(QName("a")));
+  EXPECT_EQ(doc->ElementsByName(QName("a")).size(), 3u);
+
+  // Detach: removing a subtree removes its elements from the index.
+  Node* b = r->children()[1];
+  b->Detach();
+  EXPECT_EQ(doc->ElementsByName(QName("a")).size(), 2u);
+
+  // Rename: the element moves between buckets.
+  r->children()[0]->Rename(QName("c"));
+  EXPECT_EQ(doc->ElementsByName(QName("a")).size(), 1u);
+  EXPECT_EQ(doc->ElementsByName(QName("c")).size(), 1u);
+
+  // Each mutation forced exactly one rebuild on next lookup.
+  EXPECT_EQ(doc->name_index_builds(), 4u);
+}
+
+TEST(Dom, ElementsByNameSeesImportCopyAttach) {
+  auto doc1 = Parse("<x><a/><a/></x>");
+  auto doc2 = Parse("<r><a/></r>");
+  ASSERT_EQ(doc2->ElementsByName(QName("a")).size(), 1u);
+  Node* copy = doc2->ImportCopy(doc1->DocumentElement());
+  // A detached copy is not indexed until attached.
+  EXPECT_EQ(doc2->ElementsByName(QName("a")).size(), 1u);
+  doc2->DocumentElement()->AppendChild(copy);
+  EXPECT_EQ(doc2->ElementsByName(QName("a")).size(), 3u);
+}
+
+TEST(Dom, AppendStringValueMatchesStringValue) {
+  auto doc = Parse("<a>one<b>two<c/>three</b><!--x-->four</a>");
+  Node* a = doc->DocumentElement();
+  EXPECT_EQ(a->StringValue(), "onetwothreefour");
+  std::string out = "pre:";
+  a->AppendStringValue(&out);
+  EXPECT_EQ(out, "pre:onetwothreefour");
+  // Attribute and comment nodes append their value verbatim.
+  a->SetAttribute(QName("k"), "v");
+  std::string attr;
+  a->FindAttribute("k")->AppendStringValue(&attr);
+  EXPECT_EQ(attr, "v");
+}
+
 TEST(Dom, MutationHooksFire) {
   auto doc = Parse("<r/>");
   int calls = 0;

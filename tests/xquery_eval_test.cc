@@ -240,6 +240,160 @@ TEST(Paths, PathFromAtomicFails) {
   EXPECT_EQ(EvalError("(1)/a"), "XPTY0019");
 }
 
+// ------------------------------------------------- path fast paths ---
+
+// Evaluates `query` with explicit evaluator options (the fast-path
+// ablation switches) and returns the result string; on success the
+// evaluator's fast-path counters are copied into *stats if given.
+std::string EvalWithOptions(const std::string& query,
+                            const std::string& context_xml,
+                            const Evaluator::EvalOptions& options,
+                            Evaluator::EvalStats* stats = nullptr) {
+  Engine engine;
+  auto compiled = engine.Compile(query);
+  if (!compiled.ok()) return "PARSE-ERROR: " + compiled.status().ToString();
+  (*compiled)->evaluator().set_options(options);
+  DynamicContext ctx;
+  std::unique_ptr<xml::Document> doc;
+  if (!context_xml.empty()) {
+    auto parsed = xml::ParseDocument(context_xml);
+    if (!parsed.ok()) return "XML-ERROR: " + parsed.status().ToString();
+    doc = std::move(parsed).value();
+    DynamicContext::Focus f;
+    f.item = xdm::Item::Node(doc->root());
+    f.position = 1;
+    f.size = 1;
+    f.has_item = true;
+    ctx.set_focus(f);
+  }
+  Status bound = (*compiled)->BindGlobals(ctx);
+  if (!bound.ok()) return "BIND-ERROR: " + bound.ToString();
+  auto result = (*compiled)->Run(ctx);
+  if (!result.ok()) return "ERROR: " + result.status().ToString();
+  if (stats != nullptr) *stats = (*compiled)->evaluator().stats();
+  return xdm::SequenceToString(*result);
+}
+
+Evaluator::EvalOptions AllFastPathsOff() {
+  Evaluator::EvalOptions off;
+  off.honor_sort_elision = false;
+  off.use_name_index = false;
+  off.bounded_eval = false;
+  return off;
+}
+
+// Satellite regression: position 1 on a reverse axis is the *nearest*
+// node (axis order), not the first in document order.
+TEST(FastPaths, ReverseAxisPositionalPredicates) {
+  EXPECT_EQ(EvalToString("//author[.='Cid']/preceding-sibling::*[1]",
+                         kBooks),
+            "Bob");
+  EXPECT_EQ(EvalToString(
+                "string((//author[.='Ann']/ancestor::*[1])/@year)", kBooks),
+            "2005");
+  EXPECT_EQ(EvalToString("name(//price[.='50']/ancestor::*[1])", kBooks),
+            "book");
+}
+
+// Every fast path on vs every fast path off must agree — the elision
+// and bounded-evaluation machinery is observationally pure.
+TEST(FastPaths, AgreeWithForcedSortOracle) {
+  const char* queries[] = {
+      "/books/book/title",
+      "//book/author",
+      "count(//author)",
+      "//book/@year",
+      "string-join(//book/title, '|')",
+      "(//author)[1]",
+      "(//author)[last()]",
+      "//book[price > 20]/title",
+      "exists(//price)",
+      "exists(//nothing)",
+      "empty(//nothing)",
+      "//price/preceding-sibling::title",
+      "count(//author[1]/ancestor::*)",
+      "(//title | //price)[1]",
+      "//book/descendant-or-self::*/title",
+  };
+  for (const char* q : queries) {
+    EXPECT_EQ(EvalWithOptions(q, kBooks, Evaluator::EvalOptions()),
+              EvalWithOptions(q, kBooks, AllFastPathsOff()))
+        << "query: " << q;
+  }
+}
+
+TEST(FastPaths, SortElisionCounters) {
+  Evaluator::EvalStats stats;
+  // A pure child chain from the root never needs sorting.
+  EXPECT_EQ(EvalWithOptions("/books/book/title", kBooks,
+                            Evaluator::EvalOptions(), &stats),
+            "Dogs and cats Query languages The dog barked");
+  EXPECT_GT(stats.sorts_elided, 0u);
+  EXPECT_EQ(stats.sorts_performed, 0u);
+
+  // With elision disabled the same query pays for every step.
+  EXPECT_EQ(EvalWithOptions("/books/book/title", kBooks, AllFastPathsOff(),
+                            &stats),
+            "Dogs and cats Query languages The dog barked");
+  EXPECT_EQ(stats.sorts_elided, 0u);
+  EXPECT_GT(stats.sorts_performed, 0u);
+}
+
+TEST(FastPaths, NameIndexCounters) {
+  Evaluator::EvalStats stats;
+  EXPECT_EQ(EvalWithOptions("count(//author)", kBooks,
+                            Evaluator::EvalOptions(), &stats),
+            "4");
+  EXPECT_GT(stats.name_index_hits, 0u);
+  EXPECT_EQ(EvalWithOptions("count(//author)", kBooks, AllFastPathsOff(),
+                            &stats),
+            "4");
+  EXPECT_EQ(stats.name_index_hits, 0u);
+}
+
+TEST(FastPaths, EarlyExitCounters) {
+  Evaluator::EvalStats stats;
+  EXPECT_EQ(EvalWithOptions("exists(//author)", kBooks,
+                            Evaluator::EvalOptions(), &stats),
+            "true");
+  EXPECT_GT(stats.early_exits, 0u);
+  EXPECT_EQ(EvalWithOptions("(//author)[1]", kBooks,
+                            Evaluator::EvalOptions(), &stats),
+            "Ann");
+  EXPECT_GT(stats.early_exits, 0u);
+  EXPECT_EQ(EvalWithOptions("(//author)[last()]", kBooks,
+                            Evaluator::EvalOptions(), &stats),
+            "Dan");
+  EXPECT_GT(stats.early_exits, 0u);
+}
+
+// The index must not be consulted when the step carries a wildcard or a
+// non-element test, and //name must still see mutations made upstream
+// in the same query (snapshot taken per evaluation).
+TEST(FastPaths, NameIndexScopeLimits) {
+  Evaluator::EvalStats stats;
+  EXPECT_EQ(EvalWithOptions("count(//*)", kBooks, Evaluator::EvalOptions(),
+                            &stats),
+            "14");
+  EXPECT_EQ(stats.name_index_hits, 0u);
+  // Steps from a mid-tree context node can't use the whole-doc index.
+  EXPECT_EQ(EvalWithOptions("count(/books/book[1]//author)", kBooks,
+                            Evaluator::EvalOptions(), &stats),
+            "1");
+  EXPECT_EQ(stats.name_index_hits, 0u);
+}
+
+// A user-declared function named exists() lives in its own namespace,
+// so it must see the full argument sequence, never a truncated one.
+TEST(FastPaths, UserExistsFunctionSeesFullSequence) {
+  EXPECT_EQ(EvalToString(
+                "declare namespace my='urn:m';\n"
+                "declare function my:exists($x) { count($x) };\n"
+                "my:exists(//author)",
+                kBooks),
+            "4");
+}
+
 // ---------------------------------------------------------------- FLWOR ---
 
 TEST(FLWOR, ForReturn) {
