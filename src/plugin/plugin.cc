@@ -366,6 +366,9 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
                         " with arity 0, 1 or 2");
     return;
   }
+  // The page evaluator's counters accumulate across its whole lifetime,
+  // so per-event numbers MUST be before/after deltas — overwriting (not
+  // adding to) last_event_stats_ each dispatch keeps events independent.
   xquery::Evaluator::EvalStats before = page->evaluator->stats();
   Result<Sequence> result =
       page->evaluator->CallFunction(function, std::move(args), *page->ctx);
@@ -375,6 +378,10 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
       after.sorts_performed - before.sorts_performed,
       after.name_index_hits - before.name_index_hits,
       after.early_exits - before.early_exits,
+      after.count_index_hits - before.count_index_hits,
+      after.streams.items_pulled - before.streams.items_pulled,
+      after.streams.items_materialized - before.streams.items_materialized,
+      after.streams.buffers_avoided - before.streams.buffers_avoided,
   };
   if (page->evaluator->exited()) page->evaluator->TakeExitValue();
   if (!result.ok()) {

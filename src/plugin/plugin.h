@@ -112,6 +112,11 @@ class XqibPlugin : public xquery::BrowserBinding {
     uint64_t sorts_performed = 0;
     uint64_t name_index_hits = 0;
     uint64_t early_exits = 0;
+    uint64_t count_index_hits = 0;
+    // Streaming-pipeline deltas for the dispatch.
+    uint64_t items_pulled = 0;
+    uint64_t items_materialized = 0;
+    uint64_t buffers_avoided = 0;
   };
   const EventStats& last_event_stats() const { return last_event_stats_; }
 

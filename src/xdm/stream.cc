@@ -1,0 +1,85 @@
+#include "xdm/stream.h"
+
+#include <utility>
+
+namespace xqib::xdm {
+
+namespace {
+
+class EmptyStreamImpl : public ItemStream {
+ public:
+  Result<bool> Next(Item*) override { return false; }
+};
+
+class SingletonStreamImpl : public ItemStream {
+ public:
+  explicit SingletonStreamImpl(Item item) : item_(std::move(item)) {}
+  Result<bool> Next(Item* out) override {
+    if (done_) return false;
+    done_ = true;
+    *out = std::move(item_);
+    return true;
+  }
+
+ private:
+  Item item_;
+  bool done_ = false;
+};
+
+class SequenceStreamImpl : public ItemStream {
+ public:
+  explicit SequenceStreamImpl(Sequence seq) : seq_(std::move(seq)) {}
+  Result<bool> Next(Item* out) override {
+    if (pos_ >= seq_.size()) return false;
+    *out = seq_[pos_++];
+    return true;
+  }
+
+ private:
+  Sequence seq_;
+  size_t pos_ = 0;
+};
+
+class RangeStreamImpl : public ItemStream {
+ public:
+  RangeStreamImpl(int64_t lo, int64_t hi) : next_(lo), hi_(hi) {}
+  Result<bool> Next(Item* out) override {
+    if (next_ > hi_) return false;
+    *out = Item::Integer(next_++);
+    return true;
+  }
+
+ private:
+  int64_t next_;
+  int64_t hi_;
+};
+
+}  // namespace
+
+StreamPtr EmptyStream() { return std::make_unique<EmptyStreamImpl>(); }
+
+StreamPtr SingletonStream(Item item) {
+  return std::make_unique<SingletonStreamImpl>(std::move(item));
+}
+
+StreamPtr SequenceStream(Sequence seq) {
+  return std::make_unique<SequenceStreamImpl>(std::move(seq));
+}
+
+StreamPtr RangeStream(int64_t lo, int64_t hi) {
+  return std::make_unique<RangeStreamImpl>(lo, hi);
+}
+
+Result<Sequence> MaterializeStream(ItemStream& s, StreamStats* stats) {
+  Sequence out;
+  Item item;
+  while (true) {
+    XQ_ASSIGN_OR_RETURN(bool more, s.Next(&item));
+    if (!more) break;
+    out.push_back(std::move(item));
+  }
+  if (stats != nullptr) stats->items_materialized += out.size();
+  return out;
+}
+
+}  // namespace xqib::xdm

@@ -169,25 +169,10 @@ class DynamicContext {
   // Optional query profiler (§7 future-work tooling); owned by caller.
   Profiler* profiler = nullptr;
 
-  // --- bounded evaluation (path fast path) ---
-  // A consumer that needs at most `count` items of the next path
-  // expression (fn:exists, [1], [last()]) arms a limit; the path
-  // evaluator stops its final step early when it can do so soundly.
-  // The limit applies to exactly one expression: Evaluator::EvalImpl
-  // consumes it on entry, so nested evaluations never observe it.
-  struct EvalLimit {
-    size_t count = 0;     // 0 = unlimited (no limit armed)
-    // true: the items must be the true first (or last) `count` items in
-    // document order; false: any `count` witnesses do (existence tests).
-    bool ordered = false;
-    bool from_end = false;  // take from the end of the sequence ([last()])
-  };
-  void ArmEvalLimit(EvalLimit limit) { eval_limit_ = limit; }
-  EvalLimit TakeEvalLimit() {
-    EvalLimit taken = eval_limit_;
-    eval_limit_ = EvalLimit{};
-    return taken;
-  }
+  // Bounded evaluation note: the PR 2 EvalLimit arm/consume protocol
+  // that used to live here is gone — early exit is now a property of
+  // the stream operators themselves (a bounded consumer simply stops
+  // calling ItemStream::Next), see Evaluator::EvalStream.
 
   // Recursion guard.
   int call_depth = 0;
@@ -196,7 +181,6 @@ class DynamicContext {
  private:
   Environment env_;
   Focus focus_;
-  EvalLimit eval_limit_;
   std::unordered_map<std::string, ExternalFunction> externals_;
   std::vector<std::unique_ptr<xml::Document>> scratch_docs_;
   std::unique_ptr<PendingUpdateList> pul_;

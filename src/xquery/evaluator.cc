@@ -20,19 +20,6 @@ using xdm::Sequence;
 
 namespace {
 
-bool IsReverseAxis(Axis axis) {
-  switch (axis) {
-    case Axis::kParent:
-    case Axis::kAncestor:
-    case Axis::kAncestorOrSelf:
-    case Axis::kPrecedingSibling:
-    case Axis::kPreceding:
-      return true;
-    default:
-      return false;
-  }
-}
-
 bool MatchesNodeTest(const NodeTest& test, const xml::Node* node,
                      Axis axis) {
   using Kind = NodeTest::Kind;
@@ -166,94 +153,6 @@ void AxisNodes(Axis axis, xml::Node* node, std::vector<xml::Node*>* out) {
   }
 }
 
-// Streams the matching nodes of a forward axis from `node` without
-// materializing the full axis: `fn` is invoked per match in document
-// order (`reverse` false) or reverse document order (`reverse` true) and
-// returns false to stop the walk. Returns false when the axis cannot be
-// streamed (reverse axes, following/preceding); the caller then falls
-// back to the materializing EvalStep.
-bool StreamAxis(Axis axis, bool reverse, xml::Node* node,
-                const NodeTest& test,
-                const std::function<bool(xml::Node*)>& fn) {
-  if (IsReverseAxis(axis)) return false;
-  auto emit = [&](xml::Node* n) {
-    return !MatchesNodeTest(test, n, axis) || fn(n);
-  };
-  // Early-stopping subtree walk; emits strictly in (reverse) doc order.
-  std::function<bool(xml::Node*)> walk = [&](xml::Node* n) {
-    if (!reverse) {
-      for (xml::Node* c : n->children()) {
-        if (!emit(c) || !walk(c)) return false;
-      }
-    } else {
-      const std::vector<xml::Node*>& kids = n->children();
-      for (size_t i = kids.size(); i > 0; --i) {
-        if (!walk(kids[i - 1]) || !emit(kids[i - 1])) return false;
-      }
-    }
-    return true;
-  };
-  switch (axis) {
-    case Axis::kSelf:
-      emit(node);
-      return true;
-    case Axis::kChild: {
-      const std::vector<xml::Node*>& kids = node->children();
-      if (!reverse) {
-        for (xml::Node* c : kids) {
-          if (!emit(c)) break;
-        }
-      } else {
-        for (size_t i = kids.size(); i > 0; --i) {
-          if (!emit(kids[i - 1])) break;
-        }
-      }
-      return true;
-    }
-    case Axis::kAttribute: {
-      const std::vector<xml::Node*>& attrs = node->attributes();
-      if (!reverse) {
-        for (xml::Node* a : attrs) {
-          if (!emit(a)) break;
-        }
-      } else {
-        for (size_t i = attrs.size(); i > 0; --i) {
-          if (!emit(attrs[i - 1])) break;
-        }
-      }
-      return true;
-    }
-    case Axis::kDescendant:
-      walk(node);
-      return true;
-    case Axis::kDescendantOrSelf:
-      if (!reverse) {
-        if (emit(node)) walk(node);
-      } else {
-        if (walk(node)) emit(node);
-      }
-      return true;
-    case Axis::kFollowingSibling: {
-      xml::Node* parent = node->parent();
-      if (parent == nullptr || node->is_attribute()) return true;
-      size_t idx = parent->ChildIndex(node);
-      const std::vector<xml::Node*>& sibs = parent->children();
-      if (!reverse) {
-        for (size_t i = idx + 1; i < sibs.size(); ++i) {
-          if (!emit(sibs[i])) break;
-        }
-      } else {
-        for (size_t i = sibs.size(); i > idx + 1; --i) {
-          if (!emit(sibs[i - 1])) break;
-        }
-      }
-      return true;
-    }
-    default:
-      return false;  // following/preceding: materialize
-  }
-}
-
 Result<AtomicValue> RequireSingleAtomic(const Sequence& seq,
                                         std::string_view what) {
   Sequence data = xdm::Atomize(seq);
@@ -294,6 +193,570 @@ bool CompareSatisfies(int cmp, CompOp op) {
 
 }  // namespace
 
+// ----------------------------------------------------- stream operators ---
+
+// Private-access forwarders for the stream operator classes below: the
+// classes live in an anonymous namespace and cannot be befriended, so
+// this struct is the single friend through which they reach the
+// evaluator's internals.
+struct EvaluatorStreams {
+  static Result<Sequence> Step(Evaluator& ev, const Step& step,
+                               xml::Node* node, DynamicContext& ctx) {
+    return ev.EvalStep(step, node, ctx);
+  }
+  static Result<bool> Bool(Evaluator& ev, const Expr& e, DynamicContext& ctx) {
+    return ev.EvalBool(e, ctx);
+  }
+  static Result<xdm::StreamPtr> Stream(Evaluator& ev, const Expr& e,
+                                       DynamicContext& ctx, bool ordered) {
+    return ev.EvalStreamOrdered(e, ctx, ordered);
+  }
+};
+
+namespace {
+
+using xdm::ItemStream;
+using xdm::StreamPtr;
+
+// Pull iterator over one axis from one origin node, in axis order. Only
+// the forward axes with cheap incremental state stream; everything else
+// (reverse axes, following/preceding) goes through the materializing
+// EvalStep per origin.
+class AxisCursor {
+ public:
+  static bool CanStream(Axis axis) {
+    switch (axis) {
+      case Axis::kSelf:
+      case Axis::kChild:
+      case Axis::kAttribute:
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf:
+      case Axis::kFollowingSibling:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  void Reset(Axis axis, xml::Node* origin) {
+    axis_ = axis;
+    origin_ = origin;
+    list_ = nullptr;
+    idx_ = 0;
+    pending_self_ = false;
+    stack_.clear();
+    switch (axis) {
+      case Axis::kSelf:
+      case Axis::kDescendantOrSelf:
+        pending_self_ = true;
+        break;
+      case Axis::kChild:
+        list_ = &origin->children();
+        break;
+      case Axis::kAttribute:
+        list_ = &origin->attributes();
+        break;
+      case Axis::kFollowingSibling: {
+        xml::Node* parent = origin->parent();
+        if (parent != nullptr && !origin->is_attribute()) {
+          list_ = &parent->children();
+          idx_ = parent->ChildIndex(origin) + 1;
+        }
+        break;
+      }
+      case Axis::kDescendant:
+        stack_.push_back({origin, 0});
+        break;
+      default:
+        break;  // CanStream excludes the rest
+    }
+  }
+
+  // Next node of the axis (node test not yet applied); null at end.
+  xml::Node* NextNode() {
+    if (pending_self_) {
+      pending_self_ = false;
+      if (axis_ == Axis::kDescendantOrSelf) stack_.push_back({origin_, 0});
+      return origin_;
+    }
+    if (list_ != nullptr) {
+      if (idx_ < list_->size()) return (*list_)[idx_++];
+      return nullptr;
+    }
+    // Explicit-stack preorder walk for the descendant axes.
+    while (!stack_.empty()) {
+      Frame& top = stack_.back();
+      const std::vector<xml::Node*>& kids = top.node->children();
+      if (top.next_child < kids.size()) {
+        xml::Node* c = kids[top.next_child++];
+        stack_.push_back({c, 0});
+        return c;
+      }
+      stack_.pop_back();
+    }
+    return nullptr;
+  }
+
+ private:
+  struct Frame {
+    xml::Node* node;
+    size_t next_child;
+  };
+  Axis axis_ = Axis::kSelf;
+  xml::Node* origin_ = nullptr;
+  const std::vector<xml::Node*>* list_ = nullptr;
+  size_t idx_ = 0;
+  bool pending_self_ = false;
+  std::vector<Frame> stack_;
+};
+
+// One path step as a stream operator: pulls origin nodes from `input`
+// and yields the step's output for each. Predicate-free streamable axes
+// walk node by node through an AxisCursor; steps with predicates (or
+// exotic axes) buffer one origin's output at a time via EvalStep, so
+// peak memory is bounded by per-origin fan-out, never total step output
+// — and predicate position()/last() semantics match the eager engine
+// exactly.
+class StepStream : public ItemStream {
+ public:
+  StepStream(Evaluator* ev, DynamicContext* ctx, const Step* step,
+             StreamPtr input)
+      : ev_(ev), ctx_(ctx), step_(step), input_(std::move(input)) {}
+
+  Result<bool> Next(Item* out) override {
+    while (true) {
+      if (walking_) {
+        while (xml::Node* n = cursor_.NextNode()) {
+          if (MatchesNodeTest(step_->test, n, step_->axis)) {
+            *out = Item::Node(n);
+            ev_->CountPulled(*ctx_);
+            return true;
+          }
+        }
+        walking_ = false;
+      }
+      if (buf_pos_ < buffered_.size()) {
+        *out = buffered_[buf_pos_++];
+        ev_->CountPulled(*ctx_);
+        return true;
+      }
+      Item origin;
+      XQ_ASSIGN_OR_RETURN(bool more, input_->Next(&origin));
+      if (!more) return false;
+      if (!origin.is_node()) {
+        return Status::Error("XPTY0019",
+                             "path step applied to an atomic value");
+      }
+      if (step_->predicates.empty() && AxisCursor::CanStream(step_->axis)) {
+        cursor_.Reset(step_->axis, origin.node());
+        walking_ = true;
+      } else {
+        XQ_ASSIGN_OR_RETURN(
+            buffered_, EvaluatorStreams::Step(*ev_, *step_, origin.node(),
+                                              *ctx_));
+        buf_pos_ = 0;
+        ev_->CountMaterialized(*ctx_, buffered_.size());
+      }
+    }
+  }
+
+ private:
+  Evaluator* ev_;
+  DynamicContext* ctx_;
+  const Step* step_;
+  StreamPtr input_;
+  AxisCursor cursor_;
+  bool walking_ = false;
+  Sequence buffered_;
+  size_t buf_pos_ = 0;
+};
+
+// Mandatory materialization boundary: drains the upstream on first pull,
+// sorts into document order and dedups, then serves the buffer. Used
+// whenever AnnotateOrdering could not prove a step's raw output ordered
+// and duplicate-free.
+class SortBarrierStream : public ItemStream {
+ public:
+  SortBarrierStream(Evaluator* ev, DynamicContext* ctx, StreamPtr input)
+      : ev_(ev), ctx_(ctx), input_(std::move(input)) {}
+
+  Result<bool> Next(Item* out) override {
+    if (!sorted_) {
+      XQ_ASSIGN_OR_RETURN(buf_, xdm::MaterializeStream(*input_, nullptr));
+      ev_->CountMaterialized(*ctx_, buf_.size());
+      XQ_RETURN_NOT_OK(xdm::SortDocumentOrderDedup(&buf_));
+      sorted_ = true;
+      input_.reset();
+    }
+    if (pos_ < buf_.size()) {
+      *out = buf_[pos_++];
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  Evaluator* ev_;
+  DynamicContext* ctx_;
+  StreamPtr input_;
+  Sequence buf_;
+  size_t pos_ = 0;
+  bool sorted_ = false;
+};
+
+// One filter predicate as a stream operator, for predicates that the
+// NeedsLast scan proved cannot observe fn:last(): items stream through
+// with an incremental position in the focus (size stays 0 — nothing
+// downstream may read it). Numeric predicate values still select by
+// position, exactly like the eager ApplyPredicates.
+class PredicateStream : public ItemStream {
+ public:
+  PredicateStream(Evaluator* ev, DynamicContext* ctx, const Expr* pred,
+                  StreamPtr input)
+      : ev_(ev), ctx_(ctx), pred_(pred), input_(std::move(input)) {}
+
+  Result<bool> Next(Item* out) override {
+    Item item;
+    while (true) {
+      XQ_ASSIGN_OR_RETURN(bool more, input_->Next(&item));
+      if (!more) return false;
+      ++pos_;
+      DynamicContext::Focus saved = ctx_->focus();
+      DynamicContext::Focus f;
+      f.item = item;
+      f.position = pos_;
+      f.size = 0;
+      f.has_item = true;
+      ctx_->set_focus(f);
+      Result<bool> keep = Keep();
+      ctx_->set_focus(saved);
+      if (!keep.ok()) return keep.status();
+      if (*keep) {
+        *out = std::move(item);
+        ev_->CountPulled(*ctx_);
+        return true;
+      }
+    }
+  }
+
+ private:
+  Result<bool> Keep() {
+    // Paths yield only nodes, so a path predicate is a pure existence
+    // test: stream it and stop at the first witness.
+    if (pred_->kind == ExprKind::kPath) {
+      return EvaluatorStreams::Bool(*ev_, *pred_, *ctx_);
+    }
+    XQ_ASSIGN_OR_RETURN(Sequence v, ev_->Eval(*pred_, *ctx_));
+    if (v.size() == 1 && !v[0].is_node() && v[0].atomic().is_numeric()) {
+      XQ_ASSIGN_OR_RETURN(double d, v[0].atomic().ToDouble());
+      return d == static_cast<double>(pos_);
+    }
+    return xdm::EffectiveBooleanValue(v);
+  }
+
+  Evaluator* ev_;
+  DynamicContext* ctx_;
+  const Expr* pred_;
+  StreamPtr input_;
+  int64_t pos_ = 0;
+};
+
+// E[N] for a literal integer N: pull N items, yield the Nth, stop
+// pulling — the stream-native successor of PR 2's ordered EvalLimit.
+class TakeNthStream : public ItemStream {
+ public:
+  TakeNthStream(Evaluator* ev, DynamicContext* ctx, int64_t n,
+                StreamPtr input)
+      : ev_(ev), ctx_(ctx), n_(n), input_(std::move(input)) {}
+
+  Result<bool> Next(Item* out) override {
+    if (done_) return false;
+    done_ = true;
+    if (n_ < 1) return false;
+    Item item;
+    for (int64_t i = 0; i < n_; ++i) {
+      XQ_ASSIGN_OR_RETURN(bool more, input_->Next(&item));
+      if (!more) return false;
+    }
+    input_.reset();
+    ev_->CountPulled(*ctx_);
+    ev_->CountEarlyExit(*ctx_);
+    *out = std::move(item);
+    return true;
+  }
+
+ private:
+  Evaluator* ev_;
+  DynamicContext* ctx_;
+  int64_t n_;
+  StreamPtr input_;
+  bool done_ = false;
+};
+
+// E[last()]: drains the input keeping a one-item buffer — O(1) memory
+// where the eager evaluator buffered the whole sequence.
+class TakeLastStream : public ItemStream {
+ public:
+  TakeLastStream(Evaluator* ev, DynamicContext* ctx, StreamPtr input)
+      : ev_(ev), ctx_(ctx), input_(std::move(input)) {}
+
+  Result<bool> Next(Item* out) override {
+    if (done_) return false;
+    done_ = true;
+    Item item;
+    Item last;
+    bool any = false;
+    while (true) {
+      XQ_ASSIGN_OR_RETURN(bool more, input_->Next(&item));
+      if (!more) break;
+      last = std::move(item);
+      any = true;
+    }
+    input_.reset();
+    if (!any) return false;
+    ev_->CountPulled(*ctx_);
+    ev_->CountBuffersAvoided(*ctx_);
+    ev_->CountEarlyExit(*ctx_);
+    *out = std::move(last);
+    return true;
+  }
+
+ private:
+  Evaluator* ev_;
+  DynamicContext* ctx_;
+  StreamPtr input_;
+  bool done_ = false;
+};
+
+// Lazy comma-sequence concatenation: each operand becomes a stream only
+// when its turn comes.
+class ConcatStream : public ItemStream {
+ public:
+  ConcatStream(Evaluator* ev, DynamicContext* ctx, const Expr* e,
+               bool ordered)
+      : ev_(ev), ctx_(ctx), e_(e), ordered_(ordered) {}
+
+  Result<bool> Next(Item* out) override {
+    while (true) {
+      if (cur_ != nullptr) {
+        XQ_ASSIGN_OR_RETURN(bool more, cur_->Next(out));
+        if (more) {
+          ev_->CountPulled(*ctx_);
+          return true;
+        }
+        cur_.reset();
+      }
+      if (ev_->exited() || ki_ >= e_->kids.size()) return false;
+      XQ_ASSIGN_OR_RETURN(
+          cur_, EvaluatorStreams::Stream(*ev_, *e_->kids[ki_++], *ctx_,
+                                         ordered_));
+    }
+  }
+
+ private:
+  Evaluator* ev_;
+  DynamicContext* ctx_;
+  const Expr* e_;
+  bool ordered_;
+  size_t ki_ = 0;
+  StreamPtr cur_;
+};
+
+// FLWOR for/let/where/return as one composed stream operator (order by
+// stays on the eager path — it is a materialization barrier by nature).
+//
+// Scope discipline: each bound clause owns one environment scope,
+// pushed in clause order. Every Next() call re-establishes the scopes
+// of the currently bound clauses on entry and pops them all before
+// returning, so (a) the environment looks untouched between pulls, and
+// (b) when clause k's lazily evaluated binding stream is pulled, the
+// scopes of clauses >= k are popped first — deeper same-named variables
+// can never shadow what clause k's expression lexically sees.
+//
+// With ret == nullptr the stream yields one marker item per qualifying
+// tuple ("tuple mode") — that is exactly the engine a quantifier needs:
+// some = exists(tuples where test), every = empty(tuples where not
+// test) via negate_where.
+class FlworStream : public ItemStream {
+ public:
+  FlworStream(Evaluator* ev, DynamicContext* ctx, const Expr* e,
+              const Expr* where, const Expr* ret, bool negate_where)
+      : ev_(ev),
+        ctx_(ctx),
+        e_(e),
+        where_(where),
+        ret_expr_(ret),
+        negate_where_(negate_where),
+        states_(e->clauses.size()) {}
+
+  Result<bool> Next(Item* out) override {
+    if (finished_ || ev_->exited()) return false;
+    pushed_ = 0;
+    for (size_t i = 0; i < states_.size() && states_[i].bound; ++i) {
+      PushClause(i);
+    }
+    Result<bool> r = NextImpl(out);
+    while (pushed_ > 0) {  // unwind only; the bindings stay recorded
+      ctx_->env().PopScope();
+      --pushed_;
+    }
+    return r;
+  }
+
+ private:
+  struct ClauseState {
+    StreamPtr stream;  // for-clauses: source of the remaining items
+    Sequence value;    // current binding (for: singleton; let: full)
+    int64_t pos = 0;   // 1-based "at $i" counter
+    bool bound = false;
+  };
+
+  void PushClause(size_t i) {
+    const Clause& c = e_->clauses[i];
+    ctx_->env().PushScope();
+    ctx_->env().Bind(c.var, states_[i].value);
+    if (c.kind == Clause::Kind::kFor && !c.pos_var.local.empty()) {
+      ctx_->env().Bind(c.pos_var, Sequence{Item::Integer(states_[i].pos)});
+    }
+    ++pushed_;
+  }
+
+  // Pops the scopes of clauses >= k and marks them unbound (used while
+  // stepping; the end-of-Next unwind must NOT clear bound flags).
+  void PopTo(size_t k) {
+    while (pushed_ > k) {
+      ctx_->env().PopScope();
+      --pushed_;
+      states_[pushed_].bound = false;
+    }
+  }
+
+  Result<bool> NextImpl(Item* out) {
+    while (true) {
+      if (ret_ != nullptr) {
+        Item item;
+        XQ_ASSIGN_OR_RETURN(bool more, ret_->Next(&item));
+        if (more) {
+          *out = std::move(item);
+          ev_->CountPulled(*ctx_);
+          return true;
+        }
+        ret_.reset();
+        if (ev_->exited()) {
+          finished_ = true;
+          return false;
+        }
+      }
+      XQ_ASSIGN_OR_RETURN(bool tuple, AdvanceTuple());
+      if (!tuple) {
+        finished_ = true;
+        return false;
+      }
+      if (ret_expr_ == nullptr) {  // tuple mode
+        *out = Item::Boolean(true);
+        ev_->CountPulled(*ctx_);
+        return true;
+      }
+      XQ_ASSIGN_OR_RETURN(ret_, ev_->EvalStream(*ret_expr_, *ctx_));
+    }
+  }
+
+  // Advances to the next tuple satisfying the where clause; the lazy
+  // where short-circuit is what stops deeper clause streams from ever
+  // being pulled for rejected prefixes.
+  Result<bool> AdvanceTuple() {
+    while (true) {
+      XQ_ASSIGN_OR_RETURN(bool have, AdvanceBindings());
+      if (!have || ev_->exited()) return false;
+      if (where_ != nullptr) {
+        XQ_ASSIGN_OR_RETURN(bool keep,
+                            EvaluatorStreams::Bool(*ev_, *where_, *ctx_));
+        if (negate_where_) keep = !keep;
+        if (!keep) continue;
+      }
+      return true;
+    }
+  }
+
+  // Odometer over the clause streams. Invariant: the bound clauses form
+  // a prefix 0..pushed_-1, one scope each.
+  Result<bool> AdvanceBindings() {
+    const std::vector<Clause>& clauses = e_->clauses;
+    size_t ci = 0;
+    bool stepping = primed_;
+    primed_ = true;
+    while (true) {
+      if (stepping) {
+        // Advance the deepest open for-clause; its own scope and every
+        // deeper one are popped first so the binding stream pulls
+        // against a clean environment (clauses < s only).
+        int s = static_cast<int>(pushed_) - 1;
+        while (s >= 0 &&
+               clauses[static_cast<size_t>(s)].kind == Clause::Kind::kLet) {
+          --s;
+        }
+        if (s < 0) return false;
+        PopTo(static_cast<size_t>(s));
+        ClauseState& st = states_[static_cast<size_t>(s)];
+        Item item;
+        XQ_ASSIGN_OR_RETURN(bool more, st.stream->Next(&item));
+        if (!more) {
+          st.stream.reset();
+          continue;  // keep stepping, one clause shallower
+        }
+        st.value = Sequence{std::move(item)};
+        ++st.pos;
+        st.bound = true;
+        PushClause(static_cast<size_t>(s));
+        ci = static_cast<size_t>(s) + 1;
+        stepping = false;
+        continue;
+      }
+      if (ci == clauses.size()) return true;
+      const Clause& c = clauses[ci];
+      ClauseState& st = states_[ci];
+      if (c.kind == Clause::Kind::kLet) {
+        // let binds the full value: an (eager) materialization boundary.
+        XQ_ASSIGN_OR_RETURN(st.value, ev_->Eval(*c.expr, *ctx_));
+        st.pos = 0;
+        st.bound = true;
+        PushClause(ci);
+        ++ci;
+        continue;
+      }
+      XQ_ASSIGN_OR_RETURN(st.stream, ev_->EvalStream(*c.expr, *ctx_));
+      ev_->CountBuffersAvoided(*ctx_);
+      Item item;
+      XQ_ASSIGN_OR_RETURN(bool more, st.stream->Next(&item));
+      if (!more) {
+        st.stream.reset();
+        st.bound = false;
+        stepping = true;  // empty binding: backtrack below ci
+        continue;
+      }
+      st.value = Sequence{std::move(item)};
+      st.pos = 1;
+      st.bound = true;
+      PushClause(ci);
+      ++ci;
+    }
+  }
+
+  Evaluator* ev_;
+  DynamicContext* ctx_;
+  const Expr* e_;
+  const Expr* where_;
+  const Expr* ret_expr_;
+  bool negate_where_;
+  std::vector<ClauseState> states_;
+  size_t pushed_ = 0;
+  bool primed_ = false;
+  bool finished_ = false;
+  StreamPtr ret_;
+};
+
+}  // namespace
+
 // -------------------------------------------------------------- Eval ---
 
 Result<Sequence> Evaluator::Eval(const Expr& e, DynamicContext& ctx) {
@@ -316,10 +779,6 @@ Result<Sequence> Evaluator::Eval(const Expr& e, DynamicContext& ctx) {
 }
 
 Result<Sequence> Evaluator::EvalImpl(const Expr& e, DynamicContext& ctx) {
-  // Consume any armed bounded-evaluation limit: it applies to exactly
-  // this expression (paths honor it; every other kind evaluates fully),
-  // so nested evaluations can never observe a stale limit.
-  DynamicContext::EvalLimit limit = ctx.TakeEvalLimit();
   if (exit_flag_) return Sequence{};
   switch (e.kind) {
     case ExprKind::kLiteral:
@@ -354,6 +813,7 @@ Result<Sequence> Evaluator::EvalImpl(const Expr& e, DynamicContext& ctx) {
       Sequence out;
       if (hi >= lo) out.reserve(static_cast<size_t>(hi - lo + 1));
       for (int64_t v = lo; v <= hi; ++v) out.push_back(Item::Integer(v));
+      CountMaterialized(ctx, out.size());
       return out;
     }
     case ExprKind::kArith:
@@ -368,36 +828,33 @@ Result<Sequence> Evaluator::EvalImpl(const Expr& e, DynamicContext& ctx) {
       XQ_ASSIGN_OR_RETURN(bool rv, EvalBool(*e.kids[1], ctx));
       return Sequence{Item::Boolean(rv)};
     }
-    case ExprKind::kPath:
-      return EvalPath(e, ctx, limit);
+    case ExprKind::kPath: {
+      if (options_.stream_pipeline) {
+        XQ_ASSIGN_OR_RETURN(
+            xdm::StreamPtr s,
+            BuildPathStream(e, ctx, /*ordered_required=*/true));
+        return MaterializeFrom(std::move(s), ctx);
+      }
+      return EvalPathEager(e, ctx);
+    }
     case ExprKind::kFilter: {
-      // Positional shortcut: E[1] / E[last()] over a path primary needs
-      // only the first / last item, so arm an ordered limit. The path
-      // only honors it when its steps prove document order, and the
-      // predicate below still runs either way, so semantics never change.
-      if (options_.bounded_eval && e.predicates.size() == 1 &&
-          e.kids[0]->kind == ExprKind::kPath) {
-        const Expr& pred = *e.predicates[0];
-        bool is_one = pred.kind == ExprKind::kLiteral &&
-                      pred.atom.type() == AtomicType::kInteger &&
-                      pred.atom.int_value() == 1;
-        bool is_last = pred.kind == ExprKind::kFunctionCall &&
-                       pred.kids.empty() &&
-                       pred.qname.ns == xml::kFnNamespace &&
-                       pred.qname.local == "last" &&
-                       sctx_.FindFunction(pred.qname, 0) == nullptr &&
-                       ctx.FindExternal(pred.qname, 0) == nullptr;
-        if (is_one) {
-          ctx.ArmEvalLimit({1, /*ordered=*/true, /*from_end=*/false});
-        } else if (is_last) {
-          ctx.ArmEvalLimit({1, /*ordered=*/true, /*from_end=*/true});
-        }
+      if (options_.stream_pipeline) {
+        XQ_ASSIGN_OR_RETURN(xdm::StreamPtr s, BuildFilterStream(e, ctx));
+        return MaterializeFrom(std::move(s), ctx);
       }
       XQ_ASSIGN_OR_RETURN(Sequence input, Eval(*e.kids[0], ctx));
       return ApplyPredicates(e.predicates, std::move(input), ctx);
     }
-    case ExprKind::kFLWOR:
+    case ExprKind::kFLWOR: {
+      if (options_.stream_pipeline && e.order_specs.empty()) {
+        const Expr* where = e.where == nullptr ? nullptr : e.where.get();
+        auto s = std::make_unique<FlworStream>(this, &ctx, &e, where,
+                                               e.kids[0].get(),
+                                               /*negate_where=*/false);
+        return MaterializeFrom(std::move(s), ctx);
+      }
       return EvalFLWOR(e, ctx);
+    }
     case ExprKind::kQuantified:
       return EvalQuantified(e, ctx);
     case ExprKind::kIf: {
@@ -488,49 +945,122 @@ Result<Sequence> Evaluator::EvalImpl(const Expr& e, DynamicContext& ctx) {
 
 // -------------------------------------------------------------- paths ---
 
-Result<Sequence> Evaluator::EvalPath(const Expr& e, DynamicContext& ctx,
-                                     DynamicContext::EvalLimit limit) {
-  Sequence current;
-  if (!e.kids.empty()) {
-    XQ_ASSIGN_OR_RETURN(current, Eval(*e.kids[0], ctx));
-  } else if (e.root_anchored) {
+// Counter hooks: every bump mirrors into the profiler's fast-path block
+// so per-event reports and plugin EventStats see the same numbers.
+void Evaluator::CountPulled(DynamicContext& ctx, uint64_t n) {
+  stats_.streams.items_pulled += n;
+  if (ctx.profiler != nullptr) {
+    ctx.profiler->fast_path().items_pulled += n;
+  }
+}
+
+void Evaluator::CountMaterialized(DynamicContext& ctx, uint64_t n) {
+  stats_.streams.items_materialized += n;
+  if (ctx.profiler != nullptr) {
+    ctx.profiler->fast_path().items_materialized += n;
+  }
+}
+
+void Evaluator::CountBuffersAvoided(DynamicContext& ctx, uint64_t n) {
+  stats_.streams.buffers_avoided += n;
+  if (ctx.profiler != nullptr) {
+    ctx.profiler->fast_path().buffers_avoided += n;
+  }
+}
+
+void Evaluator::CountEarlyExit(DynamicContext& ctx) {
+  ++stats_.early_exits;
+  if (ctx.profiler != nullptr) ++ctx.profiler->fast_path().early_exits;
+}
+
+Result<Sequence> Evaluator::PathInput(const Expr& e, DynamicContext& ctx) {
+  if (!e.kids.empty()) return Eval(*e.kids[0], ctx);
+  if (e.root_anchored) {
     if (!ctx.focus().has_item || !ctx.focus().item.is_node()) {
       return Status::Error("XPDY0002",
                            "no context node for a root-anchored path");
     }
-    current = {Item::Node(ctx.focus().item.node()->Root())};
-  } else {
-    if (!ctx.focus().has_item) {
-      return Status::Error("XPDY0002",
-                           "no context item for a relative path");
-    }
-    current = {ctx.focus().item};
+    return Sequence{Item::Node(ctx.focus().item.node()->Root())};
   }
+  if (!ctx.focus().has_item) {
+    return Status::Error("XPDY0002", "no context item for a relative path");
+  }
+  return Sequence{ctx.focus().item};
+}
+
+Result<xdm::StreamPtr> Evaluator::BuildPathStream(const Expr& e,
+                                                  DynamicContext& ctx,
+                                                  bool ordered_required) {
+  // The initial context sequence is small (usually the focus item or a
+  // variable) — evaluate it eagerly, then stream the steps off it.
+  XQ_ASSIGN_OR_RETURN(Sequence current, PathInput(e, ctx));
+  if (e.steps.empty()) return xdm::SequenceStream(std::move(current));
+
+  size_t start = 0;
+  xdm::StreamPtr s;
+  // First-step name-index shortcut: //name answers straight from the
+  // document's element index — already in doc order, duplicate-free.
+  if (options_.use_name_index && e.steps[0].predicates.empty() &&
+      current.size() == 1 && current[0].is_node()) {
+    bool skip_origin = false;
+    const std::vector<xml::Node*>* bucket =
+        IndexedStepBucket(e.steps[0], current[0].node(), &skip_origin);
+    if (bucket != nullptr) {
+      xml::Node* origin = current[0].node();
+      Sequence hits;
+      hits.reserve(bucket->size());
+      for (xml::Node* h : *bucket) {
+        if (skip_origin && h == origin) continue;
+        hits.push_back(Item::Node(h));
+      }
+      ++stats_.name_index_hits;
+      ++stats_.sorts_elided;
+      if (ctx.profiler != nullptr) {
+        ++ctx.profiler->fast_path().name_index_hits;
+        ++ctx.profiler->fast_path().sorts_elided;
+      }
+      CountMaterialized(ctx, hits.size());
+      s = xdm::SequenceStream(std::move(hits));
+      start = 1;
+    }
+  }
+  if (s == nullptr) s = xdm::SequenceStream(std::move(current));
+
+  for (size_t si = start; si < e.steps.size(); ++si) {
+    const Step& step = e.steps[si];
+    const bool last_step = si + 1 == e.steps.size();
+    const bool elide = options_.honor_sort_elision && step.preserves_order &&
+                       step.no_duplicates;
+    s = std::make_unique<StepStream>(this, &ctx, &step, std::move(s));
+    // Existence consumers only observe emptiness, so the final step may
+    // skip its barrier even without an elision proof. Everything that
+    // counts, aggregates or positions must see sorted, deduped output.
+    if (elide || (last_step && !ordered_required)) {
+      ++stats_.sorts_elided;
+      if (ctx.profiler != nullptr) ++ctx.profiler->fast_path().sorts_elided;
+      if (!elide) CountBuffersAvoided(ctx);
+    } else {
+      ++stats_.sorts_performed;
+      if (ctx.profiler != nullptr) {
+        ++ctx.profiler->fast_path().sorts_performed;
+      }
+      s = std::make_unique<SortBarrierStream>(this, &ctx, std::move(s));
+    }
+  }
+  return s;
+}
+
+// Eager per-step loop: the stream_pipeline=false ablation baseline.
+Result<Sequence> Evaluator::EvalPathEager(const Expr& e, DynamicContext& ctx) {
+  XQ_ASSIGN_OR_RETURN(Sequence current, PathInput(e, ctx));
   if (e.steps.empty()) return current;
-  if (!options_.bounded_eval) limit = DynamicContext::EvalLimit{};
 
   for (size_t si = 0; si < e.steps.size(); ++si) {
     const Step& step = e.steps[si];
-    const bool last_step = si + 1 == e.steps.size();
-    // Steps annotated by the optimizer's ordering pass need no per-step
-    // sort: their raw output is already in doc order, duplicate-free.
     const bool elide = options_.honor_sort_elision && step.preserves_order &&
                        step.no_duplicates;
-    // Bounded modes (final step only). Existence needs any `count`
-    // witnesses; first/last need the true first/last items, which is only
-    // sound when this step's raw output order is proven (elide).
-    const bool exist_mode = last_step && limit.count > 0 && !limit.ordered;
-    const bool first_mode = last_step && limit.count > 0 && limit.ordered &&
-                            !limit.from_end && elide;
-    const bool last_mode = last_step && limit.count > 0 && limit.ordered &&
-                           limit.from_end && elide;
-    // Per-node axis streaming is only possible without predicates (they
-    // need the full per-node sequence for positions).
-    const bool can_stream = step.predicates.empty();
-
     Sequence next;
     bool indexed = false;
-    bool exited_early = false;
 
     if (options_.use_name_index && TryIndexedStep(step, current, &next)) {
       indexed = true;
@@ -541,76 +1071,19 @@ Result<Sequence> Evaluator::EvalPath(const Expr& e, DynamicContext& ctx,
       if (!step.predicates.empty()) {
         XQ_ASSIGN_OR_RETURN(
             next, ApplyPredicates(step.predicates, std::move(next), ctx));
-      } else if ((exist_mode || first_mode) && next.size() > limit.count) {
-        next.resize(limit.count);
-        exited_early = true;
-      } else if (last_mode && next.size() > limit.count) {
-        next.erase(next.begin(),
-                   next.end() - static_cast<ptrdiff_t>(limit.count));
-        exited_early = true;
       }
-    } else if (last_mode) {
-      // Collect a doc-order suffix holding at least the last `count`
-      // items: context nodes are walked back to front, each node's axis
-      // in reverse document order, stopping at `count` matches.
-      Sequence rev;  // reverse document order
-      for (size_t i = current.size();
-           i > 0 && rev.size() < limit.count; --i) {
-        const Item& item = current[i - 1];
-        if (!item.is_node()) {
-          return Status::Error("XPTY0019",
-                               "path step applied to an atomic value");
-        }
-        bool streamed =
-            can_stream &&
-            StreamAxis(step.axis, /*reverse=*/true, item.node(), step.test,
-                       [&](xml::Node* n) {
-                         rev.push_back(Item::Node(n));
-                         return rev.size() < limit.count;
-                       });
-        if (!streamed) {
-          XQ_ASSIGN_OR_RETURN(Sequence part,
-                              EvalStep(step, item.node(), ctx));
-          for (size_t j = part.size(); j > 0; --j) {
-            rev.push_back(part[j - 1]);
-          }
-        }
-      }
-      exited_early = true;
-      next.assign(rev.rbegin(), rev.rend());
     } else {
       for (const Item& item : current) {
         if (!item.is_node()) {
           return Status::Error("XPTY0019",
                                "path step applied to an atomic value");
         }
-        bool streamed = false;
-        if ((exist_mode || first_mode) && can_stream) {
-          streamed = StreamAxis(step.axis, /*reverse=*/false, item.node(),
-                                step.test, [&](xml::Node* n) {
-                                  next.push_back(Item::Node(n));
-                                  return next.size() < limit.count;
-                                });
-        }
-        if (!streamed) {
-          XQ_ASSIGN_OR_RETURN(Sequence part,
-                              EvalStep(step, item.node(), ctx));
-          next.insert(next.end(), part.begin(), part.end());
-        }
-        if ((exist_mode || first_mode) && next.size() >= limit.count) {
-          exited_early = true;
-          break;
-        }
+        XQ_ASSIGN_OR_RETURN(Sequence part, EvalStep(step, item.node(), ctx));
+        next.insert(next.end(), part.begin(), part.end());
       }
     }
 
-    if (exited_early) {
-      ++stats_.early_exits;
-      if (ctx.profiler != nullptr) ++ctx.profiler->fast_path().early_exits;
-    }
-    // Existence consumers only observe emptiness, so their (possibly
-    // unordered) witnesses skip the sort even without an elision proof.
-    if (indexed || elide || exist_mode) {
+    if (indexed || elide) {
       ++stats_.sorts_elided;
       if (ctx.profiler != nullptr) ++ctx.profiler->fast_path().sorts_elided;
     } else {
@@ -620,16 +1093,18 @@ Result<Sequence> Evaluator::EvalPath(const Expr& e, DynamicContext& ctx,
       }
       XQ_RETURN_NOT_OK(xdm::SortDocumentOrderDedup(&next));
     }
+    CountMaterialized(ctx, next.size());
     current = std::move(next);
   }
   return current;
 }
 
-bool Evaluator::TryIndexedStep(const Step& step, const Sequence& current,
-                               Sequence* out) {
+const std::vector<xml::Node*>* Evaluator::IndexedStepBucket(
+    const Step& step, xml::Node* origin, bool* skip_origin) {
+  *skip_origin = false;
   if (step.axis != Axis::kDescendant &&
       step.axis != Axis::kDescendantOrSelf) {
-    return false;
+    return nullptr;
   }
   // Exact element-name tests only (wildcards would need the full walk).
   const NodeTest& t = step.test;
@@ -637,35 +1112,282 @@ bool Evaluator::TryIndexedStep(const Step& step, const Sequence& current,
                      t.kind == NodeTest::Kind::kElement) &&
                     !t.any_name && !t.any_ns && !t.any_local &&
                     !t.name.local.empty();
-  if (!exact_name) return false;
-  if (current.size() != 1 || !current[0].is_node()) return false;
-  xml::Node* n = current[0].node();
-  xml::Document* doc = n->document();
+  if (!exact_name) return nullptr;
+  xml::Document* doc = origin->document();
   // Whole-tree steps only: from the document node, or from the document
   // element when it is the root's only element child (then its
   // descendants are every other attached element).
-  bool from_doc = n == doc->root();
+  bool from_doc = origin == doc->root();
   bool from_doc_elem = false;
-  if (!from_doc && n->is_element() && n->parent() == doc->root()) {
+  if (!from_doc && origin->is_element() && origin->parent() == doc->root()) {
     from_doc_elem = true;
     for (const xml::Node* c : doc->root()->children()) {
-      if (c->is_element() && c != n) {
+      if (c->is_element() && c != origin) {
         from_doc_elem = false;
         break;
       }
     }
   }
-  if (!from_doc && !from_doc_elem) return false;
-  const std::vector<xml::Node*>& hits = doc->ElementsByName(t.name);
+  if (!from_doc && !from_doc_elem) return nullptr;
+  // descendant:: excludes the context node itself; descendant-or-self
+  // keeps it (the document node is never in the element index).
+  *skip_origin = step.axis == Axis::kDescendant;
+  return &doc->ElementsByName(t.name);
+}
+
+bool Evaluator::TryIndexedStep(const Step& step, const Sequence& current,
+                               Sequence* out) {
+  if (current.size() != 1 || !current[0].is_node()) return false;
+  xml::Node* origin = current[0].node();
+  bool skip_origin = false;
+  const std::vector<xml::Node*>* bucket =
+      IndexedStepBucket(step, origin, &skip_origin);
+  if (bucket == nullptr) return false;
   out->clear();
-  out->reserve(hits.size());
-  for (xml::Node* h : hits) {
-    // descendant:: excludes the context node itself; descendant-or-self
-    // keeps it (the document node is never in the element index).
-    if (h == n && step.axis == Axis::kDescendant) continue;
+  out->reserve(bucket->size());
+  for (xml::Node* h : *bucket) {
+    if (skip_origin && h == origin) continue;
     out->push_back(Item::Node(h));
   }
   return true;
+}
+
+// fn:count(//name): the index bucket's size answers the count without
+// instantiating a single item (minus the origin when the descendant
+// axis would exclude it).
+bool Evaluator::TryFastCount(const Expr& arg, DynamicContext& ctx,
+                             int64_t* out) {
+  if (arg.kind != ExprKind::kPath || !arg.kids.empty()) return false;
+  if (arg.steps.size() != 1 || !arg.steps[0].predicates.empty()) return false;
+  if (!ctx.focus().has_item || !ctx.focus().item.is_node()) return false;
+  xml::Node* origin = arg.root_anchored ? ctx.focus().item.node()->Root()
+                                        : ctx.focus().item.node();
+  bool skip_origin = false;
+  const std::vector<xml::Node*>* bucket =
+      IndexedStepBucket(arg.steps[0], origin, &skip_origin);
+  if (bucket == nullptr) return false;
+  int64_t n = static_cast<int64_t>(bucket->size());
+  if (skip_origin) {
+    for (xml::Node* h : *bucket) {
+      if (h == origin) {
+        --n;
+        break;
+      }
+    }
+  }
+  *out = n;
+  ++stats_.count_index_hits;
+  ++stats_.name_index_hits;
+  if (ctx.profiler != nullptr) {
+    ++ctx.profiler->fast_path().count_index_hits;
+    ++ctx.profiler->fast_path().name_index_hits;
+  }
+  CountBuffersAvoided(ctx);
+  return true;
+}
+
+// ------------------------------------------------------------ streams ---
+
+Result<xdm::StreamPtr> Evaluator::EvalStream(const Expr& e,
+                                             DynamicContext& ctx) {
+  return EvalStreamOrdered(e, ctx, /*ordered_required=*/true);
+}
+
+Result<xdm::StreamPtr> Evaluator::EvalStreamOrdered(const Expr& e,
+                                                    DynamicContext& ctx,
+                                                    bool ordered_required) {
+  if (!options_.stream_pipeline || exit_flag_) {
+    XQ_ASSIGN_OR_RETURN(Sequence v, Eval(e, ctx));
+    return xdm::SequenceStream(std::move(v));
+  }
+  switch (e.kind) {
+    case ExprKind::kPath:
+      return BuildPathStream(e, ctx, ordered_required);
+    case ExprKind::kFilter:
+      return BuildFilterStream(e, ctx);
+    case ExprKind::kFLWOR:
+      if (e.order_specs.empty()) {
+        const Expr* where = e.where == nullptr ? nullptr : e.where.get();
+        return xdm::StreamPtr(new FlworStream(this, &ctx, &e, where,
+                                              e.kids[0].get(),
+                                              /*negate_where=*/false));
+      }
+      break;
+    case ExprKind::kSequence:
+      return xdm::StreamPtr(
+          new ConcatStream(this, &ctx, &e, ordered_required));
+    case ExprKind::kRange: {
+      XQ_ASSIGN_OR_RETURN(Sequence lo_seq, Eval(*e.kids[0], ctx));
+      XQ_ASSIGN_OR_RETURN(Sequence hi_seq, Eval(*e.kids[1], ctx));
+      if (lo_seq.empty() || hi_seq.empty()) return xdm::EmptyStream();
+      XQ_ASSIGN_OR_RETURN(AtomicValue lo_a,
+                          RequireSingleAtomic(lo_seq, "range"));
+      XQ_ASSIGN_OR_RETURN(AtomicValue hi_a,
+                          RequireSingleAtomic(hi_seq, "range"));
+      XQ_ASSIGN_OR_RETURN(int64_t lo, lo_a.ToInteger());
+      XQ_ASSIGN_OR_RETURN(int64_t hi, hi_a.ToInteger());
+      CountBuffersAvoided(ctx);
+      return xdm::RangeStream(lo, hi);
+    }
+    case ExprKind::kIf: {
+      XQ_ASSIGN_OR_RETURN(bool b, EvalBool(*e.kids[0], ctx));
+      return EvalStreamOrdered(b ? *e.kids[1] : *e.kids[2], ctx,
+                               ordered_required);
+    }
+    case ExprKind::kEnclosed:
+      return EvalStreamOrdered(*e.kids[0], ctx, ordered_required);
+    case ExprKind::kLiteral:
+      return xdm::SingletonStream(Item::Atomic(e.atom));
+    case ExprKind::kContextItem: {
+      if (!ctx.focus().has_item) {
+        return Status::Error("XPDY0002", "context item is undefined");
+      }
+      return xdm::SingletonStream(ctx.focus().item);
+    }
+    case ExprKind::kVarRef: {
+      XQ_ASSIGN_OR_RETURN(Sequence v, ctx.env().Lookup(e.qname));
+      return xdm::SequenceStream(std::move(v));
+    }
+    default:
+      break;
+  }
+  // Everything else evaluates eagerly and streams the buffer.
+  XQ_ASSIGN_OR_RETURN(Sequence v, Eval(e, ctx));
+  return xdm::SequenceStream(std::move(v));
+}
+
+Result<Sequence> Evaluator::MaterializeFrom(xdm::StreamPtr s,
+                                            DynamicContext& ctx) {
+  XQ_ASSIGN_OR_RETURN(Sequence out, xdm::MaterializeStream(*s, nullptr));
+  CountMaterialized(ctx, out.size());
+  return out;
+}
+
+Result<bool> Evaluator::StreamEBV(xdm::ItemStream& s, DynamicContext& ctx) {
+  Item first;
+  XQ_ASSIGN_OR_RETURN(bool any, s.Next(&first));
+  if (!any) return false;
+  if (first.is_node()) {
+    // A node witness decides regardless of what follows (§2.4.3).
+    CountEarlyExit(ctx);
+    return true;
+  }
+  // Singleton atomic: the EBV of the item itself. A second item would
+  // make the sequence erroneous (FORG0006) — pull once more to tell.
+  Item second;
+  XQ_ASSIGN_OR_RETURN(bool more, s.Next(&second));
+  if (more) {
+    Sequence two{std::move(first), std::move(second)};
+    return xdm::EffectiveBooleanValue(two);
+  }
+  Sequence one{std::move(first)};
+  return xdm::EffectiveBooleanValue(one);
+}
+
+Result<xdm::StreamPtr> Evaluator::BuildFilterStream(const Expr& e,
+                                                    DynamicContext& ctx) {
+  XQ_ASSIGN_OR_RETURN(
+      xdm::StreamPtr s,
+      EvalStreamOrdered(*e.kids[0], ctx, /*ordered_required=*/true));
+  for (const ExprPtr& pred_ptr : e.predicates) {
+    const Expr& pred = *pred_ptr;
+    // E[N]: a literal integer predicate over a (sorted) stream needs N
+    // pulls, not the full sequence.
+    if (options_.bounded_eval && pred.kind == ExprKind::kLiteral &&
+        pred.atom.type() == AtomicType::kInteger) {
+      s = std::make_unique<TakeNthStream>(this, &ctx, pred.atom.int_value(),
+                                          std::move(s));
+      continue;
+    }
+    // E[last()]: drain with a one-item buffer.
+    bool is_last = pred.kind == ExprKind::kFunctionCall &&
+                   pred.kids.empty() && pred.qname.ns == xml::kFnNamespace &&
+                   pred.qname.local == "last" &&
+                   sctx_.FindFunction(pred.qname, 0) == nullptr &&
+                   ctx.FindExternal(pred.qname, 0) == nullptr;
+    if (options_.bounded_eval && is_last) {
+      s = std::make_unique<TakeLastStream>(this, &ctx, std::move(s));
+      continue;
+    }
+    if (NeedsLast(pred)) {
+      // The predicate may observe fn:last(): materialize so the focus
+      // carries the true size.
+      XQ_ASSIGN_OR_RETURN(Sequence buf, MaterializeFrom(std::move(s), ctx));
+      XQ_ASSIGN_OR_RETURN(buf, ApplyOnePredicate(pred, std::move(buf), ctx));
+      s = xdm::SequenceStream(std::move(buf));
+      continue;
+    }
+    s = std::make_unique<PredicateStream>(this, &ctx, &pred, std::move(s));
+  }
+  return s;
+}
+
+// Could evaluating `e` observe fn:last()? Conservative: any last() call,
+// any call that could reach user/external code (which inherits the focus
+// in the XQIB dialect), and opaque subtrees answer yes.
+bool Evaluator::NeedsLast(const Expr& e) {
+  auto it = needs_last_cache_.find(&e);
+  if (it != needs_last_cache_.end()) return it->second;
+  bool needs = false;
+  if (e.kind == ExprKind::kFunctionCall) {
+    if (e.qname.ns == xml::kFnNamespace && e.qname.local == "last") {
+      needs = true;
+    } else if (e.qname.ns != xml::kFnNamespace &&
+               e.qname.ns != xml::kXsNamespace) {
+      needs = true;  // user or external function: inherits the focus
+    } else if (sctx_.FindFunction(e.qname, e.kids.size()) != nullptr) {
+      needs = true;  // fn:/xs: name shadowed by a user declaration
+    }
+  } else if (e.kind == ExprKind::kDirectElement ||
+             e.kind == ExprKind::kFtContains) {
+    needs = true;  // opaque subtrees (direct constructors hide exprs)
+  }
+  if (!needs) {
+    for (const ExprPtr& kid : e.kids) {
+      if (kid != nullptr && NeedsLast(*kid)) {
+        needs = true;
+        break;
+      }
+    }
+  }
+  if (!needs) {
+    for (const ExprPtr& p : e.predicates) {
+      if (p != nullptr && NeedsLast(*p)) {
+        needs = true;
+        break;
+      }
+    }
+  }
+  if (!needs && e.where != nullptr && NeedsLast(*e.where)) needs = true;
+  if (!needs) {
+    for (const Clause& c : e.clauses) {
+      if (c.expr != nullptr && NeedsLast(*c.expr)) {
+        needs = true;
+        break;
+      }
+    }
+  }
+  if (!needs) {
+    for (const Step& st : e.steps) {
+      for (const ExprPtr& p : st.predicates) {
+        if (p != nullptr && NeedsLast(*p)) {
+          needs = true;
+          break;
+        }
+      }
+      if (needs) break;
+    }
+  }
+  if (!needs) {
+    for (const OrderSpec& os : e.order_specs) {
+      if (os.key != nullptr && NeedsLast(*os.key)) {
+        needs = true;
+        break;
+      }
+    }
+  }
+  needs_last_cache_[&e] = needs;
+  return needs;
 }
 
 Result<Sequence> Evaluator::EvalStep(const Step& step, xml::Node* node,
@@ -686,11 +1408,24 @@ Result<Sequence> Evaluator::EvalStep(const Step& step, xml::Node* node,
 }
 
 Result<bool> Evaluator::EvalBool(const Expr& e, DynamicContext& ctx) {
-  // Paths produce only nodes, so their effective boolean value is pure
-  // non-emptiness: one witness suffices (XQuery §2.3.4 allows skipping
-  // the rest of the evaluation).
-  if (options_.bounded_eval && e.kind == ExprKind::kPath) {
-    ctx.ArmEvalLimit({1, /*ordered=*/false, /*from_end=*/false});
+  // Lazy kinds stream to their first EBV witness: a path yields only
+  // nodes, so one pull decides (XQuery §2.3.4 allows skipping the rest
+  // of the evaluation); atomic producers need at most two pulls.
+  if (options_.stream_pipeline && options_.bounded_eval) {
+    switch (e.kind) {
+      case ExprKind::kPath:
+      case ExprKind::kFilter:
+      case ExprKind::kFLWOR:
+      case ExprKind::kSequence:
+      case ExprKind::kRange: {
+        XQ_ASSIGN_OR_RETURN(
+            xdm::StreamPtr s,
+            EvalStreamOrdered(e, ctx, /*ordered_required=*/false));
+        return StreamEBV(*s, ctx);
+      }
+      default:
+        break;
+    }
   }
   XQ_ASSIGN_OR_RETURN(Sequence v, Eval(e, ctx));
   return xdm::EffectiveBooleanValue(v);
@@ -700,29 +1435,43 @@ Result<Sequence> Evaluator::ApplyPredicates(
     const std::vector<ExprPtr>& predicates, Sequence input,
     DynamicContext& ctx) {
   for (const ExprPtr& pred : predicates) {
-    Sequence output;
-    int64_t size = static_cast<int64_t>(input.size());
-    DynamicContext::Focus saved = ctx.focus();
-    for (int64_t i = 0; i < size; ++i) {
-      DynamicContext::Focus f;
-      f.item = input[static_cast<size_t>(i)];
-      f.position = i + 1;
-      f.size = size;
-      f.has_item = true;
-      ctx.set_focus(f);
-      // A path predicate is an existence test (its value can only be
-      // nodes, so the numeric-predicate branch below cannot apply): one
-      // witness suffices.
-      if (options_.bounded_eval && pred->kind == ExprKind::kPath) {
-        ctx.ArmEvalLimit({1, /*ordered=*/false, /*from_end=*/false});
+    XQ_ASSIGN_OR_RETURN(input,
+                        ApplyOnePredicate(*pred, std::move(input), ctx));
+  }
+  return input;
+}
+
+Result<Sequence> Evaluator::ApplyOnePredicate(const Expr& pred,
+                                              Sequence input,
+                                              DynamicContext& ctx) {
+  Sequence output;
+  int64_t size = static_cast<int64_t>(input.size());
+  DynamicContext::Focus saved = ctx.focus();
+  for (int64_t i = 0; i < size; ++i) {
+    DynamicContext::Focus f;
+    f.item = input[static_cast<size_t>(i)];
+    f.position = i + 1;
+    f.size = size;
+    f.has_item = true;
+    ctx.set_focus(f);
+    // A path predicate is an existence test (its value can only be
+    // nodes, so the numeric-predicate branch below cannot apply): one
+    // witness suffices.
+    bool keep = false;
+    if (pred.kind == ExprKind::kPath) {
+      Result<bool> b = EvalBool(pred, ctx);
+      if (!b.ok()) {
+        ctx.set_focus(saved);
+        return b.status();
       }
-      Result<Sequence> value = Eval(*pred, ctx);
+      keep = *b;
+    } else {
+      Result<Sequence> value = Eval(pred, ctx);
       if (!value.ok()) {
         ctx.set_focus(saved);
         return value.status();
       }
       // Numeric predicate: positional selection.
-      bool keep = false;
       const Sequence& v = *value;
       if (v.size() == 1 && !v[0].is_node() && v[0].atomic().is_numeric()) {
         Result<double> d = v[0].atomic().ToDouble();
@@ -739,12 +1488,11 @@ Result<Sequence> Evaluator::ApplyPredicates(
         }
         keep = *b;
       }
-      if (keep) output.push_back(input[static_cast<size_t>(i)]);
     }
-    ctx.set_focus(saved);
-    input = std::move(output);
+    if (keep) output.push_back(input[static_cast<size_t>(i)]);
   }
-  return input;
+  ctx.set_focus(saved);
+  return output;
 }
 
 // -------------------------------------------------------------- FLWOR ---
@@ -843,6 +1591,18 @@ Result<Sequence> Evaluator::EvalFLWOR(const Expr& e, DynamicContext& ctx) {
 Result<Sequence> Evaluator::EvalQuantified(const Expr& e,
                                            DynamicContext& ctx) {
   bool every = e.quant_every;
+  if (options_.stream_pipeline) {
+    // Quantifiers are FLWOR tuple streams: `some` pulls until a tuple
+    // passes the test, `every` until one fails it (negate_where). One
+    // pull decides either way — the clause streams never run to
+    // exhaustion past the witness.
+    FlworStream tuples(this, &ctx, &e, /*where=*/e.kids[0].get(),
+                       /*ret=*/nullptr, /*negate_where=*/every);
+    Item marker;
+    XQ_ASSIGN_OR_RETURN(bool witness, tuples.Next(&marker));
+    if (witness) CountEarlyExit(ctx);
+    return Sequence{Item::Boolean(every ? !witness : witness)};
+  }
   bool result = every;
   Status error;
   ctx.env().PushScope();
@@ -1016,18 +1776,38 @@ Result<Sequence> Evaluator::EvalSetOp(const Expr& e, DynamicContext& ctx) {
 
 Result<Sequence> Evaluator::EvalFunctionCall(const Expr& e,
                                              DynamicContext& ctx) {
-  // fn:exists / fn:empty / fn:not / fn:boolean over a path argument only
-  // observe (non-)emptiness — one witness node decides them — so the
-  // path may stop at its first hit. Guarded against user-declared or
+  // Sequence-valued fn: builtins consume their first argument as a
+  // stream: existence tests stop at one witness, aggregates fold item
+  // by item without buffering. Guarded against user-declared or
   // host-external functions shadowing the fn: names.
-  if (options_.bounded_eval && e.kids.size() == 1 &&
-      e.kids[0]->kind == ExprKind::kPath &&
-      e.qname.ns == xml::kFnNamespace &&
-      (e.qname.local == "exists" || e.qname.local == "empty" ||
-       e.qname.local == "not" || e.qname.local == "boolean") &&
-      sctx_.FindFunction(e.qname, 1) == nullptr &&
-      ctx.FindExternal(e.qname, 1) == nullptr) {
-    ctx.ArmEvalLimit({1, /*ordered=*/false, /*from_end=*/false});
+  const bool builtin_unshadowed =
+      e.qname.ns == xml::kFnNamespace && !e.kids.empty() &&
+      sctx_.FindFunction(e.qname, e.kids.size()) == nullptr &&
+      ctx.FindExternal(e.qname, e.kids.size()) == nullptr;
+  if (builtin_unshadowed && options_.use_name_index &&
+      e.qname.local == "count" && e.kids.size() == 1) {
+    int64_t n = 0;
+    if (TryFastCount(*e.kids[0], ctx, &n)) {
+      return Sequence{Item::Integer(n)};
+    }
+  }
+  if (builtin_unshadowed) {
+    StreamFnClass cls = ClassifyStreamBuiltin(e.qname, e.kids.size());
+    if (options_.stream_pipeline && cls != StreamFnClass::kNone) {
+      // Skipping the final sort barrier for existence tests is part of
+      // the bounded-evaluation ablation axis, so it stays tied to it.
+      const bool ordered = StreamBuiltinNeedsOrderedArg(e.qname.local) ||
+                           !options_.bounded_eval;
+      XQ_ASSIGN_OR_RETURN(xdm::StreamPtr arg0,
+                          EvalStreamOrdered(*e.kids[0], ctx, ordered));
+      std::vector<Sequence> rest;
+      rest.reserve(e.kids.size() - 1);
+      for (size_t i = 1; i < e.kids.size(); ++i) {
+        XQ_ASSIGN_OR_RETURN(Sequence arg, Eval(*e.kids[i], ctx));
+        rest.push_back(std::move(arg));
+      }
+      return CallStreamBuiltin(e.qname, *arg0, rest, *this, ctx);
+    }
   }
   std::vector<Sequence> args;
   args.reserve(e.kids.size());

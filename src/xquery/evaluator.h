@@ -6,14 +6,18 @@
 #define XQIB_XQUERY_EVALUATOR_H_
 
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "base/result.h"
 #include "xdm/item.h"
+#include "xdm/stream.h"
 #include "xquery/ast.h"
 #include "xquery/context.h"
 
 namespace xqib::xquery {
+
+struct EvaluatorStreams;
 
 class Evaluator {
  public:
@@ -28,9 +32,15 @@ class Evaluator {
     // Route whole-tree descendant name steps (//name) through the
     // document's lazily built element-name index.
     bool use_name_index = true;
-    // Stop path evaluation early for existence tests ([pred], exists,
-    // empty, and/or/if/where conditions) and positional [1]/[last()].
+    // Stop evaluation early for bounded consumers: existence tests
+    // ([pred], exists, empty, and/or/if/where conditions), positional
+    // [1]/[last()], head/subsequence prefixes.
     bool bounded_eval = true;
+    // Compose path steps, FLWOR clauses and sequence-valued builtins as
+    // lazy pull streams (xdm::ItemStream). Off: every operator edge
+    // re-materializes a full Sequence — the PR 2-era eager baseline the
+    // benchmarks ablate against.
+    bool stream_pipeline = true;
   };
   const EvalOptions& options() const { return options_; }
   void set_options(const EvalOptions& options) { options_ = options; }
@@ -40,7 +50,15 @@ class Evaluator {
     uint64_t sorts_performed = 0;
     uint64_t sorts_elided = 0;
     uint64_t name_index_hits = 0;
+    // Bounded consumers (EBV witness, [N], [last()], exists/empty/head)
+    // that stopped pulling before their producer was exhausted.
     uint64_t early_exits = 0;
+    // fn:count answered from Document::ElementsByName without
+    // instantiating any items.
+    uint64_t count_index_hits = 0;
+    // Streaming-pipeline counters (items pulled across operator edges,
+    // items copied into Sequence buffers, operator edges kept lazy).
+    xdm::StreamStats streams;
   };
   const EvalStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EvalStats{}; }
@@ -48,6 +66,24 @@ class Evaluator {
   // Evaluates an expression. Updating sub-expressions append to
   // ctx.pul(); the caller decides when to apply (snapshot vs scripting).
   Result<xdm::Sequence> Eval(const Expr& e, DynamicContext& ctx);
+
+  // Lazily evaluates `e` as a pull stream. Work is deferred into Next()
+  // calls for the lazy kinds (paths, filters, FLWOR without order by,
+  // sequence concatenation, ranges); everything else evaluates eagerly
+  // and streams the buffered result. With stream_pipeline off this
+  // always materializes first.
+  Result<xdm::StreamPtr> EvalStream(const Expr& e, DynamicContext& ctx);
+
+  // Effective boolean value of a stream: pulls at most two items (the
+  // second only to reproduce FORG0006 on multi-atomic sequences).
+  Result<bool> StreamEBV(xdm::ItemStream& s, DynamicContext& ctx);
+
+  // Counter hooks shared by the stream operators and the builtin
+  // library when it drains argument streams (profiler-mirrored).
+  void CountPulled(DynamicContext& ctx, uint64_t n = 1);
+  void CountMaterialized(DynamicContext& ctx, uint64_t n);
+  void CountBuffersAvoided(DynamicContext& ctx, uint64_t n = 1);
+  void CountEarlyExit(DynamicContext& ctx);
 
   // Invokes a user-declared or external function with pre-evaluated
   // arguments. Used by the plugin to dispatch event listeners.
@@ -66,24 +102,56 @@ class Evaluator {
   const StaticContext& static_context() const { return sctx_; }
 
  private:
+  friend struct EvaluatorStreams;
+
   // The per-kind dispatch; Eval wraps it with optional profiling.
   Result<xdm::Sequence> EvalImpl(const Expr& e, DynamicContext& ctx);
-  Result<xdm::Sequence> EvalPath(const Expr& e, DynamicContext& ctx,
-                                 DynamicContext::EvalLimit limit);
+  // EvalStream with an ordering requirement: consumers that only
+  // observe (non-)emptiness pass ordered_required=false, letting the
+  // final path step skip its document-order barrier.
+  Result<xdm::StreamPtr> EvalStreamOrdered(const Expr& e, DynamicContext& ctx,
+                                           bool ordered_required);
+  // Drains a stream into a Sequence, accounting the buffer.
+  Result<xdm::Sequence> MaterializeFrom(xdm::StreamPtr s, DynamicContext& ctx);
+  // Composes one pull stream per path step (axis cursor + optional sort
+  // barrier); the initial context sequence evaluates eagerly.
+  Result<xdm::StreamPtr> BuildPathStream(const Expr& e, DynamicContext& ctx,
+                                         bool ordered_required);
+  Result<xdm::StreamPtr> BuildFilterStream(const Expr& e, DynamicContext& ctx);
+  // The initial context sequence of a path (kids[0] / root / focus).
+  Result<xdm::Sequence> PathInput(const Expr& e, DynamicContext& ctx);
+  // Eager per-step path loop — the stream_pipeline=false ablation
+  // baseline and the oracle the streaming tests compare against.
+  Result<xdm::Sequence> EvalPathEager(const Expr& e, DynamicContext& ctx);
   Result<xdm::Sequence> EvalStep(const Step& step, xml::Node* node,
                                  DynamicContext& ctx);
-  // Evaluates `e` and returns its effective boolean value; for path
-  // operands it arms an existence limit first so the path stops at the
-  // first witness node.
+  // Evaluates `e` and returns its effective boolean value; lazy kinds
+  // stream and stop at the first witness item.
   Result<bool> EvalBool(const Expr& e, DynamicContext& ctx);
+  // Element-name-index bucket for a whole-tree descendant name step
+  // from `origin`, or nullptr when not applicable. *skip_origin is set
+  // when the origin itself must be excluded (descendant:: axis).
+  const std::vector<xml::Node*>* IndexedStepBucket(const Step& step,
+                                                   xml::Node* origin,
+                                                   bool* skip_origin);
   // Whole-tree descendant name step answered from the document's
   // element-name index; fills *out (doc order, duplicate-free, step
   // predicates NOT yet applied) and returns true when applicable.
   bool TryIndexedStep(const Step& step, const xdm::Sequence& current,
                       xdm::Sequence* out);
+  // fn:count over a bare //name path answered from the index size
+  // without instantiating items.
+  bool TryFastCount(const Expr& arg, DynamicContext& ctx, int64_t* out);
+  // Conservative static scan: could evaluating `e` as a predicate
+  // observe fn:last() (directly or through a called function, which
+  // inherits the focus in the XQIB dialect)? Memoized per node.
+  bool NeedsLast(const Expr& e);
   Result<xdm::Sequence> ApplyPredicates(
       const std::vector<ExprPtr>& predicates, xdm::Sequence input,
       DynamicContext& ctx);
+  Result<xdm::Sequence> ApplyOnePredicate(const Expr& pred,
+                                          xdm::Sequence input,
+                                          DynamicContext& ctx);
   Result<xdm::Sequence> EvalFLWOR(const Expr& e, DynamicContext& ctx);
   Result<xdm::Sequence> EvalQuantified(const Expr& e, DynamicContext& ctx);
   Result<xdm::Sequence> EvalComparison(const Expr& e, DynamicContext& ctx);
@@ -121,6 +189,7 @@ class Evaluator {
   xdm::Sequence exit_value_;
   EvalOptions options_;
   EvalStats stats_;
+  std::unordered_map<const Expr*, bool> needs_last_cache_;
 };
 
 // Built-in function dispatch (functions.cc). Sets *handled=false if the
@@ -129,6 +198,23 @@ Result<xdm::Sequence> CallBuiltinFunction(const xml::QName& name,
                                           std::vector<xdm::Sequence>& args,
                                           Evaluator& ev, DynamicContext& ctx,
                                           bool* handled);
+
+// How a builtin may consume its first argument as a stream (functions.cc):
+// kFold drains without buffering (count, sum, avg, min, max); kEarlyExit
+// additionally stops pulling once decided (exists, empty, boolean, not,
+// head, subsequence). kNone: not stream-consumable at this arity.
+enum class StreamFnClass { kNone, kFold, kEarlyExit };
+StreamFnClass ClassifyStreamBuiltin(const xml::QName& name, size_t arity);
+// True when the builtin's result depends on the order (or duplicates)
+// of its first argument, so the path feeding it may not skip its final
+// document-order barrier.
+bool StreamBuiltinNeedsOrderedArg(const std::string& local);
+// Dispatches a stream-consumable builtin: arg0 is pulled lazily, `rest`
+// holds the remaining (eagerly evaluated) arguments.
+Result<xdm::Sequence> CallStreamBuiltin(const xml::QName& name,
+                                        xdm::ItemStream& arg0,
+                                        std::vector<xdm::Sequence>& rest,
+                                        Evaluator& ev, DynamicContext& ctx);
 
 }  // namespace xqib::xquery
 

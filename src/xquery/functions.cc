@@ -568,6 +568,16 @@ Result<Sequence> CallBuiltinFunction(const xml::QName& name,
     Sequence out(args[0].rbegin(), args[0].rend());
     return out;
   }
+  if (fn == "head") {
+    if (n != 1) return WrongArity(fn, n);
+    if (args[0].empty()) return Sequence{};
+    return Sequence{args[0][0]};
+  }
+  if (fn == "tail") {
+    if (n != 1) return WrongArity(fn, n);
+    if (args[0].empty()) return Sequence{};
+    return Sequence(args[0].begin() + 1, args[0].end());
+  }
   if (fn == "subsequence") {
     if (n < 2 || n > 3) return WrongArity(fn, n);
     bool empty = false;
@@ -813,6 +823,192 @@ Result<Sequence> CallBuiltinFunction(const xml::QName& name,
 
   *handled = false;
   return Sequence{};
+}
+
+// ------------------------------------------------- streaming builtins ---
+
+StreamFnClass ClassifyStreamBuiltin(const xml::QName& name, size_t arity) {
+  if (name.ns != xml::kFnNamespace) return StreamFnClass::kNone;
+  const std::string& fn = name.local;
+  if (arity == 1 && (fn == "exists" || fn == "empty" || fn == "boolean" ||
+                     fn == "not" || fn == "head")) {
+    return StreamFnClass::kEarlyExit;
+  }
+  if ((arity == 2 || arity == 3) && fn == "subsequence") {
+    return StreamFnClass::kEarlyExit;
+  }
+  if (arity == 1 && (fn == "count" || fn == "avg" || fn == "min" ||
+                     fn == "max" || fn == "sum")) {
+    return StreamFnClass::kFold;
+  }
+  if (arity == 2 && fn == "sum") return StreamFnClass::kFold;
+  return StreamFnClass::kNone;
+}
+
+bool StreamBuiltinNeedsOrderedArg(const std::string& local) {
+  // Pure existence tests observe only (non-)emptiness, so an unordered,
+  // possibly duplicated witness stream decides them. Everything else
+  // counts, positions or aggregates — the document-order barrier also
+  // dedups, so it must stay (count(/a/b/..) must count the parent once).
+  return !(local == "exists" || local == "empty" || local == "boolean" ||
+           local == "not");
+}
+
+Result<Sequence> CallStreamBuiltin(const xml::QName& name,
+                                   xdm::ItemStream& arg0,
+                                   std::vector<Sequence>& rest, Evaluator& ev,
+                                   DynamicContext& ctx) {
+  const std::string& fn = name.local;
+  const bool bounded = ev.options().bounded_eval;
+  Item item;
+
+  if (fn == "exists" || fn == "empty") {
+    bool any = false;
+    while (true) {
+      XQ_ASSIGN_OR_RETURN(bool more, arg0.Next(&item));
+      if (!more) break;
+      any = true;
+      if (bounded) {
+        ev.CountEarlyExit(ctx);
+        break;
+      }
+    }
+    return Sequence{Item::Boolean(fn == "exists" ? any : !any)};
+  }
+  if (fn == "boolean" || fn == "not") {
+    bool b = false;
+    if (bounded) {
+      XQ_ASSIGN_OR_RETURN(b, ev.StreamEBV(arg0, ctx));
+    } else {
+      XQ_ASSIGN_OR_RETURN(Sequence v, xdm::MaterializeStream(arg0, nullptr));
+      ev.CountMaterialized(ctx, v.size());
+      XQ_ASSIGN_OR_RETURN(b, xdm::EffectiveBooleanValue(v));
+    }
+    return Sequence{Item::Boolean(fn == "boolean" ? b : !b)};
+  }
+  if (fn == "head") {
+    Sequence out;
+    while (true) {
+      XQ_ASSIGN_OR_RETURN(bool more, arg0.Next(&item));
+      if (!more) break;
+      if (out.empty()) out.push_back(std::move(item));
+      if (bounded) {
+        ev.CountEarlyExit(ctx);
+        break;
+      }
+    }
+    return out;
+  }
+  if (fn == "subsequence") {
+    bool empty = false;
+    XQ_ASSIGN_OR_RETURN(double startd, NumericArg(rest[0], &empty));
+    if (empty) return Sequence{};
+    double lend = std::numeric_limits<double>::infinity();
+    if (rest.size() == 2) {
+      XQ_ASSIGN_OR_RETURN(lend, NumericArg(rest[1], &empty));
+      if (empty) return Sequence{};
+    }
+    double from = std::floor(startd + 0.5);
+    double to = from + (std::isinf(lend) ? lend : std::floor(lend + 0.5));
+    Sequence out;
+    int64_t i = 0;
+    bool stopped = false;
+    while (true) {
+      XQ_ASSIGN_OR_RETURN(bool more, arg0.Next(&item));
+      if (!more) break;
+      double pos = static_cast<double>(++i);
+      if (pos >= from && pos < to) out.push_back(std::move(item));
+      // Past the window: nothing later can match (to is monotone in pos;
+      // NaN bounds keep every comparison false and drain harmlessly).
+      if (bounded && pos + 1 >= to) {
+        stopped = true;
+        break;
+      }
+    }
+    if (stopped) ev.CountEarlyExit(ctx);
+    return out;
+  }
+  if (fn == "count") {
+    int64_t n = 0;
+    while (true) {
+      XQ_ASSIGN_OR_RETURN(bool more, arg0.Next(&item));
+      if (!more) break;
+      ++n;
+    }
+    ev.CountBuffersAvoided(ctx);
+    return Sequence{Item::Integer(n)};
+  }
+  if (fn == "sum" || fn == "avg") {
+    // True fold: atomize item by item, never buffering the sequence.
+    double acc = 0;
+    bool all_int = true;
+    int64_t n = 0;
+    while (true) {
+      XQ_ASSIGN_OR_RETURN(bool more, arg0.Next(&item));
+      if (!more) break;
+      Sequence atoms = xdm::Atomize(Sequence{std::move(item)});
+      for (const Item& a : atoms) {
+        XQ_ASSIGN_OR_RETURN(double d, a.atomic().ToDouble());
+        if (a.atomic().type() != AtomicType::kInteger) all_int = false;
+        acc += d;
+        ++n;
+      }
+    }
+    if (n == 0) {
+      if (fn == "sum") {
+        if (!rest.empty()) return rest[0];
+        return Sequence{Item::Integer(0)};
+      }
+      return Sequence{};
+    }
+    ev.CountBuffersAvoided(ctx);
+    if (fn == "avg") {
+      return Sequence{Item::Double(acc / static_cast<double>(n))};
+    }
+    if (all_int) return Sequence{Item::Integer(static_cast<int64_t>(acc))};
+    return Sequence{Item::Double(acc)};
+  }
+  if (fn == "min" || fn == "max") {
+    // min/max need the whole atomized input to pick the numeric-vs-string
+    // comparison mode, so they buffer atoms — but never the source nodes.
+    Sequence data;
+    while (true) {
+      XQ_ASSIGN_OR_RETURN(bool more, arg0.Next(&item));
+      if (!more) break;
+      Sequence atoms = xdm::Atomize(Sequence{std::move(item)});
+      for (Item& a : atoms) data.push_back(std::move(a));
+    }
+    ev.CountMaterialized(ctx, data.size());
+    if (data.empty()) return Sequence{};
+    bool numeric = true;
+    for (const Item& i : data) {
+      if (!i.atomic().is_numeric() && !i.atomic().is_untyped()) {
+        numeric = false;
+        break;
+      }
+    }
+    if (!numeric) {
+      std::string best = data[0].StringValue();
+      for (const Item& i : data) {
+        std::string s = i.StringValue();
+        if ((fn == "min") ? s < best : s > best) best = s;
+      }
+      return Sequence{Item::String(best)};
+    }
+    bool all_int = true;
+    double best = 0;
+    bool first = true;
+    for (const Item& i : data) {
+      XQ_ASSIGN_OR_RETURN(double d, i.atomic().ToDouble());
+      if (i.atomic().type() != AtomicType::kInteger) all_int = false;
+      if (first || (fn == "min" ? d < best : d > best)) best = d;
+      first = false;
+    }
+    if (all_int) return Sequence{Item::Integer(static_cast<int64_t>(best))};
+    return Sequence{Item::Double(best)};
+  }
+  return Status::Error("XPST0017",
+                       "not a stream-consumable builtin: fn:" + fn);
 }
 
 }  // namespace xqib::xquery

@@ -455,7 +455,9 @@ class Rewriter {
   // Annotates each step with preserves_order/no_duplicates when the raw
   // axis output — context items in order, each item's axis nodes in axis
   // order — is provably already in document order and duplicate-free, so
-  // the evaluator can elide its per-step SortDocumentOrderDedup.
+  // the evaluator can elide the step's sort barrier. In the streaming
+  // pipeline this is what keeps a StepStream's output flowing on to the
+  // next operator without a SortBarrierStream materializing it first.
   //
   // Soundness hinges on the context-state lattice:
   //   * child::/attribute:: from an antichain: the selected children of

@@ -125,11 +125,20 @@ std::string Profiler::Report(size_t limit) const {
   }
   std::snprintf(line, sizeof(line),
                 "  path fast path: %llu sorts elided, %llu performed, "
-                "%llu index hits, %llu early exits\n",
+                "%llu index hits, %llu early exits, %llu count-index hits\n",
                 static_cast<unsigned long long>(fast_path_.sorts_elided),
                 static_cast<unsigned long long>(fast_path_.sorts_performed),
                 static_cast<unsigned long long>(fast_path_.name_index_hits),
-                static_cast<unsigned long long>(fast_path_.early_exits));
+                static_cast<unsigned long long>(fast_path_.early_exits),
+                static_cast<unsigned long long>(fast_path_.count_index_hits));
+  out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "  streaming: %llu items pulled, %llu materialized, "
+      "%llu buffers avoided\n",
+      static_cast<unsigned long long>(fast_path_.items_pulled),
+      static_cast<unsigned long long>(fast_path_.items_materialized),
+      static_cast<unsigned long long>(fast_path_.buffers_avoided));
   out += line;
   return out;
 }

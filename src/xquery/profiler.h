@@ -42,14 +42,22 @@ class Profiler {
   // Running child-time accumulator used to compute self time.
   double* child_time_slot() { return &child_time_; }
 
-  // Path fast-path counters (PR-2): bumped by the evaluator alongside its
-  // own stats whenever a profiler is attached, and appended to Report()
-  // so hot-spot dumps show how often the fast paths fired.
+  // Path fast-path and streaming-pipeline counters: bumped by the
+  // evaluator alongside its own stats whenever a profiler is attached,
+  // and appended to Report() so hot-spot dumps show how often the fast
+  // paths fired and how lazy the pipeline stayed.
   struct FastPathCounters {
     uint64_t sorts_performed = 0;
     uint64_t sorts_elided = 0;
     uint64_t name_index_hits = 0;
     uint64_t early_exits = 0;
+    // fn:count answered straight from the element-name index.
+    uint64_t count_index_hits = 0;
+    // Streaming pipeline: items crossing operator edges lazily, items
+    // copied into Sequence buffers, and operator edges kept lazy.
+    uint64_t items_pulled = 0;
+    uint64_t items_materialized = 0;
+    uint64_t buffers_avoided = 0;
   };
   FastPathCounters& fast_path() { return fast_path_; }
   const FastPathCounters& fast_path() const { return fast_path_; }

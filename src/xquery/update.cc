@@ -40,6 +40,10 @@ Status PendingUpdateList::CheckCompatibility() const {
 }
 
 Status PendingUpdateList::ApplyAll() {
+  // XQUF snapshot semantics make this a mandatory materialization
+  // boundary for the streaming pipeline: every primitive's target and
+  // content sequences were fully materialized when the primitive was
+  // appended, so no lazy ItemStream can observe the tree mid-mutation.
   XQ_RETURN_NOT_OK(CheckCompatibility());
 
   // Pre-validate structural requirements so application is all-or-

@@ -141,6 +141,38 @@ TEST_F(PluginTest, EventStatsTrackFastPaths) {
             "<div id=\"log\"><hit n=\"1\"/><hit n=\"2\"/></div>");
 }
 
+TEST_F(PluginTest, EventStatsDoNotLeakAcrossDispatches) {
+  // The page evaluator's counters are cumulative, so last_event_stats()
+  // must be a per-dispatch delta: two identical dispatches report
+  // identical numbers, not a running total.
+  Window* w = Load(R"(<html><body>
+      <input type="button" id="b" value="Go"/>
+      <span id="status">idle</span>
+      <script type="text/xquery">
+      declare updating function local:onClick($evt, $obj) {
+        replace value of node //span[@id="status"]
+          with string(count(//input))
+      };
+      on event "onclick" at //input[@id="b"] attach listener local:onClick
+      </script></body></html>)");
+  Click(ById(w, "b"));
+  XqibPlugin::EventStats first = plugin_.last_event_stats();
+  EXPECT_GT(first.name_index_hits, 0u);
+  EXPECT_GT(first.items_pulled + first.items_materialized +
+                first.buffers_avoided,
+            0u);
+  Click(ById(w, "b"));
+  XqibPlugin::EventStats second = plugin_.last_event_stats();
+  EXPECT_EQ(second.sorts_elided, first.sorts_elided);
+  EXPECT_EQ(second.sorts_performed, first.sorts_performed);
+  EXPECT_EQ(second.name_index_hits, first.name_index_hits);
+  EXPECT_EQ(second.early_exits, first.early_exits);
+  EXPECT_EQ(second.count_index_hits, first.count_index_hits);
+  EXPECT_EQ(second.items_pulled, first.items_pulled);
+  EXPECT_EQ(second.items_materialized, first.items_materialized);
+  EXPECT_EQ(second.buffers_avoided, first.buffers_avoided);
+}
+
 TEST_F(PluginTest, SetEvalOptionsDisablesFastPaths) {
   Window* w = Load(R"(<html><body>
       <input type="button" id="b" value="Go"/>
