@@ -13,25 +13,17 @@
 // early-exit counters actually fired — i.e. the fast paths are both
 // sound and live.
 
-#include <chrono>
-#include <cstdint>
 #include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "app/environment.h"
-#include "xml/xml_parser.h"
-#include "xquery/engine.h"
+#include "bench_util.h"
 
 namespace {
 
-using xqib::app::BrowserEnvironment;
-using xqib::xquery::DynamicContext;
-using xqib::xquery::Engine;
+using xqib::bench::Args;
+using xqib::bench::ScenarioResult;
 using xqib::xquery::Evaluator;
 
 Evaluator::EvalOptions FastOn() { return Evaluator::EvalOptions(); }
@@ -56,157 +48,13 @@ std::string MakeCatalog(int n) {
   return out.str();
 }
 
-struct ScenarioResult {
-  std::string name;
-  double fast_ns = 0;
-  double slow_ns = 0;
-  bool results_match = false;
-};
-
-double NsPerOp(const std::function<void()>& op, int iters) {
-  for (int i = 0; i < 3; ++i) op();  // warm caches and the name index
-  auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < iters; ++i) op();
-  auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::nano>(end - start).count() /
-         iters;
-}
-
-// Compiles `query` against `xml` and times Run() with the given
-// evaluator options; the result string and final fast-path counters are
-// returned through the out-params.
-bool TimeQuery(const std::string& query, const std::string& xml,
-               const Evaluator::EvalOptions& options, int iters,
-               double* ns_per_op, std::string* result,
-               Evaluator::EvalStats* stats) {
-  Engine engine;
-  auto compiled = engine.Compile(query);
-  if (!compiled.ok()) {
-    std::fprintf(stderr, "compile failed: %s\n",
-                 compiled.status().ToString().c_str());
-    return false;
-  }
-  (*compiled)->evaluator().set_options(options);
-  auto parsed = xqib::xml::ParseDocument(xml);
-  if (!parsed.ok()) return false;
-  auto doc = std::move(parsed).value();
-  DynamicContext ctx;
-  DynamicContext::Focus f;
-  f.item = xqib::xdm::Item::Node(doc->root());
-  f.position = 1;
-  f.size = 1;
-  f.has_item = true;
-  ctx.set_focus(f);
-  if (!(*compiled)->BindGlobals(ctx).ok()) return false;
-  bool ok = true;
-  *ns_per_op = NsPerOp(
-      [&] {
-        auto r = (*compiled)->Run(ctx);
-        if (!r.ok()) {
-          ok = false;
-          return;
-        }
-        *result = xqib::xdm::SequenceToString(*r);
-      },
-      iters);
-  *stats = (*compiled)->evaluator().stats();
-  return ok;
-}
-
-bool RunQueryScenario(const std::string& name, const std::string& query,
-                      const std::string& xml, int iters,
-                      std::vector<ScenarioResult>* results,
-                      Evaluator::EvalStats* fast_stats) {
-  ScenarioResult sr;
-  sr.name = name;
-  std::string fast_result, slow_result;
-  Evaluator::EvalStats slow_stats;
-  if (!TimeQuery(query, xml, FastOn(), iters, &sr.fast_ns, &fast_result,
-                 fast_stats) ||
-      !TimeQuery(query, xml, FastOff(), iters, &sr.slow_ns, &slow_result,
-                 &slow_stats)) {
-    return false;
-  }
-  sr.results_match = fast_result == slow_result;
-  if (!sr.results_match) {
-    std::fprintf(stderr, "%s: ablation results differ:\n  on:  %s\n  off: %s\n",
-                 name.c_str(), fast_result.c_str(), slow_result.c_str());
-  }
-  results->push_back(sr);
-  return true;
-}
-
-std::string MakeDispatchPage(int rows) {
-  std::ostringstream out;
-  out << R"(<html><body>
-<input id="btn"/><span id="status">0</span><table id="data">)";
-  for (int i = 0; i < rows; ++i) {
-    out << "<tr><td>r" << i << "</td></tr>";
-  }
-  out << R"(</table>
-<script type="text/xqueryp"><![CDATA[
-declare updating function local:refresh($evt, $obj) {
-  replace value of node //span[@id="status"]
-    with string(count(//tr))
-};
-on event "onclick" at //input[@id="btn"] attach listener local:refresh
-]]></script></body></html>)";
-  return out.str();
-}
-
-// Times one event dispatch (FireEvent through the plug-in, listener
-// re-counting //tr) with the page evaluator's fast paths on vs off.
-bool RunDispatchScenario(const std::string& name, int rows, int iters,
-                         std::vector<ScenarioResult>* results,
-                         xqib::plugin::XqibPlugin::EventStats* fast_stats) {
-  BrowserEnvironment env;
-  xqib::Status st =
-      env.LoadPage("http://bench.example.com/", MakeDispatchPage(rows));
-  if (!st.ok() || !env.ScriptErrors().empty()) {
-    std::fprintf(stderr, "%s: page load failed: %s %s\n", name.c_str(),
-                 st.ToString().c_str(), env.ScriptErrors().c_str());
-    return false;
-  }
-  xqib::xml::Node* button = env.ById("btn");
-  auto click = [&] {
-    xqib::browser::Event e;
-    e.type = "onclick";
-    (void)env.plugin().FireEvent(button, e);
-  };
-  ScenarioResult sr;
-  sr.name = name;
-  env.plugin().set_eval_options(FastOn());
-  sr.fast_ns = NsPerOp(click, iters);
-  *fast_stats = env.plugin().last_event_stats();
-  std::string fast_status = env.ById("status")->StringValue();
-  env.plugin().set_eval_options(FastOff());
-  sr.slow_ns = NsPerOp(click, iters);
-  std::string slow_status = env.ById("status")->StringValue();
-  sr.results_match = fast_status == slow_status &&
-                     fast_status == std::to_string(rows);
-  results->push_back(sr);
-  return true;
-}
-
 std::string ToJson(const std::vector<ScenarioResult>& results, int iters,
                    const Evaluator::EvalStats& counters) {
   std::ostringstream out;
   out << "{\n  \"bench\": \"bench_p2_fastpath\",\n  \"iters\": " << iters
-      << ",\n  \"scenarios\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ScenarioResult& r = results[i];
-    double speedup = r.fast_ns > 0 ? r.slow_ns / r.fast_ns : 0;
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"name\": \"%s\", \"fast_ns_per_op\": %.1f, "
-                  "\"slow_ns_per_op\": %.1f, \"speedup\": %.2f, "
-                  "\"results_match\": %s}%s\n",
-                  r.name.c_str(), r.fast_ns, r.slow_ns, speedup,
-                  r.results_match ? "true" : "false",
-                  i + 1 < results.size() ? "," : "");
-    out << buf;
-  }
-  out << "  ],\n  \"counters\": {\"sorts_elided\": " << counters.sorts_elided
+      << ",\n"
+      << xqib::bench::ScenariosJson(results, "fast", "slow")
+      << ",\n  \"counters\": {\"sorts_elided\": " << counters.sorts_elided
       << ", \"sorts_performed\": " << counters.sorts_performed
       << ", \"name_index_hits\": " << counters.name_index_hits
       << ", \"early_exits\": " << counters.early_exits << "}\n}\n";
@@ -216,23 +64,9 @@ std::string ToJson(const std::vector<ScenarioResult>& results, int iters,
 }  // namespace
 
 int main(int argc, char** argv) {
-  int iters = 200;
-  std::string out_path;
-  bool check = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
-      iters = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--check") == 0) {
-      check = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--iters N] [--out FILE] [--check]\n", argv[0]);
-      return 2;
-    }
-  }
-  if (iters <= 0) iters = 1;
+  Args args;
+  if (!xqib::bench::ParseArgs(argc, argv, &args)) return 2;
+  const int iters = args.iters;
 
   const std::string catalog = MakeCatalog(1500);
   std::vector<ScenarioResult> results;
@@ -242,51 +76,41 @@ int main(int argc, char** argv) {
   Evaluator::EvalStats s;
   bool ok = true;
 
-  ok &= RunQueryScenario("micro_descendant_name", "count(//price)", catalog,
-                         iters, &results, &s);
+  auto query = [&](const std::string& name, const std::string& q) {
+    return xqib::bench::RunQueryScenario(name, q, catalog, iters, FastOn(),
+                                         FastOff(), &results, &s);
+  };
+  ok &= query("micro_descendant_name", "count(//price)");
   totals.name_index_hits += s.name_index_hits;
   totals.sorts_elided += s.sorts_elided;
-  ok &= RunQueryScenario("micro_child_chain", "count(/catalog/item/price)",
-                         catalog, iters, &results, &s);
+  ok &= query("micro_child_chain", "count(/catalog/item/price)");
   totals.sorts_elided += s.sorts_elided;
   totals.sorts_performed += s.sorts_performed;
-  ok &= RunQueryScenario("micro_exists", "exists(//item)", catalog, iters,
-                         &results, &s);
+  ok &= query("micro_exists", "exists(//item)");
   totals.early_exits += s.early_exits;
-  ok &= RunQueryScenario("micro_first", "(//item)[1]/@id", catalog, iters,
-                         &results, &s);
+  ok &= query("micro_first", "(//item)[1]/@id");
   totals.early_exits += s.early_exits;
-  ok &= RunQueryScenario("micro_last", "(//item)[last()]/@id", catalog,
-                         iters, &results, &s);
+  ok &= query("micro_last", "(//item)[last()]/@id");
   totals.early_exits += s.early_exits;
 
   xqib::plugin::XqibPlugin::EventStats ev;
-  ok &= RunDispatchScenario("fig1_event_dispatch", 300, iters, &results, &ev);
+  ok &= xqib::bench::RunDispatchScenario("fig1_event_dispatch", 300, iters,
+                                         FastOn(), FastOff(), &results, &ev);
   totals.sorts_elided += ev.sorts_elided;
   totals.name_index_hits += ev.name_index_hits;
-  ok &= RunDispatchScenario("fig3_mashup_dispatch", 60, iters, &results, &ev);
+  ok &= xqib::bench::RunDispatchScenario("fig3_mashup_dispatch", 60, iters,
+                                         FastOn(), FastOff(), &results, &ev);
   totals.sorts_elided += ev.sorts_elided;
   totals.name_index_hits += ev.name_index_hits;
 
-  std::string json = ToJson(results, iters, totals);
-  if (!out_path.empty()) {
-    std::ofstream out(out_path);
-    out << json;
-  }
-  std::fputs(json.c_str(), stdout);
+  xqib::bench::EmitJson(ToJson(results, iters, totals), args.out_path);
 
   if (!ok) {
     std::fprintf(stderr, "FAIL: a scenario did not run\n");
     return 1;
   }
-  if (check) {
-    for (const ScenarioResult& r : results) {
-      if (!r.results_match) {
-        std::fprintf(stderr, "FAIL: %s ablation results differ\n",
-                     r.name.c_str());
-        return 1;
-      }
-    }
+  if (args.check) {
+    if (!xqib::bench::AllResultsMatch(results)) return 1;
     if (totals.sorts_elided == 0 || totals.name_index_hits == 0 ||
         totals.early_exits == 0) {
       std::fprintf(stderr, "FAIL: a fast-path counter never fired\n");

@@ -13,25 +13,18 @@
 // least 5x fewer intermediate items with the pipeline on — i.e. the
 // pipeline is sound, live, and actually lazy.
 
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
-#include <fstream>
-#include <functional>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "app/environment.h"
-#include "xml/xml_parser.h"
-#include "xquery/engine.h"
+#include "bench_util.h"
 
 namespace {
 
-using xqib::app::BrowserEnvironment;
-using xqib::xquery::DynamicContext;
-using xqib::xquery::Engine;
+using xqib::bench::Args;
+using xqib::bench::ScenarioResult;
 using xqib::xquery::Evaluator;
 
 // Both arms keep PR 2's fast paths (elision, name index, bounded eval)
@@ -63,172 +56,13 @@ std::string MakeNestedPage(int secs, int items, int leaves) {
   return out.str();
 }
 
-struct ScenarioResult {
-  std::string name;
-  double stream_ns = 0;
-  double eager_ns = 0;
-  bool results_match = false;
-};
-
-double NsPerOp(const std::function<void()>& op, int iters) {
-  for (int i = 0; i < 3; ++i) op();  // warm caches and the name index
-  auto start = std::chrono::steady_clock::now();
-  for (int i = 0; i < iters; ++i) op();
-  auto end = std::chrono::steady_clock::now();
-  return std::chrono::duration<double, std::nano>(end - start).count() /
-         iters;
-}
-
-// Compiles `query` against `xml` and times Run() with the given
-// evaluator options; result string and accumulated counters come back
-// through the out-params.
-bool TimeQuery(const std::string& query, const std::string& xml,
-               const Evaluator::EvalOptions& options, int iters,
-               double* ns_per_op, std::string* result,
-               Evaluator::EvalStats* stats) {
-  Engine engine;
-  auto compiled = engine.Compile(query);
-  if (!compiled.ok()) {
-    std::fprintf(stderr, "compile failed: %s\n",
-                 compiled.status().ToString().c_str());
-    return false;
-  }
-  (*compiled)->evaluator().set_options(options);
-  std::unique_ptr<xqib::xml::Document> doc;
-  DynamicContext ctx;
-  if (!xml.empty()) {
-    auto parsed = xqib::xml::ParseDocument(xml);
-    if (!parsed.ok()) return false;
-    doc = std::move(parsed).value();
-    DynamicContext::Focus f;
-    f.item = xqib::xdm::Item::Node(doc->root());
-    f.position = 1;
-    f.size = 1;
-    f.has_item = true;
-    ctx.set_focus(f);
-  }
-  if (!(*compiled)->BindGlobals(ctx).ok()) return false;
-  bool ok = true;
-  *ns_per_op = NsPerOp(
-      [&] {
-        auto r = (*compiled)->Run(ctx);
-        if (!r.ok()) {
-          ok = false;
-          return;
-        }
-        *result = xqib::xdm::SequenceToString(*r);
-      },
-      iters);
-  *stats = (*compiled)->evaluator().stats();
-  return ok;
-}
-
-// Fresh engine, fixed number of executions (3 warmups + 1 timed), so
-// the two arms' counters are directly comparable regardless of
-// --iters (used for the materialization-ratio check).
-bool MeasureStats(const std::string& query, const std::string& xml,
-                  const Evaluator::EvalOptions& options,
-                  Evaluator::EvalStats* stats) {
-  double ns;
-  std::string result;
-  return TimeQuery(query, xml, options, 1, &ns, &result, stats);
-}
-
-bool RunQueryScenario(const std::string& name, const std::string& query,
-                      const std::string& xml, int iters,
-                      std::vector<ScenarioResult>* results,
-                      Evaluator::EvalStats* stream_stats) {
-  ScenarioResult sr;
-  sr.name = name;
-  std::string stream_result, eager_result;
-  Evaluator::EvalStats eager_stats;
-  if (!TimeQuery(query, xml, StreamOn(), iters, &sr.stream_ns,
-                 &stream_result, stream_stats) ||
-      !TimeQuery(query, xml, StreamOff(), iters, &sr.eager_ns,
-                 &eager_result, &eager_stats)) {
-    return false;
-  }
-  sr.results_match = stream_result == eager_result;
-  if (!sr.results_match) {
-    std::fprintf(stderr, "%s: ablation results differ:\n  on:  %s\n  off: %s\n",
-                 name.c_str(), stream_result.c_str(), eager_result.c_str());
-  }
-  results->push_back(sr);
-  return true;
-}
-
-std::string MakeDispatchPage(int rows) {
-  std::ostringstream out;
-  out << R"(<html><body>
-<input id="btn"/><span id="status">0</span><table id="data">)";
-  for (int i = 0; i < rows; ++i) {
-    out << "<tr><td>r" << i << "</td></tr>";
-  }
-  out << R"(</table>
-<script type="text/xqueryp"><![CDATA[
-declare updating function local:refresh($evt, $obj) {
-  replace value of node //span[@id="status"]
-    with string(count(//tr))
-};
-on event "onclick" at //input[@id="btn"] attach listener local:refresh
-]]></script></body></html>)";
-  return out.str();
-}
-
-// Times one event dispatch (FireEvent through the plug-in, listener
-// re-counting //tr) with the page evaluator's stream pipeline on vs
-// off — the paper's Figure 1 processing loop.
-bool RunDispatchScenario(const std::string& name, int rows, int iters,
-                         std::vector<ScenarioResult>* results,
-                         xqib::plugin::XqibPlugin::EventStats* stream_stats) {
-  BrowserEnvironment env;
-  xqib::Status st =
-      env.LoadPage("http://bench.example.com/", MakeDispatchPage(rows));
-  if (!st.ok() || !env.ScriptErrors().empty()) {
-    std::fprintf(stderr, "%s: page load failed: %s %s\n", name.c_str(),
-                 st.ToString().c_str(), env.ScriptErrors().c_str());
-    return false;
-  }
-  xqib::xml::Node* button = env.ById("btn");
-  auto click = [&] {
-    xqib::browser::Event e;
-    e.type = "onclick";
-    (void)env.plugin().FireEvent(button, e);
-  };
-  ScenarioResult sr;
-  sr.name = name;
-  env.plugin().set_eval_options(StreamOn());
-  sr.stream_ns = NsPerOp(click, iters);
-  *stream_stats = env.plugin().last_event_stats();
-  std::string stream_status = env.ById("status")->StringValue();
-  env.plugin().set_eval_options(StreamOff());
-  sr.eager_ns = NsPerOp(click, iters);
-  std::string eager_status = env.ById("status")->StringValue();
-  sr.results_match = stream_status == eager_status &&
-                     stream_status == std::to_string(rows);
-  results->push_back(sr);
-  return true;
-}
-
 std::string ToJson(const std::vector<ScenarioResult>& results, int iters,
                    const Evaluator::EvalStats& counters,
                    uint64_t flwor_stream_mat, uint64_t flwor_eager_mat) {
   std::ostringstream out;
   out << "{\n  \"bench\": \"bench_p3_streaming\",\n  \"iters\": " << iters
-      << ",\n  \"scenarios\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const ScenarioResult& r = results[i];
-    double speedup = r.stream_ns > 0 ? r.eager_ns / r.stream_ns : 0;
-    char buf[256];
-    std::snprintf(buf, sizeof(buf),
-                  "    {\"name\": \"%s\", \"stream_ns_per_op\": %.1f, "
-                  "\"eager_ns_per_op\": %.1f, \"speedup\": %.2f, "
-                  "\"results_match\": %s}%s\n",
-                  r.name.c_str(), r.stream_ns, r.eager_ns, speedup,
-                  r.results_match ? "true" : "false",
-                  i + 1 < results.size() ? "," : "");
-    out << buf;
-  }
+      << ",\n"
+      << xqib::bench::ScenariosJson(results, "stream", "eager") << ",\n";
   double reduction =
       flwor_stream_mat > 0
           ? static_cast<double>(flwor_eager_mat) /
@@ -236,7 +70,7 @@ std::string ToJson(const std::vector<ScenarioResult>& results, int iters,
           : static_cast<double>(flwor_eager_mat);
   char buf[256];
   std::snprintf(buf, sizeof(buf),
-                "  ],\n  \"deep_flwor_materialization\": "
+                "  \"deep_flwor_materialization\": "
                 "{\"stream_items_materialized\": %llu, "
                 "\"eager_items_materialized\": %llu, "
                 "\"reduction\": %.1f},\n",
@@ -254,23 +88,9 @@ std::string ToJson(const std::vector<ScenarioResult>& results, int iters,
 }  // namespace
 
 int main(int argc, char** argv) {
-  int iters = 200;
-  std::string out_path;
-  bool check = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
-      iters = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
-      out_path = argv[++i];
-    } else if (std::strcmp(argv[i], "--check") == 0) {
-      check = true;
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--iters N] [--out FILE] [--check]\n", argv[0]);
-      return 2;
-    }
-  }
-  if (iters <= 0) iters = 1;
+  Args args;
+  if (!xqib::bench::ParseArgs(argc, argv, &args)) return 2;
+  const int iters = args.iters;
 
   const std::string page = MakeNestedPage(30, 20, 5);
   const std::string deep_flwor =
@@ -282,31 +102,34 @@ int main(int argc, char** argv) {
   Evaluator::EvalStats s;
   bool ok = true;
 
-  ok &= RunQueryScenario("deep_flwor_count", deep_flwor, page, iters,
-                         &results, &s);
+  auto query = [&](const std::string& name, const std::string& q,
+                   const std::string& xml) {
+    return xqib::bench::RunQueryScenario(name, q, xml, iters, StreamOn(),
+                                         StreamOff(), &results, &s);
+  };
+  ok &= query("deep_flwor_count", deep_flwor, page);
   totals.streams.items_pulled += s.streams.items_pulled;
   totals.streams.buffers_avoided += s.streams.buffers_avoided;
-  ok &= RunQueryScenario("micro_exists_where",
-                         "exists(for $i in 1 to 100000 "
-                         "where $i mod 2 = 0 return $i)",
-                         "", iters, &results, &s);
+  ok &= query("micro_exists_where",
+              "exists(for $i in 1 to 100000 "
+              "where $i mod 2 = 0 return $i)",
+              "");
   totals.streams.items_pulled += s.streams.items_pulled;
   totals.early_exits += s.early_exits;
-  ok &= RunQueryScenario("micro_head_flwor",
-                         "head(for $i in 1 to 100000 return $i * 2)", "",
-                         iters, &results, &s);
+  ok &= query("micro_head_flwor", "head(for $i in 1 to 100000 return $i * 2)",
+              "");
   totals.streams.items_pulled += s.streams.items_pulled;
   totals.early_exits += s.early_exits;
-  ok &= RunQueryScenario("micro_count_fold", "count(//item/@v)", page, iters,
-                         &results, &s);
+  ok &= query("micro_count_fold", "count(//item/@v)", page);
   totals.streams.items_pulled += s.streams.items_pulled;
   totals.streams.buffers_avoided += s.streams.buffers_avoided;
-  ok &= RunQueryScenario("micro_count_index", "count(//leaf)", page, iters,
-                         &results, &s);
+  ok &= query("micro_count_index", "count(//leaf)", page);
   totals.count_index_hits += s.count_index_hits;
 
   xqib::plugin::XqibPlugin::EventStats ev;
-  ok &= RunDispatchScenario("fig1_event_dispatch", 300, iters, &results, &ev);
+  ok &= xqib::bench::RunDispatchScenario("fig1_event_dispatch", 300, iters,
+                                         StreamOn(), StreamOff(), &results,
+                                         &ev);
   totals.streams.items_pulled += ev.items_pulled;
   totals.streams.buffers_avoided += ev.buffers_avoided;
 
@@ -314,31 +137,21 @@ int main(int argc, char** argv) {
   // fresh run per arm so the counters are per-execution, not per
   // timing loop.
   Evaluator::EvalStats flwor_on, flwor_off;
-  ok &= MeasureStats(deep_flwor, page, StreamOn(), &flwor_on);
-  ok &= MeasureStats(deep_flwor, page, StreamOff(), &flwor_off);
+  ok &= xqib::bench::MeasureStats(deep_flwor, page, StreamOn(), &flwor_on);
+  ok &= xqib::bench::MeasureStats(deep_flwor, page, StreamOff(), &flwor_off);
   totals.streams.items_materialized += flwor_on.streams.items_materialized;
 
-  std::string json =
+  xqib::bench::EmitJson(
       ToJson(results, iters, totals, flwor_on.streams.items_materialized,
-             flwor_off.streams.items_materialized);
-  if (!out_path.empty()) {
-    std::ofstream out(out_path);
-    out << json;
-  }
-  std::fputs(json.c_str(), stdout);
+             flwor_off.streams.items_materialized),
+      args.out_path);
 
   if (!ok) {
     std::fprintf(stderr, "FAIL: a scenario did not run\n");
     return 1;
   }
-  if (check) {
-    for (const ScenarioResult& r : results) {
-      if (!r.results_match) {
-        std::fprintf(stderr, "FAIL: %s ablation results differ\n",
-                     r.name.c_str());
-        return 1;
-      }
-    }
+  if (args.check) {
+    if (!xqib::bench::AllResultsMatch(results)) return 1;
     if (totals.streams.items_pulled == 0 ||
         totals.streams.buffers_avoided == 0 ||
         totals.count_index_hits == 0 || totals.early_exits == 0) {

@@ -1,0 +1,234 @@
+#include "bench_util.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "app/environment.h"
+#include "xml/xml_parser.h"
+#include "xquery/engine.h"
+
+namespace xqib::bench {
+
+using app::BrowserEnvironment;
+using xquery::DynamicContext;
+using xquery::Engine;
+using xquery::Evaluator;
+
+bool ParseArgs(int argc, char** argv, Args* args) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      args->iters = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      args->out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--baseline") == 0 && i + 1 < argc) {
+      args->baseline_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      args->check = true;
+    } else {
+      std::fprintf(
+          stderr,
+          "usage: %s [--iters N] [--out FILE] [--check] [--baseline FILE]\n",
+          argv[0]);
+      return false;
+    }
+  }
+  if (args->iters <= 0) args->iters = 1;
+  return true;
+}
+
+double NsPerOp(const std::function<void()>& op, int iters) {
+  for (int i = 0; i < 3; ++i) op();  // warm caches and the name index
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) op();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count() /
+         iters;
+}
+
+bool TimeQuery(const std::string& query, const std::string& xml,
+               const Evaluator::EvalOptions& options, int iters,
+               double* ns_per_op, std::string* result,
+               Evaluator::EvalStats* stats) {
+  Engine engine;
+  auto compiled = engine.Compile(query);
+  if (!compiled.ok()) {
+    std::fprintf(stderr, "compile failed: %s\n",
+                 compiled.status().ToString().c_str());
+    return false;
+  }
+  (*compiled)->evaluator().set_options(options);
+  std::unique_ptr<xml::Document> doc;
+  DynamicContext ctx;
+  if (!xml.empty()) {
+    auto parsed = xml::ParseDocument(xml);
+    if (!parsed.ok()) return false;
+    doc = std::move(parsed).value();
+    DynamicContext::Focus f;
+    f.item = xdm::Item::Node(doc->root());
+    f.position = 1;
+    f.size = 1;
+    f.has_item = true;
+    ctx.set_focus(f);
+  }
+  if (!(*compiled)->BindGlobals(ctx).ok()) return false;
+  bool ok = true;
+  *ns_per_op = NsPerOp(
+      [&] {
+        auto r = (*compiled)->Run(ctx);
+        if (!r.ok()) {
+          ok = false;
+          return;
+        }
+        *result = xdm::SequenceToString(*r);
+      },
+      iters);
+  *stats = (*compiled)->evaluator().stats();
+  return ok;
+}
+
+bool MeasureStats(const std::string& query, const std::string& xml,
+                  const Evaluator::EvalOptions& options,
+                  Evaluator::EvalStats* stats) {
+  double ns;
+  std::string result;
+  return TimeQuery(query, xml, options, 1, &ns, &result, stats);
+}
+
+bool RunQueryScenario(const std::string& name, const std::string& query,
+                      const std::string& xml, int iters,
+                      const Evaluator::EvalOptions& on,
+                      const Evaluator::EvalOptions& off,
+                      std::vector<ScenarioResult>* results,
+                      Evaluator::EvalStats* on_stats) {
+  ScenarioResult sr;
+  sr.name = name;
+  std::string on_result, off_result;
+  Evaluator::EvalStats off_stats;
+  if (!TimeQuery(query, xml, on, iters, &sr.on_ns, &on_result, on_stats) ||
+      !TimeQuery(query, xml, off, iters, &sr.off_ns, &off_result,
+                 &off_stats)) {
+    return false;
+  }
+  sr.results_match = on_result == off_result;
+  if (!sr.results_match) {
+    std::fprintf(stderr, "%s: ablation results differ:\n  on:  %s\n  off: %s\n",
+                 name.c_str(), on_result.c_str(), off_result.c_str());
+  }
+  results->push_back(sr);
+  return true;
+}
+
+std::string MakeDispatchPage(int rows) {
+  std::ostringstream out;
+  out << R"(<html><body>
+<input id="btn"/><span id="status">0</span><table id="data">)";
+  for (int i = 0; i < rows; ++i) {
+    out << "<tr><td>r" << i << "</td></tr>";
+  }
+  out << R"(</table>
+<script type="text/xqueryp"><![CDATA[
+declare updating function local:refresh($evt, $obj) {
+  replace value of node //span[@id="status"]
+    with string(count(//tr))
+};
+on event "onclick" at //input[@id="btn"] attach listener local:refresh
+]]></script></body></html>)";
+  return out.str();
+}
+
+bool RunDispatchScenario(const std::string& name, int rows, int iters,
+                         const Evaluator::EvalOptions& on,
+                         const Evaluator::EvalOptions& off,
+                         std::vector<ScenarioResult>* results,
+                         plugin::XqibPlugin::EventStats* on_stats) {
+  BrowserEnvironment env;
+  Status st =
+      env.LoadPage("http://bench.example.com/", MakeDispatchPage(rows));
+  if (!st.ok() || !env.ScriptErrors().empty()) {
+    std::fprintf(stderr, "%s: page load failed: %s %s\n", name.c_str(),
+                 st.ToString().c_str(), env.ScriptErrors().c_str());
+    return false;
+  }
+  xml::Node* button = env.ById("btn");
+  auto click = [&] {
+    browser::Event e;
+    e.type = "onclick";
+    (void)env.plugin().FireEvent(button, e);
+  };
+  ScenarioResult sr;
+  sr.name = name;
+  env.plugin().set_eval_options(on);
+  sr.on_ns = NsPerOp(click, iters);
+  *on_stats = env.plugin().last_event_stats();
+  std::string on_status = env.ById("status")->StringValue();
+  env.plugin().set_eval_options(off);
+  sr.off_ns = NsPerOp(click, iters);
+  std::string off_status = env.ById("status")->StringValue();
+  sr.results_match =
+      on_status == off_status && on_status == std::to_string(rows);
+  results->push_back(sr);
+  return true;
+}
+
+std::string ScenariosJson(const std::vector<ScenarioResult>& results,
+                          const char* on_key, const char* off_key) {
+  std::ostringstream out;
+  out << "  \"scenarios\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ScenarioResult& r = results[i];
+    double speedup = r.on_ns > 0 ? r.off_ns / r.on_ns : 0;
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"name\": \"%s\", \"%s_ns_per_op\": %.1f, "
+                  "\"%s_ns_per_op\": %.1f, \"speedup\": %.2f, "
+                  "\"results_match\": %s}%s\n",
+                  r.name.c_str(), on_key, r.on_ns, off_key, r.off_ns, speedup,
+                  r.results_match ? "true" : "false",
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ]";
+  return out.str();
+}
+
+void EmitJson(const std::string& json, const std::string& out_path) {
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json;
+  }
+  std::fputs(json.c_str(), stdout);
+}
+
+bool AllResultsMatch(const std::vector<ScenarioResult>& results) {
+  bool ok = true;
+  for (const ScenarioResult& r : results) {
+    if (!r.results_match) {
+      std::fprintf(stderr, "FAIL: %s ablation results differ\n",
+                   r.name.c_str());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+bool ReadBaselineValue(const std::string& path, const std::string& scenario,
+                       const std::string& field, double* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  const std::string name_marker = "\"name\": \"" + scenario + "\"";
+  const std::string field_marker = "\"" + field + "\":";
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find(name_marker) == std::string::npos) continue;
+    size_t at = line.find(field_marker);
+    if (at == std::string::npos) return false;
+    *out = std::atof(line.c_str() + at + field_marker.size());
+    return true;
+  }
+  return false;
+}
+
+}  // namespace xqib::bench

@@ -1,0 +1,100 @@
+// Shared machinery for the self-timed JSON benchmark runners
+// (bench_p2_fastpath, bench_p3_streaming, bench_p4_memory): argument
+// parsing, the warmup+timing loop, query/dispatch ablation scenarios,
+// and the common JSON results schema
+//   {"name": ..., "<on>_ns_per_op": ..., "<off>_ns_per_op": ...,
+//    "speedup": ..., "results_match": ...}
+// so every runner's checked-in BENCH_*.json stays structurally
+// identical and CI can scrape them uniformly.
+
+#ifndef XQIB_BENCH_BENCH_UTIL_H_
+#define XQIB_BENCH_BENCH_UTIL_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "plugin/plugin.h"
+#include "xquery/evaluator.h"
+
+namespace xqib::bench {
+
+// --iters N / --out FILE / --check / --baseline FILE.
+struct Args {
+  int iters = 200;
+  std::string out_path;
+  bool check = false;
+  std::string baseline_path;
+};
+
+// Returns false (after printing usage) on an unrecognized flag.
+bool ParseArgs(int argc, char** argv, Args* args);
+
+// One on/off ablation measurement.
+struct ScenarioResult {
+  std::string name;
+  double on_ns = 0;
+  double off_ns = 0;
+  bool results_match = false;
+};
+
+// Median-free ns/op: 3 warmup calls, then `iters` timed calls.
+double NsPerOp(const std::function<void()>& op, int iters);
+
+// Compiles `query` against `xml` (context item = document root when
+// non-empty) and times Run() under `options`; serialized result and
+// lifetime evaluator counters come back through the out-params.
+bool TimeQuery(const std::string& query, const std::string& xml,
+               const xquery::Evaluator::EvalOptions& options, int iters,
+               double* ns_per_op, std::string* result,
+               xquery::Evaluator::EvalStats* stats);
+
+// Fresh engine, fixed number of executions, so two arms' counters are
+// directly comparable regardless of --iters.
+bool MeasureStats(const std::string& query, const std::string& xml,
+                  const xquery::Evaluator::EvalOptions& options,
+                  xquery::Evaluator::EvalStats* stats);
+
+// Runs `query` under `on` and `off` options, appends the timing pair
+// (on-arm counters via `on_stats`), and verifies both arms serialize to
+// the same result.
+bool RunQueryScenario(const std::string& name, const std::string& query,
+                      const std::string& xml, int iters,
+                      const xquery::Evaluator::EvalOptions& on,
+                      const xquery::Evaluator::EvalOptions& off,
+                      std::vector<ScenarioResult>* results,
+                      xquery::Evaluator::EvalStats* on_stats);
+
+// The Figure 1 dispatch page: a button, a status span, `rows` table
+// rows, and an XQuery listener that re-counts the rows on every click.
+std::string MakeDispatchPage(int rows);
+
+// Times one event dispatch (FireEvent through the plug-in) with the
+// page evaluator's options flipped between the two arms.
+bool RunDispatchScenario(const std::string& name, int rows, int iters,
+                         const xquery::Evaluator::EvalOptions& on,
+                         const xquery::Evaluator::EvalOptions& off,
+                         std::vector<ScenarioResult>* results,
+                         plugin::XqibPlugin::EventStats* on_stats);
+
+// The shared scenarios array; `on_key`/`off_key` label the two arms
+// (e.g. "fast"/"slow", "stream"/"eager", "arena"/"heap").
+std::string ScenariosJson(const std::vector<ScenarioResult>& results,
+                          const char* on_key, const char* off_key);
+
+// Prints `json` to stdout and, when `out_path` is non-empty, writes it
+// there too.
+void EmitJson(const std::string& json, const std::string& out_path);
+
+bool AllResultsMatch(const std::vector<ScenarioResult>& results);
+
+// Scrapes `"field": <number>` out of the object whose `"name"` equals
+// `scenario` in a checked-in BENCH_*.json (line-oriented; the emitter
+// above writes one scenario per line). Used by the CI regression guard
+// to compare fresh numbers against the committed baseline.
+bool ReadBaselineValue(const std::string& path, const std::string& scenario,
+                       const std::string& field, double* out);
+
+}  // namespace xqib::bench
+
+#endif  // XQIB_BENCH_BENCH_UTIL_H_

@@ -42,14 +42,14 @@ void AppendTextChild(xml::Node* parent, const std::string& name,
 
 std::string ChildText(const xml::Node* elem, const std::string& name) {
   for (const xml::Node* c : elem->children()) {
-    if (c->is_element() && c->name().local == name) return c->StringValue();
+    if (c->is_element() && c->name().local() == name) return c->StringValue();
   }
   return "";
 }
 
 const xml::Node* ChildElement(const xml::Node* elem, const std::string& name) {
   for (const xml::Node* c : elem->children()) {
-    if (c->is_element() && c->name().local == name) return c;
+    if (c->is_element() && c->name().local() == name) return c;
   }
   return nullptr;
 }
@@ -144,7 +144,7 @@ void Window::Write(const std::string& text) {
   }
   xml::Node* body = nullptr;
   for (xml::Node* c : root->children()) {
-    if (c->is_element() && AsciiEqualsIgnoreCase(c->name().local, "body")) {
+    if (c->is_element() && AsciiEqualsIgnoreCase(c->name().local(), "body")) {
       body = c;
       break;
     }

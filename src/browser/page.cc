@@ -24,7 +24,7 @@ std::vector<Script> ExtractScripts(xml::Document* doc) {
   std::vector<Script> scripts;
   xml::VisitSubtree(doc->root(), [&](xml::Node* node) {
     if (!node->is_element()) return;
-    if (!AsciiEqualsIgnoreCase(node->name().local, "script")) return;
+    if (!AsciiEqualsIgnoreCase(node->name().local(), "script")) return;
     Script s;
     s.element = node;
     s.language = ScriptLanguageFromType(node->GetAttributeValue("type"));
@@ -45,7 +45,7 @@ std::vector<InlineHandler> ExtractInlineHandlers(xml::Document* doc) {
   xml::VisitSubtree(doc->root(), [&](xml::Node* node) {
     if (!node->is_element()) return;
     for (const xml::Node* attr : node->attributes()) {
-      const std::string& name = attr->name().local;
+      const std::string& name = attr->name().local();
       if (name.size() > 2 && (name[0] == 'o' || name[0] == 'O') &&
           (name[1] == 'n' || name[1] == 'N')) {
         InlineHandler h;

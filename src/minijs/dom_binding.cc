@@ -382,7 +382,7 @@ Value DomBinding::MakeDocumentObject(WindowState* state) {
       if (root != nullptr) {
         for (xml::Node* c : root->children()) {
           if (c->is_element() &&
-              AsciiEqualsIgnoreCase(c->name().local, "body")) {
+              AsciiEqualsIgnoreCase(c->name().local(), "body")) {
             *out = self->WrapNode(window, c);
             return true;
           }

@@ -27,7 +27,7 @@ Status ServiceHost::Deploy(const std::string& source,
   // Expose a WSDL-ish descriptor on the fabric so clients can probe it.
   std::string descriptor = "<service namespace=\"" + ns + "\">";
   for (const auto& fn : module->functions) {
-    descriptor += "<function name=\"" + fn->name.local + "\" arity=\"" +
+    descriptor += "<function name=\"" + fn->name.local() + "\" arity=\"" +
                   std::to_string(fn->params.size()) + "\"/>";
   }
   descriptor += "</service>";

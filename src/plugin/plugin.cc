@@ -45,6 +45,62 @@ Result<xml::Node*> SingleNodeArg(const Sequence& seq, const char* what) {
   return seq[0].node();
 }
 
+// FNV-1a over the complete event payload a listener can observe through
+// $evt/$obj: every field MaterializeEvent serializes plus the identities
+// of the target and current-target nodes. Two events with equal hashes
+// and an unchanged document version are indistinguishable to a
+// memoizable listener.
+// Inverts AnalysisFacts::FunctionKey ("{ns}local#arity" or
+// "local#arity") back into the interned name + arity, so listener
+// eligibility checks compare tokens instead of rebuilding strings.
+const xml::InternedName* ParseFunctionKeyToken(const std::string& key,
+                                               size_t* arity) {
+  size_t hash = key.rfind('#');
+  if (hash == std::string::npos) return nullptr;
+  *arity = static_cast<size_t>(std::atoi(key.c_str() + hash + 1));
+  std::string_view clark(key.data(), hash);
+  std::string_view ns, local;
+  if (!clark.empty() && clark.front() == '{') {
+    size_t close = clark.find('}');
+    if (close == std::string_view::npos) return nullptr;
+    ns = clark.substr(1, close - 1);
+    local = clark.substr(close + 1);
+  } else {
+    local = clark;
+  }
+  return xml::InternName(ns, local);
+}
+
+uint64_t HashEventPayload(const Event& event) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix_bytes = [&h](const void* data, size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  auto mix_str = [&](const std::string& s) {
+    mix_bytes(s.data(), s.size());
+    h ^= 0xff;  // length/field separator
+    h *= 1099511628211ull;
+  };
+  mix_str(event.type);
+  unsigned char flags = (event.alt_key ? 1 : 0) | (event.ctrl_key ? 2 : 0) |
+                        (event.shift_key ? 4 : 0);
+  mix_bytes(&flags, 1);
+  int button = event.button;
+  mix_bytes(&button, sizeof(button));
+  mix_str(event.value);
+  int phase = static_cast<int>(event.phase);
+  mix_bytes(&phase, sizeof(phase));
+  const xml::Node* target = event.target;
+  mix_bytes(&target, sizeof(target));
+  const xml::Node* current = event.current_target;
+  mix_bytes(&current, sizeof(current));
+  return h;
+}
+
 }  // namespace
 
 XqibPlugin::XqibPlugin(Browser* browser, net::HttpFabric* fabric,
@@ -173,6 +229,14 @@ Status XqibPlugin::InitializePage(Window* window) {
     }
     for (const std::string& key : result.facts.pure_functions) {
       page->pure_functions.insert(key);
+    }
+    for (const std::string& key : result.facts.memoizable_functions) {
+      size_t arity = 0;
+      const xml::InternedName* token = ParseFunctionKeyToken(key, &arity);
+      if (token != nullptr) {
+        page->memoizable_functions.insert(
+            PageContext::ListenerKey{token, arity});
+      }
     }
     for (auto& d : result.diagnostics) {
       last_diagnostics_.push_back(std::move(d));
@@ -305,10 +369,12 @@ Status XqibPlugin::RegisterXQueryInlineHandler(PageContext* page,
     page->ctx->env().PopScope();
     if (!result.ok()) {
       last_script_error_ = result.status();
+      page->evaluator->ResetDispatchArena(*page->ctx);
       return;
     }
     Status st = ApplyAfterRun(page.get());
     if (!st.ok()) last_script_error_ = st;
+    page->evaluator->ResetDispatchArena(*page->ctx);
   };
   browser_->events().AddListener(handler.element, type, std::move(listener));
   return Status();
@@ -345,60 +411,130 @@ xml::Node* XqibPlugin::MaterializeEvent(PageContext* page,
 
 void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
                                 const Event& event) {
-  // Listener signature per §4.3.1: ($evt, $obj).
-  std::vector<Sequence> args;
+  // Listener signature per §4.3.1: ($evt, $obj). Resolve the arity
+  // BEFORE building any arguments so a memo hit can skip event
+  // materialization entirely.
   size_t arity = 0;
-  const xquery::FunctionDecl* decl = page->sctx->FindFunction(function, 2);
-  if (decl != nullptr) {
+  if (page->sctx->FindFunction(function, 2) != nullptr) {
     arity = 2;
-    args.push_back(Sequence{Item::Node(MaterializeEvent(page, event))});
-    // $obj is the node the listener is attached to (DOM `this`, i.e. the
-    // current target while capturing/bubbling), not the original target.
-    xml::Node* obj = event.current_target != nullptr ? event.current_target
-                                                     : event.target;
-    args.push_back(obj != nullptr ? Sequence{Item::Node(obj)} : Sequence{});
   } else if (page->sctx->FindFunction(function, 1) != nullptr) {
     arity = 1;
-    args.push_back(Sequence{Item::Node(MaterializeEvent(page, event))});
   } else if (page->sctx->FindFunction(function, 0) == nullptr) {
     last_script_error_ = Status::Error(
         "BRWS0004", "no listener function " + function.Lexical() +
                         " with arity 0, 1 or 2");
     return;
   }
+
+  // Memo cache: a listener the analyzer proved memoizable (DOM-pure AND
+  // free of observable host calls) can only read the event payload and
+  // the document snapshot, so (payload hash, mutation version) fully
+  // determines its result — replay the recorded serialization instead of
+  // re-evaluating. A stale version means the DOM mutated since the entry
+  // was recorded: discard it and run fresh.
+  const bool memoizable =
+      memo_enabled_ && page->memoizable_functions.count(
+                           PageContext::ListenerKey{function.token(),
+                                                    arity}) > 0;
+  const uint64_t doc_version = page->window->document()->mutation_version();
+  const PageContext::MemoKey memo_key{function.token(), arity,
+                                      HashEventPayload(event)};
+  uint64_t memo_invalidated = 0;
+  if (memoizable) {
+    auto it = page->memo_cache.find(memo_key);
+    if (it != page->memo_cache.end() &&
+        it->second.doc_version == doc_version) {
+      ++memo_stats_.hits;
+      last_listener_result_ = it->second.serialized;
+      last_event_stats_ = EventStats{};
+      last_event_stats_.memo_hits = 1;
+      // Memoizable implies pure: nothing to apply, nothing to render.
+      ++pure_listener_skips_;
+      return;
+    }
+    if (it != page->memo_cache.end()) {
+      page->memo_cache.erase(it);
+      ++memo_stats_.invalidations;
+      memo_invalidated = 1;
+    } else {
+      ++memo_stats_.misses;
+    }
+  }
+
+  std::vector<Sequence> args;
+  if (arity >= 1) {
+    args.push_back(Sequence{Item::Node(MaterializeEvent(page, event))});
+  }
+  if (arity == 2) {
+    // $obj is the node the listener is attached to (DOM `this`, i.e. the
+    // current target while capturing/bubbling), not the original target.
+    xml::Node* obj = event.current_target != nullptr ? event.current_target
+                                                     : event.target;
+    args.push_back(obj != nullptr ? Sequence{Item::Node(obj)} : Sequence{});
+  }
+
   // The page evaluator's counters accumulate across its whole lifetime,
   // so per-event numbers MUST be before/after deltas — overwriting (not
   // adding to) last_event_stats_ each dispatch keeps events independent.
+  // Intern-pool hits come straight from the process-wide pool because
+  // EvalStats only snapshots them at arena resets.
   xquery::Evaluator::EvalStats before = page->evaluator->stats();
+  xml::InternPoolStats intern_before = xml::GetInternStats();
   Result<Sequence> result =
       page->evaluator->CallFunction(function, std::move(args), *page->ctx);
   const xquery::Evaluator::EvalStats& after = page->evaluator->stats();
-  last_event_stats_ = EventStats{
-      after.sorts_elided - before.sorts_elided,
-      after.sorts_performed - before.sorts_performed,
-      after.name_index_hits - before.name_index_hits,
-      after.early_exits - before.early_exits,
-      after.count_index_hits - before.count_index_hits,
-      after.streams.items_pulled - before.streams.items_pulled,
-      after.streams.items_materialized - before.streams.items_materialized,
-      after.streams.buffers_avoided - before.streams.buffers_avoided,
-  };
+  last_event_stats_ = EventStats{};
+  last_event_stats_.sorts_elided = after.sorts_elided - before.sorts_elided;
+  last_event_stats_.sorts_performed =
+      after.sorts_performed - before.sorts_performed;
+  last_event_stats_.name_index_hits =
+      after.name_index_hits - before.name_index_hits;
+  last_event_stats_.early_exits = after.early_exits - before.early_exits;
+  last_event_stats_.count_index_hits =
+      after.count_index_hits - before.count_index_hits;
+  last_event_stats_.items_pulled =
+      after.streams.items_pulled - before.streams.items_pulled;
+  last_event_stats_.items_materialized =
+      after.streams.items_materialized - before.streams.items_materialized;
+  last_event_stats_.buffers_avoided =
+      after.streams.buffers_avoided - before.streams.buffers_avoided;
+  last_event_stats_.arena_bytes_used =
+      after.arena_bytes_used - before.arena_bytes_used;
+  last_event_stats_.intern_hits =
+      xml::GetInternStats().hits - intern_before.hits;
+  last_event_stats_.memo_misses = memoizable && memo_invalidated == 0 ? 1 : 0;
+  last_event_stats_.memo_invalidations = memo_invalidated;
   if (page->evaluator->exited()) page->evaluator->TakeExitValue();
   if (!result.ok()) {
     last_script_error_ = result.status();
+    page->evaluator->ResetDispatchArena(*page->ctx);
+    ++last_event_stats_.arena_resets;
     return;
   }
+  last_listener_result_ = xdm::SequenceToString(*result);
   // A listener the analyzer proved DOM-pure cannot have produced update
   // primitives or touched BOM trees: skip the apply/re-render pass. The
   // PUL-empty check stays as a belt-and-braces runtime guard.
-  if (page->pure_functions.count(xquery::analysis::AnalysisFacts::FunctionKey(
+  const bool pure_skip =
+      page->pure_functions.count(xquery::analysis::AnalysisFacts::FunctionKey(
           function.Clark(), arity)) > 0 &&
-      page->ctx->pul().empty()) {
+      page->ctx->pul().empty();
+  if (pure_skip) {
     ++pure_listener_skips_;
-    return;
+    // Record the result only for genuinely memoizable listeners and only
+    // on a clean run (no error, empty PUL) — errors are never cached.
+    if (memoizable) {
+      page->memo_cache[memo_key] =
+          PageContext::MemoEntry{doc_version, last_listener_result_};
+    }
+  } else {
+    Status st = ApplyAfterRun(page);
+    if (!st.ok()) last_script_error_ = st;
   }
-  Status st = ApplyAfterRun(page);
-  if (!st.ok()) last_script_error_ = st;
+  // The dispatch is over and its result is materialized: reclaim every
+  // stream operator this event allocated in one wholesale reset.
+  page->evaluator->ResetDispatchArena(*page->ctx);
+  ++last_event_stats_.arena_resets;
 }
 
 void XqibPlugin::set_eval_options(

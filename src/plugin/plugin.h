@@ -28,6 +28,7 @@
 
 #include "browser/bom.h"
 #include "browser/page.h"
+#include "xml/interning.h"
 #include "net/http.h"
 #include "net/webservice.h"
 #include "xquery/analysis/analyzer.h"
@@ -104,6 +105,30 @@ class XqibPlugin : public xquery::BrowserBinding {
   // was skipped because the analyzer proved the listener DOM-pure.
   size_t pure_listener_skips() const { return pure_listener_skips_; }
 
+  // Memo cache over pure listeners: dispatches answered from cache
+  // without re-running the listener body, cache misses (first sight of a
+  // (listener, payload) pair), and stale entries discarded because the
+  // document mutated since they were recorded.
+  struct MemoStats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;
+  };
+  const MemoStats& memo_stats() const { return memo_stats_; }
+
+  // Ablation switch for benchmarks: with the memo disabled every
+  // dispatch re-runs the listener even when the analyzer proved it
+  // memoizable.
+  void set_memo_enabled(bool enabled) { memo_enabled_ = enabled; }
+  bool memo_enabled() const { return memo_enabled_; }
+
+  // Serialized value of the most recent listener invocation (whether
+  // evaluated or replayed from the memo cache). Tests compare replayed
+  // dispatches against fresh ones through this channel.
+  const std::string& last_listener_result() const {
+    return last_listener_result_;
+  }
+
   // Path fast-path work done by the most recent listener invocation
   // (delta of the page evaluator's counters across the call). Benchmarks
   // assert the per-event dispatch actually hit the fast paths.
@@ -117,6 +142,16 @@ class XqibPlugin : public xquery::BrowserBinding {
     uint64_t items_pulled = 0;
     uint64_t items_materialized = 0;
     uint64_t buffers_avoided = 0;
+    // Memory-layer deltas for the dispatch: arena bytes/resets from the
+    // page evaluator, intern-pool hits across the call (process-wide
+    // pool, so deltas are only meaningful single-threaded), and memo
+    // cache traffic.
+    uint64_t arena_bytes_used = 0;
+    uint64_t arena_resets = 0;
+    uint64_t intern_hits = 0;
+    uint64_t memo_hits = 0;
+    uint64_t memo_misses = 0;
+    uint64_t memo_invalidations = 0;
   };
   const EventStats& last_event_stats() const { return last_event_stats_; }
 
@@ -165,6 +200,54 @@ class XqibPlugin : public xquery::BrowserBinding {
     // Declared functions ("Clark#arity") the analyzer proved DOM-pure;
     // listener calls resolving to one of these skip the apply pass.
     std::unordered_set<std::string> pure_functions;
+    // The memoizable subset: pure AND free of observable host calls
+    // (alert/prompt/confirm, fn:trace). Only these may be replayed from
+    // the memo cache instead of re-evaluated. Keyed on the interned
+    // name + arity so the per-dispatch eligibility check allocates
+    // nothing (no Clark-string rebuild on the memo-hit fast path).
+    struct ListenerKey {
+      const xml::InternedName* name = nullptr;
+      size_t arity = 0;
+      bool operator==(const ListenerKey& o) const {
+        return name == o.name && arity == o.arity;
+      }
+    };
+    struct ListenerKeyHash {
+      size_t operator()(const ListenerKey& k) const {
+        return std::hash<const void*>()(k.name) * 1315423911u + k.arity;
+      }
+    };
+    std::unordered_set<ListenerKey, ListenerKeyHash> memoizable_functions;
+
+    // Mutation-versioned memo cache for pure listeners. Keyed on the
+    // interned listener name (pointer identity), arity, and a hash of
+    // the full event payload (including target node identities). An
+    // entry is valid only while the page document's mutation version
+    // matches — any insert/delete/rename/replace bumps the version and
+    // strands the entry, which is discarded (counted as invalidation)
+    // on next lookup.
+    struct MemoKey {
+      const xml::InternedName* name = nullptr;
+      size_t arity = 0;
+      uint64_t payload_hash = 0;
+      bool operator==(const MemoKey& o) const {
+        return name == o.name && arity == o.arity &&
+               payload_hash == o.payload_hash;
+      }
+    };
+    struct MemoKeyHash {
+      size_t operator()(const MemoKey& k) const {
+        size_t h = std::hash<const void*>()(k.name);
+        h = h * 1315423911u + k.arity;
+        h = h * 1315423911u + static_cast<size_t>(k.payload_hash);
+        return h;
+      }
+    };
+    struct MemoEntry {
+      uint64_t doc_version = 0;
+      std::string serialized;  // SequenceToString of the listener result
+    };
+    std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> memo_cache;
   };
 
   std::shared_ptr<PageContext> FindPageShared(const browser::Window* window);
@@ -207,6 +290,9 @@ class XqibPlugin : public xquery::BrowserBinding {
   Status last_script_error_;
   std::vector<xquery::analysis::Diagnostic> last_diagnostics_;
   size_t pure_listener_skips_ = 0;
+  bool memo_enabled_ = true;
+  MemoStats memo_stats_;
+  std::string last_listener_result_;
   EventStats last_event_stats_;
   xquery::Evaluator::EvalOptions eval_options_;
 };

@@ -56,18 +56,20 @@ class RangeStreamImpl : public ItemStream {
 
 }  // namespace
 
-StreamPtr EmptyStream() { return std::make_unique<EmptyStreamImpl>(); }
-
-StreamPtr SingletonStream(Item item) {
-  return std::make_unique<SingletonStreamImpl>(std::move(item));
+StreamPtr EmptyStream(Arena* arena) {
+  return MakeStream<EmptyStreamImpl>(arena);
 }
 
-StreamPtr SequenceStream(Sequence seq) {
-  return std::make_unique<SequenceStreamImpl>(std::move(seq));
+StreamPtr SingletonStream(Item item, Arena* arena) {
+  return MakeStream<SingletonStreamImpl>(arena, std::move(item));
 }
 
-StreamPtr RangeStream(int64_t lo, int64_t hi) {
-  return std::make_unique<RangeStreamImpl>(lo, hi);
+StreamPtr SequenceStream(Sequence seq, Arena* arena) {
+  return MakeStream<SequenceStreamImpl>(arena, std::move(seq));
+}
+
+StreamPtr RangeStream(int64_t lo, int64_t hi, Arena* arena) {
+  return MakeStream<RangeStreamImpl>(arena, lo, hi);
 }
 
 Result<Sequence> MaterializeStream(ItemStream& s, StreamStats* stats) {

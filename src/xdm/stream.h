@@ -23,8 +23,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "base/result.h"
+#include "xdm/arena.h"
 #include "xdm/item.h"
 
 namespace xqib::xdm {
@@ -44,22 +46,57 @@ class ItemStream {
  public:
   virtual ~ItemStream() = default;
   virtual Result<bool> Next(Item* out) = 0;
+
+  // Set by MakeStream when the operator lives in an Arena: the deleter
+  // then runs the destructor without freeing (Arena::Reset reclaims).
+  bool arena_backed() const { return arena_backed_; }
+  void set_arena_backed(bool v) { arena_backed_ = v; }
+
+ private:
+  bool arena_backed_ = false;
 };
 
-using StreamPtr = std::unique_ptr<ItemStream>;
+// Destroys a stream promptly (so held resources — input streams, buffers
+// — release at the usual unique_ptr points) but returns arena-backed
+// operators' memory only at the owning Arena's Reset.
+struct StreamDeleter {
+  void operator()(ItemStream* s) const {
+    if (s == nullptr) return;
+    if (s->arena_backed()) {
+      s->~ItemStream();
+    } else {
+      delete s;
+    }
+  }
+};
 
-// The empty sequence.
-StreamPtr EmptyStream();
+using StreamPtr = std::unique_ptr<ItemStream, StreamDeleter>;
+
+// Allocates a stream operator on `arena` when non-null (bump pointer,
+// reclaimed wholesale at Reset) or on the heap otherwise.
+template <typename T, typename... Args>
+StreamPtr MakeStream(Arena* arena, Args&&... args) {
+  if (arena != nullptr) {
+    T* p = arena->New<T>(std::forward<Args>(args)...);
+    p->set_arena_backed(true);
+    return StreamPtr(p);
+  }
+  return StreamPtr(new T(std::forward<Args>(args)...));
+}
+
+// The empty sequence. Factories take an optional arena, threaded from
+// EvalOptions::arena_streams through the evaluator.
+StreamPtr EmptyStream(Arena* arena = nullptr);
 
 // Exactly one item.
-StreamPtr SingletonStream(Item item);
+StreamPtr SingletonStream(Item item, Arena* arena = nullptr);
 
 // Streams an owned, already materialized sequence.
-StreamPtr SequenceStream(Sequence seq);
+StreamPtr SequenceStream(Sequence seq, Arena* arena = nullptr);
 
 // Lazy integer range lo..hi (empty when hi < lo) — `1 to 1000000`
 // never materializes unless a consumer buffers it.
-StreamPtr RangeStream(int64_t lo, int64_t hi);
+StreamPtr RangeStream(int64_t lo, int64_t hi, Arena* arena = nullptr);
 
 // Materialization boundary: drains `s` into a Sequence. Every item
 // drained is counted into stats->items_materialized (when stats is

@@ -79,7 +79,7 @@ std::string Node::StringValue() const {
 
 Node* Node::FindAttribute(std::string_view ns, std::string_view local) const {
   for (Node* a : attributes_) {
-    if (a->name_.local == local && a->name_.ns == ns) return a;
+    if (a->name_.local() == local && a->name_.ns() == ns) return a;
   }
   return nullptr;
 }
@@ -171,7 +171,7 @@ void Node::Detach() {
 
 Node* Node::SetAttribute(const QName& name, std::string value) {
   assert(kind_ == NodeKind::kElement);
-  if (Node* existing = FindAttribute(name.ns, name.local)) {
+  if (Node* existing = FindAttribute(name.ns(), name.local())) {
     existing->value_ = std::move(value);
     document_->NotifyMutation(this);
     return existing;
@@ -193,7 +193,7 @@ void Node::AttachAttribute(Node* attr) {
   assert(attr->kind_ == NodeKind::kAttribute && attr->parent_ == nullptr);
   assert(attr->document_ == document_);
   // Replace any attribute with the same expanded name.
-  RemoveAttribute(attr->name_.ns, attr->name_.local);
+  RemoveAttribute(attr->name_.ns(), attr->name_.local());
   attr->parent_ = this;
   attributes_.push_back(attr);
   document_->InvalidateOrder();
@@ -330,7 +330,7 @@ Node* Document::ImportCopy(const Node* src) {
     case NodeKind::kComment:
       return CreateComment(src->value());
     case NodeKind::kProcessingInstruction:
-      return CreateProcessingInstruction(src->name().local, src->value());
+      return CreateProcessingInstruction(src->name().local(), src->value());
     case NodeKind::kDocument: {
       // Copying a document node yields a copy of its children under a new
       // element-less fragment: we model it as a copy of the document
@@ -376,7 +376,7 @@ const std::vector<Node*>& Document::ElementsByName(const QName& name) const {
     std::function<void(const Node*)> visit = [&](const Node* n) {
       for (const Node* c : n->children_) {
         if (c->kind_ == NodeKind::kElement) {
-          name_index_[c->name_.Clark()].push_back(const_cast<Node*>(c));
+          name_index_[c->name_.token()].push_back(const_cast<Node*>(c));
           visit(c);
         }
       }
@@ -386,7 +386,7 @@ const std::vector<Node*>& Document::ElementsByName(const QName& name) const {
     ++name_index_builds_;
   }
   static const std::vector<Node*> kNoNodes;
-  auto it = name_index_.find(name.Clark());
+  auto it = name_index_.find(name.token());
   return it == name_index_.end() ? kNoNodes : it->second;
 }
 

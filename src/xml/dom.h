@@ -180,6 +180,12 @@ class Document {
 
   uint64_t order_version() const { return order_version_; }
 
+  // Bumped by every structural or value mutation. External caches keyed
+  // on document content (the plugin's pure-listener memo cache) validate
+  // against this — the same versioning scheme that guards the id cache
+  // and the element-name index.
+  uint64_t mutation_version() const { return mutation_version_; }
+
  private:
   friend class Node;
 
@@ -202,10 +208,13 @@ class Document {
   uint64_t mutation_version_ = 1;
   mutable uint64_t id_cache_version_ = 0;
   mutable std::unordered_map<std::string, Node*> id_cache_;
-  // Clark name -> attached elements in doc order; same validity rule.
+  // Interned name token -> attached elements in doc order; same validity
+  // rule. Token keys make each rebuild insertion a pointer hash — no
+  // Clark-notation string is built per element.
   mutable uint64_t name_index_version_ = 0;
   mutable uint64_t name_index_builds_ = 0;
-  mutable std::unordered_map<std::string, std::vector<Node*>> name_index_;
+  mutable std::unordered_map<const InternedName*, std::vector<Node*>>
+      name_index_;
 };
 
 // Visits `node` and all descendants (attributes excluded) in doc order.

@@ -1,0 +1,125 @@
+#include "xml/interning.h"
+
+#include <atomic>
+#include <deque>
+#include <mutex>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace xqib::xml {
+
+namespace {
+
+std::atomic<uint64_t> g_hits{0};
+std::atomic<uint64_t> g_misses{0};
+
+// Storage is a deque so entry addresses survive growth; the index keys
+// are string_views into that storage.
+class StringPool {
+ public:
+  const std::string* Intern(std::string_view s) {
+    {
+      std::shared_lock lock(mu_);
+      auto it = index_.find(s);
+      if (it != index_.end()) {
+        g_hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    std::unique_lock lock(mu_);
+    auto it = index_.find(s);
+    if (it != index_.end()) {
+      g_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    g_misses.fetch_add(1, std::memory_order_relaxed);
+    const std::string& stored = storage_.emplace_back(s);
+    index_.emplace(stored, &stored);
+    return &stored;
+  }
+
+  uint64_t size() const {
+    std::shared_lock lock(mu_);
+    return storage_.size();
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::deque<std::string> storage_;
+  std::unordered_map<std::string_view, const std::string*> index_;
+};
+
+class NamePool {
+ public:
+  const InternedName* Intern(const std::string* ns, const std::string* local) {
+    Key key{ns, local};
+    {
+      std::shared_lock lock(mu_);
+      auto it = index_.find(key);
+      if (it != index_.end()) {
+        g_hits.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    std::unique_lock lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      g_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    g_misses.fetch_add(1, std::memory_order_relaxed);
+    const InternedName& stored = storage_.emplace_back(InternedName{ns, local});
+    index_.emplace(key, &stored);
+    return &stored;
+  }
+
+  uint64_t size() const {
+    std::shared_lock lock(mu_);
+    return storage_.size();
+  }
+
+ private:
+  using Key = std::pair<const std::string*, const std::string*>;
+  struct KeyHash {
+    size_t operator()(const Key& k) const noexcept {
+      size_t a = std::hash<const void*>{}(k.first);
+      size_t b = std::hash<const void*>{}(k.second);
+      return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+    }
+  };
+  mutable std::shared_mutex mu_;
+  std::deque<InternedName> storage_;
+  std::unordered_map<Key, const InternedName*, KeyHash> index_;
+};
+
+StringPool& Strings() {
+  static StringPool pool;
+  return pool;
+}
+
+NamePool& Names() {
+  static NamePool pool;
+  return pool;
+}
+
+}  // namespace
+
+const std::string* InternString(std::string_view s) {
+  return Strings().Intern(s);
+}
+
+const InternedName* InternName(std::string_view ns, std::string_view local) {
+  return Names().Intern(InternString(ns), InternString(local));
+}
+
+InternPoolStats GetInternStats() {
+  InternPoolStats stats;
+  stats.hits = g_hits.load(std::memory_order_relaxed);
+  stats.misses = g_misses.load(std::memory_order_relaxed);
+  stats.strings = Strings().size();
+  stats.names = Names().size();
+  return stats;
+}
+
+}  // namespace xqib::xml

@@ -1,11 +1,18 @@
 // Expanded qualified names (namespace URI + local name, plus the lexical
 // prefix kept for serialization round-trips).
+//
+// A QName is an interned token: construction resolves (ns, local) against
+// the process-wide pool in xml/interning.h, so copies are two pointers,
+// equality is one pointer compare, and hashing a QName hashes an address.
+// The prefix is interned separately — it is not part of the identity.
 
 #ifndef XQIB_XML_QNAME_H_
 #define XQIB_XML_QNAME_H_
 
 #include <string>
 #include <string_view>
+
+#include "xml/interning.h"
 
 namespace xqib::xml {
 
@@ -25,35 +32,57 @@ inline constexpr std::string_view kBrowserNamespace =
 inline constexpr std::string_view kHttpNamespace =
     "http://www.example.com/http";
 
-struct QName {
-  std::string ns;      // namespace URI; empty means "no namespace"
-  std::string prefix;  // lexical prefix; not part of the identity
-  std::string local;
+class QName {
+ public:
+  QName() : name_(EmptyName()), prefix_(EmptyString()) {}
+  explicit QName(std::string_view local_name)
+      : name_(InternName({}, local_name)), prefix_(EmptyString()) {}
+  QName(std::string_view ns_uri, std::string_view local_name)
+      : name_(InternName(ns_uri, local_name)), prefix_(EmptyString()) {}
+  QName(std::string_view ns_uri, std::string_view pfx,
+        std::string_view local_name)
+      : name_(InternName(ns_uri, local_name)), prefix_(InternString(pfx)) {}
 
-  QName() = default;
-  explicit QName(std::string local_name) : local(std::move(local_name)) {}
-  QName(std::string ns_uri, std::string local_name)
-      : ns(std::move(ns_uri)), local(std::move(local_name)) {}
-  QName(std::string ns_uri, std::string pfx, std::string local_name)
-      : ns(std::move(ns_uri)),
-        prefix(std::move(pfx)),
-        local(std::move(local_name)) {}
+  // Namespace URI; empty means "no namespace".
+  const std::string& ns() const { return *name_->ns; }
+  // Lexical prefix; not part of the identity.
+  const std::string& prefix() const { return *prefix_; }
+  const std::string& local() const { return *name_->local; }
+
+  // Identity token: equal QNames share one InternedName per process, so
+  // the pointer doubles as a hash/map key.
+  const InternedName* token() const { return name_; }
+  const std::string* ns_token() const { return name_->ns; }
+  const std::string* local_token() const { return name_->local; }
 
   // Identity per XDM: namespace URI + local name only.
   friend bool operator==(const QName& a, const QName& b) {
-    return a.ns == b.ns && a.local == b.local;
+    return a.name_ == b.name_;
   }
   friend bool operator!=(const QName& a, const QName& b) { return !(a == b); }
 
   // The lexical form: "prefix:local" or "local".
   std::string Lexical() const {
-    return prefix.empty() ? local : prefix + ":" + local;
+    return prefix().empty() ? local() : prefix() + ":" + local();
   }
 
   // Clark notation "{ns}local", used in diagnostics and map keys.
   std::string Clark() const {
-    return ns.empty() ? local : "{" + ns + "}" + local;
+    return ns().empty() ? local() : "{" + ns() + "}" + local();
   }
+
+ private:
+  static const std::string* EmptyString() {
+    static const std::string* empty = InternString({});
+    return empty;
+  }
+  static const InternedName* EmptyName() {
+    static const InternedName* empty = InternName({}, {});
+    return empty;
+  }
+
+  const InternedName* name_;
+  const std::string* prefix_;
 };
 
 }  // namespace xqib::xml

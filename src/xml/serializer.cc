@@ -28,7 +28,7 @@ class Serializer {
         out_ << "<!--" << node->value() << "-->";
         break;
       case NodeKind::kProcessingInstruction:
-        out_ << "<?" << node->name().local << " " << node->value() << "?>";
+        out_ << "<?" << node->name().local() << " " << node->value() << "?>";
         break;
       case NodeKind::kAttribute:
         // A bare attribute serializes as name="value".
@@ -52,12 +52,12 @@ class Serializer {
     out_ << "<" << node->name().Lexical();
     // Emit a namespace declaration when the element's namespace is not
     // inherited lexically; a pragmatic rule that keeps round-trips sane.
-    if (!node->name().ns.empty() && NeedsNsDecl(node)) {
-      if (node->name().prefix.empty()) {
-        out_ << " xmlns=\"" << EscapeAttribute(node->name().ns) << "\"";
+    if (!node->name().ns().empty() && NeedsNsDecl(node)) {
+      if (node->name().prefix().empty()) {
+        out_ << " xmlns=\"" << EscapeAttribute(node->name().ns()) << "\"";
       } else {
-        out_ << " xmlns:" << node->name().prefix << "=\""
-             << EscapeAttribute(node->name().ns) << "\"";
+        out_ << " xmlns:" << node->name().prefix() << "=\""
+             << EscapeAttribute(node->name().ns()) << "\"";
       }
     }
     for (const Node* a : node->attributes()) {
@@ -71,8 +71,8 @@ class Serializer {
     out_ << ">";
     bool was_verbatim = verbatim_;
     if (options_.html_script_mode &&
-        (AsciiEqualsIgnoreCase(node->name().local, "script") ||
-         AsciiEqualsIgnoreCase(node->name().local, "style"))) {
+        (AsciiEqualsIgnoreCase(node->name().local(), "script") ||
+         AsciiEqualsIgnoreCase(node->name().local(), "style"))) {
       verbatim_ = true;
     }
     bool element_children = false;
@@ -90,8 +90,8 @@ class Serializer {
     while (p != nullptr && !p->is_element()) p = p->parent();
     if (p == nullptr) return true;
     // Same prefix & ns on the nearest element ancestor => inherited.
-    return !(p->name().ns == node->name().ns &&
-             p->name().prefix == node->name().prefix);
+    return !(p->name().ns() == node->name().ns() &&
+             p->name().prefix() == node->name().prefix());
   }
 
   const SerializeOptions& options_;

@@ -194,12 +194,12 @@ bool IsConstantBoolean(const Expr& e, bool* value) {
     return true;
   }
   if (e.kind == ExprKind::kFunctionCall && e.kids.empty() &&
-      e.qname.ns == xml::kFnNamespace) {
-    if (e.qname.local == "true") {
+      e.qname.ns() == xml::kFnNamespace) {
+    if (e.qname.local() == "true") {
       *value = true;
       return true;
     }
-    if (e.qname.local == "false") {
+    if (e.qname.local() == "false") {
       *value = false;
       return true;
     }
@@ -512,7 +512,7 @@ class ModuleAnalyzer {
         }
         // Variables in the browser namespace are host-bound at event
         // time ($browser:event, $browser:target, $browser:value).
-        if (e.qname.ns != xml::kBrowserNamespace && options_.check_scopes) {
+        if (e.qname.ns() != xml::kBrowserNamespace && options_.check_scopes) {
           Report("XQSA001", Severity::kError,
                  "undefined variable $" + e.qname.Lexical(), e.source_pos,
                  e.qname.Lexical().size() + 1);
@@ -636,7 +636,7 @@ class ModuleAnalyzer {
           InferredType in = Walk(*clause.expr, ctx.Operand());
           if (clause.kind == Clause::Kind::kFor) {
             Bind(clause.var, Singleton(in.cls), clause.source_pos, true);
-            if (!clause.pos_var.local.empty()) {
+            if (!clause.pos_var.local().empty()) {
               Bind(clause.pos_var, Singleton(ItemClass::kInteger),
                    clause.source_pos, true);
             }
@@ -724,7 +724,7 @@ class ModuleAnalyzer {
         for (size_t i = 0; i < e.clauses.size(); ++i) {
           const Clause& clause = e.clauses[i];
           PushScope();
-          if (!clause.var.local.empty()) {
+          if (!clause.var.local().empty()) {
             Bind(clause.var, FromDeclared(e.case_types[i]),
                  clause.source_pos, false);
           }
@@ -738,7 +738,7 @@ class ModuleAnalyzer {
           first = false;
         }
         PushScope();
-        if (!e.qname.local.empty()) {
+        if (!e.qname.local().empty()) {
           Bind(e.qname, Any(), e.source_pos, false);
         }
         InferredType dt = Walk(*e.kids[1], ctx);
@@ -839,7 +839,7 @@ class ModuleAnalyzer {
       case ExprKind::kAssign: {
         VarInfo* var = Lookup(e.qname);
         if (var == nullptr) {
-          if (e.qname.ns != xml::kBrowserNamespace &&
+          if (e.qname.ns() != xml::kBrowserNamespace &&
               options_.check_scopes) {
             Report("XQSA001", Severity::kError,
                    "assignment to undeclared variable $" +
@@ -914,8 +914,8 @@ class ModuleAnalyzer {
   InferredType WalkCall(const Expr& e, UpdateCtx ctx) {
     for (const ExprPtr& arg : e.kids) Walk(*arg, ctx.Operand());
     size_t arity = e.kids.size();
-    const std::string& ns = e.qname.ns;
-    const std::string& local = e.qname.local;
+    const std::string& ns = e.qname.ns();
+    const std::string& local = e.qname.local();
 
     if (ns == xml::kXsNamespace) {
       if (options_.check_scopes) {
@@ -1095,7 +1095,7 @@ class ModuleAnalyzer {
 
   void CheckListener(const Expr& e) {
     if (!options_.check_scopes) return;
-    const std::string& ns = e.qname.ns;
+    const std::string& ns = e.qname.ns();
     if (checked_fn_namespaces_.count(ns) == 0) return;
     if (arities_.count(e.qname.Clark()) == 0) {
       Report("XQSA002", Severity::kError,
@@ -1140,6 +1140,7 @@ class ModuleAnalyzer {
       const FunctionDecl* decl;
       std::vector<std::string> calls;
       bool impure = false;
+      bool observable = false;  // reaches alert/prompt/confirm/trace
     };
     std::map<std::string, Node> graph;
     auto add = [&](const Module& m) {
@@ -1149,7 +1150,9 @@ class ModuleAnalyzer {
         if (fn->external || fn->body == nullptr) {
           node.impure = true;
         } else {
+          observes_host_ = false;
           node.impure = !SyntacticallyPure(*fn->body, &node.calls);
+          node.observable = observes_host_;
         }
         graph[AnalysisFacts::FunctionKey(fn->name.Clark(),
                                          fn->params.size())] =
@@ -1174,8 +1177,31 @@ class ModuleAnalyzer {
         }
       }
     }
+    // Observability propagates along the same call edges: a function
+    // reaching an alert/prompt/confirm/trace call stays pure (no DOM
+    // mutation) but must still run on every dispatch.
+    changed = true;
+    while (changed) {
+      changed = false;
+      for (auto& [key, node] : graph) {
+        if (node.observable) continue;
+        for (const std::string& callee : node.calls) {
+          auto it = graph.find(callee);
+          if (it != graph.end() && it->second.observable) {
+            node.observable = true;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
     for (const auto& [key, node] : graph) {
-      if (!node.impure) result_->facts.pure_functions.insert(key);
+      if (!node.impure) {
+        result_->facts.pure_functions.insert(key);
+        if (!node.observable) {
+          result_->facts.memoizable_functions.insert(key);
+        }
+      }
     }
   }
 
@@ -1195,19 +1221,23 @@ class ModuleAnalyzer {
       case ExprKind::kSetStyle:
         return false;
       case ExprKind::kFunctionCall: {
-        const std::string& ns = e.qname.ns;
+        const std::string& ns = e.qname.ns();
         if (ns == xml::kFnNamespace) {
           // put/doc touch documents outside the evaluation snapshot.
-          if (e.qname.local == "put" || e.qname.local == "doc" ||
-              e.qname.local == "doc-available") {
+          if (e.qname.local() == "put" || e.qname.local() == "doc" ||
+              e.qname.local() == "doc-available") {
             return false;
+          }
+          if (e.qname.local() == "trace") {
+            observes_host_ = true;  // pure, but emits diagnostic output
           }
         } else if (ns == xml::kBrowserNamespace) {
           // Read-only / chrome-only browser functions.
-          if (e.qname.local != "alert" && e.qname.local != "prompt" &&
-              e.qname.local != "confirm") {
+          if (e.qname.local() != "alert" && e.qname.local() != "prompt" &&
+              e.qname.local() != "confirm") {
             return false;
           }
+          observes_host_ = true;  // pure, but the user sees a dialog
         } else if (ns != xml::kXsNamespace &&
                    checked_fn_namespaces_.count(ns) == 0) {
           return false;  // unknown external code
@@ -1290,6 +1320,10 @@ class ModuleAnalyzer {
   std::unordered_set<std::string> checked_fn_namespaces_;
   std::unordered_set<std::string> suppressed_;
   std::unordered_set<std::string> assigned_vars_;  // Clark names
+  // Set by SyntacticallyPure when the function body reaches an
+  // observable host interaction (alert/prompt/confirm, fn:trace);
+  // captured per-function by ComputePurity.
+  bool observes_host_ = false;
 };
 
 }  // namespace

@@ -45,6 +45,13 @@ struct AnalysisFacts {
   // re-wiring, no calls into unknown external code.
   std::unordered_set<std::string> pure_functions;
 
+  // The subset of pure_functions additionally free of any OBSERVABLE
+  // host interaction (browser:alert/prompt/confirm, fn:trace). A pure
+  // listener may still pop an alert box on every event; only functions
+  // in this set may be served from the plug-in's memo cache without
+  // re-running them.
+  std::unordered_set<std::string> memoizable_functions;
+
   static std::string FunctionKey(const std::string& clark, size_t arity) {
     return clark + "#" + std::to_string(arity);
   }

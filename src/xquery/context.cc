@@ -10,7 +10,7 @@ namespace xqib::xquery {
 
 void StaticContext::AddModule(const Module& module) {
   for (const auto& fn : module.functions) {
-    functions_[FunctionKey(fn->name, fn->params.size())] = fn;
+    functions_[FunctionKey{fn->name.token(), fn->params.size()}] = fn;
   }
   for (const VarDecl& v : module.variables) {
     globals_.push_back(&v);
@@ -22,7 +22,7 @@ void StaticContext::AddModule(const Module& module) {
 
 const FunctionDecl* StaticContext::FindFunction(const xml::QName& name,
                                                 size_t arity) const {
-  auto it = functions_.find(FunctionKey(name, arity));
+  auto it = functions_.find(FunctionKey{name.token(), arity});
   return it == functions_.end() ? nullptr : it->second.get();
 }
 
@@ -34,24 +34,45 @@ const std::string& StaticContext::option(const std::string& clark) const {
 
 // -------------------------------------------------------- Environment ---
 
+// Lookup semantics: scopes from the top down; the first barrier scope is
+// still searched, then only globals (scope 0) remain visible. Within a
+// scope, bindings are scanned back to front (Bind overwrites in place,
+// so a scope never holds duplicate names).
+const xdm::Sequence* Environment::Find(const xml::QName& name) const {
+  const xml::InternedName* token = name.token();
+  for (size_t i = scopes_.size(); i-- > 0;) {
+    size_t begin = scopes_[i].start;
+    size_t end =
+        (i + 1 < scopes_.size()) ? scopes_[i + 1].start : bindings_.size();
+    for (size_t j = end; j-- > begin;) {
+      if (bindings_[j].name == token) return &bindings_[j].value;
+    }
+    if (scopes_[i].barrier) {
+      size_t gend = scopes_.size() > 1 ? scopes_[1].start : bindings_.size();
+      for (size_t j = gend; j-- > 0;) {
+        if (bindings_[j].name == token) return &bindings_[j].value;
+      }
+      return nullptr;
+    }
+  }
+  return nullptr;
+}
+
 void Environment::Bind(const xml::QName& name, xdm::Sequence value) {
-  scopes_.back().vars[name.Clark()] = std::move(value);
+  const xml::InternedName* token = name.token();
+  for (size_t j = bindings_.size(); j-- > scopes_.back().start;) {
+    if (bindings_[j].name == token) {
+      bindings_[j].value = std::move(value);
+      return;
+    }
+  }
+  bindings_.push_back({token, std::move(value)});
 }
 
 Status Environment::Assign(const xml::QName& name, xdm::Sequence value) {
-  std::string key = name.Clark();
-  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
-    auto found = it->vars.find(key);
-    if (found != it->vars.end()) {
-      found->second = std::move(value);
-      return Status();
-    }
-    if (it->barrier) break;
-  }
-  // Fall through to globals.
-  auto found = scopes_.front().vars.find(key);
-  if (found != scopes_.front().vars.end()) {
-    found->second = std::move(value);
+  xdm::Sequence* slot = FindMutable(name);
+  if (slot != nullptr) {
+    *slot = std::move(value);
     return Status();
   }
   return Status::Error("XPDY0002",
@@ -59,20 +80,22 @@ Status Environment::Assign(const xml::QName& name, xdm::Sequence value) {
 }
 
 Result<xdm::Sequence> Environment::Lookup(const xml::QName& name) const {
-  std::string key = name.Clark();
-  for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
-    auto found = it->vars.find(key);
-    if (found != it->vars.end()) return found->second;
-    if (it->barrier) break;
-  }
-  auto found = scopes_.front().vars.find(key);
-  if (found != scopes_.front().vars.end()) return found->second;
+  const xdm::Sequence* found = Find(name);
+  if (found != nullptr) return *found;
   return Status::Error("XPDY0002",
                        "undefined variable $" + name.Lexical());
 }
 
 bool Environment::IsBound(const xml::QName& name) const {
-  return Lookup(name).ok();
+  return Find(name) != nullptr;
+}
+
+xdm::Sequence* Environment::TopBinding(const xml::QName& name) {
+  const xml::InternedName* token = name.token();
+  for (size_t j = bindings_.size(); j-- > scopes_.back().start;) {
+    if (bindings_[j].name == token) return &bindings_[j].value;
+  }
+  return nullptr;
 }
 
 // ------------------------------------------------------ DynamicContext ---
@@ -92,12 +115,12 @@ DynamicContext::~DynamicContext() = default;
 
 void DynamicContext::RegisterExternal(const xml::QName& name, size_t arity,
                                       ExternalFunction fn) {
-  externals_[name.Clark() + "#" + std::to_string(arity)] = std::move(fn);
+  externals_[ExternalKey{name.token(), arity}] = std::move(fn);
 }
 
 const ExternalFunction* DynamicContext::FindExternal(const xml::QName& name,
                                                      size_t arity) const {
-  auto it = externals_.find(name.Clark() + "#" + std::to_string(arity));
+  auto it = externals_.find(ExternalKey{name.token(), arity});
   return it == externals_.end() ? nullptr : &it->second;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "base/result.h"
+#include "xdm/arena.h"
 #include "xdm/item.h"
 #include "xquery/ast.h"
 
@@ -78,22 +79,46 @@ class StaticContext {
   const std::string& option(const std::string& clark) const;
 
  private:
-  static std::string FunctionKey(const xml::QName& name, size_t arity) {
-    return name.Clark() + "#" + std::to_string(arity);
-  }
-  std::unordered_map<std::string, std::shared_ptr<FunctionDecl>> functions_;
+  // Functions key on the interned name token + arity: no string is
+  // built per FindFunction call.
+  struct FunctionKey {
+    const xml::InternedName* name;
+    size_t arity;
+    friend bool operator==(const FunctionKey& a, const FunctionKey& b) {
+      return a.name == b.name && a.arity == b.arity;
+    }
+  };
+  struct FunctionKeyHash {
+    size_t operator()(const FunctionKey& k) const noexcept {
+      return std::hash<const void*>{}(k.name) * 31 + k.arity;
+    }
+  };
+  std::unordered_map<FunctionKey, std::shared_ptr<FunctionDecl>,
+                     FunctionKeyHash>
+      functions_;
   std::vector<const VarDecl*> globals_;
   std::unordered_map<std::string, std::string> options_;
 };
 
 // Variable environment: a stack of scopes. Function calls push a barrier
 // scope: lookups stop there and fall through only to globals (scope 0).
+//
+// Representation: one flat vector of (token, value) bindings plus a
+// vector of scope marks. PushScope/PopScope are O(1) integer pushes —
+// no per-scope hash map is ever built — and lookups compare interned
+// name tokens while scanning the (small) open scopes back to front.
+// This is the hot path of every FLWOR tuple and function call.
 class Environment {
  public:
-  Environment() { scopes_.push_back({{}, false}); }
+  Environment() { scopes_.push_back({0, false}); }
 
-  void PushScope(bool barrier = false) { scopes_.push_back({{}, barrier}); }
-  void PopScope() { scopes_.pop_back(); }
+  void PushScope(bool barrier = false) {
+    scopes_.push_back({bindings_.size(), barrier});
+  }
+  void PopScope() {
+    bindings_.resize(scopes_.back().start);
+    scopes_.pop_back();
+  }
 
   void Bind(const xml::QName& name, xdm::Sequence value);
   // Rebinds an existing variable (scripting assignment); error XPDY0002
@@ -102,12 +127,36 @@ class Environment {
   Result<xdm::Sequence> Lookup(const xml::QName& name) const;
   bool IsBound(const xml::QName& name) const;
 
+  // The value bound to `name` in the innermost (top) scope, or null.
+  // FlworStream uses this to move a binding's buffer out before popping
+  // the scope, so re-establishing tuple scopes allocates nothing.
+  xdm::Sequence* TopBinding(const xml::QName& name);
+
+  // Zero-copy view of the innermost binding (same resolution as Lookup),
+  // or null if unbound. Invalidated by any Bind/PushScope/PopScope —
+  // callers must copy out what they need before touching the
+  // environment again.
+  const xdm::Sequence* Peek(const xml::QName& name) const {
+    return Find(name);
+  }
+
  private:
-  struct Scope {
-    std::unordered_map<std::string, xdm::Sequence> vars;
+  struct Binding {
+    const xml::InternedName* name;
+    xdm::Sequence value;
+  };
+  struct ScopeMark {
+    size_t start;  // index of the scope's first binding in bindings_
     bool barrier;
   };
-  std::vector<Scope> scopes_;
+
+  const xdm::Sequence* Find(const xml::QName& name) const;
+  xdm::Sequence* FindMutable(const xml::QName& name) {
+    return const_cast<xdm::Sequence*>(Find(name));
+  }
+
+  std::vector<Binding> bindings_;
+  std::vector<ScopeMark> scopes_;
 };
 
 // Run-time context.
@@ -148,7 +197,7 @@ class DynamicContext {
   // fn:trace / browser:alert sink (tests capture this).
   std::function<void(const std::string&)> trace_sink;
 
-  // External (native) functions keyed by Clark name + "#" + arity.
+  // External (native) functions keyed by interned name token + arity.
   void RegisterExternal(const xml::QName& name, size_t arity,
                         ExternalFunction fn);
   const ExternalFunction* FindExternal(const xml::QName& name,
@@ -166,6 +215,11 @@ class DynamicContext {
   // --- pending updates (XQuery Update Facility) ---
   PendingUpdateList& pul() { return *pul_; }
 
+  // Per-dispatch arena for stream operators and other evaluation
+  // transients. The host (plugin / engine) calls arena().Reset() after
+  // an evaluation round's XQUF apply pass, when no streams are live.
+  xdm::Arena& arena() { return arena_; }
+
   // Optional query profiler (§7 future-work tooling); owned by caller.
   Profiler* profiler = nullptr;
 
@@ -179,11 +233,26 @@ class DynamicContext {
   static constexpr int kMaxCallDepth = 512;
 
  private:
+  struct ExternalKey {
+    const xml::InternedName* name;
+    size_t arity;
+    friend bool operator==(const ExternalKey& a, const ExternalKey& b) {
+      return a.name == b.name && a.arity == b.arity;
+    }
+  };
+  struct ExternalKeyHash {
+    size_t operator()(const ExternalKey& k) const noexcept {
+      return std::hash<const void*>{}(k.name) * 31 + k.arity;
+    }
+  };
+
   Environment env_;
   Focus focus_;
-  std::unordered_map<std::string, ExternalFunction> externals_;
+  std::unordered_map<ExternalKey, ExternalFunction, ExternalKeyHash>
+      externals_;
   std::vector<std::unique_ptr<xml::Document>> scratch_docs_;
   std::unique_ptr<PendingUpdateList> pul_;
+  xdm::Arena arena_;
 };
 
 }  // namespace xqib::xquery

@@ -40,6 +40,10 @@ Result<xdm::Sequence> CompiledQuery::Run(DynamicContext& ctx,
   if (apply_updates) {
     XQ_RETURN_NOT_OK(ctx.pul().ApplyAll());
   }
+  // The result is materialized and the apply pass is done: no stream
+  // operator allocated this run can still be live, so the whole dispatch
+  // arena is reclaimed in one wholesale reset.
+  evaluator_.ResetDispatchArena(ctx);
   return result;
 }
 
@@ -51,6 +55,7 @@ Result<xdm::Sequence> CompiledQuery::Call(const xml::QName& function,
       evaluator_.CallFunction(function, std::move(args), ctx));
   if (evaluator_.exited()) result = evaluator_.TakeExitValue();
   XQ_RETURN_NOT_OK(ctx.pul().ApplyAll());
+  evaluator_.ResetDispatchArena(ctx);
   return result;
 }
 

@@ -34,8 +34,8 @@ bool MatchesNodeTest(const NodeTest& test, const xml::Node* node,
       return node->kind() == xml::NodeKind::kDocument;
     case Kind::kPI:
       if (node->kind() != xml::NodeKind::kProcessingInstruction) return false;
-      return test.any_name || test.name.local.empty() ||
-             node->name().local == test.name.local;
+      return test.any_name || test.name.local().empty() ||
+             node->name().local_token() == test.name.local_token();
     case Kind::kElement:
       if (!node->is_element()) return false;
       return test.any_name || node->name() == test.name;
@@ -49,8 +49,11 @@ bool MatchesNodeTest(const NodeTest& test, const xml::Node* node,
       if (want_attr != node->is_attribute()) return false;
       if (!want_attr && !node->is_element()) return false;
       if (test.any_name) return true;
-      if (test.any_ns) return node->name().local == test.name.local;
-      if (test.any_local) return node->name().ns == test.name.ns;
+      // Interned tokens: wildcard name tests are pointer compares too.
+      if (test.any_ns) {
+        return node->name().local_token() == test.name.local_token();
+      }
+      if (test.any_local) return node->name().ns_token() == test.name.ns_token();
       return node->name() == test.name;
     }
   }
@@ -587,7 +590,16 @@ class FlworStream : public ItemStream {
         where_(where),
         ret_expr_(ret),
         negate_where_(negate_where),
-        states_(e->clauses.size()) {}
+        states_(e->clauses.size()) {
+    // `return $x` — the dominant shape after optimizer rewrites — needs
+    // no return-stream machinery at all: the tuple's binding IS the
+    // result. NextImpl peeks it in place instead of spinning up an
+    // EvalStream (which would copy the sequence and allocate a stream
+    // operator per tuple).
+    if (ret != nullptr && ret->kind == ExprKind::kVarRef) {
+      var_ret_ = &ret->qname;
+    }
+  }
 
   Result<bool> Next(Item* out) override {
     if (finished_ || ev_->exited()) return false;
@@ -597,8 +609,7 @@ class FlworStream : public ItemStream {
     }
     Result<bool> r = NextImpl(out);
     while (pushed_ > 0) {  // unwind only; the bindings stay recorded
-      ctx_->env().PopScope();
-      --pushed_;
+      PopClause();
     }
     return r;
   }
@@ -611,27 +622,40 @@ class FlworStream : public ItemStream {
     bool bound = false;
   };
 
+  // Establishes clause i's scope by MOVING the recorded value into the
+  // environment; PopClause moves it back. One tuple's scopes therefore
+  // round-trip between states_ and the (flat) environment with zero
+  // allocation — this is the per-pull hot path of every FLWOR.
   void PushClause(size_t i) {
     const Clause& c = e_->clauses[i];
     ctx_->env().PushScope();
-    ctx_->env().Bind(c.var, states_[i].value);
-    if (c.kind == Clause::Kind::kFor && !c.pos_var.local.empty()) {
+    ctx_->env().Bind(c.var, std::move(states_[i].value));
+    if (c.kind == Clause::Kind::kFor && !c.pos_var.local().empty()) {
       ctx_->env().Bind(c.pos_var, Sequence{Item::Integer(states_[i].pos)});
     }
     ++pushed_;
+  }
+
+  // Inverse of PushClause: recovers the binding's buffer into the clause
+  // state, then pops the scope.
+  void PopClause() {
+    --pushed_;
+    xdm::Sequence* bound = ctx_->env().TopBinding(e_->clauses[pushed_].var);
+    if (bound != nullptr) states_[pushed_].value = std::move(*bound);
+    ctx_->env().PopScope();
   }
 
   // Pops the scopes of clauses >= k and marks them unbound (used while
   // stepping; the end-of-Next unwind must NOT clear bound flags).
   void PopTo(size_t k) {
     while (pushed_ > k) {
-      ctx_->env().PopScope();
-      --pushed_;
+      PopClause();
       states_[pushed_].bound = false;
     }
   }
 
   Result<bool> NextImpl(Item* out) {
+    if (var_ret_ != nullptr) return VarRetNext(out);
     while (true) {
       if (ret_ != nullptr) {
         Item item;
@@ -658,6 +682,39 @@ class FlworStream : public ItemStream {
         return true;
       }
       XQ_ASSIGN_OR_RETURN(ret_, ev_->EvalStream(*ret_expr_, *ctx_));
+    }
+  }
+
+  // Fast path for `return $x`: emit the bound items straight out of the
+  // environment. Singletons (every for-bound variable) copy one Item;
+  // larger let-bound values are staged in pending_ because the Peek
+  // pointer dies when Next()'s unwind pops the tuple scopes.
+  Result<bool> VarRetNext(Item* out) {
+    while (true) {
+      if (pending_idx_ < pending_.size()) {
+        *out = pending_[pending_idx_++];
+        ev_->CountPulled(*ctx_);
+        return true;
+      }
+      XQ_ASSIGN_OR_RETURN(bool tuple, AdvanceTuple());
+      if (!tuple) {
+        finished_ = true;
+        return false;
+      }
+      const Sequence* v = ctx_->env().Peek(*var_ret_);
+      if (v == nullptr) {
+        // Unbound: route through Lookup for the standard XPDY0002.
+        XQ_ASSIGN_OR_RETURN(Sequence unused, ctx_->env().Lookup(*var_ret_));
+        (void)unused;
+        continue;
+      }
+      if (v->size() == 1) {
+        *out = (*v)[0];
+        ev_->CountPulled(*ctx_);
+        return true;
+      }
+      pending_.assign(v->begin(), v->end());
+      pending_idx_ = 0;
     }
   }
 
@@ -704,7 +761,8 @@ class FlworStream : public ItemStream {
           st.stream.reset();
           continue;  // keep stepping, one clause shallower
         }
-        st.value = Sequence{std::move(item)};
+        st.value.clear();  // reuses the round-tripped buffer's capacity
+        st.value.push_back(std::move(item));
         ++st.pos;
         st.bound = true;
         PushClause(static_cast<size_t>(s));
@@ -734,7 +792,8 @@ class FlworStream : public ItemStream {
         stepping = true;  // empty binding: backtrack below ci
         continue;
       }
-      st.value = Sequence{std::move(item)};
+      st.value.clear();
+      st.value.push_back(std::move(item));
       st.pos = 1;
       st.bound = true;
       PushClause(ci);
@@ -753,7 +812,19 @@ class FlworStream : public ItemStream {
   bool primed_ = false;
   bool finished_ = false;
   StreamPtr ret_;
+  const xml::QName* var_ret_ = nullptr;  // set when ret is a bare $x
+  Sequence pending_;  // staged multi-item $x values (capacity reused)
+  size_t pending_idx_ = 0;
 };
+
+// Allocates a stream operator on the context's dispatch arena (or the
+// heap under the arena_streams=false ablation), accounting the bytes.
+template <typename T, typename... Args>
+StreamPtr MakeOp(Evaluator* ev, DynamicContext& ctx, Args&&... args) {
+  xdm::Arena* arena = ev->StreamArena(ctx);
+  if (arena != nullptr) ev->CountArenaAlloc(ctx, sizeof(T));
+  return xdm::MakeStream<T>(arena, std::forward<Args>(args)...);
+}
 
 }  // namespace
 
@@ -848,9 +919,9 @@ Result<Sequence> Evaluator::EvalImpl(const Expr& e, DynamicContext& ctx) {
     case ExprKind::kFLWOR: {
       if (options_.stream_pipeline && e.order_specs.empty()) {
         const Expr* where = e.where == nullptr ? nullptr : e.where.get();
-        auto s = std::make_unique<FlworStream>(this, &ctx, &e, where,
-                                               e.kids[0].get(),
-                                               /*negate_where=*/false);
+        xdm::StreamPtr s =
+            MakeOp<FlworStream>(this, ctx, this, &ctx, &e, where,
+                                e.kids[0].get(), /*negate_where=*/false);
         return MaterializeFrom(std::move(s), ctx);
       }
       return EvalFLWOR(e, ctx);
@@ -873,7 +944,7 @@ Result<Sequence> Evaluator::EvalImpl(const Expr& e, DynamicContext& ctx) {
         if (!match) continue;
         const Clause& clause = e.clauses[i];
         ctx.env().PushScope();
-        if (!clause.var.local.empty()) {
+        if (!clause.var.local().empty()) {
           ctx.env().Bind(clause.var, operand);
         }
         Result<Sequence> r = Eval(*clause.expr, ctx);
@@ -881,7 +952,7 @@ Result<Sequence> Evaluator::EvalImpl(const Expr& e, DynamicContext& ctx) {
         return r;
       }
       ctx.env().PushScope();
-      if (!e.qname.local.empty()) ctx.env().Bind(e.qname, operand);
+      if (!e.qname.local().empty()) ctx.env().Bind(e.qname, operand);
       Result<Sequence> r = Eval(*e.kids[1], ctx);
       ctx.env().PopScope();
       return r;
@@ -973,6 +1044,23 @@ void Evaluator::CountEarlyExit(DynamicContext& ctx) {
   if (ctx.profiler != nullptr) ++ctx.profiler->fast_path().early_exits;
 }
 
+void Evaluator::CountArenaAlloc(DynamicContext& ctx, uint64_t bytes) {
+  stats_.arena_bytes_used += bytes;
+  if (ctx.profiler != nullptr) {
+    ctx.profiler->fast_path().arena_bytes_used += bytes;
+  }
+}
+
+void Evaluator::ResetDispatchArena(DynamicContext& ctx) {
+  ctx.arena().Reset();
+  ++stats_.arena_resets;
+  stats_.intern_hits = xml::GetInternStats().hits;
+  if (ctx.profiler != nullptr) {
+    ++ctx.profiler->fast_path().arena_resets;
+    ctx.profiler->fast_path().intern_hits = stats_.intern_hits;
+  }
+}
+
 Result<Sequence> Evaluator::PathInput(const Expr& e, DynamicContext& ctx) {
   if (!e.kids.empty()) return Eval(*e.kids[0], ctx);
   if (e.root_anchored) {
@@ -994,7 +1082,7 @@ Result<xdm::StreamPtr> Evaluator::BuildPathStream(const Expr& e,
   // The initial context sequence is small (usually the focus item or a
   // variable) — evaluate it eagerly, then stream the steps off it.
   XQ_ASSIGN_OR_RETURN(Sequence current, PathInput(e, ctx));
-  if (e.steps.empty()) return xdm::SequenceStream(std::move(current));
+  if (e.steps.empty()) return xdm::SequenceStream(std::move(current), StreamArena(ctx));
 
   size_t start = 0;
   xdm::StreamPtr s;
@@ -1020,18 +1108,18 @@ Result<xdm::StreamPtr> Evaluator::BuildPathStream(const Expr& e,
         ++ctx.profiler->fast_path().sorts_elided;
       }
       CountMaterialized(ctx, hits.size());
-      s = xdm::SequenceStream(std::move(hits));
+      s = xdm::SequenceStream(std::move(hits), StreamArena(ctx));
       start = 1;
     }
   }
-  if (s == nullptr) s = xdm::SequenceStream(std::move(current));
+  if (s == nullptr) s = xdm::SequenceStream(std::move(current), StreamArena(ctx));
 
   for (size_t si = start; si < e.steps.size(); ++si) {
     const Step& step = e.steps[si];
     const bool last_step = si + 1 == e.steps.size();
     const bool elide = options_.honor_sort_elision && step.preserves_order &&
                        step.no_duplicates;
-    s = std::make_unique<StepStream>(this, &ctx, &step, std::move(s));
+    s = MakeOp<StepStream>(this, ctx, this, &ctx, &step, std::move(s));
     // Existence consumers only observe emptiness, so the final step may
     // skip its barrier even without an elision proof. Everything that
     // counts, aggregates or positions must see sorted, deduped output.
@@ -1044,7 +1132,7 @@ Result<xdm::StreamPtr> Evaluator::BuildPathStream(const Expr& e,
       if (ctx.profiler != nullptr) {
         ++ctx.profiler->fast_path().sorts_performed;
       }
-      s = std::make_unique<SortBarrierStream>(this, &ctx, std::move(s));
+      s = MakeOp<SortBarrierStream>(this, ctx, this, &ctx, std::move(s));
     }
   }
   return s;
@@ -1111,7 +1199,7 @@ const std::vector<xml::Node*>* Evaluator::IndexedStepBucket(
   bool exact_name = (t.kind == NodeTest::Kind::kName ||
                      t.kind == NodeTest::Kind::kElement) &&
                     !t.any_name && !t.any_ns && !t.any_local &&
-                    !t.name.local.empty();
+                    !t.name.local().empty();
   if (!exact_name) return nullptr;
   xml::Document* doc = origin->document();
   // Whole-tree steps only: from the document node, or from the document
@@ -1198,7 +1286,7 @@ Result<xdm::StreamPtr> Evaluator::EvalStreamOrdered(const Expr& e,
                                                     bool ordered_required) {
   if (!options_.stream_pipeline || exit_flag_) {
     XQ_ASSIGN_OR_RETURN(Sequence v, Eval(e, ctx));
-    return xdm::SequenceStream(std::move(v));
+    return xdm::SequenceStream(std::move(v), StreamArena(ctx));
   }
   switch (e.kind) {
     case ExprKind::kPath:
@@ -1208,18 +1296,17 @@ Result<xdm::StreamPtr> Evaluator::EvalStreamOrdered(const Expr& e,
     case ExprKind::kFLWOR:
       if (e.order_specs.empty()) {
         const Expr* where = e.where == nullptr ? nullptr : e.where.get();
-        return xdm::StreamPtr(new FlworStream(this, &ctx, &e, where,
-                                              e.kids[0].get(),
-                                              /*negate_where=*/false));
+        return MakeOp<FlworStream>(this, ctx, this, &ctx, &e, where,
+                                   e.kids[0].get(),
+                                   /*negate_where=*/false);
       }
       break;
     case ExprKind::kSequence:
-      return xdm::StreamPtr(
-          new ConcatStream(this, &ctx, &e, ordered_required));
+      return MakeOp<ConcatStream>(this, ctx, this, &ctx, &e, ordered_required);
     case ExprKind::kRange: {
       XQ_ASSIGN_OR_RETURN(Sequence lo_seq, Eval(*e.kids[0], ctx));
       XQ_ASSIGN_OR_RETURN(Sequence hi_seq, Eval(*e.kids[1], ctx));
-      if (lo_seq.empty() || hi_seq.empty()) return xdm::EmptyStream();
+      if (lo_seq.empty() || hi_seq.empty()) return xdm::EmptyStream(StreamArena(ctx));
       XQ_ASSIGN_OR_RETURN(AtomicValue lo_a,
                           RequireSingleAtomic(lo_seq, "range"));
       XQ_ASSIGN_OR_RETURN(AtomicValue hi_a,
@@ -1227,7 +1314,7 @@ Result<xdm::StreamPtr> Evaluator::EvalStreamOrdered(const Expr& e,
       XQ_ASSIGN_OR_RETURN(int64_t lo, lo_a.ToInteger());
       XQ_ASSIGN_OR_RETURN(int64_t hi, hi_a.ToInteger());
       CountBuffersAvoided(ctx);
-      return xdm::RangeStream(lo, hi);
+      return xdm::RangeStream(lo, hi, StreamArena(ctx));
     }
     case ExprKind::kIf: {
       XQ_ASSIGN_OR_RETURN(bool b, EvalBool(*e.kids[0], ctx));
@@ -1237,23 +1324,23 @@ Result<xdm::StreamPtr> Evaluator::EvalStreamOrdered(const Expr& e,
     case ExprKind::kEnclosed:
       return EvalStreamOrdered(*e.kids[0], ctx, ordered_required);
     case ExprKind::kLiteral:
-      return xdm::SingletonStream(Item::Atomic(e.atom));
+      return xdm::SingletonStream(Item::Atomic(e.atom), StreamArena(ctx));
     case ExprKind::kContextItem: {
       if (!ctx.focus().has_item) {
         return Status::Error("XPDY0002", "context item is undefined");
       }
-      return xdm::SingletonStream(ctx.focus().item);
+      return xdm::SingletonStream(ctx.focus().item, StreamArena(ctx));
     }
     case ExprKind::kVarRef: {
       XQ_ASSIGN_OR_RETURN(Sequence v, ctx.env().Lookup(e.qname));
-      return xdm::SequenceStream(std::move(v));
+      return xdm::SequenceStream(std::move(v), StreamArena(ctx));
     }
     default:
       break;
   }
   // Everything else evaluates eagerly and streams the buffer.
   XQ_ASSIGN_OR_RETURN(Sequence v, Eval(e, ctx));
-  return xdm::SequenceStream(std::move(v));
+  return xdm::SequenceStream(std::move(v), StreamArena(ctx));
 }
 
 Result<Sequence> Evaluator::MaterializeFrom(xdm::StreamPtr s,
@@ -1295,18 +1382,18 @@ Result<xdm::StreamPtr> Evaluator::BuildFilterStream(const Expr& e,
     // pulls, not the full sequence.
     if (options_.bounded_eval && pred.kind == ExprKind::kLiteral &&
         pred.atom.type() == AtomicType::kInteger) {
-      s = std::make_unique<TakeNthStream>(this, &ctx, pred.atom.int_value(),
-                                          std::move(s));
+      s = MakeOp<TakeNthStream>(this, ctx, this, &ctx, pred.atom.int_value(),
+                                std::move(s));
       continue;
     }
     // E[last()]: drain with a one-item buffer.
     bool is_last = pred.kind == ExprKind::kFunctionCall &&
-                   pred.kids.empty() && pred.qname.ns == xml::kFnNamespace &&
-                   pred.qname.local == "last" &&
+                   pred.kids.empty() && pred.qname.ns() == xml::kFnNamespace &&
+                   pred.qname.local() == "last" &&
                    sctx_.FindFunction(pred.qname, 0) == nullptr &&
                    ctx.FindExternal(pred.qname, 0) == nullptr;
     if (options_.bounded_eval && is_last) {
-      s = std::make_unique<TakeLastStream>(this, &ctx, std::move(s));
+      s = MakeOp<TakeLastStream>(this, ctx, this, &ctx, std::move(s));
       continue;
     }
     if (NeedsLast(pred)) {
@@ -1314,10 +1401,10 @@ Result<xdm::StreamPtr> Evaluator::BuildFilterStream(const Expr& e,
       // carries the true size.
       XQ_ASSIGN_OR_RETURN(Sequence buf, MaterializeFrom(std::move(s), ctx));
       XQ_ASSIGN_OR_RETURN(buf, ApplyOnePredicate(pred, std::move(buf), ctx));
-      s = xdm::SequenceStream(std::move(buf));
+      s = xdm::SequenceStream(std::move(buf), StreamArena(ctx));
       continue;
     }
-    s = std::make_unique<PredicateStream>(this, &ctx, &pred, std::move(s));
+    s = MakeOp<PredicateStream>(this, ctx, this, &ctx, &pred, std::move(s));
   }
   return s;
 }
@@ -1330,10 +1417,10 @@ bool Evaluator::NeedsLast(const Expr& e) {
   if (it != needs_last_cache_.end()) return it->second;
   bool needs = false;
   if (e.kind == ExprKind::kFunctionCall) {
-    if (e.qname.ns == xml::kFnNamespace && e.qname.local == "last") {
+    if (e.qname.ns() == xml::kFnNamespace && e.qname.local() == "last") {
       needs = true;
-    } else if (e.qname.ns != xml::kFnNamespace &&
-               e.qname.ns != xml::kXsNamespace) {
+    } else if (e.qname.ns() != xml::kFnNamespace &&
+               e.qname.ns() != xml::kXsNamespace) {
       needs = true;  // user or external function: inherits the focus
     } else if (sctx_.FindFunction(e.qname, e.kids.size()) != nullptr) {
       needs = true;  // fn:/xs: name shadowed by a user declaration
@@ -1541,7 +1628,7 @@ Result<Sequence> Evaluator::EvalFLWOR(const Expr& e, DynamicContext& ctx) {
     }
     for (size_t i = 0; i < binding_seq.size(); ++i) {
       ctx.env().Bind(clause.var, Sequence{binding_seq[i]});
-      if (!clause.pos_var.local.empty()) {
+      if (!clause.pos_var.local().empty()) {
         ctx.env().Bind(clause.pos_var,
                        Sequence{Item::Integer(static_cast<int64_t>(i + 1))});
       }
@@ -1781,11 +1868,11 @@ Result<Sequence> Evaluator::EvalFunctionCall(const Expr& e,
   // by item without buffering. Guarded against user-declared or
   // host-external functions shadowing the fn: names.
   const bool builtin_unshadowed =
-      e.qname.ns == xml::kFnNamespace && !e.kids.empty() &&
+      e.qname.ns() == xml::kFnNamespace && !e.kids.empty() &&
       sctx_.FindFunction(e.qname, e.kids.size()) == nullptr &&
       ctx.FindExternal(e.qname, e.kids.size()) == nullptr;
   if (builtin_unshadowed && options_.use_name_index &&
-      e.qname.local == "count" && e.kids.size() == 1) {
+      e.qname.local() == "count" && e.kids.size() == 1) {
     int64_t n = 0;
     if (TryFastCount(*e.kids[0], ctx, &n)) {
       return Sequence{Item::Integer(n)};
@@ -1796,7 +1883,7 @@ Result<Sequence> Evaluator::EvalFunctionCall(const Expr& e,
     if (options_.stream_pipeline && cls != StreamFnClass::kNone) {
       // Skipping the final sort barrier for existence tests is part of
       // the bounded-evaluation ablation axis, so it stays tied to it.
-      const bool ordered = StreamBuiltinNeedsOrderedArg(e.qname.local) ||
+      const bool ordered = StreamBuiltinNeedsOrderedArg(e.qname.local()) ||
                            !options_.bounded_eval;
       XQ_ASSIGN_OR_RETURN(xdm::StreamPtr arg0,
                           EvalStreamOrdered(*e.kids[0], ctx, ordered));
@@ -2072,7 +2159,7 @@ Result<xml::Node*> Evaluator::BuildDirectNode(const DirectNode& d,
     case DirectNode::Kind::kComment:
       return doc->CreateComment(d.text);
     case DirectNode::Kind::kPI:
-      return doc->CreateProcessingInstruction(d.name.local, d.text);
+      return doc->CreateProcessingInstruction(d.name.local(), d.text);
     case DirectNode::Kind::kEnclosedExpr:
       // Handled by the caller (expands to a sequence).
       return Status::NotImplemented("enclosed expr outside element content");

@@ -41,6 +41,10 @@ class Evaluator {
     // re-materializes a full Sequence — the PR 2-era eager baseline the
     // benchmarks ablate against.
     bool stream_pipeline = true;
+    // Allocate stream operators out of the DynamicContext's per-dispatch
+    // arena instead of the heap. Off: every operator is a malloc/free
+    // pair — the ablation baseline for the memory benchmarks.
+    bool arena_streams = true;
   };
   const EvalOptions& options() const { return options_; }
   void set_options(const EvalOptions& options) { options_ = options; }
@@ -59,6 +63,12 @@ class Evaluator {
     // Streaming-pipeline counters (items pulled across operator edges,
     // items copied into Sequence buffers, operator edges kept lazy).
     xdm::StreamStats streams;
+    // Memory-layer counters: bytes bump-allocated for stream operators,
+    // wholesale arena resets, and interning-pool hits (snapshotted from
+    // the process-wide pool at each arena reset).
+    uint64_t arena_bytes_used = 0;
+    uint64_t arena_resets = 0;
+    uint64_t intern_hits = 0;
   };
   const EvalStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EvalStats{}; }
@@ -84,6 +94,18 @@ class Evaluator {
   void CountMaterialized(DynamicContext& ctx, uint64_t n);
   void CountBuffersAvoided(DynamicContext& ctx, uint64_t n = 1);
   void CountEarlyExit(DynamicContext& ctx);
+  void CountArenaAlloc(DynamicContext& ctx, uint64_t bytes);
+
+  // Resets ctx's per-dispatch arena (the host calls this after the XQUF
+  // apply pass, when no streams are live) and refreshes the arena /
+  // interning snapshots in EvalStats and the profiler.
+  void ResetDispatchArena(DynamicContext& ctx);
+
+  // The arena stream operators allocate from under the current options
+  // (null = heap, the ablation baseline).
+  xdm::Arena* StreamArena(DynamicContext& ctx) {
+    return options_.arena_streams ? &ctx.arena() : nullptr;
+  }
 
   // Invokes a user-declared or external function with pre-evaluated
   // arguments. Used by the plugin to dispatch event listeners.

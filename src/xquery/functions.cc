@@ -70,7 +70,7 @@ bool DeepEqualNodes(const xml::Node* a, const xml::Node* b) {
       if (a->attributes().size() != b->attributes().size()) return false;
       for (const xml::Node* attr : a->attributes()) {
         const xml::Node* other =
-            b->FindAttribute(attr->name().ns, attr->name().local);
+            b->FindAttribute(attr->name().ns(), attr->name().local());
         if (other == nullptr || other->value() != attr->value()) return false;
       }
       // Compare children ignoring comments/PIs, per fn:deep-equal.
@@ -139,13 +139,13 @@ Result<Sequence> CallBuiltinFunction(const xml::QName& name,
                                      bool* handled) {
   (void)ev;
   *handled = true;
-  if (name.ns != xml::kFnNamespace && name.ns != xml::kXsNamespace) {
+  if (name.ns() != xml::kFnNamespace && name.ns() != xml::kXsNamespace) {
     *handled = false;
     return Sequence{};
   }
 
   // xs:TYPE(value) constructor functions behave like "cast as".
-  if (name.ns == xml::kXsNamespace) {
+  if (name.ns() == xml::kXsNamespace) {
     static const std::unordered_map<std::string, AtomicType> kCtors = {
         {"string", AtomicType::kString},
         {"boolean", AtomicType::kBoolean},
@@ -160,7 +160,7 @@ Result<Sequence> CallBuiltinFunction(const xml::QName& name,
         {"date", AtomicType::kDate},
         {"time", AtomicType::kTime},
     };
-    auto it = kCtors.find(name.local);
+    auto it = kCtors.find(name.local());
     if (it == kCtors.end()) {
       *handled = false;
       return Sequence{};
@@ -175,7 +175,7 @@ Result<Sequence> CallBuiltinFunction(const xml::QName& name,
     return Sequence{Item::Atomic(std::move(v))};
   }
 
-  const std::string& fn = name.local;
+  const std::string& fn = name.local();
   size_t n = args.size();
 
   // ---------------------------------------------------------- context ---
@@ -242,8 +242,8 @@ Result<Sequence> CallBuiltinFunction(const xml::QName& name,
       return WrongArity(fn, n);
     }
     if (fn == "name") return Sequence{Item::String(node->name().Lexical())};
-    if (fn == "local-name") return Sequence{Item::String(node->name().local)};
-    return Sequence{Item::String(node->name().ns)};
+    if (fn == "local-name") return Sequence{Item::String(node->name().local())};
+    return Sequence{Item::String(node->name().ns())};
   }
   if (fn == "node-name") {
     if (n != 1) return WrongArity(fn, n);
@@ -828,8 +828,8 @@ Result<Sequence> CallBuiltinFunction(const xml::QName& name,
 // ------------------------------------------------- streaming builtins ---
 
 StreamFnClass ClassifyStreamBuiltin(const xml::QName& name, size_t arity) {
-  if (name.ns != xml::kFnNamespace) return StreamFnClass::kNone;
-  const std::string& fn = name.local;
+  if (name.ns() != xml::kFnNamespace) return StreamFnClass::kNone;
+  const std::string& fn = name.local();
   if (arity == 1 && (fn == "exists" || fn == "empty" || fn == "boolean" ||
                      fn == "not" || fn == "head")) {
     return StreamFnClass::kEarlyExit;
@@ -858,7 +858,7 @@ Result<Sequence> CallStreamBuiltin(const xml::QName& name,
                                    xdm::ItemStream& arg0,
                                    std::vector<Sequence>& rest, Evaluator& ev,
                                    DynamicContext& ctx) {
-  const std::string& fn = name.local;
+  const std::string& fn = name.local();
   const bool bounded = ev.options().bounded_eval;
   Item item;
 

@@ -266,7 +266,7 @@ class Rewriter {
 
   static bool IsFnCall(const Expr& e, const char* name, size_t arity) {
     return e.kind == ExprKind::kFunctionCall &&
-           e.qname.ns == xml::kFnNamespace && e.qname.local == name &&
+           e.qname.ns() == xml::kFnNamespace && e.qname.local() == name &&
            e.kids.size() == arity;
   }
 

@@ -1808,10 +1808,10 @@ class ParserImpl {
   }
 
   Result<xdm::AtomicType> AtomicTypeFromQName(const xml::QName& q) {
-    if (q.ns != xml::kXsNamespace) {
+    if (q.ns() != xml::kXsNamespace) {
       return Err("unknown type " + q.Lexical());
     }
-    const std::string& n = q.local;
+    const std::string& n = q.local();
     using AT = xdm::AtomicType;
     if (n == "string") return AT::kString;
     if (n == "boolean") return AT::kBoolean;

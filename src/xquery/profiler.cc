@@ -140,6 +140,14 @@ std::string Profiler::Report(size_t limit) const {
       static_cast<unsigned long long>(fast_path_.items_materialized),
       static_cast<unsigned long long>(fast_path_.buffers_avoided));
   out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "  memory: %llu arena bytes used, %llu arena resets, "
+      "%llu intern hits\n",
+      static_cast<unsigned long long>(fast_path_.arena_bytes_used),
+      static_cast<unsigned long long>(fast_path_.arena_resets),
+      static_cast<unsigned long long>(fast_path_.intern_hits));
+  out += line;
   return out;
 }
 

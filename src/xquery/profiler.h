@@ -58,6 +58,12 @@ class Profiler {
     uint64_t items_pulled = 0;
     uint64_t items_materialized = 0;
     uint64_t buffers_avoided = 0;
+    // Memory layer: bytes bump-allocated for stream operators, wholesale
+    // arena resets, and a snapshot of process-wide intern-pool hits
+    // (refreshed at every arena reset).
+    uint64_t arena_bytes_used = 0;
+    uint64_t arena_resets = 0;
+    uint64_t intern_hits = 0;
   };
   FastPathCounters& fast_path() { return fast_path_; }
   const FastPathCounters& fast_path() const { return fast_path_; }

@@ -264,7 +264,7 @@ TEST(Bom, SyncStatusBack) {
       browser.MaterializeWindowTree(&scratch, "http://a.com/");
   // Edit the materialized <status> and sync.
   for (xml::Node* c : tree.root->children()) {
-    if (c->name().local == "status") c->SetValue("Changed");
+    if (c->name().local() == "status") c->SetValue("Changed");
   }
   ASSERT_TRUE(browser.SyncFromBomTree(tree, "http://a.com/").ok());
   EXPECT_EQ(browser.top_window()->status(), "Changed");
@@ -282,7 +282,7 @@ TEST(Bom, DeniedWindowIsEmptyShell) {
   // Find the foreign window element: it must have no name and no kids.
   xml::Node* frames = nullptr;
   for (xml::Node* c : tree.root->children()) {
-    if (c->name().local == "frames") frames = c;
+    if (c->name().local() == "frames") frames = c;
   }
   ASSERT_NE(frames, nullptr);
   ASSERT_EQ(frames->children().size(), 1u);

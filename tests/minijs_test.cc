@@ -183,13 +183,13 @@ TEST_F(MiniJsTest, DocumentEvaluateXPathSnapshot) {
   xml::Node* body = nullptr;
   xml::VisitSubtree(browser_.top_window()->document()->root(),
                     [&](xml::Node* n) {
-                      if (n->is_element() && n->name().local == "body") {
+                      if (n->is_element() && n->name().local() == "body") {
                         body = n;
                       }
                     });
   ASSERT_NE(body, nullptr);
   ASSERT_FALSE(body->children().empty());
-  EXPECT_EQ(body->children()[0]->name().local, "img");
+  EXPECT_EQ(body->children()[0]->name().local(), "img");
   EXPECT_EQ(body->children()[0]->GetAttributeValue("src"),
             "http://x/heart.gif");
 }
@@ -331,8 +331,8 @@ TEST_F(CoexistenceTest, BothEnginesShareTheDomDatabase) {
   EXPECT_EQ(plugin_.alerts()[0], "2");
   xml::Node* shared =
       browser_.top_window()->document()->GetElementById("shared");
-  EXPECT_EQ(shared->children()[0]->name().local, "from-js");
-  EXPECT_EQ(shared->children()[1]->name().local, "from-xquery");
+  EXPECT_EQ(shared->children()[0]->name().local(), "from-js");
+  EXPECT_EQ(shared->children()[1]->name().local(), "from-xquery");
 }
 
 TEST_F(CoexistenceTest, JavaScriptRunsBeforeXQuery) {
@@ -352,8 +352,8 @@ TEST_F(CoexistenceTest, JavaScriptRunsBeforeXQuery) {
   xml::Node* order =
       browser_.top_window()->document()->GetElementById("order");
   ASSERT_EQ(order->children().size(), 2u);
-  EXPECT_EQ(order->children()[0]->name().local, "first");
-  EXPECT_EQ(order->children()[1]->name().local, "second");
+  EXPECT_EQ(order->children()[0]->name().local(), "first");
+  EXPECT_EQ(order->children()[1]->name().local(), "second");
 }
 
 }  // namespace

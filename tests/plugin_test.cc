@@ -411,7 +411,7 @@ TEST_F(PluginTest, WebServiceImportAndCall) {
       </script></body></html>)");
   xml::Node* input = nullptr;
   xml::VisitSubtree(w->document()->root(), [&](xml::Node* n) {
-    if (n->is_element() && n->name().local == "input") input = n;
+    if (n->is_element() && n->name().local() == "input") input = n;
   });
   ASSERT_NE(input, nullptr);
   EXPECT_EQ(input->GetAttributeValue("value"), "10");

@@ -122,9 +122,9 @@ TEST(Sequences, SortDocumentOrderDedup) {
                Item::Node(r->children()[2]), Item::Node(r->children()[1])};
   ASSERT_TRUE(SortDocumentOrderDedup(&seq).ok());
   ASSERT_EQ(seq.size(), 3u);
-  EXPECT_EQ(seq[0].node()->name().local, "a");
-  EXPECT_EQ(seq[1].node()->name().local, "b");
-  EXPECT_EQ(seq[2].node()->name().local, "c");
+  EXPECT_EQ(seq[0].node()->name().local(), "a");
+  EXPECT_EQ(seq[1].node()->name().local(), "b");
+  EXPECT_EQ(seq[2].node()->name().local(), "c");
   Sequence mixed{Item::Integer(1)};
   EXPECT_FALSE(SortDocumentOrderDedup(&mixed).ok());
 }

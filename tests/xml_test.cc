@@ -22,7 +22,7 @@ TEST(XmlParser, BasicStructure) {
   auto doc = Parse("<a><b x=\"1\"/><c>text</c></a>");
   Node* a = doc->DocumentElement();
   ASSERT_NE(a, nullptr);
-  EXPECT_EQ(a->name().local, "a");
+  EXPECT_EQ(a->name().local(), "a");
   ASSERT_EQ(a->children().size(), 2u);
   EXPECT_EQ(a->children()[0]->GetAttributeValue("x"), "1");
   EXPECT_EQ(a->children()[1]->StringValue(), "text");
@@ -45,16 +45,16 @@ TEST(XmlParser, CdataCommentsAndPis) {
   EXPECT_EQ(a->children()[1]->kind(), NodeKind::kComment);
   EXPECT_EQ(a->children()[1]->value(), "note");
   EXPECT_EQ(a->children()[2]->kind(), NodeKind::kProcessingInstruction);
-  EXPECT_EQ(a->children()[2]->name().local, "target");
+  EXPECT_EQ(a->children()[2]->name().local(), "target");
 }
 
 TEST(XmlParser, Namespaces) {
   auto doc = Parse(
       "<a xmlns=\"urn:d\" xmlns:p=\"urn:p\"><b/><p:c p:at=\"v\"/></a>");
   Node* a = doc->DocumentElement();
-  EXPECT_EQ(a->name().ns, "urn:d");
-  EXPECT_EQ(a->children()[0]->name().ns, "urn:d");
-  EXPECT_EQ(a->children()[1]->name().ns, "urn:p");
+  EXPECT_EQ(a->name().ns(), "urn:d");
+  EXPECT_EQ(a->children()[0]->name().ns(), "urn:d");
+  EXPECT_EQ(a->children()[1]->name().ns(), "urn:p");
   // Unprefixed attributes stay in no namespace.
   EXPECT_EQ(a->children()[1]->FindAttribute("urn:p", "at")->value(), "v");
 }
@@ -72,7 +72,7 @@ TEST(XmlParser, MismatchedTagsFail) {
 TEST(XmlParser, DoctypeAndXmlDeclSkipped) {
   auto doc = Parse(
       "<?xml version=\"1.0\"?><!DOCTYPE html PUBLIC \"x\" \"y\"><a/>");
-  EXPECT_EQ(doc->DocumentElement()->name().local, "a");
+  EXPECT_EQ(doc->DocumentElement()->name().local(), "a");
 }
 
 TEST(XmlParser, WhitespaceOnlyTextDroppedByDefault) {
@@ -110,8 +110,8 @@ TEST(XmlParser, IeTagFoldingUppercasesNames) {
   auto doc = ParseDocument("<html><body><div id=\"d\"/></body></html>", ie);
   ASSERT_TRUE(doc.ok());
   Node* html = (*doc)->DocumentElement();
-  EXPECT_EQ(html->name().local, "HTML");
-  EXPECT_EQ(html->children()[0]->name().local, "BODY");
+  EXPECT_EQ(html->name().local(), "HTML");
+  EXPECT_EQ(html->children()[0]->name().local(), "BODY");
   // Attributes are not folded.
   EXPECT_EQ(html->children()[0]->children()[0]->GetAttributeValue("id"),
             "d");
@@ -198,8 +198,8 @@ TEST(Dom, ImportCopyIsDeepAndDetached) {
 
 TEST(Dom, GetElementById) {
   auto doc = Parse("<r><a id=\"one\"/><b><c id=\"two\"/></b></r>");
-  EXPECT_EQ(doc->GetElementById("one")->name().local, "a");
-  EXPECT_EQ(doc->GetElementById("two")->name().local, "c");
+  EXPECT_EQ(doc->GetElementById("one")->name().local(), "a");
+  EXPECT_EQ(doc->GetElementById("two")->name().local(), "c");
   EXPECT_EQ(doc->GetElementById("zzz"), nullptr);
   // Detached elements are not found.
   Node* a = doc->GetElementById("one");

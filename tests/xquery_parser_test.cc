@@ -63,8 +63,8 @@ TEST(ParserAst, EventAttachShape) {
   const Expr* e = Body(*m);
   ASSERT_EQ(e->kind, ExprKind::kEventAttach);
   EXPECT_FALSE(e->behind);
-  EXPECT_EQ(e->qname.local, "f");
-  EXPECT_EQ(e->qname.ns, "http://www.w3.org/2005/xquery-local-functions");
+  EXPECT_EQ(e->qname.local(), "f");
+  EXPECT_EQ(e->qname.ns(), "http://www.w3.org/2005/xquery-local-functions");
   ASSERT_EQ(e->kids.size(), 2u);
   EXPECT_EQ(e->kids[0]->kind, ExprKind::kLiteral);
   EXPECT_EQ(e->kids[1]->kind, ExprKind::kPath);
