@@ -160,8 +160,8 @@ int main(int argc, char** argv) {
     }
     if (flwor_off.streams.items_materialized <
         5 * (flwor_on.streams.items_materialized == 0
-                 ? 1
-                 : flwor_on.streams.items_materialized)) {
+                 ? uint64_t{1}
+                 : flwor_on.streams.items_materialized.value())) {
       std::fprintf(stderr,
                    "FAIL: deep-FLWOR materialization reduction below 5x "
                    "(on=%llu off=%llu)\n",

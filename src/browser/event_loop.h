@@ -1,51 +1,99 @@
-// A single-threaded event loop with simulated time. The browser queues
-// DOM event dispatches and asynchronous completions (REST / web-service
+// The browser event loop with simulated time. The browser queues DOM
+// event dispatches and asynchronous completions (REST / web-service
 // calls behind the paper's "behind" construct) here; benchmarks advance
 // simulated time deterministically.
+//
+// Threading model (PERFORMANCE.md §5): tasks always EXECUTE on the loop
+// thread — it is the only thread that may mutate the DOM — but the
+// queue is MPSC so pool workers can Post completions, and off-thread
+// entries (PostOffThread) split into a read-only `work` closure that
+// runs on a pool worker and a `commit` task that runs on the loop
+// thread. Consecutive off-thread entries due at the same simulated
+// instant form one batch: all works run concurrently against the state
+// at batch start, then all commits run in posting order. Batch
+// formation depends only on queue contents, never on the pool size, so
+// results are identical whether the works ran on 0, 1 or 8 workers.
 
 #ifndef XQIB_BROWSER_EVENT_LOOP_H_
 #define XQIB_BROWSER_EVENT_LOOP_H_
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <queue>
 #include <vector>
+
+#include "base/thread_pool.h"
 
 namespace xqib::browser {
 
 class EventLoop {
  public:
   using Task = std::function<void()>;
+  // Off-thread unit: `work` runs on a pool worker (concurrently with
+  // the rest of its batch; it must only read shared state) and returns
+  // the commit to run on the loop thread — or an empty Task for "nothing
+  // to commit".
+  using OffThreadWork = std::function<Task()>;
 
   // Schedules `task` to run `delay_ms` of simulated time from now. Tasks
-  // with equal due time run in posting order.
+  // with equal due time run in posting order. Thread-safe.
   void Post(Task task, double delay_ms = 0.0);
 
-  // Runs the next due task, advancing simulated time to its deadline.
-  // Returns false when the queue is empty.
+  // Schedules an off-thread unit (see above). Without a thread pool the
+  // work simply runs on the loop thread right before its commit — the
+  // serial baseline with identical observable behaviour. Thread-safe.
+  void PostOffThread(OffThreadWork work, double delay_ms = 0.0);
+
+  // Worker pool for off-thread batches (null = serial). Not owned.
+  void set_thread_pool(base::ThreadPool* pool) { pool_ = pool; }
+  base::ThreadPool* thread_pool() const { return pool_; }
+
+  // Runs the next due task (or the next batch of equal-due off-thread
+  // entries), advancing simulated time to its deadline. Returns false
+  // when the queue is empty. Loop thread only.
   bool RunOne();
 
   // Drains the queue; returns the number of tasks run. `max_tasks` guards
-  // against runaway task chains.
+  // against runaway task chains. Loop thread only.
   size_t RunUntilIdle(size_t max_tasks = 1u << 20);
 
-  bool idle() const { return queue_.empty(); }
-  size_t pending() const { return queue_.size(); }
+  bool idle() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.empty();
+  }
+  size_t pending() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return queue_.size();
+  }
   double now_ms() const { return now_ms_; }
+
+  // Off-thread accounting (tests / EXPERIMENTS.md §P5): entries executed
+  // through PostOffThread and the batches they were grouped into.
+  uint64_t offthread_tasks() const { return offthread_tasks_; }
+  uint64_t offthread_batches() const { return offthread_batches_; }
 
  private:
   struct Entry {
     double due_ms;
     uint64_t seq;
-    Task task;
+    Task task;            // regular entries
+    OffThreadWork work;   // off-thread entries
+    bool off_thread = false;
     bool operator>(const Entry& other) const {
       if (due_ms != other.due_ms) return due_ms > other.due_ms;
       return seq > other.seq;
     }
   };
+
+  mutable std::mutex mu_;  // guards queue_ and next_seq_
   std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue_;
-  double now_ms_ = 0.0;
   uint64_t next_seq_ = 0;
+  // Loop-thread-only state.
+  double now_ms_ = 0.0;
+  base::ThreadPool* pool_ = nullptr;
+  uint64_t offthread_tasks_ = 0;
+  uint64_t offthread_batches_ = 0;
 };
 
 }  // namespace xqib::browser

@@ -41,13 +41,50 @@ size_t EventSystem::Dispatch(xml::Node* target, Event event) {
     if (it == listeners_.end()) return;
     // Copy: listeners may mutate the registry while running.
     std::vector<Listener> snapshot = it->second;
-    for (const Listener& l : snapshot) {
-      bool want_capture = phase == Event::Phase::kCapture;
-      if (phase != Event::Phase::kTarget && l.capture != want_capture) {
-        continue;
-      }
+    bool want_capture = phase == Event::Phase::kCapture;
+    auto applies = [&](const Listener& l) {
+      return phase == Event::Phase::kTarget || l.capture == want_capture;
+    };
+    for (size_t i = 0; i < snapshot.size(); ++i) {
+      const Listener& l = snapshot[i];
+      if (!applies(l)) continue;
       event.current_target = node;
       event.phase = phase;
+
+      // Parallel path: collect the maximal run of consecutive stageable
+      // listeners on this hop. Staged listeners see a const snapshot of
+      // the event (they cannot stop propagation — nor could they
+      // observably, being read-only), so the whole run executes
+      // concurrently and its commits replay in registration order.
+      // A single stageable listener just runs its serial callback: the
+      // staging machinery would add overhead without concurrency.
+      if (pool_ != nullptr && pool_->size() > 0 && l.stage != nullptr) {
+        std::vector<const Listener*> run;
+        run.push_back(&l);
+        size_t j = i + 1;
+        for (; j < snapshot.size(); ++j) {
+          if (!applies(snapshot[j])) continue;
+          if (snapshot[j].stage == nullptr) break;
+          run.push_back(&snapshot[j]);
+        }
+        if (run.size() > 1) {
+          const Event staged_event = event;  // one immutable copy for all
+          std::vector<std::function<void()>> commits(run.size());
+          pool_->ParallelFor(run.size(), [&](size_t k) {
+            commits[k] = run[k]->stage(staged_event);
+          });
+          for (auto& commit : commits) {
+            if (commit != nullptr) commit();
+          }
+          invocations += run.size();
+          staged_invocations_ += run.size();
+          // Resume after the run; j-1 is the last staged (or skipped)
+          // listener consumed into the run.
+          i = j - 1;
+          continue;
+        }
+      }
+
       l.callback(event);
       ++invocations;
       if (event.stop_propagation) break;

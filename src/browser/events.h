@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/thread_pool.h"
 #include "xml/dom.h"
 
 namespace xqib::browser {
@@ -46,6 +47,17 @@ struct Listener {
   std::string id;
   bool capture = false;
   std::function<void(Event&)> callback;
+  // Optional parallel path (PERFORMANCE.md §5). When set, the
+  // dispatcher MAY run `stage` on a pool worker, concurrently with the
+  // stages of adjacent stageable listeners on the same (node, phase)
+  // hop; it returns the commit closure the dispatcher then runs on the
+  // loop thread in registration order. The engine sets this only for
+  // listeners its analyzer proved parallel-safe (read-only against the
+  // DOM snapshot, no interactive host calls); such listeners receive a
+  // const Event and therefore cannot stop propagation. Listeners
+  // without a stage are serialization barriers — `callback` remains the
+  // semantics of record and the serial execution path.
+  std::function<std::function<void()>(const Event&)> stage;
 };
 
 class EventSystem {
@@ -60,8 +72,19 @@ class EventSystem {
                       const std::string& id);
 
   // Synchronous DOM dispatch along capture → target → bubble. Returns
-  // the number of listener invocations.
+  // the number of listener invocations. With a thread pool attached,
+  // maximal runs of consecutive stageable listeners within one
+  // (node, phase) hop evaluate concurrently and commit in registration
+  // order — observably identical to the serial walk.
   size_t Dispatch(xml::Node* target, Event event);
+
+  // Worker pool for staged listener runs (null = serial). Not owned.
+  void set_thread_pool(base::ThreadPool* pool) { pool_ = pool; }
+  base::ThreadPool* thread_pool() const { return pool_; }
+
+  // Listener invocations that went through the staged parallel path
+  // (diagnostics for tests and EXPERIMENTS.md §P5).
+  uint64_t staged_invocations() const { return staged_invocations_; }
 
   // Total listeners registered (diagnostics).
   size_t listener_count() const;
@@ -84,6 +107,8 @@ class EventSystem {
     }
   };
   std::unordered_map<Key, std::vector<Listener>, KeyHash> listeners_;
+  base::ThreadPool* pool_ = nullptr;
+  uint64_t staged_invocations_ = 0;
 };
 
 }  // namespace xqib::browser

@@ -80,8 +80,17 @@ void HttpFabric::GetAsync(const std::string& url, browser::EventLoop* loop,
   stats_.bytes_served += bytes;
   double delay = LatencyForBytes(bytes);
   stats_.simulated_latency_ms += delay;
-  loop->Post(
-      [cb = std::move(callback), resp = std::move(response)]() { cb(resp); },
+  // The completion is an off-thread unit: a pool worker materializes the
+  // delivery (the captured response is this completion's private copy,
+  // so the work touches nothing shared) and the loop thread commits by
+  // running the callback — callbacks may mutate the DOM, so they stay on
+  // the loop thread. Without a pool the work runs serially at the same
+  // queue position: identical observable behaviour at every pool size.
+  loop->PostOffThread(
+      [cb = std::move(callback),
+       resp = std::move(response)]() -> browser::EventLoop::Task {
+        return [cb, resp]() { cb(resp); };
+      },
       delay);
 }
 

@@ -14,6 +14,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "base/counters.h"
 #include "base/result.h"
 #include "browser/event_loop.h"
 
@@ -40,10 +41,12 @@ class HttpFabric {
     double per_kb_ms = 0.5;   // transfer cost
   };
 
+  // Relaxed atomics: with a worker pool on the event loop, GetAsync
+  // resolves on pool threads, so concurrent completions account here.
   struct Stats {
-    uint64_t requests = 0;
-    uint64_t bytes_served = 0;
-    double simulated_latency_ms = 0;  // sum over all requests
+    base::RelaxedCounter requests;
+    base::RelaxedCounter bytes_served;
+    base::RelaxedDouble simulated_latency_ms;  // sum over all requests
   };
 
   // Registers a static resource.

@@ -40,6 +40,7 @@ Status ServiceHost::Deploy(const std::string& source,
 Result<Sequence> ServiceHost::Invoke(const std::string& ns,
                                      const xml::QName& function,
                                      std::vector<Sequence> args) {
+  std::lock_guard<std::mutex> lk(invoke_mu_);
   auto it = services_.find(ns);
   if (it == services_.end()) {
     return Status::Error("NETW0404", "no service deployed for " + ns);

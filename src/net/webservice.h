@@ -9,6 +9,7 @@
 #define XQIB_NET_WEBSERVICE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -61,6 +62,10 @@ class ServiceHost {
   std::unordered_map<std::string, std::unique_ptr<Service>> services_;
   HttpFabric* fabric_;
   XmlStore* store_;
+  // Client stubs may be called from pool workers; each Invoke shares the
+  // deployed service's compiled query, so server-side execution is
+  // serialized — the single-threaded server of the paper's model.
+  std::mutex invoke_mu_;
 };
 
 }  // namespace xqib::net

@@ -238,6 +238,14 @@ Status XqibPlugin::InitializePage(Window* window) {
             PageContext::ListenerKey{token, arity});
       }
     }
+    for (const std::string& key : result.facts.parallel_safe_functions) {
+      size_t arity = 0;
+      const xml::InternedName* token = ParseFunctionKeyToken(key, &arity);
+      if (token != nullptr) {
+        page->parallel_safe_functions.insert(
+            PageContext::ListenerKey{token, arity});
+      }
+    }
     for (auto& d : result.diagnostics) {
       last_diagnostics_.push_back(std::move(d));
     }
@@ -288,6 +296,7 @@ Status XqibPlugin::RunXQueryModule(PageContext* page,
   // (Re)build the evaluator: the static context gained declarations.
   page->evaluator = std::make_unique<xquery::Evaluator>(*page->sctx);
   page->evaluator->set_options(eval_options_);
+  page->evaluator->set_thread_pool(pool_.get());
   if (services_ != nullptr) {
     services_->RegisterStubsForImports(*module, page->ctx.get());
   }
@@ -357,9 +366,9 @@ Status XqibPlugin::RegisterXQueryInlineHandler(PageContext* page,
     }
     page->ctx->env().Bind(BrowserQName("value"),
                           Sequence{Item::String(value)});
-    page->ctx->env().Bind(BrowserQName("event"),
-                          Sequence{Item::Node(MaterializeEvent(page.get(),
-                                                               event))});
+    page->ctx->env().Bind(
+        BrowserQName("event"),
+        Sequence{Item::Node(MaterializeEvent(page->ctx.get(), event))});
     page->ctx->env().Bind(
         BrowserQName("target"),
         event.target != nullptr ? Sequence{Item::Node(event.target)}
@@ -388,9 +397,9 @@ Status XqibPlugin::ApplyAfterRun(PageContext* page) {
   return Status();
 }
 
-xml::Node* XqibPlugin::MaterializeEvent(PageContext* page,
+xml::Node* XqibPlugin::MaterializeEvent(DynamicContext* ctx,
                                         const Event& event) {
-  xml::Document* doc = page->ctx->scratch_document();
+  xml::Document* doc = ctx->scratch_document();
   xml::Node* elem = doc->CreateElement(xml::QName("event"));
   auto add = [&](const char* name, const std::string& value) {
     xml::Node* child = doc->CreateElement(xml::QName(name));
@@ -441,6 +450,11 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
                                       HashEventPayload(event)};
   uint64_t memo_invalidated = 0;
   if (memoizable) {
+    // Exclusive lock: the serial path both reads and erases. Staged
+    // listeners probe under a shared lock from pool workers, but only
+    // while the loop thread is parked inside the dispatch batch — the
+    // lock mainly keeps the protocol uniform (and TSan quiet).
+    std::unique_lock<std::shared_mutex> lk(page->memo_mu);
     auto it = page->memo_cache.find(memo_key);
     if (it != page->memo_cache.end() &&
         it->second.doc_version == doc_version) {
@@ -463,7 +477,8 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
 
   std::vector<Sequence> args;
   if (arity >= 1) {
-    args.push_back(Sequence{Item::Node(MaterializeEvent(page, event))});
+    args.push_back(
+        Sequence{Item::Node(MaterializeEvent(page->ctx.get(), event))});
   }
   if (arity == 2) {
     // $obj is the node the listener is attached to (DOM `this`, i.e. the
@@ -524,6 +539,7 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
     // Record the result only for genuinely memoizable listeners and only
     // on a clean run (no error, empty PUL) — errors are never cached.
     if (memoizable) {
+      std::unique_lock<std::shared_mutex> lk(page->memo_mu);
       page->memo_cache[memo_key] =
           PageContext::MemoEntry{doc_version, last_listener_result_};
     }
@@ -535,6 +551,243 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
   // stream operator this event allocated in one wholesale reset.
   page->evaluator->ResetDispatchArena(*page->ctx);
   ++last_event_stats_.arena_resets;
+}
+
+std::function<void()> XqibPlugin::StageListener(
+    std::shared_ptr<PageContext> page, const xml::QName& function,
+    const Event& event) {
+  PageContext* raw = page.get();
+
+  // Arity resolution mirrors InvokeListener. The static context is
+  // immutable for the whole dispatch (the loop thread is parked inside
+  // the staged run), so concurrent lookups are safe.
+  size_t arity = 0;
+  bool resolved = true;
+  if (raw->sctx->FindFunction(function, 2) != nullptr) {
+    arity = 2;
+  } else if (raw->sctx->FindFunction(function, 1) != nullptr) {
+    arity = 1;
+  } else if (raw->sctx->FindFunction(function, 0) == nullptr) {
+    resolved = false;
+  }
+
+  // The attach-time eligibility check used the arity resolution of that
+  // moment; re-verify against today's — a later script may have added an
+  // overload that resolves first and was NOT proved parallel-safe.
+  if (!resolved ||
+      raw->parallel_safe_functions.count(
+          PageContext::ListenerKey{function.token(), arity}) == 0) {
+    return [this, page, function, event]() {
+      ++parallel_fallbacks_;
+      InvokeListener(page.get(), function, event);
+    };
+  }
+
+  // Memo probe, shared lock: concurrent staged listeners may probe in
+  // parallel; erasure and insertion happen exclusively at commit time.
+  const bool memoizable =
+      memo_enabled_ && raw->memoizable_functions.count(
+                           PageContext::ListenerKey{function.token(),
+                                                    arity}) > 0;
+  const uint64_t doc_version = raw->window->document()->mutation_version();
+  const PageContext::MemoKey memo_key{function.token(), arity,
+                                      HashEventPayload(event)};
+  bool memo_stale = false;
+  if (memoizable) {
+    std::shared_lock<std::shared_mutex> lk(raw->memo_mu);
+    auto it = raw->memo_cache.find(memo_key);
+    if (it != raw->memo_cache.end()) {
+      if (it->second.doc_version == doc_version) {
+        ++memo_stats_.hits;  // relaxed counter: safe off-thread
+        std::string serialized = it->second.serialized;
+        return [this, page, serialized = std::move(serialized)]() {
+          last_listener_result_ = serialized;
+          last_event_stats_ = EventStats{};
+          last_event_stats_.memo_hits = 1;
+          ++pure_listener_skips_;
+        };
+      }
+      memo_stale = true;  // discard exclusively at commit
+    }
+  }
+
+  std::shared_ptr<PageContext::WorkerSlot> slot = AcquireWorkerSlot(raw);
+  // Fresh environment/focus per staging: globals may rebind between
+  // events. The page context is read-only for the whole staged run, so
+  // the copy races with nothing.
+  slot->ctx->env() = raw->ctx->env();
+  slot->ctx->set_focus(raw->ctx->focus());
+  slot->alerts.clear();
+  slot->traces.clear();
+  slot->ctx->pul().Clear();
+
+  std::vector<Sequence> args;
+  if (arity >= 1) {
+    args.push_back(
+        Sequence{Item::Node(MaterializeEvent(slot->ctx.get(), event))});
+  }
+  if (arity == 2) {
+    xml::Node* obj = event.current_target != nullptr ? event.current_target
+                                                     : event.target;
+    args.push_back(obj != nullptr ? Sequence{Item::Node(obj)} : Sequence{});
+  }
+
+  xquery::Evaluator::EvalStats before = slot->evaluator->stats();
+  Result<Sequence> result =
+      slot->evaluator->CallFunction(function, std::move(args), *slot->ctx);
+  if (slot->evaluator->exited()) slot->evaluator->TakeExitValue();
+  const xquery::Evaluator::EvalStats& after = slot->evaluator->stats();
+
+  // Per-listener delta of the slot evaluator's counters — merged into
+  // the page evaluator at commit so cumulative numbers match serial
+  // execution.
+  xquery::Evaluator::EvalStats delta;
+  delta.sorts_elided = after.sorts_elided - before.sorts_elided;
+  delta.sorts_performed = after.sorts_performed - before.sorts_performed;
+  delta.name_index_hits = after.name_index_hits - before.name_index_hits;
+  delta.early_exits = after.early_exits - before.early_exits;
+  delta.count_index_hits = after.count_index_hits - before.count_index_hits;
+  delta.streams.items_pulled =
+      after.streams.items_pulled - before.streams.items_pulled;
+  delta.streams.items_materialized =
+      after.streams.items_materialized - before.streams.items_materialized;
+  delta.streams.buffers_avoided =
+      after.streams.buffers_avoided - before.streams.buffers_avoided;
+  delta.arena_bytes_used = after.arena_bytes_used - before.arena_bytes_used;
+
+  const bool clean = result.ok() && slot->ctx->pul().empty();
+  std::string serialized;
+  if (clean) serialized = xdm::SequenceToString(*result);
+  // The serialized string is self-contained: reclaim the slot's stream
+  // transients off-thread, keeping the commit cheap.
+  slot->evaluator->ResetDispatchArena(*slot->ctx);
+  slot->ctx->pul().Clear();
+
+  return [this, page, function, event, slot, clean,
+          serialized = std::move(serialized), delta, memoizable, memo_stale,
+          memo_key, doc_version]() {
+    if (!clean) {
+      // Worker-side surprise (error, or a PUL that slipped past the
+      // analyzer's proof): discard the staged run and replay serially —
+      // semantics are InvokeListener's by construction.
+      ReleaseWorkerSlot(page.get(), slot);
+      ++parallel_fallbacks_;
+      InvokeListener(page.get(), function, event);
+      return;
+    }
+    page->evaluator->AddStats(delta);
+    last_event_stats_ = EventStats{};
+    last_event_stats_.sorts_elided = delta.sorts_elided;
+    last_event_stats_.sorts_performed = delta.sorts_performed;
+    last_event_stats_.name_index_hits = delta.name_index_hits;
+    last_event_stats_.early_exits = delta.early_exits;
+    last_event_stats_.count_index_hits = delta.count_index_hits;
+    last_event_stats_.items_pulled = delta.streams.items_pulled;
+    last_event_stats_.items_materialized = delta.streams.items_materialized;
+    last_event_stats_.buffers_avoided = delta.streams.buffers_avoided;
+    last_event_stats_.arena_bytes_used = delta.arena_bytes_used;
+    last_event_stats_.arena_resets = 1;
+    last_event_stats_.intern_hits = 0;  // see EventStats comment
+    last_event_stats_.memo_misses = memoizable && !memo_stale ? 1 : 0;
+    last_event_stats_.memo_invalidations = memo_stale ? 1 : 0;
+    last_listener_result_ = serialized;
+    // Replay buffered host output in registration order.
+    for (std::string& a : slot->alerts) alerts_.push_back(std::move(a));
+    if (page->ctx->trace_sink != nullptr) {
+      for (const std::string& t : slot->traces) page->ctx->trace_sink(t);
+    }
+    // Parallel-safe implies pure: nothing to apply, nothing to render.
+    ++pure_listener_skips_;
+    if (memoizable) {
+      std::unique_lock<std::shared_mutex> lk(page->memo_mu);
+      if (memo_stale) {
+        ++memo_stats_.invalidations;
+      } else {
+        ++memo_stats_.misses;
+      }
+      page->memo_cache[memo_key] =
+          PageContext::MemoEntry{doc_version, last_listener_result_};
+    }
+    ReleaseWorkerSlot(page.get(), slot);
+  };
+}
+
+std::shared_ptr<XqibPlugin::PageContext::WorkerSlot>
+XqibPlugin::AcquireWorkerSlot(PageContext* page) {
+  // Effective options for slot evaluators: no nested parallelism — the
+  // slot already runs on a worker, and its evaluator has no pool.
+  xquery::Evaluator::EvalOptions opts = eval_options_;
+  opts.parallel_streams = false;
+  {
+    std::lock_guard<std::mutex> lk(page->slots_mu);
+    if (!page->free_slots.empty()) {
+      std::shared_ptr<PageContext::WorkerSlot> slot =
+          std::move(page->free_slots.back());
+      page->free_slots.pop_back();
+      // Options may have changed since the slot was built.
+      slot->evaluator->set_options(opts);
+      return slot;
+    }
+  }
+  auto slot = std::make_shared<PageContext::WorkerSlot>();
+  slot->ctx = std::make_unique<DynamicContext>();
+  slot->ctx->browser_profile = true;
+  // The slot context is not registered in pages_, so binding calls that
+  // reach it (impossible for parallel-safe listeners — belt and braces)
+  // fail with BRWS0001 and trigger the serial fallback.
+  slot->ctx->browser_binding = this;
+  slot->ctx->clock = page->ctx->clock;
+  PageContext::WorkerSlot* raw = slot.get();
+  slot->ctx->trace_sink = [raw](const std::string& s) {
+    raw->traces.push_back(s);
+  };
+  // browser:alert buffers worker-side and replays at commit; the
+  // blocking dialogs error out (the analyzer keeps interactive listeners
+  // off the pool, so hitting one here means the proof was wrong — fall
+  // back to serial, where the real responder runs).
+  slot->ctx->RegisterExternal(
+      BrowserQName("alert"), 1,
+      [raw](std::vector<Sequence>& args,
+            DynamicContext&) -> Result<Sequence> {
+        raw->alerts.push_back(
+            args.empty() ? std::string() : xdm::SequenceToString(args[0]));
+        return Sequence{};
+      });
+  auto interactive_error = [](std::vector<Sequence>&,
+                              DynamicContext&) -> Result<Sequence> {
+    return Status::Error("BRWS0005",
+                         "interactive dialog on a pool worker");
+  };
+  slot->ctx->RegisterExternal(BrowserQName("prompt"), 1, interactive_error);
+  slot->ctx->RegisterExternal(BrowserQName("confirm"), 1, interactive_error);
+  slot->evaluator = std::make_unique<xquery::Evaluator>(*page->sctx);
+  slot->evaluator->set_options(opts);
+  return slot;
+}
+
+void XqibPlugin::ReleaseWorkerSlot(
+    PageContext* page, std::shared_ptr<PageContext::WorkerSlot> slot) {
+  std::lock_guard<std::mutex> lk(page->slots_mu);
+  page->free_slots.push_back(std::move(slot));
+}
+
+void XqibPlugin::EnableParallelDispatch(size_t workers) {
+  // Unwire first: the loop/event system must never point at a dead pool.
+  browser_->loop().set_thread_pool(nullptr);
+  browser_->events().set_thread_pool(nullptr);
+  for (auto& [window, page] : pages_) {
+    if (page->evaluator != nullptr) page->evaluator->set_thread_pool(nullptr);
+  }
+  pool_.reset();
+  if (workers == 0) return;  // the serial baseline
+  pool_ = std::make_unique<base::ThreadPool>(workers);
+  browser_->loop().set_thread_pool(pool_.get());
+  browser_->events().set_thread_pool(pool_.get());
+  for (auto& [window, page] : pages_) {
+    if (page->evaluator != nullptr) {
+      page->evaluator->set_thread_pool(pool_.get());
+    }
+  }
 }
 
 void XqibPlugin::set_eval_options(
@@ -577,6 +830,25 @@ Status XqibPlugin::AttachListener(const std::string& event_name,
       if (page == nullptr) return;
       InvokeListener(page.get(), listener, event);
     };
+    // Listeners the analyzer proved parallel-safe (pure, no interactive
+    // host calls) get the staged path: the dispatcher may evaluate them
+    // on a pool worker and commit on the loop thread. StageListener
+    // re-verifies eligibility at dispatch time.
+    size_t arity = 0;
+    if (page->sctx->FindFunction(listener, 2) != nullptr) {
+      arity = 2;
+    } else if (page->sctx->FindFunction(listener, 1) != nullptr) {
+      arity = 1;
+    }
+    if (page->parallel_safe_functions.count(
+            PageContext::ListenerKey{listener.token(), arity}) > 0) {
+      l.stage = [this, weak, listener](const Event& event)
+          -> std::function<void()> {
+        std::shared_ptr<PageContext> page = weak.lock();
+        if (page == nullptr) return nullptr;
+        return StageListener(std::move(page), listener, event);
+      };
+    }
     browser_->events().AddListener(item.node(), event_name, std::move(l));
   }
   return Status();
@@ -665,9 +937,80 @@ Status XqibPlugin::AttachBehind(const std::string& event_name,
   // readyState 1: request dispatched (immediately, asynchronously).
   browser_->loop().Post(
       [invoke_state]() { invoke_state(1, Sequence{}); }, 0.0);
+
   // readyState 4: the call completes and its result is delivered after
   // the simulated round-trip latency. The call is non-blocking for the
   // main flow (§4.4: "the user keeps control").
+  //
+  // When the callee is a declared function the analyzer proved
+  // parallel-safe, the completion is an off-thread unit: a pool worker
+  // evaluates the call against the DOM snapshot and the loop thread
+  // commits (adopts result documents, replays buffered output, delivers
+  // to the listener). Off-thread eligibility is a static property of the
+  // callee, so the same path runs at every pool size — with no pool the
+  // work simply executes serially at the same queue position.
+  const bool off_thread =
+      is_call && page->parallel_safe_functions.count(PageContext::ListenerKey{
+                     call->qname.token(), call->kids.size()}) > 0;
+  if (off_thread) {
+    browser_->loop().PostOffThread(
+        [this, weak, call, invoke_state,
+         eager_args = std::move(eager_args)]() mutable
+        -> browser::EventLoop::Task {
+          std::shared_ptr<PageContext> page = weak.lock();
+          if (page == nullptr) return nullptr;
+          PageContext* raw = page.get();
+          std::shared_ptr<PageContext::WorkerSlot> slot =
+              AcquireWorkerSlot(raw);
+          slot->ctx->env() = raw->ctx->env();
+          slot->ctx->set_focus(raw->ctx->focus());
+          slot->alerts.clear();
+          slot->traces.clear();
+          slot->ctx->pul().Clear();
+          Result<Sequence> result = slot->evaluator->CallFunction(
+              call->qname, std::move(eager_args), *slot->ctx);
+          if (slot->evaluator->exited()) slot->evaluator->TakeExitValue();
+          // Result nodes live in the slot's scratch documents: move them
+          // out now so slot reuse cannot touch them; the commit hands
+          // them to the page context, which keeps them alive for the
+          // listener (and anything it splices into the DOM is copied by
+          // the update primitives anyway).
+          auto docs =
+              std::make_shared<std::vector<std::unique_ptr<xml::Document>>>(
+                  slot->ctx->TakeScratchDocuments());
+          // Update primitives a not-quite-pure callee produced transfer
+          // to the page PUL at commit — exactly where they would have
+          // accumulated had the call run serially on the page evaluator.
+          auto pul = std::make_shared<
+              std::vector<xquery::PendingUpdateList::Primitive>>(
+              slot->ctx->pul().Take());
+          slot->evaluator->ResetDispatchArena(*slot->ctx);
+          return [this, page, invoke_state, result, docs, pul, slot]() {
+            for (std::unique_ptr<xml::Document>& doc : *docs) {
+              page->ctx->AdoptDocument(std::move(doc));
+            }
+            for (std::string& a : slot->alerts) {
+              alerts_.push_back(std::move(a));
+            }
+            if (page->ctx->trace_sink != nullptr) {
+              for (const std::string& t : slot->traces) {
+                page->ctx->trace_sink(t);
+              }
+            }
+            for (auto& p : *pul) page->ctx->pul().Add(std::move(p));
+            ReleaseWorkerSlot(page.get(), slot);
+            if (!result.ok()) {
+              last_script_error_ = result.status();
+              invoke_state(4, Sequence{});
+              return;
+            }
+            invoke_state(4, result.value());
+          };
+        },
+        latency);
+    return Status();
+  }
+
   browser_->loop().Post(
       [this, weak, call, invoke_state, is_call,
        eager_args = std::move(eager_args),

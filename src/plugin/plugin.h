@@ -21,11 +21,15 @@
 #define XQIB_PLUGIN_PLUGIN_H_
 
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "base/counters.h"
+#include "base/thread_pool.h"
 #include "browser/bom.h"
 #include "browser/page.h"
 #include "xml/interning.h"
@@ -110,9 +114,9 @@ class XqibPlugin : public xquery::BrowserBinding {
   // (listener, payload) pair), and stale entries discarded because the
   // document mutated since they were recorded.
   struct MemoStats {
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t invalidations = 0;
+    base::RelaxedCounter hits;
+    base::RelaxedCounter misses;
+    base::RelaxedCounter invalidations;
   };
   const MemoStats& memo_stats() const { return memo_stats_; }
 
@@ -133,27 +137,45 @@ class XqibPlugin : public xquery::BrowserBinding {
   // (delta of the page evaluator's counters across the call). Benchmarks
   // assert the per-event dispatch actually hit the fast paths.
   struct EventStats {
-    uint64_t sorts_elided = 0;
-    uint64_t sorts_performed = 0;
-    uint64_t name_index_hits = 0;
-    uint64_t early_exits = 0;
-    uint64_t count_index_hits = 0;
+    base::RelaxedCounter sorts_elided;
+    base::RelaxedCounter sorts_performed;
+    base::RelaxedCounter name_index_hits;
+    base::RelaxedCounter early_exits;
+    base::RelaxedCounter count_index_hits;
     // Streaming-pipeline deltas for the dispatch.
-    uint64_t items_pulled = 0;
-    uint64_t items_materialized = 0;
-    uint64_t buffers_avoided = 0;
+    base::RelaxedCounter items_pulled;
+    base::RelaxedCounter items_materialized;
+    base::RelaxedCounter buffers_avoided;
     // Memory-layer deltas for the dispatch: arena bytes/resets from the
-    // page evaluator, intern-pool hits across the call (process-wide
-    // pool, so deltas are only meaningful single-threaded), and memo
-    // cache traffic.
-    uint64_t arena_bytes_used = 0;
-    uint64_t arena_resets = 0;
-    uint64_t intern_hits = 0;
-    uint64_t memo_hits = 0;
-    uint64_t memo_misses = 0;
-    uint64_t memo_invalidations = 0;
+    // evaluator that ran the listener, intern-pool hits across the call,
+    // and memo cache traffic. Staged listeners evaluate on private
+    // worker-slot evaluators, so these deltas stay exact per listener
+    // under the pool too (intern hits aside: the pool is process-wide,
+    // so concurrent listeners' hits land in whichever dispatch window is
+    // open — totals remain accurate).
+    base::RelaxedCounter arena_bytes_used;
+    base::RelaxedCounter arena_resets;
+    base::RelaxedCounter intern_hits;
+    base::RelaxedCounter memo_hits;
+    base::RelaxedCounter memo_misses;
+    base::RelaxedCounter memo_invalidations;
   };
   const EventStats& last_event_stats() const { return last_event_stats_; }
+
+  // --- parallel dispatch runtime (PERFORMANCE.md §5) ---
+  // Creates a worker pool of `workers` threads and wires it into the
+  // event loop (off-thread `behind` completions), the event system
+  // (staged parallel listeners) and every page evaluator (parallel
+  // stream operators). workers == 0 tears the pool down: the serial
+  // baseline, observably identical by construction.
+  void EnableParallelDispatch(size_t workers);
+  base::ThreadPool* thread_pool() { return pool_.get(); }
+  size_t parallel_dispatch_workers() const {
+    return pool_ != nullptr ? pool_->size() : 0;
+  }
+  // Listener stagings that fell back to serial re-execution (worker-side
+  // error or a PUL that slipped past the analyzer's proof).
+  size_t parallel_fallbacks() const { return parallel_fallbacks_; }
 
   // Applies `options` to every live page evaluator and to evaluators of
   // pages loaded later (benchmark ablations flip the fast paths off).
@@ -218,6 +240,12 @@ class XqibPlugin : public xquery::BrowserBinding {
       }
     };
     std::unordered_set<ListenerKey, ListenerKeyHash> memoizable_functions;
+    // The parallel-safe superset: pure AND free of *interactive* host
+    // calls (prompt/confirm block on the user; alert and fn:trace only
+    // emit, so their output can be buffered worker-side and replayed in
+    // registration order at commit). Only these listeners are staged on
+    // the worker pool.
+    std::unordered_set<ListenerKey, ListenerKeyHash> parallel_safe_functions;
 
     // Mutation-versioned memo cache for pure listeners. Keyed on the
     // interned listener name (pointer identity), arity, and a hash of
@@ -247,7 +275,28 @@ class XqibPlugin : public xquery::BrowserBinding {
       uint64_t doc_version = 0;
       std::string serialized;  // SequenceToString of the listener result
     };
+    // Guarded by memo_mu: staged listeners probe concurrently from pool
+    // workers (shared lock); inserts and invalidations run exclusively
+    // on the loop thread's commit slot.
     std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> memo_cache;
+    mutable std::shared_mutex memo_mu;
+
+    // One worker slot per concurrently staged listener: a private
+    // DynamicContext + Evaluator (own arena, own stats, own scratch
+    // documents) that evaluates against the shared read-only DOM
+    // snapshot. Slots are pooled so steady-state dispatch allocates
+    // nothing; the environment is re-copied from the page context per
+    // staging (globals may rebind between events).
+    struct WorkerSlot {
+      std::unique_ptr<xquery::DynamicContext> ctx;
+      std::unique_ptr<xquery::Evaluator> evaluator;
+      std::vector<std::string> alerts;  // buffered browser:alert output
+      std::vector<std::string> traces;  // buffered fn:trace output
+    };
+    // shared_ptr because the staged commit closure (a copyable
+    // std::function) carries the slot from the worker to the loop thread.
+    std::vector<std::shared_ptr<WorkerSlot>> free_slots;
+    std::mutex slots_mu;
   };
 
   std::shared_ptr<PageContext> FindPageShared(const browser::Window* window);
@@ -271,8 +320,28 @@ class XqibPlugin : public xquery::BrowserBinding {
                       const browser::Event& event);
   Status ApplyAfterRun(PageContext* page);
 
-  // Builds the <event> element passed as $evt (paper §4.3.2).
-  xml::Node* MaterializeEvent(PageContext* page,
+  // The parallel path of InvokeListener: runs on a pool worker against
+  // the DOM snapshot (the loop thread is barriered inside the dispatch
+  // batch, so the snapshot cannot move) and returns the commit closure
+  // the dispatcher runs on the loop thread in registration order. Any
+  // worker-side surprise (error, non-empty PUL, interactive call) makes
+  // the commit fall back to a serial InvokeListener re-run — semantics
+  // are InvokeListener's by construction.
+  std::function<void()> StageListener(std::shared_ptr<PageContext> page,
+                                      const xml::QName& function,
+                                      const browser::Event& event);
+  // Worker-slot pool management (PageContext::free_slots). Acquire may
+  // run on a pool worker (slot creation is self-contained); Release runs
+  // wherever the commit closure is destroyed.
+  std::shared_ptr<PageContext::WorkerSlot> AcquireWorkerSlot(
+      PageContext* page);
+  void ReleaseWorkerSlot(PageContext* page,
+                         std::shared_ptr<PageContext::WorkerSlot> slot);
+
+  // Builds the <event> element passed as $evt (paper §4.3.2) in `ctx`'s
+  // scratch document — the page context serially, a worker slot's
+  // context when staged.
+  xml::Node* MaterializeEvent(xquery::DynamicContext* ctx,
                               const browser::Event& event);
 
   static std::string ListenerId(const xml::QName& fn) {
@@ -295,6 +364,8 @@ class XqibPlugin : public xquery::BrowserBinding {
   std::string last_listener_result_;
   EventStats last_event_stats_;
   xquery::Evaluator::EvalOptions eval_options_;
+  std::unique_ptr<base::ThreadPool> pool_;
+  size_t parallel_fallbacks_ = 0;
 };
 
 }  // namespace xqib::plugin

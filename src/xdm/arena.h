@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "base/counters.h"
+
 namespace xqib::xdm {
 
 class Arena {
@@ -49,11 +51,14 @@ class Arena {
   // no destructors run.
   void Reset();
 
+  // Counters are relaxed atomics so a worker-slot evaluator's arena can
+  // be inspected from the loop thread while stats aggregation runs; the
+  // arena's allocation path itself stays single-threaded per owner.
   struct Stats {
-    uint64_t bytes_used = 0;  // cumulative bytes handed out (monotone)
-    uint64_t resets = 0;      // Reset() calls (monotone)
-    uint64_t slabs = 0;       // slabs currently held
-    uint64_t live_bytes = 0;  // bytes handed out since the last Reset
+    base::RelaxedCounter bytes_used;  // cumulative bytes handed out
+    base::RelaxedCounter resets;      // Reset() calls (monotone)
+    base::RelaxedCounter slabs;       // slabs currently held
+    base::RelaxedCounter live_bytes;  // bytes handed out since last Reset
   };
   const Stats& stats() const { return stats_; }
 

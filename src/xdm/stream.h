@@ -25,6 +25,7 @@
 #include <memory>
 #include <utility>
 
+#include "base/counters.h"
 #include "base/result.h"
 #include "xdm/arena.h"
 #include "xdm/item.h"
@@ -36,10 +37,12 @@ namespace xqib::xdm {
 // boundaries; "materialized" counts items copied into Sequence buffers
 // (intermediate barriers and final results alike); "buffers avoided"
 // counts operator edges that stayed lazy end to end.
+// Relaxed atomics: ParallelStepStream's partition workers feed the
+// owning evaluator's counters concurrently.
 struct StreamStats {
-  uint64_t items_pulled = 0;
-  uint64_t items_materialized = 0;
-  uint64_t buffers_avoided = 0;
+  base::RelaxedCounter items_pulled;
+  base::RelaxedCounter items_materialized;
+  base::RelaxedCounter buffers_avoided;
 };
 
 class ItemStream {

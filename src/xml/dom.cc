@@ -232,19 +232,25 @@ size_t Node::ChildIndex(const Node* child) const {
 }
 
 uint64_t Node::OrderKey() const {
-  if (order_version_ != document_->order_version()) {
+  const uint64_t doc_version = document_->order_version();
+  if (order_version_.load(std::memory_order_acquire) != doc_version) {
     // Attached nodes get keys 1..n from one DFS of the document tree;
     // detached subtrees get keys lazily, offset by their tree id, so a
     // session that detaches many fragments (every replaced text node)
-    // never pays for them again.
-    Node* root = const_cast<Node*>(this)->Root();
-    if (root == document_->root()) {
-      document_->RecomputeOrder();
-    } else {
-      document_->AssignDetachedKeys(root);
+    // never pays for them again. Racing readers (pool workers comparing
+    // document order concurrently) serialize on the rebuild; the losers
+    // re-check under the lock and find their key already published.
+    std::lock_guard<std::mutex> lk(document_->lazy_mu_);
+    if (order_version_.load(std::memory_order_relaxed) != doc_version) {
+      Node* root = const_cast<Node*>(this)->Root();
+      if (root == document_->root()) {
+        document_->RecomputeOrder();
+      } else {
+        document_->AssignDetachedKeys(root);
+      }
     }
   }
-  return order_key_;
+  return order_key_.load(std::memory_order_relaxed);
 }
 
 int Node::CompareDocumentOrder(const Node* other) const {
@@ -348,18 +354,25 @@ Node* Document::GetElementById(std::string_view id) const {
   // dropped wholesale on every mutation and rebuilt on the next lookup —
   // lookup bursts between mutations (event handlers resolving targets)
   // are O(1), and correctness never depends on tracking which mutation
-  // touched which id.
-  if (id_cache_version_ != mutation_version_) {
-    id_cache_.clear();
-    for (const auto& n : nodes_) {
-      if (n->kind() == NodeKind::kElement && n->parent() != nullptr) {
-        const Node* a = n->FindAttribute("id");
-        if (a != nullptr && !a->value().empty() && n->Root() == root_) {
-          id_cache_.emplace(a->value(), n.get());  // first wins
+  // touched which id. The first reader after a mutation rebuilds under
+  // lazy_mu_ and publishes with a release store; validated readers skip
+  // the lock entirely (mutation cannot interleave while workers read —
+  // the loop thread, the only mutator, is barriered).
+  const uint64_t mv = mutation_version();
+  if (id_cache_version_.load(std::memory_order_acquire) != mv) {
+    std::lock_guard<std::mutex> lk(lazy_mu_);
+    if (id_cache_version_.load(std::memory_order_relaxed) != mv) {
+      id_cache_.clear();
+      for (const auto& n : nodes_) {
+        if (n->kind() == NodeKind::kElement && n->parent() != nullptr) {
+          const Node* a = n->FindAttribute("id");
+          if (a != nullptr && !a->value().empty() && n->Root() == root_) {
+            id_cache_.emplace(a->value(), n.get());  // first wins
+          }
         }
       }
+      id_cache_version_.store(mv, std::memory_order_release);
     }
-    id_cache_version_ = mutation_version_;
   }
   auto it = id_cache_.find(std::string(id));
   return it == id_cache_.end() ? nullptr : it->second;
@@ -371,19 +384,23 @@ const std::vector<Node*>& Document::ElementsByName(const QName& name) const {
   // observed. Rebuilding is one DFS of the attached tree; lookup bursts
   // between mutations (the plug-in's per-event listener paths) are O(1)
   // plus the size of the answer.
-  if (name_index_version_ != mutation_version_) {
-    name_index_.clear();
-    std::function<void(const Node*)> visit = [&](const Node* n) {
-      for (const Node* c : n->children_) {
-        if (c->kind_ == NodeKind::kElement) {
-          name_index_[c->name_.token()].push_back(const_cast<Node*>(c));
-          visit(c);
+  const uint64_t mv = mutation_version();
+  if (name_index_version_.load(std::memory_order_acquire) != mv) {
+    std::lock_guard<std::mutex> lk(lazy_mu_);
+    if (name_index_version_.load(std::memory_order_relaxed) != mv) {
+      name_index_.clear();
+      std::function<void(const Node*)> visit = [&](const Node* n) {
+        for (const Node* c : n->children_) {
+          if (c->kind_ == NodeKind::kElement) {
+            name_index_[c->name_.token()].push_back(const_cast<Node*>(c));
+            visit(c);
+          }
         }
-      }
-    };
-    visit(root_);
-    name_index_version_ = mutation_version_;
-    ++name_index_builds_;
+      };
+      visit(root_);
+      ++name_index_builds_;
+      name_index_version_.store(mv, std::memory_order_release);
+    }
   }
   static const std::vector<Node*> kNoNodes;
   auto it = name_index_.find(name.token());
@@ -391,7 +408,7 @@ const std::vector<Node*>& Document::ElementsByName(const QName& name) const {
 }
 
 void Document::NotifyMutation(Node* target) {
-  ++mutation_version_;
+  mutation_version_.fetch_add(1, std::memory_order_release);
   for (const MutationHook& hook : mutation_hooks_) hook(target);
 }
 
@@ -399,11 +416,13 @@ void Document::NotifyMutation(Node* target) {
 void Document::AssignKeysDfs(const Node* root, uint64_t next,
                              uint64_t version) {
   std::function<void(const Node*)> visit = [&](const Node* n) {
-    n->order_key_ = next++;
-    n->order_version_ = version;
+    // Key first, then version with release: a reader that acquire-loads
+    // a current version is guaranteed to see the matching key.
+    n->order_key_.store(next++, std::memory_order_relaxed);
+    n->order_version_.store(version, std::memory_order_release);
     for (const Node* a : n->attributes_) {
-      a->order_key_ = next++;
-      a->order_version_ = version;
+      a->order_key_.store(next++, std::memory_order_relaxed);
+      a->order_version_.store(version, std::memory_order_release);
     }
     for (const Node* c : n->children_) visit(c);
   };

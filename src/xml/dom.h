@@ -6,15 +6,18 @@
 #ifndef XQIB_XML_DOM_H_
 #define XQIB_XML_DOM_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "base/counters.h"
 #include "xml/qname.h"
 
 namespace xqib::xml {
@@ -120,8 +123,12 @@ class Node {
   Node* parent_ = nullptr;
   std::vector<Node*> children_;    // element/document content
   std::vector<Node*> attributes_;  // element attributes
-  mutable uint64_t order_key_ = 0;
-  mutable uint64_t order_version_ = 0;
+  // Atomics: pool workers compare document order concurrently while the
+  // loop thread is barriered inside a dispatch batch. The recompute
+  // publishes each key with a release store on order_version_; readers
+  // acquire-load the version before touching the key (see OrderKey).
+  mutable std::atomic<uint64_t> order_key_{0};
+  mutable std::atomic<uint64_t> order_version_{0};
   uint64_t tree_id_ = 0;  // assigned at creation; used as inter-tree order
 };
 
@@ -178,19 +185,26 @@ class Document {
   // Total number of nodes ever created (diagnostics/benchmarks).
   size_t node_count() const { return nodes_.size(); }
 
-  uint64_t order_version() const { return order_version_; }
+  uint64_t order_version() const {
+    return order_version_.load(std::memory_order_relaxed);
+  }
 
   // Bumped by every structural or value mutation. External caches keyed
   // on document content (the plugin's pure-listener memo cache) validate
   // against this — the same versioning scheme that guards the id cache
-  // and the element-name index.
-  uint64_t mutation_version() const { return mutation_version_; }
+  // and the element-name index. Atomic so worker threads can validate
+  // snapshots; mutation itself stays loop-thread-only.
+  uint64_t mutation_version() const {
+    return mutation_version_.load(std::memory_order_acquire);
+  }
 
  private:
   friend class Node;
 
   Node* NewNode(NodeKind kind);
-  void InvalidateOrder() { ++order_version_; }
+  void InvalidateOrder() {
+    order_version_.fetch_add(1, std::memory_order_relaxed);
+  }
   void NotifyMutation(Node* target);
   void RecomputeOrder() const;
   void AssignDetachedKeys(const Node* detached_root) const;
@@ -200,19 +214,29 @@ class Document {
   std::deque<std::unique_ptr<Node>> nodes_;
   Node* root_;
   std::string uri_;
-  mutable uint64_t order_version_ = 1;
+  mutable std::atomic<uint64_t> order_version_{1};
   mutable uint64_t computed_version_ = 0;
   uint64_t next_tree_id_ = 1;
   std::vector<MutationHook> mutation_hooks_;
+
+  // Serializes the lazy rebuilds (order keys, id cache, name index) when
+  // several pool workers race to be the first reader after a mutation.
+  // Each rebuild publishes with a release store on its version counter;
+  // readers that acquire-load a matching version then use the cache
+  // without the lock — mutation is loop-thread-only and the loop thread
+  // is barriered while workers read, so a validated cache cannot change
+  // underneath them.
+  mutable std::mutex lazy_mu_;
+
   // id -> element cache; valid while mutation_version_ matches.
-  uint64_t mutation_version_ = 1;
-  mutable uint64_t id_cache_version_ = 0;
+  std::atomic<uint64_t> mutation_version_{1};
+  mutable std::atomic<uint64_t> id_cache_version_{0};
   mutable std::unordered_map<std::string, Node*> id_cache_;
   // Interned name token -> attached elements in doc order; same validity
   // rule. Token keys make each rebuild insertion a pointer hash — no
   // Clark-notation string is built per element.
-  mutable uint64_t name_index_version_ = 0;
-  mutable uint64_t name_index_builds_ = 0;
+  mutable std::atomic<uint64_t> name_index_version_{0};
+  mutable base::RelaxedCounter name_index_builds_;
   mutable std::unordered_map<const InternedName*, std::vector<Node*>>
       name_index_;
 };

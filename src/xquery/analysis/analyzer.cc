@@ -1,6 +1,7 @@
 #include "xquery/analysis/analyzer.h"
 
 #include <algorithm>
+#include <cctype>
 #include <map>
 #include <set>
 #include <string>
@@ -232,6 +233,7 @@ class ModuleAnalyzer {
     AnalyzeFunctions();
     AnalyzeBody();
     ComputePurity();
+    LintBehindListeners();
   }
 
  private:
@@ -872,6 +874,12 @@ class ModuleAnalyzer {
       case ExprKind::kEventDetach: {
         WalkKids(e, ctx.Operand());
         CheckListener(e);
+        // `behind` listeners are candidates for off-thread completion
+        // delivery; whether the listener is pure is only known after
+        // ComputePurity, so remember the site and lint it in Run().
+        if (e.kind == ExprKind::kEventAttach && e.behind) {
+          behind_attaches_.push_back(&e);
+        }
         return Exactly(ItemClass::kAnyItem, 0);
       }
       case ExprKind::kEventTrigger:
@@ -1140,7 +1148,8 @@ class ModuleAnalyzer {
       const FunctionDecl* decl;
       std::vector<std::string> calls;
       bool impure = false;
-      bool observable = false;  // reaches alert/prompt/confirm/trace
+      bool observable = false;   // reaches alert/prompt/confirm/trace
+      bool interactive = false;  // reaches prompt/confirm (blocks on input)
     };
     std::map<std::string, Node> graph;
     auto add = [&](const Module& m) {
@@ -1151,8 +1160,10 @@ class ModuleAnalyzer {
           node.impure = true;
         } else {
           observes_host_ = false;
+          interacts_host_ = false;
           node.impure = !SyntacticallyPure(*fn->body, &node.calls);
           node.observable = observes_host_;
+          node.interactive = interacts_host_;
         }
         graph[AnalysisFacts::FunctionKey(fn->name.Clark(),
                                          fn->params.size())] =
@@ -1184,13 +1195,20 @@ class ModuleAnalyzer {
     while (changed) {
       changed = false;
       for (auto& [key, node] : graph) {
-        if (node.observable) continue;
+        if (node.observable && node.interactive) continue;
         for (const std::string& callee : node.calls) {
           auto it = graph.find(callee);
-          if (it != graph.end() && it->second.observable) {
+          if (it == graph.end()) continue;
+          if (it->second.observable && !node.observable) {
             node.observable = true;
             changed = true;
-            break;
+          }
+          // Interactivity rides the same edges: a dialog that waits for
+          // user input anywhere in the call tree forces the whole
+          // listener back onto the loop thread.
+          if (it->second.interactive && !node.interactive) {
+            node.interactive = true;
+            changed = true;
           }
         }
       }
@@ -1201,7 +1219,63 @@ class ModuleAnalyzer {
         if (!node.observable) {
           result_->facts.memoizable_functions.insert(key);
         }
+        if (!node.interactive) {
+          result_->facts.parallel_safe_functions.insert(key);
+        }
       }
+    }
+  }
+
+  // Reports XQSA033 for every `behind` attach whose listener function
+  // applies updates (or reaches code the analyzer cannot prove pure):
+  // the asynchronous completion then cannot be delivered off-thread and
+  // serializes the dispatch pipeline. Runs after ComputePurity.
+  void LintBehindListeners() {
+    if (!options_.lint) return;
+    for (const Expr* e : behind_attaches_) {
+      const std::string clark = e->qname.Clark();
+      auto it = arities_.find(clark);
+      if (it == arities_.end()) continue;  // XQSA002 already reported
+      bool any_pure = false;
+      for (size_t arity : it->second) {
+        if (result_->facts.pure_functions.count(
+                AnalysisFacts::FunctionKey(clark, arity)) > 0) {
+          any_pure = true;
+          break;
+        }
+      }
+      if (any_pure) continue;
+      // Anchor the span on the listener-name token: scan forward from
+      // the expression start past the `listener` keyword (the AST does
+      // not record the token's own offset).
+      size_t offset = e->source_pos;
+      size_t length = e->qname.Lexical().size();
+      const std::string& src = module_.source_text;
+      size_t kw = src.find("listener", offset);
+      if (kw != std::string::npos) {
+        size_t name = kw + 8;  // past "listener"
+        while (name < src.size() &&
+               std::isspace(static_cast<unsigned char>(src[name]))) {
+          ++name;
+        }
+        size_t end = name;
+        while (end < src.size() &&
+               (std::isalnum(static_cast<unsigned char>(src[end])) ||
+                src[end] == ':' || src[end] == '_' || src[end] == '-' ||
+                src[end] == '.')) {
+          ++end;
+        }
+        if (end > name) {
+          offset = name;
+          length = end - name;
+        }
+      }
+      Report("XQSA033", Severity::kWarning,
+             "'behind' listener " + e->qname.Lexical() +
+                 " applies XQuery updates; its asynchronous completion "
+                 "must run on the event-loop thread and cannot be "
+                 "delivered off-thread",
+             offset, length);
     }
   }
 
@@ -1238,6 +1312,12 @@ class ModuleAnalyzer {
             return false;
           }
           observes_host_ = true;  // pure, but the user sees a dialog
+          if (e.qname.local() != "alert") {
+            // prompt/confirm block on user input: a worker could not
+            // buffer-and-replay them, so they pin the listener to the
+            // loop thread (facts.parallel_safe_functions).
+            interacts_host_ = true;
+          }
         } else if (ns != xml::kXsNamespace &&
                    checked_fn_namespaces_.count(ns) == 0) {
           return false;  // unknown external code
@@ -1324,6 +1404,12 @@ class ModuleAnalyzer {
   // observable host interaction (alert/prompt/confirm, fn:trace);
   // captured per-function by ComputePurity.
   bool observes_host_ = false;
+  // Set alongside observes_host_ for the blocking subset
+  // (prompt/confirm): these cannot be buffered by a pool worker.
+  bool interacts_host_ = false;
+  // `behind` attach sites recorded during the walk, linted by
+  // LintBehindListeners once purity facts exist.
+  std::vector<const Expr*> behind_attaches_;
 };
 
 }  // namespace

@@ -16,10 +16,13 @@
 //      functions as DOM-pure vs mutating for the event loop.
 //   4. lint — unused variables (XQSA030), unreachable branches after
 //      constant conditions (XQSA031), descendant (`//`) paths the
-//      optimizer's path collapsing cannot rewrite (XQSA032).
+//      optimizer's path collapsing cannot rewrite (XQSA032), and
+//      `behind` listeners that apply updates and therefore cannot have
+//      their asynchronous completions delivered off-thread (XQSA033).
 //
-// Diagnostic severity: XQSA001-029 are errors, XQSA030/031 warnings,
-// XQSA032 info. Warnings and infos can be suppressed per module with
+// Diagnostic severity: XQSA001-029 are errors, XQSA030/031/033
+// warnings, XQSA032 info. Warnings and infos can be suppressed per
+// module with
 //   declare option lint "suppress:XQSA030 XQSA032";
 
 #ifndef XQIB_XQUERY_ANALYSIS_ANALYZER_H_

@@ -52,6 +52,14 @@ struct AnalysisFacts {
   // re-running them.
   std::unordered_set<std::string> memoizable_functions;
 
+  // The subset of pure_functions additionally free of INTERACTIVE host
+  // calls (browser:prompt/confirm, which block on user input). Dialogs
+  // and fn:trace output are fine: a worker can buffer them and the
+  // commit replays them in registration order. Listeners in this set
+  // may be evaluated concurrently on pool workers against a DOM
+  // snapshot (PERFORMANCE.md §5).
+  std::unordered_set<std::string> parallel_safe_functions;
+
   static std::string FunctionKey(const std::string& clark, size_t arity) {
     return clark + "#" + std::to_string(arity);
   }

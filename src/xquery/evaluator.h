@@ -9,7 +9,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/counters.h"
 #include "base/result.h"
+#include "base/thread_pool.h"
 #include "xdm/item.h"
 #include "xdm/stream.h"
 #include "xquery/ast.h"
@@ -45,33 +47,52 @@ class Evaluator {
     // arena instead of the heap. Off: every operator is a malloc/free
     // pair — the ablation baseline for the memory benchmarks.
     bool arena_streams = true;
+    // Split whole-tree //name steps across the worker pool: the
+    // element-name-index bucket is partitioned, each worker evaluates
+    // the first predicate over its slice (with globally correct
+    // position()/last()), and the kept nodes merge back in document
+    // order. Requires a thread pool (set_thread_pool) and a bucket of
+    // at least parallel_cutoff nodes; smaller buckets stay sequential —
+    // the fork/join overhead would dominate.
+    bool parallel_streams = true;
+    size_t parallel_cutoff = 2048;
   };
   const EvalOptions& options() const { return options_; }
   void set_options(const EvalOptions& options) { options_ = options; }
 
   // Cumulative fast-path counters across all Eval/CallFunction calls.
+  // Relaxed atomics: parallel stream partitions and worker-slot commits
+  // bump these from pool threads; copying the struct snapshots every
+  // counter (the before/after delta idiom stays valid on the loop
+  // thread).
   struct EvalStats {
-    uint64_t sorts_performed = 0;
-    uint64_t sorts_elided = 0;
-    uint64_t name_index_hits = 0;
+    base::RelaxedCounter sorts_performed;
+    base::RelaxedCounter sorts_elided;
+    base::RelaxedCounter name_index_hits;
     // Bounded consumers (EBV witness, [N], [last()], exists/empty/head)
     // that stopped pulling before their producer was exhausted.
-    uint64_t early_exits = 0;
+    base::RelaxedCounter early_exits;
     // fn:count answered from Document::ElementsByName without
     // instantiating any items.
-    uint64_t count_index_hits = 0;
+    base::RelaxedCounter count_index_hits;
     // Streaming-pipeline counters (items pulled across operator edges,
     // items copied into Sequence buffers, operator edges kept lazy).
     xdm::StreamStats streams;
     // Memory-layer counters: bytes bump-allocated for stream operators,
     // wholesale arena resets, and interning-pool hits (snapshotted from
     // the process-wide pool at each arena reset).
-    uint64_t arena_bytes_used = 0;
-    uint64_t arena_resets = 0;
-    uint64_t intern_hits = 0;
+    base::RelaxedCounter arena_bytes_used;
+    base::RelaxedCounter arena_resets;
+    base::RelaxedCounter intern_hits;
+    // Partitioned //name[pred] scans: chunks evaluated on pool workers.
+    base::RelaxedCounter parallel_predicate_chunks;
   };
   const EvalStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EvalStats{}; }
+  // Folds another evaluator's counters into this one — the dispatch
+  // scheduler merges each worker slot's per-listener delta back into the
+  // page evaluator so cumulative numbers match serial execution.
+  void AddStats(const EvalStats& delta);
 
   // Evaluates an expression. Updating sub-expressions append to
   // ctx.pul(); the caller decides when to apply (snapshot vs scripting).
@@ -122,6 +143,12 @@ class Evaluator {
   }
 
   const StaticContext& static_context() const { return sctx_; }
+
+  // Worker pool for EvalOptions::parallel_streams (null = sequential).
+  // Worker-slot evaluators run with a null pool: a listener already
+  // executing on a worker thread must not fork again.
+  void set_thread_pool(base::ThreadPool* pool) { pool_ = pool; }
+  base::ThreadPool* thread_pool() const { return pool_; }
 
  private:
   friend struct EvaluatorStreams;
@@ -206,12 +233,34 @@ class Evaluator {
   Result<bool> MatchesSequenceType(const xdm::Sequence& value,
                                    const SequenceType& st);
 
+  // Conservative static scan for the parallel-stream gate: is `e` safe
+  // to evaluate concurrently against a read-only document snapshot?
+  // (No updates/scripting/host effects, no fn:position/fn:last — chunk
+  // focus positions are an implementation detail — and declared-function
+  // calls only to nothing: builtins of fn:/xs: minus doc/put/trace and
+  // the interactive browser dialogs.) Memoized per node.
+  bool ParallelSafePredicate(const Expr& e);
+  // Parallel predicate evaluation over an indexed //name bucket:
+  // partitions `input` across the pool, evaluates `pred` per node, and
+  // fills `out` with the kept nodes in document order. With
+  // `global_positions` (single-origin descendant::name step) a numeric
+  // predicate value selects by global index; without it (the
+  // uncollapsed //name form, where positions are per-parent) a numeric
+  // value makes the whole call abandon — the caller falls back to the
+  // sequential stream. Returns false when the gate declines (no pool,
+  // bucket under cutoff, unsafe predicate, runtime positional abandon).
+  bool TryParallelPredicate(const Expr& pred, const xdm::Sequence& input,
+                            DynamicContext& ctx, bool global_positions,
+                            Result<xdm::Sequence>* out);
+
   const StaticContext& sctx_;
   bool exit_flag_ = false;
   xdm::Sequence exit_value_;
   EvalOptions options_;
   EvalStats stats_;
+  base::ThreadPool* pool_ = nullptr;
   std::unordered_map<const Expr*, bool> needs_last_cache_;
+  std::unordered_map<const Expr*, bool> parallel_safe_cache_;
 };
 
 // Built-in function dispatch (functions.cc). Sets *handled=false if the

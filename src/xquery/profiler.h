@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "base/counters.h"
 #include "xquery/ast.h"
 
 namespace xqib::xquery {
@@ -46,24 +47,27 @@ class Profiler {
   // evaluator alongside its own stats whenever a profiler is attached,
   // and appended to Report() so hot-spot dumps show how often the fast
   // paths fired and how lazy the pipeline stayed.
+  // Relaxed atomics: parallel stream workers mirror their pulls into the
+  // attached profiler concurrently. (Per-expression Entry records stay
+  // loop-thread-only — worker evaluators detach the profiler.)
   struct FastPathCounters {
-    uint64_t sorts_performed = 0;
-    uint64_t sorts_elided = 0;
-    uint64_t name_index_hits = 0;
-    uint64_t early_exits = 0;
+    base::RelaxedCounter sorts_performed;
+    base::RelaxedCounter sorts_elided;
+    base::RelaxedCounter name_index_hits;
+    base::RelaxedCounter early_exits;
     // fn:count answered straight from the element-name index.
-    uint64_t count_index_hits = 0;
+    base::RelaxedCounter count_index_hits;
     // Streaming pipeline: items crossing operator edges lazily, items
     // copied into Sequence buffers, and operator edges kept lazy.
-    uint64_t items_pulled = 0;
-    uint64_t items_materialized = 0;
-    uint64_t buffers_avoided = 0;
+    base::RelaxedCounter items_pulled;
+    base::RelaxedCounter items_materialized;
+    base::RelaxedCounter buffers_avoided;
     // Memory layer: bytes bump-allocated for stream operators, wholesale
     // arena resets, and a snapshot of process-wide intern-pool hits
     // (refreshed at every arena reset).
-    uint64_t arena_bytes_used = 0;
-    uint64_t arena_resets = 0;
-    uint64_t intern_hits = 0;
+    base::RelaxedCounter arena_bytes_used;
+    base::RelaxedCounter arena_resets;
+    base::RelaxedCounter intern_hits;
   };
   FastPathCounters& fast_path() { return fast_path_; }
   const FastPathCounters& fast_path() const { return fast_path_; }
