@@ -30,6 +30,7 @@ namespace {
 struct CliOptions {
   bool json = false;
   bool werror = false;
+  bool effects = false;  // dump per-function read/write sets instead
   std::vector<std::string> files;
 };
 
@@ -71,8 +72,11 @@ bool IsXhtml(const std::string& name, const std::string& content) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: xq_lint [--json] [--werror] <file.xhtml|file.xq|->"
-               "...\n");
+               "usage: xq_lint [--json] [--werror] [--effects] "
+               "<file.xhtml|file.xq|->...\n"
+               "  --effects  dump the effect analysis (per-function "
+               "read/write sets)\n             instead of diagnostics "
+               "(text output; --json takes precedence)\n");
   return 2;
 }
 
@@ -86,6 +90,8 @@ int main(int argc, char** argv) {
       options.json = true;
     } else if (arg == "--werror") {
       options.werror = true;
+    } else if (arg == "--effects") {
+      options.effects = true;
     } else if (arg == "--help" || arg == "-h") {
       Usage();
       return 0;
@@ -126,6 +132,10 @@ int main(int argc, char** argv) {
       json_first = false;
       std::printf("{\"file\":\"%s\",\"units\":%s}", file.c_str(),
                   report.ToJson().c_str());
+    } else if (options.effects) {
+      for (const std::string& line : report.RenderEffects()) {
+        std::printf("%s: %s\n", file.c_str(), line.c_str());
+      }
     } else {
       for (const std::string& line : report.RenderAll()) {
         std::printf("%s: %s\n", file.c_str(), line.c_str());

@@ -4,6 +4,58 @@
 
 namespace xqib::browser {
 
+namespace {
+
+// Two-pointer scan over pointer-sorted interned-name lists.
+bool Intersects(const std::vector<const xml::InternedName*>& a,
+                const std::vector<const xml::InternedName*>& b) {
+  size_t i = 0, j = 0;
+  std::less<const xml::InternedName*> lt;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return true;
+    if (lt(a[i], b[j])) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+// Could `w` committing its updates change something `r` read from the
+// snapshot? A child read conflicts with names whose node sets the
+// update changes; a value read conflicts with any name whose content
+// the update affects (the target and its ancestors).
+bool ReadsWrites(const ListenerEffects& r, const ListenerEffects& w) {
+  if (!w.updating) return false;
+  if (w.writes_top || w.scope_top || r.reads_top) return true;
+  return Intersects(r.child_reads, w.writes) ||
+         Intersects(r.value_reads, w.write_scope);
+}
+
+}  // namespace
+
+bool Compatible(const ListenerEffects* a, const ListenerEffects* b) {
+  // No published effects: pure (the engine only stages non-updating
+  // listeners without a summary) but with unknown reads.
+  static const ListenerEffects kUnknownReader = [] {
+    ListenerEffects e;
+    e.reads_top = true;
+    return e;
+  }();
+  const ListenerEffects& ea = a != nullptr ? *a : kUnknownReader;
+  const ListenerEffects& eb = b != nullptr ? *b : kUnknownReader;
+  if (!ea.updating && !eb.updating) return true;
+  if (ReadsWrites(ea, eb) || ReadsWrites(eb, ea)) return false;
+  // Two updaters of the same name: commit order decides the final node
+  // set, so serial visibility could differ — keep them serialized.
+  // (writes_top on either side already failed the read/write check.)
+  if (ea.updating && eb.updating && Intersects(ea.writes, eb.writes)) {
+    return false;
+  }
+  return true;
+}
+
 void EventSystem::AddListener(xml::Node* target, const std::string& type,
                               Listener listener) {
   auto& vec = listeners_[Key{target, type}];
@@ -65,6 +117,19 @@ size_t EventSystem::Dispatch(xml::Node* target, Event event) {
         for (; j < snapshot.size(); ++j) {
           if (!applies(snapshot[j])) continue;
           if (snapshot[j].stage == nullptr) break;
+          // Interference admission: a candidate joins only when its
+          // effects are compatible with every listener already in the
+          // run. An interfering listener ends the run — it must observe
+          // the committed effects of everything before it.
+          bool admitted = true;
+          for (const Listener* member : run) {
+            if (!Compatible(member->effects.get(),
+                            snapshot[j].effects.get())) {
+              admitted = false;
+              break;
+            }
+          }
+          if (!admitted) break;
           run.push_back(&snapshot[j]);
         }
         if (run.size() > 1) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,22 +42,55 @@ struct Event {
   bool default_prevented = false;
 };
 
+// Static effect summary of a listener, produced by the engine's effect
+// analysis. The dispatcher uses it to decide which staged listeners may
+// share one concurrent run: an updating listener (its update list is
+// applied at commit, on the loop thread) may run beside peers only when
+// no peer reads what it writes and no two updaters write the same
+// names — then snapshot evaluation plus registration-order commits is
+// observably identical to the serial walk.
+struct ListenerEffects {
+  bool updating = false;   // produces update primitives at commit
+  bool reads_top = false;  // read set unanalyzable (anything may be read)
+  bool writes_top = false;  // set of written names unanalyzable
+  bool scope_top = false;   // set of affected names unanalyzable
+  // Interned-name identity, each list sorted by pointer. `child_reads`
+  // are names whose element membership the listener navigates by;
+  // `value_reads` are names whose content it observes. `writes` are
+  // names whose node sets an update adds/removes; `write_scope` adds
+  // every name whose content is affected (ancestors of the target).
+  std::vector<const xml::InternedName*> child_reads;
+  std::vector<const xml::InternedName*> value_reads;
+  std::vector<const xml::InternedName*> writes;
+  std::vector<const xml::InternedName*> write_scope;
+};
+
+// True when two staged listeners may evaluate in the same concurrent
+// run. nullptr means "pure, unknown reads": compatible with any other
+// non-updater, never with an updater.
+bool Compatible(const ListenerEffects* a, const ListenerEffects* b);
+
 // One registered listener. `id` identifies it for removal: engines use
 // "<engine>:<function-name>" so detaching by name works across calls.
 struct Listener {
   std::string id;
   bool capture = false;
   std::function<void(Event&)> callback;
+  // Effect summary for staged-run admission; null for listeners whose
+  // engine published none (treated as pure with unknown reads).
+  std::shared_ptr<const ListenerEffects> effects;
   // Optional parallel path (PERFORMANCE.md §5). When set, the
   // dispatcher MAY run `stage` on a pool worker, concurrently with the
   // stages of adjacent stageable listeners on the same (node, phase)
   // hop; it returns the commit closure the dispatcher then runs on the
   // loop thread in registration order. The engine sets this only for
   // listeners its analyzer proved parallel-safe (read-only against the
-  // DOM snapshot, no interactive host calls); such listeners receive a
-  // const Event and therefore cannot stop propagation. Listeners
-  // without a stage are serialization barriers — `callback` remains the
-  // semantics of record and the serial execution path.
+  // DOM snapshot, no interactive host calls) or effect-stageable
+  // updating (fully analyzed read/write sets; updates transfer at
+  // commit); such listeners receive a const Event and therefore cannot
+  // stop propagation. Listeners without a stage are serialization
+  // barriers — `callback` remains the semantics of record and the
+  // serial execution path.
   std::function<std::function<void()>(const Event&)> stage;
 };
 

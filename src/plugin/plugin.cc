@@ -170,6 +170,7 @@ Status XqibPlugin::InitializePage(Window* window) {
     net::RegisterRestFunctions(page->ctx.get(), fabric_);
   }
   pages_[window] = page;
+  window->document()->set_fine_grained_versions(fine_grained_invalidation_);
 
   // Step 2: extract scripts and inline handlers.
   double t0 = NowMicros();
@@ -244,6 +245,37 @@ Status XqibPlugin::InitializePage(Window* window) {
       if (token != nullptr) {
         page->parallel_safe_functions.insert(
             PageContext::ListenerKey{token, arity});
+      }
+    }
+    for (const std::string& key :
+         result.facts.stageable_updating_functions) {
+      size_t arity = 0;
+      const xml::InternedName* token = ParseFunctionKeyToken(key, &arity);
+      if (token != nullptr) {
+        page->stageable_updating_functions.insert(
+            PageContext::ListenerKey{token, arity});
+      }
+    }
+    // Effect summaries feed two consumers: the dispatcher's staged-run
+    // interference check (every listener) and the memo cache's per-name
+    // validity records (memoizable listeners with fully named reads).
+    for (const auto& [key, eff] : result.facts.function_effects) {
+      size_t arity = 0;
+      const xml::InternedName* token = ParseFunctionKeyToken(key, &arity);
+      if (token == nullptr) continue;
+      PageContext::ListenerKey lkey{token, arity};
+      auto fx = std::make_shared<browser::ListenerEffects>();
+      fx->updating = eff.has_update;
+      fx->reads_top = eff.reads_top();
+      fx->writes_top = eff.writes.top;
+      fx->scope_top = eff.write_scope.top;
+      fx->child_reads = eff.child_reads.names;
+      fx->value_reads = eff.value_reads.names;
+      fx->writes = eff.writes.names;
+      fx->write_scope = eff.write_scope.names;
+      page->listener_effects[lkey] = std::move(fx);
+      if (!eff.reads_top()) {
+        page->listener_read_names[lkey] = eff.ReadNames();
       }
     }
     for (auto& d : result.diagnostics) {
@@ -449,6 +481,7 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
   const PageContext::MemoKey memo_key{function.token(), arity,
                                       HashEventPayload(event)};
   uint64_t memo_invalidated = 0;
+  uint64_t memo_invalidated_name = 0;
   if (memoizable) {
     // Exclusive lock: the serial path both reads and erases. Staged
     // listeners probe under a shared lock from pool workers, but only
@@ -456,19 +489,48 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
     // lock mainly keeps the protocol uniform (and TSan quiet).
     std::unique_lock<std::shared_mutex> lk(page->memo_mu);
     auto it = page->memo_cache.find(memo_key);
-    if (it != page->memo_cache.end() &&
-        it->second.doc_version == doc_version) {
-      ++memo_stats_.hits;
-      last_listener_result_ = it->second.serialized;
-      last_event_stats_ = EventStats{};
-      last_event_stats_.memo_hits = 1;
-      // Memoizable implies pure: nothing to apply, nothing to render.
-      ++pure_listener_skips_;
-      return;
-    }
     if (it != page->memo_cache.end()) {
+      bool valid = it->second.doc_version == doc_version;
+      uint64_t fine_survival = 0;
+      if (!valid && fine_grained_invalidation_ && it->second.fine_grained) {
+        // Globally stale, but if none of the names the listener reads
+        // were touched since fill time, the recorded result is still
+        // exact (PERFORMANCE.md §6).
+        const xml::Document* doc = page->window->document();
+        valid = true;
+        for (const auto& [token, version] : it->second.read_versions) {
+          if (doc->name_version(token) != version) {
+            valid = false;
+            break;
+          }
+        }
+        if (valid) {
+          fine_survival = 1;
+          ++memo_stats_.fine_grained_survivals;
+          // Re-anchor to the current global version so the next probe
+          // takes the one-compare fast path again.
+          it->second.doc_version = doc_version;
+        }
+      }
+      if (valid) {
+        ++memo_stats_.hits;
+        last_listener_result_ = it->second.serialized;
+        last_event_stats_ = EventStats{};
+        last_event_stats_.memo_hits = 1;
+        last_event_stats_.memo_fine_survivals = fine_survival;
+        // Memoizable implies pure: nothing to apply, nothing to render.
+        ++pure_listener_skips_;
+        return;
+      }
+      memo_invalidated_name =
+          fine_grained_invalidation_ && it->second.fine_grained ? 1 : 0;
       page->memo_cache.erase(it);
       ++memo_stats_.invalidations;
+      if (memo_invalidated_name != 0) {
+        ++memo_stats_.invalidations_name;
+      } else {
+        ++memo_stats_.invalidations_global;
+      }
       memo_invalidated = 1;
     } else {
       ++memo_stats_.misses;
@@ -519,6 +581,9 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
       xml::GetInternStats().hits - intern_before.hits;
   last_event_stats_.memo_misses = memoizable && memo_invalidated == 0 ? 1 : 0;
   last_event_stats_.memo_invalidations = memo_invalidated;
+  last_event_stats_.memo_invalidations_name = memo_invalidated_name;
+  last_event_stats_.memo_invalidations_global =
+      memo_invalidated - memo_invalidated_name;
   if (page->evaluator->exited()) page->evaluator->TakeExitValue();
   if (!result.ok()) {
     last_script_error_ = result.status();
@@ -539,9 +604,11 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
     // Record the result only for genuinely memoizable listeners and only
     // on a clean run (no error, empty PUL) — errors are never cached.
     if (memoizable) {
+      PageContext::MemoEntry entry =
+          MakeMemoEntry(page, PageContext::ListenerKey{function.token(), arity},
+                        doc_version, last_listener_result_);
       std::unique_lock<std::shared_mutex> lk(page->memo_mu);
-      page->memo_cache[memo_key] =
-          PageContext::MemoEntry{doc_version, last_listener_result_};
+      page->memo_cache[memo_key] = std::move(entry);
     }
   } else {
     Status st = ApplyAfterRun(page);
@@ -551,6 +618,26 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
   // stream operator this event allocated in one wholesale reset.
   page->evaluator->ResetDispatchArena(*page->ctx);
   ++last_event_stats_.arena_resets;
+}
+
+XqibPlugin::PageContext::MemoEntry XqibPlugin::MakeMemoEntry(
+    PageContext* page, const PageContext::ListenerKey& key,
+    uint64_t doc_version, std::string serialized) const {
+  PageContext::MemoEntry entry;
+  entry.doc_version = doc_version;
+  entry.serialized = std::move(serialized);
+  const xml::Document* doc = page->window->document();
+  if (fine_grained_invalidation_ && doc->fine_grained_versions()) {
+    auto names = page->listener_read_names.find(key);
+    if (names != page->listener_read_names.end()) {
+      entry.fine_grained = true;
+      entry.read_versions.reserve(names->second.size());
+      for (const xml::InternedName* token : names->second) {
+        entry.read_versions.emplace_back(token, doc->name_version(token));
+      }
+    }
+  }
+  return entry;
 }
 
 std::function<void()> XqibPlugin::StageListener(
@@ -574,9 +661,16 @@ std::function<void()> XqibPlugin::StageListener(
   // The attach-time eligibility check used the arity resolution of that
   // moment; re-verify against today's — a later script may have added an
   // overload that resolves first and was NOT proved parallel-safe.
-  if (!resolved ||
-      raw->parallel_safe_functions.count(
-          PageContext::ListenerKey{function.token(), arity}) == 0) {
+  // Updating listeners take the staged path only with fully analyzed
+  // effects AND fine-grained invalidation on (the ablation switch also
+  // restores serial updating dispatch).
+  const PageContext::ListenerKey lkey{function.token(), arity};
+  const bool pure_safe =
+      resolved && raw->parallel_safe_functions.count(lkey) > 0;
+  const bool updating_safe = resolved && !pure_safe &&
+                             fine_grained_invalidation_ &&
+                             raw->stageable_updating_functions.count(lkey) > 0;
+  if (!pure_safe && !updating_safe) {
     return [this, page, function, event]() {
       ++parallel_fallbacks_;
       InvokeListener(page.get(), function, event);
@@ -593,21 +687,46 @@ std::function<void()> XqibPlugin::StageListener(
   const PageContext::MemoKey memo_key{function.token(), arity,
                                       HashEventPayload(event)};
   bool memo_stale = false;
+  bool memo_stale_name = false;
   if (memoizable) {
     std::shared_lock<std::shared_mutex> lk(raw->memo_mu);
     auto it = raw->memo_cache.find(memo_key);
     if (it != raw->memo_cache.end()) {
-      if (it->second.doc_version == doc_version) {
+      bool valid = it->second.doc_version == doc_version;
+      uint64_t fine_survival = 0;
+      if (!valid && fine_grained_invalidation_ && it->second.fine_grained) {
+        // Name-granular rescue under the shared lock: the name-version
+        // map only moves on the loop thread, which is parked inside the
+        // dispatch batch. (No doc_version re-anchor here — that would
+        // write under a shared lock; the serial path refreshes.)
+        const xml::Document* doc = raw->window->document();
+        valid = true;
+        for (const auto& [token, version] : it->second.read_versions) {
+          if (doc->name_version(token) != version) {
+            valid = false;
+            break;
+          }
+        }
+        if (valid) {
+          fine_survival = 1;
+          ++memo_stats_.fine_grained_survivals;
+        }
+      }
+      if (valid) {
         ++memo_stats_.hits;  // relaxed counter: safe off-thread
         std::string serialized = it->second.serialized;
-        return [this, page, serialized = std::move(serialized)]() {
+        return [this, page, serialized = std::move(serialized),
+                fine_survival]() {
           last_listener_result_ = serialized;
           last_event_stats_ = EventStats{};
           last_event_stats_.memo_hits = 1;
+          last_event_stats_.memo_fine_survivals = fine_survival;
           ++pure_listener_skips_;
         };
       }
       memo_stale = true;  // discard exclusively at commit
+      memo_stale_name =
+          fine_grained_invalidation_ && it->second.fine_grained;
     }
   }
 
@@ -655,17 +774,32 @@ std::function<void()> XqibPlugin::StageListener(
       after.streams.buffers_avoided - before.streams.buffers_avoided;
   delta.arena_bytes_used = after.arena_bytes_used - before.arena_bytes_used;
 
-  const bool clean = result.ok() && slot->ctx->pul().empty();
+  // A pure listener must come back with an empty PUL (anything else
+  // means the analyzer's proof was wrong — fall back to serial); an
+  // updating listener's PUL is the point, and transfers at commit.
+  const bool clean =
+      result.ok() && (updating_safe || slot->ctx->pul().empty());
   std::string serialized;
   if (clean) serialized = xdm::SequenceToString(*result);
+  std::shared_ptr<std::vector<std::unique_ptr<xml::Document>>> docs;
+  std::shared_ptr<std::vector<xquery::PendingUpdateList::Primitive>> pul;
+  if (updating_safe && clean) {
+    // The PUL's content nodes live in the slot's scratch documents:
+    // both transfer to the page context at commit, exactly as behind
+    // completions hand over their results.
+    docs = std::make_shared<std::vector<std::unique_ptr<xml::Document>>>(
+        slot->ctx->TakeScratchDocuments());
+    pul = std::make_shared<std::vector<xquery::PendingUpdateList::Primitive>>(
+        slot->ctx->pul().Take());
+  }
   // The serialized string is self-contained: reclaim the slot's stream
   // transients off-thread, keeping the commit cheap.
   slot->evaluator->ResetDispatchArena(*slot->ctx);
   slot->ctx->pul().Clear();
 
-  return [this, page, function, event, slot, clean,
+  return [this, page, function, event, slot, clean, updating_safe, docs, pul,
           serialized = std::move(serialized), delta, memoizable, memo_stale,
-          memo_key, doc_version]() {
+          memo_stale_name, memo_key, doc_version]() {
     if (!clean) {
       // Worker-side surprise (error, or a PUL that slipped past the
       // analyzer's proof): discard the staged run and replay serially —
@@ -690,23 +824,51 @@ std::function<void()> XqibPlugin::StageListener(
     last_event_stats_.intern_hits = 0;  // see EventStats comment
     last_event_stats_.memo_misses = memoizable && !memo_stale ? 1 : 0;
     last_event_stats_.memo_invalidations = memo_stale ? 1 : 0;
+    last_event_stats_.memo_invalidations_name = memo_stale_name ? 1 : 0;
+    last_event_stats_.memo_invalidations_global =
+        memo_stale && !memo_stale_name ? 1 : 0;
     last_listener_result_ = serialized;
     // Replay buffered host output in registration order.
     for (std::string& a : slot->alerts) alerts_.push_back(std::move(a));
     if (page->ctx->trace_sink != nullptr) {
       for (const std::string& t : slot->traces) page->ctx->trace_sink(t);
     }
+    if (updating_safe) {
+      // Adopt the worker's scratch documents (they own the PUL's
+      // content trees), transfer the primitives, and apply — exactly
+      // where the updates would have landed had the listener run
+      // serially on the page evaluator.
+      if (docs != nullptr) {
+        for (std::unique_ptr<xml::Document>& doc : *docs) {
+          page->ctx->AdoptDocument(std::move(doc));
+        }
+      }
+      if (pul != nullptr) {
+        for (auto& p : *pul) page->ctx->pul().Add(std::move(p));
+      }
+      Status st = ApplyAfterRun(page.get());
+      if (!st.ok()) last_script_error_ = st;
+      ReleaseWorkerSlot(page.get(), slot);
+      return;
+    }
     // Parallel-safe implies pure: nothing to apply, nothing to render.
     ++pure_listener_skips_;
     if (memoizable) {
+      PageContext::MemoEntry entry = MakeMemoEntry(
+          page.get(), PageContext::ListenerKey{memo_key.name, memo_key.arity},
+          doc_version, last_listener_result_);
       std::unique_lock<std::shared_mutex> lk(page->memo_mu);
       if (memo_stale) {
         ++memo_stats_.invalidations;
+        if (memo_stale_name) {
+          ++memo_stats_.invalidations_name;
+        } else {
+          ++memo_stats_.invalidations_global;
+        }
       } else {
         ++memo_stats_.misses;
       }
-      page->memo_cache[memo_key] =
-          PageContext::MemoEntry{doc_version, last_listener_result_};
+      page->memo_cache[memo_key] = std::move(entry);
     }
     ReleaseWorkerSlot(page.get(), slot);
   };
@@ -790,6 +952,16 @@ void XqibPlugin::EnableParallelDispatch(size_t workers) {
   }
 }
 
+void XqibPlugin::set_fine_grained_invalidation(bool on) {
+  fine_grained_invalidation_ = on;
+  // Toggling the document's counter mode drops stale counters and
+  // forces the next name-index lookup through a full rebuild, so flips
+  // mid-session stay sound.
+  for (auto& [window, page] : pages_) {
+    page->window->document()->set_fine_grained_versions(on);
+  }
+}
+
 void XqibPlugin::set_eval_options(
     const xquery::Evaluator::EvalOptions& options) {
   eval_options_ = options;
@@ -831,17 +1003,24 @@ Status XqibPlugin::AttachListener(const std::string& event_name,
       InvokeListener(page.get(), listener, event);
     };
     // Listeners the analyzer proved parallel-safe (pure, no interactive
-    // host calls) get the staged path: the dispatcher may evaluate them
-    // on a pool worker and commit on the loop thread. StageListener
-    // re-verifies eligibility at dispatch time.
+    // host calls) or effect-stageable updating (fully analyzed
+    // read/write sets) get the staged path: the dispatcher may evaluate
+    // them on a pool worker and commit on the loop thread, admitting
+    // them into concurrent runs by the interference check over the
+    // attached effect summaries. StageListener re-verifies eligibility
+    // at dispatch time.
     size_t arity = 0;
     if (page->sctx->FindFunction(listener, 2) != nullptr) {
       arity = 2;
     } else if (page->sctx->FindFunction(listener, 1) != nullptr) {
       arity = 1;
     }
-    if (page->parallel_safe_functions.count(
-            PageContext::ListenerKey{listener.token(), arity}) > 0) {
+    const PageContext::ListenerKey lkey{listener.token(), arity};
+    auto fx = page->listener_effects.find(lkey);
+    if (fx != page->listener_effects.end()) l.effects = fx->second;
+    if (page->parallel_safe_functions.count(lkey) > 0 ||
+        (fine_grained_invalidation_ &&
+         page->stageable_updating_functions.count(lkey) > 0)) {
       l.stage = [this, weak, listener](const Event& event)
           -> std::function<void()> {
         std::shared_ptr<PageContext> page = weak.lock();

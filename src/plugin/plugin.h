@@ -31,6 +31,7 @@
 #include "base/counters.h"
 #include "base/thread_pool.h"
 #include "browser/bom.h"
+#include "browser/events.h"
 #include "browser/page.h"
 #include "xml/interning.h"
 #include "net/http.h"
@@ -116,7 +117,15 @@ class XqibPlugin : public xquery::BrowserBinding {
   struct MemoStats {
     base::RelaxedCounter hits;
     base::RelaxedCounter misses;
-    base::RelaxedCounter invalidations;
+    base::RelaxedCounter invalidations;  // total: global + name causes
+    // Cause split: entries killed by the whole-document version moving
+    // with no per-name record to consult, vs entries whose recorded
+    // read names were actually touched by a mutation.
+    base::RelaxedCounter invalidations_global;
+    base::RelaxedCounter invalidations_name;
+    // Globally-stale entries rescued (and counted as hits) because none
+    // of the name counters they recorded at fill time moved.
+    base::RelaxedCounter fine_grained_survivals;
   };
   const MemoStats& memo_stats() const { return memo_stats_; }
 
@@ -125,6 +134,16 @@ class XqibPlugin : public xquery::BrowserBinding {
   // memoizable.
   void set_memo_enabled(bool enabled) { memo_enabled_ = enabled; }
   bool memo_enabled() const { return memo_enabled_; }
+
+  // Ablation switch for name-granular invalidation (PERFORMANCE.md §6).
+  // Off restores the pre-effect-analysis behavior exactly: the memo
+  // cache and the element-name index validate against the whole-document
+  // version only, and updating listeners never take the staged path.
+  // Applies to live pages and pages loaded later.
+  void set_fine_grained_invalidation(bool on);
+  bool fine_grained_invalidation() const {
+    return fine_grained_invalidation_;
+  }
 
   // Serialized value of the most recent listener invocation (whether
   // evaluated or replayed from the memo cache). Tests compare replayed
@@ -159,6 +178,11 @@ class XqibPlugin : public xquery::BrowserBinding {
     base::RelaxedCounter memo_hits;
     base::RelaxedCounter memo_misses;
     base::RelaxedCounter memo_invalidations;
+    // Cause split of memo_invalidations (see MemoStats), plus hits that
+    // were only possible through per-name counters.
+    base::RelaxedCounter memo_invalidations_global;
+    base::RelaxedCounter memo_invalidations_name;
+    base::RelaxedCounter memo_fine_survivals;
   };
   const EventStats& last_event_stats() const { return last_event_stats_; }
 
@@ -246,6 +270,23 @@ class XqibPlugin : public xquery::BrowserBinding {
     // registration order at commit). Only these listeners are staged on
     // the worker pool.
     std::unordered_set<ListenerKey, ListenerKeyHash> parallel_safe_functions;
+    // Updating listeners with fully analyzed effect sets: not pure, but
+    // safe to evaluate on a worker against the DOM snapshot (the PUL
+    // transfers to the page context and applies at commit) whenever the
+    // dispatcher's interference check admits them into a staged run.
+    std::unordered_set<ListenerKey, ListenerKeyHash>
+        stageable_updating_functions;
+    // Static effect summaries (from AnalysisFacts::function_effects),
+    // attached to registered listeners for staged-run admission.
+    std::unordered_map<ListenerKey,
+                       std::shared_ptr<const browser::ListenerEffects>,
+                       ListenerKeyHash>
+        listener_effects;
+    // For memoizable listeners whose read set the analyzer fully named:
+    // the names whose counters a memo entry records at fill time.
+    std::unordered_map<ListenerKey, std::vector<const xml::InternedName*>,
+                       ListenerKeyHash>
+        listener_read_names;
 
     // Mutation-versioned memo cache for pure listeners. Keyed on the
     // interned listener name (pointer identity), arity, and a hash of
@@ -274,6 +315,14 @@ class XqibPlugin : public xquery::BrowserBinding {
     struct MemoEntry {
       uint64_t doc_version = 0;
       std::string serialized;  // SequenceToString of the listener result
+      // Name-granular validity (PERFORMANCE.md §6): the per-name
+      // mutation counter of every name the listener reads, captured at
+      // fill time on the loop thread. A globally-stale entry whose
+      // counters all still match is provably exact — served as a hit
+      // (a fine_grained_survival) instead of being discarded.
+      bool fine_grained = false;
+      std::vector<std::pair<const xml::InternedName*, uint64_t>>
+          read_versions;
     };
     // Guarded by memo_mu: staged listeners probe concurrently from pool
     // workers (shared lock); inserts and invalidations run exclusively
@@ -318,6 +367,14 @@ class XqibPlugin : public xquery::BrowserBinding {
   // PUL and syncing the BOM afterwards.
   void InvokeListener(PageContext* page, const xml::QName& function,
                       const browser::Event& event);
+  // Builds a memo entry for a clean run of `function`, recording the
+  // per-name mutation counters of its read set when fine-grained
+  // invalidation is on and the analyzer fully named the reads. Runs on
+  // the loop thread (the name-version map is loop-thread-only).
+  PageContext::MemoEntry MakeMemoEntry(PageContext* page,
+                                       const PageContext::ListenerKey& key,
+                                       uint64_t doc_version,
+                                       std::string serialized) const;
   Status ApplyAfterRun(PageContext* page);
 
   // The parallel path of InvokeListener: runs on a pool worker against
@@ -360,6 +417,7 @@ class XqibPlugin : public xquery::BrowserBinding {
   std::vector<xquery::analysis::Diagnostic> last_diagnostics_;
   size_t pure_listener_skips_ = 0;
   bool memo_enabled_ = true;
+  bool fine_grained_invalidation_ = true;
   MemoStats memo_stats_;
   std::string last_listener_result_;
   EventStats last_event_stats_;

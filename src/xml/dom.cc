@@ -104,6 +104,7 @@ void Node::AppendChild(Node* child) {
   CheckAdoptable(child);
   child->parent_ = this;
   children_.push_back(child);
+  document_->BumpTreeNames(child);
   document_->InvalidateOrder();
   document_->NotifyMutation(this);
 }
@@ -118,6 +119,7 @@ void Node::InsertBefore(Node* child, Node* ref) {
   assert(idx != static_cast<size_t>(-1) && "ref is not a child");
   child->parent_ = this;
   children_.insert(children_.begin() + static_cast<ptrdiff_t>(idx), child);
+  document_->BumpTreeNames(child);
   document_->InvalidateOrder();
   document_->NotifyMutation(this);
 }
@@ -143,6 +145,7 @@ void Node::InsertFirst(Node* child) {
 void Node::RemoveChild(Node* child) {
   size_t idx = ChildIndex(child);
   assert(idx != static_cast<size_t>(-1) && "not a child of this node");
+  document_->BumpTreeNames(child);  // while still attached
   children_.erase(children_.begin() + static_cast<ptrdiff_t>(idx));
   child->parent_ = nullptr;
   child->tree_id_ = document_->next_tree_id_++;
@@ -162,6 +165,7 @@ void Node::Detach() {
       }
     }
     parent_ = nullptr;
+    document_->BumpNameIfAttached(owner, name_.token());
     document_->InvalidateOrder();
     document_->NotifyMutation(owner);
   } else {
@@ -173,12 +177,14 @@ Node* Node::SetAttribute(const QName& name, std::string value) {
   assert(kind_ == NodeKind::kElement);
   if (Node* existing = FindAttribute(name.ns(), name.local())) {
     existing->value_ = std::move(value);
+    document_->BumpNameIfAttached(this, name.token());
     document_->NotifyMutation(this);
     return existing;
   }
   Node* attr = document_->CreateAttribute(name, std::move(value));
   attr->parent_ = this;
   attributes_.push_back(attr);
+  document_->BumpNameIfAttached(this, name.token());
   document_->InvalidateOrder();
   document_->NotifyMutation(this);
   return attr;
@@ -196,6 +202,7 @@ void Node::AttachAttribute(Node* attr) {
   RemoveAttribute(attr->name_.ns(), attr->name_.local());
   attr->parent_ = this;
   attributes_.push_back(attr);
+  document_->BumpNameIfAttached(this, attr->name_.token());
   document_->InvalidateOrder();
   document_->NotifyMutation(this);
 }
@@ -203,6 +210,7 @@ void Node::AttachAttribute(Node* attr) {
 void Node::SetValue(std::string value) {
   if (kind_ == NodeKind::kElement || kind_ == NodeKind::kDocument) {
     for (Node* c : children_) {
+      document_->BumpTreeNames(c);  // while still attached
       c->parent_ = nullptr;
       c->tree_id_ = document_->next_tree_id_++;
     }
@@ -220,7 +228,12 @@ void Node::SetValue(std::string value) {
 }
 
 void Node::Rename(const QName& new_name) {
+  const InternedName* old_name = name_.token();
   name_ = new_name;
+  // Both the vacated and the adopted name's node sets change; the
+  // ancestor bump in NotifyMutation covers the new name (it reads the
+  // node's current name), the old one needs an explicit bump.
+  document_->BumpNameIfAttached(this, old_name);
   document_->NotifyMutation(this);
 }
 
@@ -268,8 +281,15 @@ Document::Document() {
 }
 
 Node* Document::NewNode(NodeKind kind) {
-  nodes_.push_back(std::unique_ptr<Node>(new Node(this, kind)));
-  Node* n = nodes_.back().get();
+  Node* n;
+  {
+    // Staged updating listeners construct detached update content from
+    // pool workers; the deque push must not race them or the id-cache
+    // scan in GetElementById.
+    std::lock_guard<std::mutex> lk(alloc_mu_);
+    nodes_.push_back(std::unique_ptr<Node>(new Node(this, kind)));
+    n = nodes_.back().get();
+  }
   n->tree_id_ = next_tree_id_++;
   InvalidateOrder();
   return n;
@@ -363,6 +383,9 @@ Node* Document::GetElementById(std::string_view id) const {
     std::lock_guard<std::mutex> lk(lazy_mu_);
     if (id_cache_version_.load(std::memory_order_relaxed) != mv) {
       id_cache_.clear();
+      // The scan walks the whole node pool, which concurrent staged
+      // updaters may be growing; hold alloc_mu_ (always after lazy_mu_).
+      std::lock_guard<std::mutex> alk(alloc_mu_);
       for (const auto& n : nodes_) {
         if (n->kind() == NodeKind::kElement && n->parent() != nullptr) {
           const Node* a = n->FindAttribute("id");
@@ -384,10 +407,28 @@ const std::vector<Node*>& Document::ElementsByName(const QName& name) const {
   // observed. Rebuilding is one DFS of the attached tree; lookup bursts
   // between mutations (the plug-in's per-event listener paths) are O(1)
   // plus the size of the answer.
+  static const std::vector<Node*> kNoNodes;
   const uint64_t mv = mutation_version();
   if (name_index_version_.load(std::memory_order_acquire) != mv) {
     std::lock_guard<std::mutex> lk(lazy_mu_);
     if (name_index_version_.load(std::memory_order_relaxed) != mv) {
+      // Fine-grained survival: the index is globally stale, but if this
+      // name's counter has not moved since the last rebuild, its bucket
+      // is still exact — membership, attachment, and relative document
+      // order of `name` elements cannot change without a mutation that
+      // bumps the name (ancestor moves bump every subtree name). Serve
+      // the bucket without rebuilding and leave the index stale for
+      // other names to check the same way.
+      if (fine_grained_ && index_names_snapshot_) {
+        auto snap = index_name_versions_.find(name.token());
+        const uint64_t recorded =
+            snap == index_name_versions_.end() ? 0 : snap->second;
+        if (recorded == name_version(name.token())) {
+          ++name_index_fine_hits_;
+          auto hit = name_index_.find(name.token());
+          return hit == name_index_.end() ? kNoNodes : hit->second;
+        }
+      }
       name_index_.clear();
       std::function<void(const Node*)> visit = [&](const Node* n) {
         for (const Node* c : n->children_) {
@@ -399,17 +440,69 @@ const std::vector<Node*>& Document::ElementsByName(const QName& name) const {
       };
       visit(root_);
       ++name_index_builds_;
+      if (fine_grained_) {
+        index_name_versions_ = name_versions_;
+        index_names_snapshot_ = true;
+      }
       name_index_version_.store(mv, std::memory_order_release);
     }
   }
-  static const std::vector<Node*> kNoNodes;
   auto it = name_index_.find(name.token());
   return it == name_index_.end() ? kNoNodes : it->second;
 }
 
 void Document::NotifyMutation(Node* target) {
+  BumpAncestorNames(target);
   mutation_version_.fetch_add(1, std::memory_order_release);
   for (const MutationHook& hook : mutation_hooks_) hook(target);
+}
+
+void Document::set_fine_grained_versions(bool on) {
+  if (on == fine_grained_) return;
+  fine_grained_ = on;
+  // Counters accumulated under the previous mode miss every mutation
+  // made while tracking was off; drop them and force the next lookup
+  // through a full rebuild before per-name survival is trusted again.
+  name_versions_.clear();
+  index_name_versions_.clear();
+  index_names_snapshot_ = false;
+}
+
+bool Document::AttachedToRoot(const Node* n) const {
+  while (n != nullptr) {
+    if (n == root_) return true;
+    n = n->parent_;
+  }
+  return false;
+}
+
+void Document::BumpAncestorNames(const Node* site) {
+  if (!fine_grained_) return;
+  if (!AttachedToRoot(site)) return;
+  for (const Node* n = site; n != nullptr; n = n->parent_) {
+    if (n->kind_ == NodeKind::kElement || n->kind_ == NodeKind::kAttribute) {
+      ++name_versions_[n->name_.token()];
+    }
+  }
+}
+
+void Document::BumpTreeNames(const Node* subtree) {
+  if (!fine_grained_) return;
+  if (!AttachedToRoot(subtree)) return;
+  std::function<void(const Node*)> visit = [&](const Node* n) {
+    if (n->kind_ == NodeKind::kElement || n->kind_ == NodeKind::kAttribute) {
+      ++name_versions_[n->name_.token()];
+    }
+    for (const Node* a : n->attributes_) visit(a);
+    for (const Node* c : n->children_) visit(c);
+  };
+  visit(subtree);
+}
+
+void Document::BumpNameIfAttached(const Node* site, const InternedName* token) {
+  if (!fine_grained_) return;
+  if (!AttachedToRoot(site)) return;
+  ++name_versions_[token];
 }
 
 // Assigns consecutive keys starting at `next` across one subtree.

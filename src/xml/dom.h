@@ -198,6 +198,29 @@ class Document {
     return mutation_version_.load(std::memory_order_acquire);
   }
 
+  // --- Name-granular invalidation ------------------------------------
+  //
+  // When enabled, every ATTACHED mutation additionally bumps a per-name
+  // counter for each element/attribute name on the mutation site's
+  // ancestor chain, plus the names inside any subtree the mutation
+  // attaches or detaches. A cached result that recorded the counters of
+  // every name it reads stays provably valid across mutations touching
+  // disjoint names, even though mutation_version() moved. Detached
+  // construction (worker-built update content) bumps only the global
+  // version, never the per-name map, so the map stays loop-thread-only.
+  void set_fine_grained_versions(bool on);
+  bool fine_grained_versions() const { return fine_grained_; }
+  // Mutation counter for one interned name: 0 until the first attached
+  // mutation touches the name. Same read discipline as the name index
+  // (loop thread, or barriered workers).
+  uint64_t name_version(const InternedName* token) const {
+    auto it = name_versions_.find(token);
+    return it == name_versions_.end() ? 0 : it->second;
+  }
+  // Globally-stale ElementsByName lookups served from a per-name bucket
+  // whose name counter did not move (tests/benchmarks).
+  uint64_t name_index_fine_hits() const { return name_index_fine_hits_; }
+
  private:
   friend class Node;
 
@@ -206,6 +229,19 @@ class Document {
     order_version_.fetch_add(1, std::memory_order_relaxed);
   }
   void NotifyMutation(Node* target);
+  // True when `n`'s parent chain reaches this document's root node.
+  bool AttachedToRoot(const Node* n) const;
+  // Bumps the name counters of `site` and every ancestor (element and
+  // attribute names) when the site is attached; no-op otherwise or when
+  // fine-grained mode is off.
+  void BumpAncestorNames(const Node* site);
+  // Bumps every element/attribute name inside `subtree` (inclusive) when
+  // the subtree hangs off the attached tree. Call BEFORE detaching a
+  // subtree and AFTER attaching one.
+  void BumpTreeNames(const Node* subtree);
+  // Bumps a single name counter when `site` is attached (e.g. the old
+  // name of a rename, an attribute name on its owner's mutation).
+  void BumpNameIfAttached(const Node* site, const InternedName* token);
   void RecomputeOrder() const;
   void AssignDetachedKeys(const Node* detached_root) const;
   static void AssignKeysDfs(const Node* root, uint64_t next,
@@ -216,8 +252,31 @@ class Document {
   std::string uri_;
   mutable std::atomic<uint64_t> order_version_{1};
   mutable uint64_t computed_version_ = 0;
-  uint64_t next_tree_id_ = 1;
+  std::atomic<uint64_t> next_tree_id_{1};
   std::vector<MutationHook> mutation_hooks_;
+
+  // Guards nodes_ (and the id-cache scan over it): staged updating
+  // listeners allocate detached update content into the page document
+  // from pool workers concurrently. Node FIELDS need no lock — a
+  // worker's fresh nodes are unreachable from the attached tree, and
+  // the only whole-pool scan (GetElementById) can only run concurrently
+  // from a listener whose read set is ⊤, which the interference gate
+  // keeps out of any staged run containing an updater.
+  mutable std::mutex alloc_mu_;
+
+  // Per-name mutation counters (fine-grained mode; see accessors).
+  bool fine_grained_ = false;
+  std::unordered_map<const InternedName*, uint64_t> name_versions_;
+  // Snapshot of name_versions_ taken when name_index_ was last rebuilt:
+  // a globally-stale bucket whose name counter matches the snapshot is
+  // still exact and can be served without a rebuild.
+  mutable std::unordered_map<const InternedName*, uint64_t>
+      index_name_versions_;
+  // True once a full rebuild has snapshotted under the current mode;
+  // cleared on mode toggles so per-name survival is never trusted across
+  // a window where counters were not being maintained.
+  mutable bool index_names_snapshot_ = false;
+  mutable base::RelaxedCounter name_index_fine_hits_;
 
   // Serializes the lazy rebuilds (order keys, id cache, name index) when
   // several pool workers race to be the first reader after a mutation.

@@ -233,7 +233,9 @@ class ModuleAnalyzer {
     AnalyzeFunctions();
     AnalyzeBody();
     ComputePurity();
+    ComputeEffects();
     LintBehindListeners();
+    LintEffectRules();
   }
 
  private:
@@ -442,7 +444,9 @@ class ModuleAnalyzer {
       UpdateCtx ctx = (fn->updating || fn->sequential)
                           ? UpdateCtx::Allowed()
                           : UpdateCtx::NonUpdatingFunction();
+      in_function_body_ = true;
       Walk(*fn->body, ctx);
+      in_function_body_ = false;
       PopScope();
     }
   }
@@ -783,6 +787,7 @@ class ModuleAnalyzer {
       // --- Update Facility ---
       case ExprKind::kInsert: {
         if (!ctx.allowed) ReportUpdateMisuse(e, ctx, "insert");
+        if (in_function_body_) update_sites_.push_back(&e);
         WalkKids(e, ctx.Operand());
         return Exactly(ItemClass::kAnyItem, 0);
       }
@@ -795,11 +800,13 @@ class ModuleAnalyzer {
       case ExprKind::kReplace: {
         if (!ctx.allowed) ReportUpdateMisuse(e, ctx, "replace");
         CheckNotDocumentRoot(e, "replace");
+        if (in_function_body_) update_sites_.push_back(&e);
         WalkKids(e, ctx.Operand());
         return Exactly(ItemClass::kAnyItem, 0);
       }
       case ExprKind::kRename: {
         if (!ctx.allowed) ReportUpdateMisuse(e, ctx, "rename");
+        if (in_function_body_) update_sites_.push_back(&e);
         WalkKids(e, ctx.Operand());
         return Exactly(ItemClass::kAnyItem, 0);
       }
@@ -879,6 +886,9 @@ class ModuleAnalyzer {
         // ComputePurity, so remember the site and lint it in Run().
         if (e.kind == ExprKind::kEventAttach && e.behind) {
           behind_attaches_.push_back(&e);
+        }
+        if (e.kind == ExprKind::kEventAttach) {
+          attach_sites_.push_back(&e);
         }
         return Exactly(ItemClass::kAnyItem, 0);
       }
@@ -1245,37 +1255,171 @@ class ModuleAnalyzer {
         }
       }
       if (any_pure) continue;
-      // Anchor the span on the listener-name token: scan forward from
-      // the expression start past the `listener` keyword (the AST does
-      // not record the token's own offset).
-      size_t offset = e->source_pos;
-      size_t length = e->qname.Lexical().size();
-      const std::string& src = module_.source_text;
-      size_t kw = src.find("listener", offset);
-      if (kw != std::string::npos) {
-        size_t name = kw + 8;  // past "listener"
-        while (name < src.size() &&
-               std::isspace(static_cast<unsigned char>(src[name]))) {
-          ++name;
-        }
-        size_t end = name;
-        while (end < src.size() &&
-               (std::isalnum(static_cast<unsigned char>(src[end])) ||
-                src[end] == ':' || src[end] == '_' || src[end] == '-' ||
-                src[end] == '.')) {
-          ++end;
-        }
-        if (end > name) {
-          offset = name;
-          length = end - name;
-        }
-      }
+      size_t offset, length;
+      ListenerNameSpan(*e, &offset, &length);
       Report("XQSA033", Severity::kWarning,
              "'behind' listener " + e->qname.Lexical() +
                  " applies XQuery updates; its asynchronous completion "
                  "must run on the event-loop thread and cannot be "
                  "delivered off-thread",
              offset, length);
+    }
+  }
+
+  // Anchors a diagnostic span on the listener-name token of an attach/
+  // detach site: scan forward from the expression start past the
+  // `listener` keyword (the AST does not record the token's own offset).
+  void ListenerNameSpan(const Expr& e, size_t* offset, size_t* length) {
+    *offset = e.source_pos;
+    *length = e.qname.Lexical().size();
+    const std::string& src = module_.source_text;
+    size_t kw = src.find("listener", e.source_pos);
+    if (kw == std::string::npos) return;
+    size_t name = kw + 8;  // past "listener"
+    while (name < src.size() &&
+           std::isspace(static_cast<unsigned char>(src[name]))) {
+      ++name;
+    }
+    size_t end = name;
+    while (end < src.size() &&
+           (std::isalnum(static_cast<unsigned char>(src[end])) ||
+            src[end] == ':' || src[end] == '_' || src[end] == '-' ||
+            src[end] == '.')) {
+      ++end;
+    }
+    if (end > name) {
+      *offset = name;
+      *length = end - name;
+    }
+  }
+
+  // --------------------------------------------------------- effects ---
+
+  // Runs the effect-analysis fixpoint (effects.h) over the joint module
+  // set and publishes the summaries: per-function read/write sets, the
+  // page-wide observed-read union, and the set of updating listeners
+  // whose effects are finite enough for staged parallel dispatch.
+  void ComputeEffects() {
+    for (const Module* m : context_) effects_.AddContextModule(m);
+    effects_.Run(module_);
+    result_->facts.function_effects = effects_.function_effects();
+    result_->facts.all_reads = effects_.all_reads();
+    for (const auto& [key, eff] : result_->facts.function_effects) {
+      if (eff.has_update && !eff.interacts && !eff.writes.top &&
+          !eff.write_scope.top) {
+        result_->facts.stageable_updating_functions.insert(key);
+      }
+    }
+  }
+
+  // Merged effect summary of a listener function across its declared
+  // arities (dispatch may invoke any of them depending on the event
+  // payload). False when no arity has a summary.
+  bool ListenerEffectSummary(const std::string& clark, Effects* out) {
+    auto it = arities_.find(clark);
+    if (it == arities_.end()) return false;
+    bool any = false;
+    for (size_t arity : it->second) {
+      auto fe = result_->facts.function_effects.find(
+          AnalysisFacts::FunctionKey(clark, arity));
+      if (fe == result_->facts.function_effects.end()) continue;
+      out->MergeFrom(fe->second);
+      any = true;
+    }
+    return any;
+  }
+
+  // XQSA034: same-event listener pairs whose effects interfere (one
+  // side writes what the other reads or writes), making registration
+  // order semantically load-bearing. XQSA035: memoizable listeners
+  // whose read set is ⊤, so every mutation evicts their memo entry.
+  // XQSA036: updates whose written names nothing in the page observes.
+  void LintEffectRules() {
+    if (!options_.lint) return;
+
+    struct AttachInfo {
+      const Expr* site;
+      std::string event;
+      Effects effects;
+    };
+    std::map<std::string, std::vector<AttachInfo>> by_event;
+    for (const Expr* e : attach_sites_) {
+      // XQSA035 first: applies to every attach of a memoizable listener.
+      const std::string clark = e->qname.Clark();
+      Effects merged;
+      if (!ListenerEffectSummary(clark, &merged)) continue;
+      bool memoizable = false;
+      auto ar = arities_.find(clark);
+      for (size_t arity : ar->second) {
+        if (result_->facts.memoizable_functions.count(
+                AnalysisFacts::FunctionKey(clark, arity)) > 0) {
+          memoizable = true;
+          break;
+        }
+      }
+      if (memoizable && merged.reads_top()) {
+        size_t offset, length;
+        ListenerNameSpan(*e, &offset, &length);
+        Report("XQSA035", Severity::kWarning,
+               "memoizable listener " + e->qname.Lexical() +
+                   " has an unanalyzable read set (wildcard step, reverse "
+                   "axis, or dynamic access): every DOM mutation "
+                   "invalidates its memo entry; name the elements it "
+                   "reads to enable fine-grained invalidation",
+               offset, length);
+      }
+      // Group synchronous attaches with literal event names for the
+      // XQSA034 interference matrix. `behind` completions are delivered
+      // by their own dispatch and are covered by XQSA033.
+      if (e->behind || e->kids.empty() ||
+          e->kids[0]->kind != ExprKind::kLiteral) {
+        continue;
+      }
+      by_event[e->kids[0]->atom.ToXPathString()].push_back(
+          AttachInfo{e, e->kids[0]->atom.ToXPathString(),
+                     std::move(merged)});
+    }
+    for (auto& [event, sites] : by_event) {
+      for (size_t i = 0; i < sites.size(); ++i) {
+        for (size_t j = i + 1; j < sites.size(); ++j) {
+          if (!Interferes(sites[i].effects, sites[j].effects)) continue;
+          // Anchor on the later site in source order: that's the
+          // registration whose placement relative to the other matters.
+          const AttachInfo& second =
+              sites[i].site->source_pos <= sites[j].site->source_pos
+                  ? sites[j]
+                  : sites[i];
+          const AttachInfo& first = &second == &sites[j] ? sites[i]
+                                                         : sites[j];
+          size_t offset, length;
+          ListenerNameSpan(*second.site, &offset, &length);
+          Report("XQSA034", Severity::kWarning,
+                 "listeners " + first.site->qname.Lexical() + " and " +
+                     second.site->qname.Lexical() + " on event \"" +
+                     event +
+                     "\" have interfering effects; their registration "
+                     "order is semantically load-bearing and they cannot "
+                     "be dispatched in parallel",
+                 offset, length);
+        }
+      }
+    }
+
+    const EffectSet& observed = result_->facts.all_reads;
+    for (const Expr* e : update_sites_) {
+      Effects ue = effects_.ExprEffects(*e);
+      if (!ue.has_update) continue;
+      if (ue.writes.top || ue.write_scope.top) continue;
+      if (observed.top || ue.write_scope.Intersects(observed)) continue;
+      const char* kw = e->kind == ExprKind::kInsert    ? "insert"
+                       : e->kind == ExprKind::kReplace ? "replace"
+                                                       : "rename";
+      Report("XQSA036", Severity::kWarning,
+             std::string(kw) + " writes only to " +
+                 RenderEffectSet(ue.write_scope) +
+                 ", which no listener or query in this page reads — "
+                 "dead update",
+             e->source_pos, std::string(kw).size());
     }
   }
 
@@ -1410,6 +1554,13 @@ class ModuleAnalyzer {
   // `behind` attach sites recorded during the walk, linted by
   // LintBehindListeners once purity facts exist.
   std::vector<const Expr*> behind_attaches_;
+  // Every attach site (XQSA034/035) and every insert/replace/rename
+  // inside a declared function body (XQSA036), linted once effect
+  // summaries exist.
+  std::vector<const Expr*> attach_sites_;
+  std::vector<const Expr*> update_sites_;
+  bool in_function_body_ = false;
+  EffectAnalysis effects_;
 };
 
 }  // namespace

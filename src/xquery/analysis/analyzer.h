@@ -19,8 +19,15 @@
 //      optimizer's path collapsing cannot rewrite (XQSA032), and
 //      `behind` listeners that apply updates and therefore cannot have
 //      their asynchronous completions delivered off-thread (XQSA033).
+//   5. effects — the read/write-set abstract interpretation of
+//      effects.h, published in AnalysisFacts (function_effects,
+//      stageable_updating_functions, all_reads) and consumed by three
+//      lints: same-event listeners with interfering effects (XQSA034),
+//      memoizable listeners whose read set is ⊤ so every mutation
+//      evicts them (XQSA035), and updates writing names nothing in the
+//      page reads (XQSA036).
 //
-// Diagnostic severity: XQSA001-029 are errors, XQSA030/031/033
+// Diagnostic severity: XQSA001-029 are errors, XQSA030/031/033-036
 // warnings, XQSA032 info. Warnings and infos can be suppressed per
 // module with
 //   declare option lint "suppress:XQSA030 XQSA032";

@@ -14,9 +14,12 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
+
+#include "xquery/analysis/effects.h"
 
 namespace xqib::xquery {
 struct Expr;
@@ -59,6 +62,20 @@ struct AnalysisFacts {
   // may be evaluated concurrently on pool workers against a DOM
   // snapshot (PERFORMANCE.md §5).
   std::unordered_set<std::string> parallel_safe_functions;
+
+  // Inferred read/write effect summaries per declared function (same
+  // keys). Ordered map so `xq_lint --effects` dumps deterministically.
+  std::map<std::string, Effects> function_effects;
+
+  // Updating listeners whose effects are statically finite (writes and
+  // write scope below ⊤, no interactive host calls): candidates for
+  // parallel staged dispatch when pairwise non-interfering with the
+  // rest of their run (browser plug-in checks Interferes per event).
+  std::unordered_set<std::string> stageable_updating_functions;
+
+  // Union of every name read anywhere in the page's modules; ⊤ when any
+  // read is unanalyzable. Drives the XQSA036 dead-update lint.
+  EffectSet all_reads;
 
   static std::string FunctionKey(const std::string& clark, size_t arity) {
     return clark + "#" + std::to_string(arity);

@@ -36,6 +36,16 @@ std::string JsonEscape(const std::string& s) {
   return out;
 }
 
+// function_effects is an ordered map, so the dump is deterministic.
+std::vector<std::string> EffectLines(const AnalysisFacts& facts) {
+  std::vector<std::string> out;
+  for (const auto& [key, eff] : facts.function_effects) {
+    out.push_back(key + ": " + RenderEffects(eff));
+  }
+  out.push_back("page reads: " + RenderEffectSet(facts.all_reads));
+  return out;
+}
+
 }  // namespace
 
 bool LintReport::has_errors() const {
@@ -65,6 +75,16 @@ std::vector<std::string> LintReport::RenderAll() const {
   return out;
 }
 
+std::vector<std::string> LintReport::RenderEffects() const {
+  std::vector<std::string> out;
+  for (const LintUnit& unit : units) {
+    for (const std::string& line : unit.effects) {
+      out.push_back(unit.label + ": " + line);
+    }
+  }
+  return out;
+}
+
 std::string LintReport::ToJson() const {
   std::string out = "[";
   bool first = true;
@@ -88,7 +108,9 @@ LintReport LintQuery(const std::string& source,
     unit.diagnostics.push_back(ParseErrorDiagnostic(module.status()));
   } else {
     Analyzer analyzer(options);
-    unit.diagnostics = analyzer.Analyze(**module).diagnostics;
+    AnalysisResult result = analyzer.Analyze(**module);
+    unit.diagnostics = std::move(result.diagnostics);
+    unit.effects = EffectLines(result.facts);
   }
   report.units.push_back(std::move(unit));
   return report;
@@ -141,6 +163,7 @@ Result<LintReport> LintXhtml(const std::string& page_source,
       for (auto& d : result.diagnostics) {
         unit.diagnostics.push_back(std::move(d));
       }
+      unit.effects = EffectLines(result.facts);
     }
     report.units.push_back(std::move(unit));
   }
@@ -162,7 +185,9 @@ Result<LintReport> LintXhtml(const std::string& page_source,
       for (const ParsedScript& p : parsed) {
         if (p.module != nullptr) analyzer.AddContextModule(*p.module);
       }
-      unit.diagnostics = analyzer.Analyze(**module).diagnostics;
+      AnalysisResult result = analyzer.Analyze(**module);
+      unit.diagnostics = std::move(result.diagnostics);
+      unit.effects = EffectLines(result.facts);
     }
     report.units.push_back(std::move(unit));
   }

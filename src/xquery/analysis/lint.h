@@ -19,6 +19,11 @@ namespace xqib::xquery::analysis {
 struct LintUnit {
   std::string label;   // "script 1", "onclick handler on <input>", ...
   std::vector<Diagnostic> diagnostics;
+  // Deterministic effect-summary lines from the analyzer's effect pass
+  // ("local:render#1: reads={item} writes={} scope={} pure"), one per
+  // declared function plus a page-wide read-set line. Rendered by
+  // xq_lint --effects.
+  std::vector<std::string> effects;
 };
 
 struct LintReport {
@@ -28,6 +33,9 @@ struct LintReport {
   bool has_warnings() const;
   // All diagnostics flattened, each prefixed with its unit label.
   std::vector<std::string> RenderAll() const;
+  // All effect-summary lines flattened, each prefixed with its unit
+  // label (xq_lint --effects).
+  std::vector<std::string> RenderEffects() const;
   std::string ToJson() const;
 };
 

@@ -279,6 +279,106 @@ TEST(LintPass, BehindListenerAppliesUpdates) {
       "XQSA033"));
 }
 
+TEST(LintPass, InterferingSameEventListeners) {
+  AnalysisResult r = Analyze(
+      "declare updating function local:a($e, $o) "
+      "{ insert node <entrya/> into /html/body/loga };\n"
+      "declare updating function local:b($e, $o) "
+      "{ insert node <entryb/> into /html/body/loga };\n"
+      "declare function local:read($e, $o) "
+      "{ count(/html/body/loga/entrya) };\n"
+      "{ on event \"onclick\" at //input attach listener local:a;\n"
+      "  on event \"onclick\" at //input attach listener local:b;\n"
+      "  on event \"onchange\" at //input attach listener local:read; }");
+  ASSERT_EQ(Codes(r), std::vector<std::string>{"XQSA034"});
+  const Diagnostic& d = r.diagnostics[0];
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  // Anchored on the LATER registration's listener-name token: that is
+  // the attach whose placement relative to the other one matters.
+  EXPECT_EQ(d.span.line, 5);
+  EXPECT_EQ(d.span.column, 49);  // the 'l' of local:b
+  EXPECT_EQ(d.span.length, std::string("local:b").size());
+  EXPECT_NE(d.message.find("local:a"), std::string::npos);
+  EXPECT_NE(d.message.find("local:b"), std::string::npos);
+
+  // Disjoint write targets: the same pair of listeners with separate
+  // logs can commute (and run in parallel) — no warning.
+  AnalysisResult disjoint = Analyze(
+      "declare updating function local:a($e, $o) "
+      "{ insert node <entrya/> into /html/body/loga };\n"
+      "declare updating function local:b($e, $o) "
+      "{ insert node <entryb/> into /html/body/logb };\n"
+      "declare function local:read($e, $o) { count(//entrya | //entryb) };\n"
+      "{ on event \"onclick\" at //input attach listener local:a;\n"
+      "  on event \"onclick\" at //input attach listener local:b; }");
+  EXPECT_FALSE(HasCode(disjoint, "XQSA034"));
+  // Different events never share a dispatch run.
+  AnalysisResult other_event = Analyze(
+      "declare updating function local:a($e, $o) "
+      "{ insert node <entrya/> into /html/body/loga };\n"
+      "declare updating function local:b($e, $o) "
+      "{ insert node <entryb/> into /html/body/loga };\n"
+      "declare function local:read($e, $o) { count(//loga) };\n"
+      "{ on event \"onclick\" at //input attach listener local:a;\n"
+      "  on event \"onchange\" at //input attach listener local:b; }");
+  EXPECT_FALSE(HasCode(other_event, "XQSA034"));
+}
+
+TEST(LintPass, MemoizableListenerWithTopReads) {
+  AnalysisResult r = Analyze(
+      "declare function local:stats($e, $o) { count(//*) };\n"
+      "on event \"onclick\" at //input attach listener local:stats");
+  ASSERT_EQ(Codes(r), std::vector<std::string>{"XQSA035"});
+  const Diagnostic& d = r.diagnostics[0];
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.span.line, 2);
+  EXPECT_EQ(d.span.column, 47);  // the 'l' of local:stats
+  EXPECT_EQ(d.span.length, std::string("local:stats").size());
+
+  // A named read set memoizes fine: no warning.
+  EXPECT_FALSE(HasCode(
+      Analyze("declare function local:stats($e, $o) { count(//item) };\n"
+              "on event \"onclick\" at //input attach listener local:stats"),
+      "XQSA035"));
+  // Non-memoizable listeners (an alert observes the host on every
+  // event) are never served from the memo — the lint does not apply.
+  EXPECT_FALSE(HasCode(
+      Analyze("declare sequential function local:loud($e, $o) "
+              "{ browser:alert(string(count(//*))) };\n"
+              "on event \"onclick\" at //input attach listener local:loud"),
+      "XQSA035"));
+}
+
+TEST(LintPass, DeadUpdate) {
+  AnalysisResult r = Analyze(
+      "declare updating function local:log($e, $o) {\n"
+      "  insert node <logline/> into /html/body/auditlog\n"
+      "};\n"
+      "on event \"onclick\" at //input attach listener local:log");
+  ASSERT_EQ(Codes(r), std::vector<std::string>{"XQSA036"});
+  const Diagnostic& d = r.diagnostics[0];
+  EXPECT_EQ(d.severity, Severity::kWarning);
+  EXPECT_EQ(d.span.line, 2);
+  EXPECT_EQ(d.span.column, 3);  // the `insert` keyword
+  EXPECT_EQ(d.span.length, std::string("insert").size());
+
+  // Any observing read inside the write scope keeps the update alive.
+  EXPECT_FALSE(HasCode(
+      Analyze("declare updating function local:log($e, $o) {\n"
+              "  insert node <logline/> into /html/body/auditlog\n"
+              "};\n"
+              "declare function local:show($e, $o) { count(//auditlog) };\n"
+              "on event \"onclick\" at //input attach listener local:log"),
+      "XQSA036"));
+  // A ⊤ write set is not provably dead — stay quiet.
+  EXPECT_FALSE(HasCode(
+      Analyze("declare updating function local:log($e, $o) {\n"
+              "  insert node <logline/> into $o\n"
+              "};\n"
+              "on event \"onclick\" at //input attach listener local:log"),
+      "XQSA036"));
+}
+
 TEST(LintPass, SuppressionOption) {
   AnalysisResult r = Analyze(
       "declare option lint \"suppress:XQSA030\";\n"
@@ -501,6 +601,46 @@ TEST(GoldenExamples, BehindUpdatePageWarnsExactlyOnce) {
   ASSERT_NE(found, nullptr);
   EXPECT_EQ(found->span.length, std::string("local:onResult").size());
   EXPECT_GT(found->span.line, 0);
+}
+
+TEST(GoldenExamples, EffectLintPagesWarnExactlyOnce) {
+  // Each effect-analysis lint ships one golden page that must produce
+  // exactly its warning (no errors, no other warnings), span-anchored
+  // on the documented token. These pages are deliberately NOT in the
+  // lint-clean list above.
+  struct Case {
+    const char* page;
+    const char* code;
+    const char* token;  // the source text the span must cover
+  } cases[] = {
+      {"xqsa034_interference.xhtml", "XQSA034", "local:addB"},
+      {"xqsa035_top_reads.xhtml", "XQSA035", "local:stats"},
+      {"xqsa036_dead_update.xhtml", "XQSA036", "insert"},
+  };
+  for (const Case& c : cases) {
+    auto source = app::ReadPageFile(c.page);
+    ASSERT_TRUE(source.ok()) << c.page << ": " << source.status().ToString();
+    auto report = LintXhtml(*source);
+    ASSERT_TRUE(report.ok()) << c.page << ": " << report.status().ToString();
+    EXPECT_FALSE(report->has_errors()) << c.page << ":\n" << report->ToJson();
+    std::vector<std::string> codes;
+    const Diagnostic* found = nullptr;
+    for (const LintUnit& unit : report->units) {
+      for (const Diagnostic& d : unit.diagnostics) {
+        if (d.severity == Severity::kInfo) continue;  // style notes may ride
+        codes.push_back(d.code);
+        if (d.code == c.code) found = &d;
+      }
+    }
+    ASSERT_EQ(codes, std::vector<std::string>{c.code})
+        << c.page << ":\n" << report->ToJson();
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->span.length, std::string(c.token).size()) << c.page;
+    EXPECT_GT(found->span.line, 0) << c.page;
+    // Span-accurate against the shipped source: the highlighted text is
+    // exactly the documented token.
+    EXPECT_NE(source->find(c.token), std::string::npos) << c.page;
+  }
 }
 
 }  // namespace

@@ -423,6 +423,113 @@ TEST(DispatchDeterminism, PoolSizeIsUnobservable) {
   }
 }
 
+// -------------------------------- disjoint updating listeners, staged ---
+
+// Two updating listeners plus a reader on one button. In the disjoint
+// variant addA/addB write separate logs (loga vs logb): the effect
+// analysis proves the pair commutes, so both may leave the serial
+// barrier and evaluate concurrently against the run-start DOM, with
+// their pending update lists committed in registration order. In the
+// interfering variant both write loga — the conflict matrix must keep
+// every run at size one (fully serial). The tally reader observes both
+// entry names, so it always ends the updaters' run and sees their
+// committed state.
+std::string UpdaterPage(bool interfering) {
+  std::string target_b = interfering ? "loga" : "logb";
+  std::string script =
+      "declare updating function local:addA($evt, $obj) {\n"
+      "  insert node <entrya/> into /html/body/loga\n"
+      "};\n"
+      "declare updating function local:addB($evt, $obj) {\n"
+      "  insert node <entryb/> into /html/body/" + target_b + "\n"
+      "};\n"
+      "declare function local:tally($evt, $obj) {\n"
+      "  browser:alert(concat(\"t=\", string(count(//entrya)), \":\", "
+      "string(count(//entryb))))\n"
+      "};\n"
+      "{ on event \"onclick\" at //input[@id=\"btn\"] "
+      "attach listener local:addA;\n"
+      "  on event \"onclick\" at //input[@id=\"btn\"] "
+      "attach listener local:addB;\n"
+      "  on event \"onclick\" at //input[@id=\"btn\"] "
+      "attach listener local:tally; }";
+  return "<html><head><script type=\"text/xqueryp\"><![CDATA[\n" + script +
+         "\n]]></script></head><body>"
+         "<input id=\"btn\"/><loga/><logb/></body></html>";
+}
+
+DispatchOutcome RunUpdaterScenario(size_t workers, bool interfering,
+                                   bool fine_grained, int clicks) {
+  net::HttpFabric fabric;
+  net::XmlStore store;
+  net::ServiceHost services(&fabric, &store);
+  browser::Browser browser;
+  plugin::XqibPlugin plugin(&browser, &fabric, &services);
+  plugin.Install();
+  plugin.set_fine_grained_invalidation(fine_grained);
+  plugin.EnableParallelDispatch(workers);
+  Status st = browser.top_window()->LoadSource(
+      "http://app.example.com/index.xhtml", UpdaterPage(interfering));
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(plugin.last_script_error().ok())
+      << plugin.last_script_error().ToString();
+  xml::Node* btn = browser.top_window()->document()->GetElementById("btn");
+  EXPECT_NE(btn, nullptr);
+  for (int c = 0; c < clicks; ++c) {
+    browser::Event e;
+    e.type = "onclick";
+    plugin.FireEvent(btn, e);
+  }
+  EXPECT_TRUE(plugin.last_script_error().ok())
+      << plugin.last_script_error().ToString();
+  DispatchOutcome out;
+  out.alerts = plugin.alerts();
+  out.dom = xml::Serialize(browser.top_window()->document()->root());
+  out.fallbacks = plugin.parallel_fallbacks();
+  out.staged = browser.events().staged_invocations();
+  return out;
+}
+
+TEST(DispatchDeterminism, DisjointUpdatersStageBitIdentically) {
+  const std::vector<std::string> expected_alerts{"t=1:1", "t=2:2", "t=3:3"};
+  DispatchOutcome reference = RunUpdaterScenario(0, false, true, 3);
+  EXPECT_EQ(reference.staged, 0u);  // no pool, no staging
+  EXPECT_EQ(reference.alerts, expected_alerts);
+  for (size_t workers : {1u, 4u, 8u}) {
+    DispatchOutcome got = RunUpdaterScenario(workers, false, true, 3);
+    EXPECT_EQ(got.alerts, reference.alerts) << "workers " << workers;
+    EXPECT_EQ(got.dom, reference.dom) << "workers " << workers;
+    EXPECT_EQ(got.fallbacks, 0u) << "workers " << workers;
+    // The [addA, addB] pair genuinely left the serial barrier: one
+    // staged run of two per click (tally ends the run and stays serial
+    // in a size-one run).
+    EXPECT_EQ(got.staged, 6u) << "workers " << workers;
+  }
+}
+
+TEST(DispatchDeterminism, InterferingUpdatersStaySerial) {
+  // Both updaters write loga: the conflict matrix (writes ∩ writes)
+  // must veto staging entirely — every run collapses to size one.
+  DispatchOutcome reference = RunUpdaterScenario(0, true, true, 3);
+  for (size_t workers : {4u, 8u}) {
+    DispatchOutcome got = RunUpdaterScenario(workers, true, true, 3);
+    EXPECT_EQ(got.alerts, reference.alerts) << "workers " << workers;
+    EXPECT_EQ(got.dom, reference.dom) << "workers " << workers;
+    EXPECT_EQ(got.staged, 0u) << "workers " << workers;
+  }
+}
+
+TEST(DispatchDeterminism, AblationKeepsUpdatersOnTheSerialPath) {
+  // set_fine_grained_invalidation(false) restores the pre-effect-
+  // analysis behavior: updating listeners never stage, results
+  // unchanged.
+  DispatchOutcome reference = RunUpdaterScenario(0, false, true, 3);
+  DispatchOutcome got = RunUpdaterScenario(4, false, false, 3);
+  EXPECT_EQ(got.alerts, reference.alerts);
+  EXPECT_EQ(got.dom, reference.dom);
+  EXPECT_EQ(got.staged, 0u);
+}
+
 // ------------------------------------------ memo under staged probes ---
 
 class ParallelPluginTest : public ::testing::Test {
