@@ -284,26 +284,11 @@ int main(int argc, char** argv) {
     }
     std::fputs("CHECK OK\n", stderr);
   }
-  if (!args.baseline_path.empty()) {
-    double baseline_ns = 0;
-    if (!xqib::bench::ReadBaselineValue(args.baseline_path,
-                                        "fig1_dispatch_memo", "on_ns_per_op",
-                                        &baseline_ns) ||
-        baseline_ns <= 0) {
-      std::fprintf(stderr, "FAIL: no fig1_dispatch_memo baseline in %s\n",
-                   args.baseline_path.c_str());
-      return 1;
-    }
-    double ratio = fig1_fresh_ns / baseline_ns;
-    if (ratio > 1.25) {
-      std::fprintf(stderr,
-                   "FAIL: fig1 dispatch regressed: fresh %.1f ns vs "
-                   "baseline %.1f ns (%.2fx, tolerance 1.25x)\n",
-                   fig1_fresh_ns, baseline_ns, ratio);
-      return 1;
-    }
-    std::fprintf(stderr, "BASELINE OK: fresh %.1f ns vs %.1f ns (%.2fx)\n",
-                 fig1_fresh_ns, baseline_ns, ratio);
+  if (!args.baseline_path.empty() &&
+      !xqib::bench::CheckBaseline(
+          args.baseline_path,
+          {{"fig1_dispatch_memo", "on_ns_per_op", fig1_fresh_ns}})) {
+    return 1;
   }
   return 0;
 }

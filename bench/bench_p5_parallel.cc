@@ -377,28 +377,12 @@ int main(int argc, char** argv) {
     }
     std::fputs("CHECK OK\n", stderr);
   }
-  if (!args.baseline_path.empty()) {
-    double baseline_ns = 0;
-    if (!xqib::bench::ReadBaselineValue(args.baseline_path,
-                                        "fanout_dispatch",
-                                        "parallel_ns_per_op",
-                                        &baseline_ns) ||
-        baseline_ns <= 0) {
-      std::fprintf(stderr, "FAIL: no fanout_dispatch baseline in %s\n",
-                   args.baseline_path.c_str());
-      return 1;
-    }
-    double fresh = results.empty() ? 0 : results[0].on_ns;
-    double ratio = baseline_ns > 0 ? fresh / baseline_ns : 0;
-    if (ratio > 1.25) {
-      std::fprintf(stderr,
-                   "FAIL: fanout dispatch regressed: fresh %.1f ns vs "
-                   "baseline %.1f ns (%.2fx, tolerance 1.25x)\n",
-                   fresh, baseline_ns, ratio);
-      return 1;
-    }
-    std::fprintf(stderr, "BASELINE OK: fresh %.1f ns vs %.1f ns (%.2fx)\n",
-                 fresh, baseline_ns, ratio);
+  if (!args.baseline_path.empty() &&
+      !xqib::bench::CheckBaseline(
+          args.baseline_path,
+          {{"fanout_dispatch", "parallel_ns_per_op",
+            results.empty() ? 0 : results[0].on_ns}})) {
+    return 1;
   }
   return 0;
 }

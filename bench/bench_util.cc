@@ -231,4 +231,36 @@ bool ReadBaselineValue(const std::string& path, const std::string& scenario,
   return false;
 }
 
+bool CheckBaseline(const std::string& path,
+                   const std::vector<BaselineMetric>& metrics,
+                   double tolerance) {
+  bool ok = true;
+  for (const BaselineMetric& m : metrics) {
+    const std::string label = m.scenario + "." + m.field;
+    double baseline = 0;
+    if (!ReadBaselineValue(path, m.scenario, m.field, &baseline) ||
+        baseline <= 0) {
+      std::fprintf(stderr, "FAIL: %s: no baseline entry in %s\n",
+                   label.c_str(), path.c_str());
+      ok = false;
+      continue;
+    }
+    double delta_pct = (m.fresh / baseline - 1.0) * 100.0;
+    if (m.fresh > baseline * tolerance) {
+      std::fprintf(stderr,
+                   "FAIL: %s: expected <= %.1f (baseline %.1f x %.2f), "
+                   "actual %.1f, delta %+.0f%%\n",
+                   label.c_str(), baseline * tolerance, baseline, tolerance,
+                   m.fresh, delta_pct);
+      ok = false;
+    } else {
+      std::fprintf(stderr,
+                   "BASELINE OK: %s: expected %.1f, actual %.1f, "
+                   "delta %+.0f%%\n",
+                   label.c_str(), baseline, m.fresh, delta_pct);
+    }
+  }
+  return ok;
+}
+
 }  // namespace xqib::bench

@@ -95,6 +95,22 @@ bool AllResultsMatch(const std::vector<ScenarioResult>& results);
 bool ReadBaselineValue(const std::string& path, const std::string& scenario,
                        const std::string& field, double* out);
 
+// One --baseline guarded metric: a fresh measurement to compare against
+// the `scenario`/`field` value in a checked-in BENCH_*.json.
+struct BaselineMetric {
+  std::string scenario;
+  std::string field;
+  double fresh = 0;
+};
+
+// Shared --baseline regression guard: every metric's fresh value must
+// satisfy fresh <= baseline * tolerance. Reports EVERY metric (not just
+// the first failure) as a name/expected/actual/delta line; a missing or
+// non-positive baseline entry fails too. Returns true when all pass.
+bool CheckBaseline(const std::string& path,
+                   const std::vector<BaselineMetric>& metrics,
+                   double tolerance = 1.25);
+
 }  // namespace xqib::bench
 
 #endif  // XQIB_BENCH_BENCH_UTIL_H_

@@ -20,6 +20,7 @@
 #include "xml/serializer.h"
 #include "xml/xml_parser.h"
 #include "xquery/engine.h"
+#include "xquery/plan/plan.h"
 #include "xquery/profiler.h"
 
 using namespace xqib;  // NOLINT(build/namespaces) example code
@@ -41,6 +42,20 @@ void PrintResult(const xdm::Sequence& result) {
 
 int RunQuery(const std::string& query, xml::Document* context_doc,
              bool print_doc_after, bool profile) {
+  // `:plan <query>` dumps the compiled bytecode plans of the query's
+  // user-declared functions instead of evaluating it.
+  std::string trimmed(TrimWhitespace(query));
+  if (trimmed.rfind(":plan", 0) == 0) {
+    auto dump = xquery::plan::DumpPlansForQuery(
+        std::string(TrimWhitespace(trimmed.substr(5))));
+    if (!dump.ok()) {
+      std::fprintf(stderr, "compile error: %s\n",
+                   dump.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", dump->c_str());
+    return 0;
+  }
   xquery::Engine engine;
   auto compiled = engine.Compile(query);
   if (!compiled.ok()) {
@@ -115,7 +130,9 @@ int main(int argc, char** argv) {
       std::printf("usage: xq_repl [-d context.xml] [-p] [query]\n"
                   "Without a query argument, reads queries from stdin "
                   "(one per line\nwhen interactive, whole input when "
-                  "piped).\n");
+                  "piped).\nA query of the form ':plan <query>' dumps "
+                  "the compiled bytecode plans\nof the query's "
+                  "user-declared functions instead of evaluating it.\n");
       return 0;
     } else {
       if (!query.empty()) query += " ";

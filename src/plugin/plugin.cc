@@ -283,6 +283,27 @@ Status XqibPlugin::InitializePage(Window* window) {
     }
     module_facts[i] = std::move(result.facts);
   }
+  // Merge the per-module facts into one shared object for the plan
+  // compiler: a page's scripts share a static context, so one plan set
+  // (and one cardinality/purity view) covers them all.
+  {
+    auto merged = std::make_shared<xquery::analysis::AnalysisFacts>();
+    for (const xquery::analysis::AnalysisFacts& mf : module_facts) {
+      merged->cardinality.insert(mf.cardinality.begin(), mf.cardinality.end());
+      merged->pure_functions.insert(mf.pure_functions.begin(),
+                                    mf.pure_functions.end());
+      merged->memoizable_functions.insert(mf.memoizable_functions.begin(),
+                                          mf.memoizable_functions.end());
+      merged->parallel_safe_functions.insert(
+          mf.parallel_safe_functions.begin(), mf.parallel_safe_functions.end());
+      merged->stageable_updating_functions.insert(
+          mf.stageable_updating_functions.begin(),
+          mf.stageable_updating_functions.end());
+      merged->function_effects.insert(mf.function_effects.begin(),
+                                      mf.function_effects.end());
+    }
+    page->facts = std::move(merged);
+  }
   last_init_timing_.compile_us += NowMicros() - t0;
   XQ_RETURN_NOT_OK(analysis_failure);
 
@@ -329,6 +350,7 @@ Status XqibPlugin::RunXQueryModule(PageContext* page,
   page->evaluator = std::make_unique<xquery::Evaluator>(*page->sctx);
   page->evaluator->set_options(eval_options_);
   page->evaluator->set_thread_pool(pool_.get());
+  page->evaluator->set_analysis_facts(page->facts);
   if (services_ != nullptr) {
     services_->RegisterStubsForImports(*module, page->ctx.get());
   }
@@ -584,6 +606,11 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
   last_event_stats_.memo_invalidations_name = memo_invalidated_name;
   last_event_stats_.memo_invalidations_global =
       memo_invalidated - memo_invalidated_name;
+  last_event_stats_.plan_hits = after.plan_hits - before.plan_hits;
+  last_event_stats_.plan_misses = after.plan_misses - before.plan_misses;
+  last_event_stats_.plan_compiles = after.plan_compiles - before.plan_compiles;
+  last_event_stats_.plan_invalidations =
+      after.plan_invalidations - before.plan_invalidations;
   if (page->evaluator->exited()) page->evaluator->TakeExitValue();
   if (!result.ok()) {
     last_script_error_ = result.status();
@@ -773,6 +800,12 @@ std::function<void()> XqibPlugin::StageListener(
   delta.streams.buffers_avoided =
       after.streams.buffers_avoided - before.streams.buffers_avoided;
   delta.arena_bytes_used = after.arena_bytes_used - before.arena_bytes_used;
+  delta.plan_hits = after.plan_hits - before.plan_hits;
+  delta.plan_misses = after.plan_misses - before.plan_misses;
+  delta.plan_compiles = after.plan_compiles - before.plan_compiles;
+  delta.plan_invalidations =
+      after.plan_invalidations - before.plan_invalidations;
+  delta.plan_bytes = after.plan_bytes - before.plan_bytes;
 
   // A pure listener must come back with an empty PUL (anything else
   // means the analyzer's proof was wrong — fall back to serial); an
@@ -827,6 +860,10 @@ std::function<void()> XqibPlugin::StageListener(
     last_event_stats_.memo_invalidations_name = memo_stale_name ? 1 : 0;
     last_event_stats_.memo_invalidations_global =
         memo_stale && !memo_stale_name ? 1 : 0;
+    last_event_stats_.plan_hits = delta.plan_hits;
+    last_event_stats_.plan_misses = delta.plan_misses;
+    last_event_stats_.plan_compiles = delta.plan_compiles;
+    last_event_stats_.plan_invalidations = delta.plan_invalidations;
     last_listener_result_ = serialized;
     // Replay buffered host output in registration order.
     for (std::string& a : slot->alerts) alerts_.push_back(std::move(a));
@@ -888,6 +925,7 @@ XqibPlugin::AcquireWorkerSlot(PageContext* page) {
       page->free_slots.pop_back();
       // Options may have changed since the slot was built.
       slot->evaluator->set_options(opts);
+      slot->evaluator->set_analysis_facts(page->facts);
       return slot;
     }
   }
@@ -924,6 +962,7 @@ XqibPlugin::AcquireWorkerSlot(PageContext* page) {
   slot->ctx->RegisterExternal(BrowserQName("confirm"), 1, interactive_error);
   slot->evaluator = std::make_unique<xquery::Evaluator>(*page->sctx);
   slot->evaluator->set_options(opts);
+  slot->evaluator->set_analysis_facts(page->facts);
   return slot;
 }
 

@@ -183,6 +183,14 @@ class XqibPlugin : public xquery::BrowserBinding {
     base::RelaxedCounter memo_invalidations_global;
     base::RelaxedCounter memo_invalidations_name;
     base::RelaxedCounter memo_fine_survivals;
+    // Compiled-plan deltas for the dispatch: calls executed through a
+    // register plan, compiled_plans-on calls that tree-walked instead,
+    // and compilation work (zero on every warm dispatch — a memo hit
+    // never even consults the plan layer).
+    base::RelaxedCounter plan_hits;
+    base::RelaxedCounter plan_misses;
+    base::RelaxedCounter plan_compiles;
+    base::RelaxedCounter plan_invalidations;
   };
   const EventStats& last_event_stats() const { return last_event_stats_; }
 
@@ -287,6 +295,11 @@ class XqibPlugin : public xquery::BrowserBinding {
     std::unordered_map<ListenerKey, std::vector<const xml::InternedName*>,
                        ListenerKeyHash>
         listener_read_names;
+    // Analyzer facts merged across all page scripts, shared with the
+    // page evaluator and every worker-slot evaluator so compiled-plan
+    // specialization sees one facts object (cardinality entries key on
+    // AST nodes owned by `modules`).
+    std::shared_ptr<const xquery::analysis::AnalysisFacts> facts;
 
     // Mutation-versioned memo cache for pure listeners. Keyed on the
     // interned listener name (pointer identity), arity, and a hash of

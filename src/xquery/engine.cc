@@ -110,7 +110,15 @@ Result<std::unique_ptr<CompiledQuery>> Engine::Compile(
       std::move(module), std::move(sctx), std::move(imported)));
   compiled->optimizer_stats_ = stats;
   compiled->diagnostics_ = std::move(analyzed.diagnostics);
-  compiled->pure_functions_ = std::move(analyzed.facts.pure_functions);
+  compiled->pure_functions_ = analyzed.facts.pure_functions;
+  if (options.analyze) {
+    // Retained for plan specialization: cardinality entries key on AST
+    // nodes, so only the ones whose nodes survived the optimizer still
+    // resolve — lookups on replaced nodes simply miss (never mislead).
+    compiled->evaluator_.set_analysis_facts(
+        std::make_shared<const analysis::AnalysisFacts>(
+            std::move(analyzed.facts)));
+  }
   return compiled;
 }
 

@@ -86,8 +86,10 @@ class CompiledQuery {
   Evaluator evaluator_;
   OptimizerStats optimizer_stats_;
   std::vector<analysis::Diagnostic> diagnostics_;
-  // Note: inferred cardinalities are NOT retained — they key on AST
-  // nodes the optimizer may have replaced. Purity facts key on names.
+  // The full AnalysisFacts are retained on the evaluator (shared_ptr,
+  // see Evaluator::set_analysis_facts) for compiled-plan specialization;
+  // cardinality entries key on AST nodes, so only facts whose nodes
+  // survived the optimizer still resolve.
   std::unordered_set<std::string> pure_functions_;
 };
 

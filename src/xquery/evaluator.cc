@@ -8,8 +8,10 @@
 
 #include "base/strings.h"
 #include "xquery/fulltext.h"
+#include "xquery/plan/plan.h"
 #include "xquery/profiler.h"
 #include "xquery/update.h"
+#include "xquery/value_ops.h"
 
 namespace xqib::xquery {
 
@@ -17,6 +19,7 @@ using xdm::AtomicType;
 using xdm::AtomicValue;
 using xdm::Item;
 using xdm::Sequence;
+using valueops::RequireSingleAtomic;
 
 namespace {
 
@@ -153,44 +156,6 @@ void AxisNodes(Axis axis, xml::Node* node, std::vector<xml::Node*>* out) {
       out->assign(forward.rbegin(), forward.rend());
       break;
     }
-  }
-}
-
-Result<AtomicValue> RequireSingleAtomic(const Sequence& seq,
-                                        std::string_view what) {
-  Sequence data = xdm::Atomize(seq);
-  if (data.size() != 1) {
-    return Status::TypeError(std::string(what) +
-                             " requires a single atomic value, got a "
-                             "sequence of " +
-                             std::to_string(data.size()));
-  }
-  return data[0].atomic();
-}
-
-// Untyped promotion for general comparisons: untyped vs numeric compares
-// numerically, untyped vs anything else compares as string.
-Result<int> GeneralCompareAtoms(const AtomicValue& a, const AtomicValue& b) {
-  if (a.is_untyped() && b.is_numeric()) {
-    XQ_ASSIGN_OR_RETURN(AtomicValue pa, a.CastTo(AtomicType::kDouble));
-    return pa.Compare(b);
-  }
-  if (b.is_untyped() && a.is_numeric()) {
-    XQ_ASSIGN_OR_RETURN(AtomicValue pb, b.CastTo(AtomicType::kDouble));
-    return a.Compare(pb);
-  }
-  return a.Compare(b);
-}
-
-bool CompareSatisfies(int cmp, CompOp op) {
-  switch (op) {
-    case CompOp::kGenEq: case CompOp::kValEq: return cmp == 0;
-    case CompOp::kGenNe: case CompOp::kValNe: return cmp != 0 && cmp != 2;
-    case CompOp::kGenLt: case CompOp::kValLt: return cmp == -1;
-    case CompOp::kGenLe: case CompOp::kValLe: return cmp == -1 || cmp == 0;
-    case CompOp::kGenGt: case CompOp::kValGt: return cmp == 1;
-    case CompOp::kGenGe: case CompOp::kValGe: return cmp == 1 || cmp == 0;
-    default: return false;
   }
 }
 
@@ -1073,10 +1038,44 @@ void Evaluator::AddStats(const EvalStats& delta) {
   stats_.arena_bytes_used += delta.arena_bytes_used;
   stats_.arena_resets += delta.arena_resets;
   stats_.parallel_predicate_chunks += delta.parallel_predicate_chunks;
+  stats_.plan_compiles += delta.plan_compiles;
+  stats_.plan_hits += delta.plan_hits;
+  stats_.plan_misses += delta.plan_misses;
+  stats_.plan_invalidations += delta.plan_invalidations;
+  stats_.plan_bytes += delta.plan_bytes;
   // intern_hits is a snapshot of the process-wide pool (see
   // ResetDispatchArena), not a cumulative counter: refresh it rather
   // than add the delta.
   stats_.intern_hits = xml::GetInternStats().hits;
+}
+
+void Evaluator::EnsurePlans() {
+  uint64_t source_hash = sctx_.plan_source_hash();
+  uint64_t fingerprint = sctx_.plan_fingerprint();
+  // Warm path: the memoized plans are pinned for as long as the static
+  // context keys hold, so a dispatch performs zero cache probes.
+  if (plans_ != nullptr && plans_source_hash_ == source_hash &&
+      plans_fingerprint_ == fingerprint) {
+    return;
+  }
+  plan::PlanCache& cache = plan::PlanCache::Global();
+  bool invalidated = false;
+  std::shared_ptr<const plan::ModulePlans> plans =
+      cache.Probe(source_hash, fingerprint, &invalidated);
+  if (invalidated) {
+    ++stats_.plan_invalidations;
+  }
+  if (plans == nullptr) {
+    plans = plan::CompileModulePlans(sctx_, facts_.get());
+    stats_.plan_compiles += plans->fns.size();
+    stats_.plan_bytes += plans->total_bytes;
+    // First insert wins: a racing evaluator that compiled the same key
+    // adopts the winner's plans so both execute identical objects.
+    plans = cache.Insert(source_hash, fingerprint, std::move(plans));
+  }
+  plans_ = std::move(plans);
+  plans_source_hash_ = source_hash;
+  plans_fingerprint_ = fingerprint;
 }
 
 Result<Sequence> Evaluator::PathInput(const Expr& e, DynamicContext& ctx) {
@@ -2040,119 +2039,17 @@ Result<Sequence> Evaluator::EvalComparison(const Expr& e,
                                            DynamicContext& ctx) {
   XQ_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.kids[0], ctx));
   XQ_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.kids[1], ctx));
-
-  if (e.comp_op == CompOp::kIs || e.comp_op == CompOp::kPrecedes ||
-      e.comp_op == CompOp::kFollows) {
-    if (lhs.empty() || rhs.empty()) return Sequence{};
-    if (lhs.size() != 1 || rhs.size() != 1 || !lhs[0].is_node() ||
-        !rhs[0].is_node()) {
-      return Status::TypeError("node comparison requires single nodes");
-    }
-    int cmp = lhs[0].node()->CompareDocumentOrder(rhs[0].node());
-    bool v = e.comp_op == CompOp::kIs        ? lhs[0].node() == rhs[0].node()
-             : e.comp_op == CompOp::kPrecedes ? cmp < 0
-                                              : cmp > 0;
-    return Sequence{Item::Boolean(v)};
-  }
-
-  bool general = e.comp_op >= CompOp::kGenEq && e.comp_op <= CompOp::kGenGe;
-  Sequence la = xdm::Atomize(lhs);
-  Sequence ra = xdm::Atomize(rhs);
-  if (general) {
-    for (const Item& a : la) {
-      for (const Item& b : ra) {
-        XQ_ASSIGN_OR_RETURN(int cmp,
-                            GeneralCompareAtoms(a.atomic(), b.atomic()));
-        if (CompareSatisfies(cmp, e.comp_op)) {
-          return Sequence{Item::Boolean(true)};
-        }
-      }
-    }
-    return Sequence{Item::Boolean(false)};
-  }
-  // Value comparison: empty operand -> empty result.
-  if (la.empty() || ra.empty()) return Sequence{};
-  if (la.size() != 1 || ra.size() != 1) {
-    return Status::TypeError("value comparison requires singletons");
-  }
-  AtomicValue a = la[0].atomic();
-  AtomicValue b = ra[0].atomic();
-  // Untyped operands in value comparisons are treated as strings.
-  if (a.is_untyped()) a = AtomicValue::String(a.ToXPathString());
-  if (b.is_untyped()) b = AtomicValue::String(b.ToXPathString());
-  XQ_ASSIGN_OR_RETURN(int cmp, a.Compare(b));
-  return Sequence{Item::Boolean(CompareSatisfies(cmp, e.comp_op))};
+  return valueops::CompareSequences(e.comp_op, lhs, rhs);
 }
 
 Result<Sequence> Evaluator::EvalArith(const Expr& e, DynamicContext& ctx) {
   if (e.kind == ExprKind::kUnary) {
     XQ_ASSIGN_OR_RETURN(Sequence v, Eval(*e.kids[0], ctx));
-    if (v.empty()) return Sequence{};
-    XQ_ASSIGN_OR_RETURN(AtomicValue a, RequireSingleAtomic(v, "unary"));
-    if (e.arith_op == ArithOp::kAdd) {
-      XQ_ASSIGN_OR_RETURN(double d, a.ToDouble());
-      if (a.type() == AtomicType::kInteger) {
-        return Sequence{Item::Integer(a.int_value())};
-      }
-      return Sequence{Item::Double(d)};
-    }
-    if (a.type() == AtomicType::kInteger) {
-      return Sequence{Item::Integer(-a.int_value())};
-    }
-    XQ_ASSIGN_OR_RETURN(double d, a.ToDouble());
-    return Sequence{Item::Double(-d)};
+    return valueops::ArithUnary(e.arith_op, v);
   }
-
   XQ_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.kids[0], ctx));
   XQ_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.kids[1], ctx));
-  if (lhs.empty() || rhs.empty()) return Sequence{};
-  XQ_ASSIGN_OR_RETURN(AtomicValue a, RequireSingleAtomic(lhs, "arithmetic"));
-  XQ_ASSIGN_OR_RETURN(AtomicValue b, RequireSingleAtomic(rhs, "arithmetic"));
-
-  bool int_op = a.type() == AtomicType::kInteger &&
-                b.type() == AtomicType::kInteger;
-  if (int_op) {
-    int64_t x = a.int_value(), y = b.int_value();
-    switch (e.arith_op) {
-      case ArithOp::kAdd: return Sequence{Item::Integer(x + y)};
-      case ArithOp::kSub: return Sequence{Item::Integer(x - y)};
-      case ArithOp::kMul: return Sequence{Item::Integer(x * y)};
-      case ArithOp::kDiv: {
-        if (y == 0) {
-          return Status::Error("FOAR0001", "integer division by zero");
-        }
-        if (x % y == 0) return Sequence{Item::Integer(x / y)};
-        return Sequence{
-            Item::Atomic(AtomicValue::Decimal(static_cast<double>(x) /
-                                              static_cast<double>(y)))};
-      }
-      case ArithOp::kIDiv:
-        if (y == 0) {
-          return Status::Error("FOAR0001", "integer division by zero");
-        }
-        return Sequence{Item::Integer(x / y)};
-      case ArithOp::kMod:
-        if (y == 0) {
-          return Status::Error("FOAR0001", "integer modulo by zero");
-        }
-        return Sequence{Item::Integer(x % y)};
-    }
-  }
-  XQ_ASSIGN_OR_RETURN(double x, a.ToDouble());
-  XQ_ASSIGN_OR_RETURN(double y, b.ToDouble());
-  double r = 0;
-  switch (e.arith_op) {
-    case ArithOp::kAdd: r = x + y; break;
-    case ArithOp::kSub: r = x - y; break;
-    case ArithOp::kMul: r = x * y; break;
-    case ArithOp::kDiv: r = x / y; break;
-    case ArithOp::kIDiv: {
-      if (y == 0) return Status::Error("FOAR0001", "idiv by zero");
-      return Sequence{Item::Integer(static_cast<int64_t>(x / y))};
-    }
-    case ArithOp::kMod: r = std::fmod(x, y); break;
-  }
-  return Sequence{Item::Double(r)};
+  return valueops::ArithSequences(e.arith_op, lhs, rhs);
 }
 
 Result<Sequence> Evaluator::EvalSetOp(const Expr& e, DynamicContext& ctx) {
@@ -2244,6 +2141,26 @@ Result<Sequence> Evaluator::CallFunction(const xml::QName& name,
       return Status::DynamicError("XQIB0002",
                                   "maximum recursion depth exceeded in " +
                                       name.Lexical());
+    }
+    // Compiled-plan dispatch: the body was lowered once (process-wide
+    // cache, see EnsurePlans) into flat bytecode — no AST traversal and
+    // no name resolution per call. Off (or plan missing), the tree
+    // walker below stays the oracle.
+    if (options_.compiled_plans) {
+      EnsurePlans();
+      if (const plan::FunctionPlan* fp =
+              plans_->Find(name.token(), args.size())) {
+        ++stats_.plan_hits;
+        if (ctx.profiler != nullptr) ++ctx.profiler->fast_path().plan_hits;
+        Result<Sequence> result =
+            plan::ExecutePlan(*fp, *plans_, std::move(args), *this, ctx);
+        --ctx.call_depth;
+        if (!result.ok()) return result;
+        if (exit_flag_) return TakeExitValue();
+        return result;
+      }
+      ++stats_.plan_misses;
+      if (ctx.profiler != nullptr) ++ctx.profiler->fast_path().plan_misses;
     }
     ctx.env().PushScope(/*barrier=*/true);
     for (size_t i = 0; i < fn->params.size(); ++i) {
@@ -2584,140 +2501,30 @@ Result<Sequence> Evaluator::EvalComputedConstructor(const Expr& e,
 Result<Sequence> Evaluator::EvalInsert(const Expr& e, DynamicContext& ctx) {
   XQ_ASSIGN_OR_RETURN(Sequence source, Eval(*e.kids[0], ctx));
   XQ_ASSIGN_OR_RETURN(Sequence target_seq, Eval(*e.kids[1], ctx));
-  if (target_seq.size() != 1 || !target_seq[0].is_node()) {
-    return Status::Error("XUTY0008",
-                         "insert target must be a single node");
-  }
-  xml::Node* target = target_seq[0].node();
-  bool into = e.insert_mode == InsertMode::kInto ||
-              e.insert_mode == InsertMode::kAsFirstInto ||
-              e.insert_mode == InsertMode::kAsLastInto;
-  if (into && !target->is_element() &&
-      target->kind() != xml::NodeKind::kDocument) {
-    return Status::Error("XUTY0005",
-                         "insert into target must be an element or document");
-  }
-  if (!into && target->parent() == nullptr) {
-    return Status::Error("XUDY0029",
-                         "insert before/after target has no parent");
-  }
-  xml::Document* doc = target->document();
-  PendingUpdateList::Primitive prim;
-  PendingUpdateList::Primitive attr_prim;
-  attr_prim.kind = PendingUpdateList::Kind::kInsertAttributes;
-  attr_prim.target = into ? target : target->parent();
-  for (const Item& item : source) {
-    if (!item.is_node()) {
-      // Atomic content becomes a text node (convenience extension).
-      prim.content.push_back(
-          doc->CreateText(item.atomic().ToXPathString()));
-      continue;
-    }
-    xml::Node* copy = doc->ImportCopy(item.node());
-    if (copy->is_attribute()) {
-      attr_prim.content.push_back(copy);
-    } else {
-      prim.content.push_back(copy);
-    }
-  }
-  switch (e.insert_mode) {
-    case InsertMode::kInto:
-    case InsertMode::kAsLastInto:
-      prim.kind = PendingUpdateList::Kind::kInsertLast;
-      break;
-    case InsertMode::kAsFirstInto:
-      prim.kind = PendingUpdateList::Kind::kInsertFirst;
-      break;
-    case InsertMode::kBefore:
-      prim.kind = PendingUpdateList::Kind::kInsertBefore;
-      break;
-    case InsertMode::kAfter:
-      prim.kind = PendingUpdateList::Kind::kInsertAfter;
-      break;
-  }
-  prim.target = target;
-  if (!attr_prim.content.empty()) {
-    if (!attr_prim.target->is_element()) {
-      return Status::Error("XUTY0022",
-                           "attribute insertion into a non-element");
-    }
-    ctx.pul().Add(std::move(attr_prim));
-  }
-  if (!prim.content.empty()) ctx.pul().Add(std::move(prim));
+  XQ_RETURN_NOT_OK(
+      valueops::BuildInsert(e.insert_mode, source, target_seq, &ctx.pul()));
   return Sequence{};
 }
 
 Result<Sequence> Evaluator::EvalDelete(const Expr& e, DynamicContext& ctx) {
   XQ_ASSIGN_OR_RETURN(Sequence targets, Eval(*e.kids[0], ctx));
-  for (const Item& item : targets) {
-    if (!item.is_node()) {
-      return Status::Error("XUTY0007", "delete target must be nodes");
-    }
-    PendingUpdateList::Primitive prim;
-    prim.kind = PendingUpdateList::Kind::kDelete;
-    prim.target = item.node();
-    ctx.pul().Add(std::move(prim));
-  }
+  XQ_RETURN_NOT_OK(valueops::BuildDelete(targets, &ctx.pul()));
   return Sequence{};
 }
 
 Result<Sequence> Evaluator::EvalReplace(const Expr& e, DynamicContext& ctx) {
   XQ_ASSIGN_OR_RETURN(Sequence target_seq, Eval(*e.kids[0], ctx));
   XQ_ASSIGN_OR_RETURN(Sequence source, Eval(*e.kids[1], ctx));
-  if (target_seq.size() != 1 || !target_seq[0].is_node()) {
-    return Status::Error("XUTY0008",
-                         "replace target must be a single node");
-  }
-  xml::Node* target = target_seq[0].node();
-  PendingUpdateList::Primitive prim;
-  prim.target = target;
-  if (e.replace_value_of) {
-    // replace value of node T with S: S atomizes to the new string value.
-    Sequence data = xdm::Atomize(source);
-    std::string value;
-    for (size_t i = 0; i < data.size(); ++i) {
-      if (i > 0) value += " ";
-      value += data[i].atomic().ToXPathString();
-    }
-    prim.kind = target->is_element()
-                    ? PendingUpdateList::Kind::kReplaceElementContent
-                    : PendingUpdateList::Kind::kReplaceValue;
-    prim.value = std::move(value);
-  } else {
-    if (target->parent() == nullptr) {
-      return Status::Error("XUDY0009", "replace target has no parent");
-    }
-    prim.kind = PendingUpdateList::Kind::kReplaceNode;
-    xml::Document* doc = target->document();
-    for (const Item& item : source) {
-      if (item.is_node()) {
-        prim.content.push_back(doc->ImportCopy(item.node()));
-      } else {
-        prim.content.push_back(
-            doc->CreateText(item.atomic().ToXPathString()));
-      }
-    }
-  }
-  ctx.pul().Add(std::move(prim));
+  XQ_RETURN_NOT_OK(valueops::BuildReplace(e.replace_value_of, target_seq,
+                                            source, &ctx.pul()));
   return Sequence{};
 }
 
 Result<Sequence> Evaluator::EvalRename(const Expr& e, DynamicContext& ctx) {
   XQ_ASSIGN_OR_RETURN(Sequence target_seq, Eval(*e.kids[0], ctx));
   XQ_ASSIGN_OR_RETURN(Sequence name_seq, Eval(*e.kids[1], ctx));
-  if (target_seq.size() != 1 || !target_seq[0].is_node()) {
-    return Status::Error("XUTY0008", "rename target must be a single node");
-  }
-  XQ_ASSIGN_OR_RETURN(AtomicValue nv,
-                      RequireSingleAtomic(name_seq, "rename name"));
-  xml::QName new_name = nv.type() == AtomicType::kQName
-                            ? nv.qname_value()
-                            : xml::QName(nv.ToXPathString());
-  PendingUpdateList::Primitive prim;
-  prim.kind = PendingUpdateList::Kind::kRename;
-  prim.target = target_seq[0].node();
-  prim.name = std::move(new_name);
-  ctx.pul().Add(std::move(prim));
+  XQ_RETURN_NOT_OK(
+      valueops::BuildRename(target_seq, name_seq, &ctx.pul()));
   return Sequence{};
 }
 

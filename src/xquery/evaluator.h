@@ -6,6 +6,7 @@
 #define XQIB_XQUERY_EVALUATOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -18,6 +19,14 @@
 #include "xquery/context.h"
 
 namespace xqib::xquery {
+
+namespace analysis {
+struct AnalysisFacts;
+}  // namespace analysis
+namespace plan {
+struct ModulePlans;
+struct PlanEvaluatorAccess;
+}  // namespace plan
 
 struct EvaluatorStreams;
 
@@ -56,6 +65,13 @@ class Evaluator {
     // the fork/join overhead would dominate.
     bool parallel_streams = true;
     size_t parallel_cutoff = 2048;
+    // Dispatch user-declared function calls through compiled register
+    // plans (xquery/plan/): the body is lowered once into flat bytecode
+    // specialized by analyzer facts, cached process-wide on (source
+    // hash, static-context fingerprint), and executed without AST
+    // traversal. Off: every call tree-walks — the oracle the plan
+    // ablation tests compare against.
+    bool compiled_plans = true;
   };
   const EvalOptions& options() const { return options_; }
   void set_options(const EvalOptions& options) { options_ = options; }
@@ -86,6 +102,17 @@ class Evaluator {
     base::RelaxedCounter intern_hits;
     // Partitioned //name[pred] scans: chunks evaluated on pool workers.
     base::RelaxedCounter parallel_predicate_chunks;
+    // Compiled-plan counters: function plans compiled by this evaluator
+    // (zero on every warm dispatch — asserted by the regression tests),
+    // dispatches executed through a plan, compiled_plans-on dispatches
+    // that fell back to the tree walker, process-wide cache entries
+    // discarded on a static-context fingerprint mismatch, and bytes of
+    // plan code + pools compiled.
+    base::RelaxedCounter plan_compiles;
+    base::RelaxedCounter plan_hits;
+    base::RelaxedCounter plan_misses;
+    base::RelaxedCounter plan_invalidations;
+    base::RelaxedCounter plan_bytes;
   };
   const EvalStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EvalStats{}; }
@@ -144,6 +171,18 @@ class Evaluator {
 
   const StaticContext& static_context() const { return sctx_; }
 
+  // Analyzer facts (type/cardinality/purity) used to specialize plan
+  // compilation. Optional: without them plans still compile, just
+  // without the fact-driven opcode specializations. Shared ownership so
+  // page evaluators and their worker-slot clones see one facts object.
+  void set_analysis_facts(
+      std::shared_ptr<const analysis::AnalysisFacts> facts) {
+    facts_ = std::move(facts);
+  }
+  const analysis::AnalysisFacts* analysis_facts() const {
+    return facts_.get();
+  }
+
   // Worker pool for EvalOptions::parallel_streams (null = sequential).
   // Worker-slot evaluators run with a null pool: a listener already
   // executing on a worker thread must not fork again.
@@ -152,6 +191,13 @@ class Evaluator {
 
  private:
   friend struct EvaluatorStreams;
+  friend struct plan::PlanEvaluatorAccess;
+
+  // Resolves this evaluator's compiled plans against the process-wide
+  // cache (compiling on a cold or invalidated key) and memoizes the
+  // result, so the warm dispatch path performs zero cache probes and
+  // zero compiles. Called only when options_.compiled_plans is on.
+  void EnsurePlans();
 
   // The per-kind dispatch; Eval wraps it with optional profiling.
   Result<xdm::Sequence> EvalImpl(const Expr& e, DynamicContext& ctx);
@@ -261,6 +307,14 @@ class Evaluator {
   base::ThreadPool* pool_ = nullptr;
   std::unordered_map<const Expr*, bool> needs_last_cache_;
   std::unordered_map<const Expr*, bool> parallel_safe_cache_;
+  std::shared_ptr<const analysis::AnalysisFacts> facts_;
+  // Memoized plan resolution (EnsurePlans): null until the first
+  // compiled_plans dispatch, then pinned for as long as the static
+  // context keys match. Loop-thread / slot-thread discipline like the
+  // memo caches above — an Evaluator is never re-entered concurrently.
+  std::shared_ptr<const plan::ModulePlans> plans_;
+  uint64_t plans_source_hash_ = 0;
+  uint64_t plans_fingerprint_ = 0;
 };
 
 // Built-in function dispatch (functions.cc). Sets *handled=false if the

@@ -148,6 +148,11 @@ std::string Profiler::Report(size_t limit) const {
       static_cast<unsigned long long>(fast_path_.arena_resets),
       static_cast<unsigned long long>(fast_path_.intern_hits));
   out += line;
+  std::snprintf(line, sizeof(line),
+                "  plans: %llu plan dispatches, %llu tree fallbacks\n",
+                static_cast<unsigned long long>(fast_path_.plan_hits),
+                static_cast<unsigned long long>(fast_path_.plan_misses));
+  out += line;
   return out;
 }
 

@@ -68,6 +68,10 @@ class Profiler {
     base::RelaxedCounter arena_bytes_used;
     base::RelaxedCounter arena_resets;
     base::RelaxedCounter intern_hits;
+    // Compiled-plan dispatch: calls executed through a register plan vs
+    // compiled_plans-on calls that fell back to the tree walker.
+    base::RelaxedCounter plan_hits;
+    base::RelaxedCounter plan_misses;
   };
   FastPathCounters& fast_path() { return fast_path_; }
   const FastPathCounters& fast_path() const { return fast_path_; }

@@ -375,7 +375,7 @@ struct DispatchOutcome {
 };
 
 DispatchOutcome RunDispatchScenario(size_t workers, uint32_t seed,
-                                    int clicks) {
+                                    int clicks, bool compiled_plans = true) {
   net::HttpFabric fabric;
   net::XmlStore store;
   net::ServiceHost services(&fabric, &store);
@@ -383,6 +383,11 @@ DispatchOutcome RunDispatchScenario(size_t workers, uint32_t seed,
   plugin::XqibPlugin plugin(&browser, &fabric, &services);
   plugin.Install();
   plugin.EnableParallelDispatch(workers);
+  if (!compiled_plans) {
+    xquery::Evaluator::EvalOptions options;
+    options.compiled_plans = false;
+    plugin.set_eval_options(options);
+  }
   Status st = browser.top_window()->LoadSource(
       "http://app.example.com/index.xhtml", RandomDispatchPage(seed));
   EXPECT_TRUE(st.ok()) << st.ToString();
@@ -419,6 +424,33 @@ TEST(DispatchDeterminism, PoolSizeIsUnobservable) {
       // The pure listeners actually took the staged path.
       EXPECT_GT(got.staged, 0u)
           << "seed " << seed << " workers " << workers;
+    }
+  }
+}
+
+// The compiled-plan ablation crossed with every pool size: the
+// tree-walking serial run is the oracle, and neither the plan layer nor
+// the worker pool (nor their combination) may change what the page
+// observes.
+TEST(DispatchDeterminism, PlanAblationIsUnobservableAtEveryPoolSize) {
+  for (uint32_t seed : {1u, 7u, 42u}) {
+    DispatchOutcome reference =
+        RunDispatchScenario(0, seed, 3, /*compiled_plans=*/false);
+    ASSERT_EQ(reference.alerts.size(), 24u) << "seed " << seed;
+    for (bool plans : {false, true}) {
+      for (size_t workers : {0u, 1u, 4u, 8u}) {
+        if (!plans && workers == 0) continue;  // that's the reference
+        DispatchOutcome got = RunDispatchScenario(workers, seed, 3, plans);
+        EXPECT_EQ(got.alerts, reference.alerts)
+            << "seed " << seed << " workers " << workers
+            << " plans " << plans;
+        EXPECT_EQ(got.dom, reference.dom)
+            << "seed " << seed << " workers " << workers
+            << " plans " << plans;
+        EXPECT_EQ(got.fallbacks, 0u)
+            << "seed " << seed << " workers " << workers
+            << " plans " << plans;
+      }
     }
   }
 }
