@@ -1,0 +1,309 @@
+// P8 — delta propagation: structured DomDeltas from the update-apply
+// pass drive name-index bucket splicing and dispatch-level listener
+// skipping, replacing PR 6's survive-or-recompute with true incremental
+// re-evaluation. Self-timed runner emitting BENCH_P8.json, same schema
+// as P2-P7.
+//
+// Usage:
+//   bench_p8_delta [--iters N] [--out FILE] [--check] [--baseline FILE]
+//
+// Scenarios (arms = EvalOptions::delta_propagation on vs off; the off
+// arm is exactly the PR 6 name-granular invalidation path):
+//   index_churn    one (non-memoized) listener counting //item, one
+//                  updating listener INSERTING an <item/> each op — the
+//                  write name equals the read name, so the PR 6 arm's
+//                  per-name counter moves every op and the whole //item
+//                  bucket is rebuilt from a full-document DFS. The delta
+//                  arm splices the one inserted node into the bucket in
+//                  document order (gap keys make its position known
+//                  without an order recompute).
+//   listener_skip  eight memoizable listeners each counting a distinct
+//                  element name, one updating listener appending into a
+//                  log none of them read. The delta arm classifies the
+//                  batch once per sync (read-set x write-name
+//                  intersection) and replays all eight entries with
+//                  ZERO evaluation and zero per-name probes; the off
+//                  arm re-validates every recorded name counter per
+//                  listener per event.
+//
+// --check exits non-zero unless both ablations agree byte-for-byte,
+// the delta arm actually spliced (bucket_rebuilds_avoided > 0,
+// index_splices > 0) with a >= 5x full-rebuild reduction over the PR 6
+// arm, and the skip arm skipped listeners with zero re-evaluations in
+// the timed window. --baseline FILE compares the fresh delta-arm ns/op
+// numbers against the checked-in BENCH_P8.json within +/-25% — the CI
+// regression guard.
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "app/environment.h"
+#include "bench_util.h"
+#include "xml/dom.h"
+
+namespace {
+
+using xqib::app::BrowserEnvironment;
+using xqib::bench::Args;
+using xqib::bench::ScenarioResult;
+
+// Write name == read name: every op inserts an <item/> next to the
+// 20000 the counter reads.
+std::string MakeIndexChurnPage(int items) {
+  std::ostringstream out;
+  out << "<html><head><script type=\"text/xqueryp\"><![CDATA[\n"
+      << "declare function local:n($evt, $obj) {\n"
+      << "  concat(\"n=\", string(count(//item)))\n};\n"
+      << "declare updating function local:mut($evt, $obj) {\n"
+      << "  insert node <item v=\"0\"/> into //div[@id=\"data\"]\n};\n"
+      << "{\n  on event \"onclick\" at //input[@id=\"btn\"] "
+      << "attach listener local:n;\n"
+      << "  on event \"onclick\" at //input[@id=\"mut\"] "
+      << "attach listener local:mut;\n  ()\n}\n]]></script></head><body>"
+      << "<input id=\"btn\"/><input id=\"mut\"/><div id=\"data\">";
+  for (int i = 0; i < items; ++i) out << "<item v=\"1\"/>";
+  out << "</div></body></html>";
+  return out.str();
+}
+
+// Eight memoizable listeners over eight disjoint names; the mutator
+// writes a ninth name none of them read.
+std::string MakeSkipPage(int items_per_name, int listeners) {
+  std::ostringstream out;
+  out << "<html><head><script type=\"text/xqueryp\"><![CDATA[\n";
+  for (int l = 0; l < listeners; ++l) {
+    out << "declare function local:m" << l << "($evt, $obj) {\n"
+        << "  concat(\"m" << l << "=\", string(count(//t" << l << ")))\n};\n";
+  }
+  out << "declare updating function local:mut($evt, $obj) {\n"
+      << "  insert node <entry/> into /html/body/loga\n};\n{\n";
+  for (int l = 0; l < listeners; ++l) {
+    out << "  on event \"onclick\" at //input[@id=\"btn\"] "
+        << "attach listener local:m" << l << ";\n";
+  }
+  out << "  on event \"onclick\" at //input[@id=\"mut\"] "
+      << "attach listener local:mut;\n  ()\n}\n]]></script></head><body>"
+      << "<input id=\"btn\"/><input id=\"mut\"/><loga/><div id=\"data\">";
+  for (int l = 0; l < listeners; ++l) {
+    for (int i = 0; i < items_per_name; ++i) out << "<t" << l << "/>";
+  }
+  out << "</div></body></html>";
+  return out.str();
+}
+
+struct ChurnEnv {
+  BrowserEnvironment env;
+  xqib::xml::Node* btn = nullptr;
+  xqib::xml::Node* mut = nullptr;
+
+  bool Load(const std::string& page) {
+    xqib::Status st = env.LoadPage("http://bench.example.com/", page);
+    if (!st.ok() || !env.ScriptErrors().empty()) {
+      std::fprintf(stderr, "page load failed: %s %s\n", st.ToString().c_str(),
+                   env.ScriptErrors().c_str());
+      return false;
+    }
+    btn = env.ById("btn");
+    mut = env.ById("mut");
+    return btn != nullptr && mut != nullptr;
+  }
+
+  void Click(xqib::xml::Node* target) {
+    xqib::browser::Event e;
+    e.type = "onclick";
+    (void)env.plugin().FireEvent(target, e);
+  }
+
+  // One churn op: mutate, then count.
+  void Op() {
+    Click(mut);
+    Click(btn);
+  }
+};
+
+struct ArmCounters {
+  // Document index maintenance during the timed window.
+  uint64_t index_builds = 0;
+  uint64_t index_splices = 0;
+  uint64_t rebuilds_avoided = 0;
+  // Plugin delta/memo activity during the timed window.
+  uint64_t emitted = 0;
+  uint64_t listeners_skipped = 0;
+  uint64_t memo_hits = 0;
+  uint64_t memo_misses = 0;
+  uint64_t memo_invalidations = 0;
+};
+
+// Times the churn op with delta propagation `delta` (PR 6 fine-grained
+// stays on in both arms — it IS the off-arm), returning counter deltas
+// over the timed window and the last listener result.
+bool RunArm(const std::string& page, bool delta, bool memo, int iters,
+            double* ns_per_op, ArmCounters* counters, std::string* result) {
+  ChurnEnv d;
+  xqib::xquery::Evaluator::EvalOptions opts;
+  opts.delta_propagation = delta;
+  d.env.plugin().set_eval_options(opts);
+  d.env.plugin().set_memo_enabled(memo);
+  if (!d.Load(page)) return false;
+  // One op outside the window so memo entries are filled and the index
+  // is warm: the timed window then measures steady-state churn.
+  d.Op();
+  const auto& memo_stats = d.env.plugin().memo_stats();
+  const auto& delta_stats = d.env.plugin().delta_stats();
+  const xqib::xml::Document* doc = d.env.browser().top_window()->document();
+  const uint64_t builds0 = doc->name_index_builds();
+  const uint64_t splices0 = doc->index_splices();
+  const uint64_t avoided0 = doc->bucket_rebuilds_avoided();
+  const uint64_t emitted0 = delta_stats.emitted;
+  const uint64_t skipped0 = delta_stats.listeners_skipped;
+  const uint64_t hits0 = memo_stats.hits;
+  const uint64_t misses0 = memo_stats.misses;
+  const uint64_t inval0 = memo_stats.invalidations;
+  *ns_per_op = xqib::bench::NsPerOp([&] { d.Op(); }, iters);
+  counters->index_builds = doc->name_index_builds() - builds0;
+  counters->index_splices = doc->index_splices() - splices0;
+  counters->rebuilds_avoided = doc->bucket_rebuilds_avoided() - avoided0;
+  counters->emitted = delta_stats.emitted - emitted0;
+  counters->listeners_skipped = delta_stats.listeners_skipped - skipped0;
+  counters->memo_hits = memo_stats.hits - hits0;
+  counters->memo_misses = memo_stats.misses - misses0;
+  counters->memo_invalidations = memo_stats.invalidations - inval0;
+  *result = d.env.plugin().last_listener_result();
+  if (!d.env.ScriptErrors().empty()) {
+    std::fprintf(stderr, "script errors during churn: %s\n",
+                 d.env.ScriptErrors().c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!xqib::bench::ParseArgs(argc, argv, &args)) return 2;
+  const int iters = args.iters;
+
+  std::vector<ScenarioResult> results;
+  bool ok = true;
+
+  // --- index_churn: splice the bucket vs rebuild it every op. ---
+  ArmCounters index_delta, index_p6;
+  {
+    const std::string page = MakeIndexChurnPage(20000);
+    ScenarioResult sr;
+    sr.name = "index_churn";
+    std::string delta_result, p6_result;
+    ok &= RunArm(page, true, false, iters, &sr.on_ns, &index_delta,
+                 &delta_result);
+    ok &= RunArm(page, false, false, iters, &sr.off_ns, &index_p6,
+                 &p6_result);
+    sr.results_match = delta_result == p6_result && !delta_result.empty();
+    if (!sr.results_match) {
+      std::fprintf(stderr, "index_churn: delta %s != p6 %s\n",
+                   delta_result.c_str(), p6_result.c_str());
+    }
+    results.push_back(sr);
+  }
+
+  // --- listener_skip: skip-by-read-set vs per-name probes per event. ---
+  ArmCounters skip_delta, skip_p6;
+  {
+    const std::string page = MakeSkipPage(1000, 8);
+    ScenarioResult sr;
+    sr.name = "listener_skip";
+    std::string delta_result, p6_result;
+    ok &= RunArm(page, true, true, iters, &sr.on_ns, &skip_delta,
+                 &delta_result);
+    ok &= RunArm(page, false, true, iters, &sr.off_ns, &skip_p6,
+                 &p6_result);
+    sr.results_match = delta_result == p6_result && !delta_result.empty();
+    if (!sr.results_match) {
+      std::fprintf(stderr, "listener_skip: delta %s != p6 %s\n",
+                   delta_result.c_str(), p6_result.c_str());
+    }
+    results.push_back(sr);
+  }
+
+  const double rebuild_ratio =
+      static_cast<double>(index_p6.index_builds) /
+      static_cast<double>(index_delta.index_builds == 0
+                              ? 1
+                              : index_delta.index_builds);
+
+  std::ostringstream json;
+  json << "{\n  \"bench\": \"bench_p8_delta\",\n  \"iters\": " << iters
+       << ",\n" << xqib::bench::ScenariosJson(results, "delta", "p6")
+       << ",\n";
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"rebuild_ratio\": %.2f,\n"
+      "  \"counters\": {\"index_builds_delta\": %llu, "
+      "\"index_builds_p6\": %llu, \"index_splices\": %llu, "
+      "\"bucket_rebuilds_avoided\": %llu, \"deltas_emitted\": %llu, "
+      "\"listeners_skipped\": %llu, \"skip_arm_misses\": %llu}\n}\n",
+      rebuild_ratio,
+      static_cast<unsigned long long>(index_delta.index_builds),
+      static_cast<unsigned long long>(index_p6.index_builds),
+      static_cast<unsigned long long>(index_delta.index_splices),
+      static_cast<unsigned long long>(index_delta.rebuilds_avoided),
+      static_cast<unsigned long long>(index_delta.emitted +
+                                      skip_delta.emitted),
+      static_cast<unsigned long long>(skip_delta.listeners_skipped),
+      static_cast<unsigned long long>(skip_delta.memo_misses));
+  json << buf;
+  xqib::bench::EmitJson(json.str(), args.out_path);
+
+  if (!ok) {
+    std::fprintf(stderr, "FAIL: a scenario did not run\n");
+    return 1;
+  }
+  if (args.check) {
+    if (!xqib::bench::AllResultsMatch(results)) return 1;
+    if (index_delta.rebuilds_avoided == 0 || index_delta.index_splices == 0) {
+      std::fprintf(stderr, "FAIL: the delta arm never spliced a bucket\n");
+      return 1;
+    }
+    // The P8 acceptance floor: >= 5x fewer full index rebuilds than the
+    // PR 6 arm on the same churn.
+    if (rebuild_ratio < 5.0) {
+      std::fprintf(stderr,
+                   "FAIL: rebuild ratio %.2f (delta %llu vs p6 %llu) below "
+                   "the 5x floor\n",
+                   rebuild_ratio,
+                   static_cast<unsigned long long>(index_delta.index_builds),
+                   static_cast<unsigned long long>(index_p6.index_builds));
+      return 1;
+    }
+    if (skip_delta.listeners_skipped == 0) {
+      std::fprintf(stderr, "FAIL: no listener was ever delta-skipped\n");
+      return 1;
+    }
+    // "Zero evaluation": past the warmup op, no skip-arm listener may
+    // miss or be invalidated — every count event replays all 8 entries.
+    if (skip_delta.memo_misses != 0 || skip_delta.memo_invalidations != 0) {
+      std::fprintf(stderr,
+                   "FAIL: skip arm re-evaluated (%llu misses, %llu "
+                   "invalidations) in the timed window\n",
+                   static_cast<unsigned long long>(skip_delta.memo_misses),
+                   static_cast<unsigned long long>(
+                       skip_delta.memo_invalidations));
+      return 1;
+    }
+    std::fputs("CHECK OK\n", stderr);
+  }
+  if (!args.baseline_path.empty() &&
+      !xqib::bench::CheckBaseline(
+          args.baseline_path,
+          {{"index_churn", "delta_ns_per_op",
+            results.empty() ? 0 : results[0].on_ns},
+           {"listener_skip", "delta_ns_per_op",
+            results.size() < 2 ? 0 : results[1].on_ns}})) {
+    return 1;
+  }
+  return 0;
+}

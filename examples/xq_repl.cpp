@@ -40,11 +40,90 @@ void PrintResult(const xdm::Sequence& result) {
   std::printf("\n");
 }
 
+// Counters accumulated across every query this process ran — the
+// interactive loop recompiles per line, so per-evaluator stats are
+// folded in here after each run and dumped by `:counters`.
+xquery::Evaluator::EvalStats g_session_stats;
+
+void AccumulateStats(const xquery::Evaluator::EvalStats& s) {
+  xquery::Evaluator::EvalStats& d = g_session_stats;
+  d.sorts_performed += s.sorts_performed;
+  d.sorts_elided += s.sorts_elided;
+  d.name_index_hits += s.name_index_hits;
+  d.early_exits += s.early_exits;
+  d.count_index_hits += s.count_index_hits;
+  d.streams.items_pulled += s.streams.items_pulled;
+  d.streams.items_materialized += s.streams.items_materialized;
+  d.streams.buffers_avoided += s.streams.buffers_avoided;
+  d.arena_bytes_used += s.arena_bytes_used;
+  d.arena_resets += s.arena_resets;
+  d.intern_hits = s.intern_hits;  // pool snapshot, not a delta
+  d.parallel_predicate_chunks += s.parallel_predicate_chunks;
+  d.plan_compiles += s.plan_compiles;
+  d.plan_hits += s.plan_hits;
+  d.plan_misses += s.plan_misses;
+  d.plan_invalidations += s.plan_invalidations;
+  d.plan_bytes += s.plan_bytes;
+  d.delta.emitted += s.delta.emitted;
+  d.delta.index_splices += s.delta.index_splices;
+  d.delta.bucket_rebuilds_avoided += s.delta.bucket_rebuilds_avoided;
+  d.delta.listeners_skipped += s.delta.listeners_skipped;
+}
+
+void PrintCounters(const xml::Document* context_doc) {
+  const xquery::Evaluator::EvalStats& s = g_session_stats;
+  std::printf("--- session counters ---\n");
+  std::printf("  eval: %llu sorts performed, %llu elided, %llu name-index "
+              "hits, %llu early exits, %llu count-index hits\n",
+              (unsigned long long)s.sorts_performed,
+              (unsigned long long)s.sorts_elided,
+              (unsigned long long)s.name_index_hits,
+              (unsigned long long)s.early_exits,
+              (unsigned long long)s.count_index_hits);
+  std::printf("  streams: %llu pulled, %llu materialized, %llu buffers "
+              "avoided\n",
+              (unsigned long long)s.streams.items_pulled,
+              (unsigned long long)s.streams.items_materialized,
+              (unsigned long long)s.streams.buffers_avoided);
+  std::printf("  memory: %llu arena bytes, %llu resets, %llu intern hits\n",
+              (unsigned long long)s.arena_bytes_used,
+              (unsigned long long)s.arena_resets,
+              (unsigned long long)s.intern_hits);
+  std::printf("  plans: %llu compiles, %llu dispatches, %llu fallbacks, "
+              "%llu invalidations, %llu bytes\n",
+              (unsigned long long)s.plan_compiles,
+              (unsigned long long)s.plan_hits,
+              (unsigned long long)s.plan_misses,
+              (unsigned long long)s.plan_invalidations,
+              (unsigned long long)s.plan_bytes);
+  std::printf("  delta: %llu emitted, %llu index splices, %llu rebuilds "
+              "avoided, %llu listeners skipped\n",
+              (unsigned long long)s.delta.emitted,
+              (unsigned long long)s.delta.index_splices,
+              (unsigned long long)s.delta.bucket_rebuilds_avoided,
+              (unsigned long long)s.delta.listeners_skipped);
+  if (context_doc != nullptr) {
+    std::printf("  document: %llu index builds, %llu fine-grained hits, "
+                "%llu index splices, %llu rebuilds avoided, %llu order "
+                "rebuilds\n",
+                (unsigned long long)context_doc->name_index_builds(),
+                (unsigned long long)context_doc->name_index_fine_hits(),
+                (unsigned long long)context_doc->index_splices(),
+                (unsigned long long)context_doc->bucket_rebuilds_avoided(),
+                (unsigned long long)context_doc->order_rebuilds());
+  }
+}
+
 int RunQuery(const std::string& query, xml::Document* context_doc,
              bool print_doc_after, bool profile) {
   // `:plan <query>` dumps the compiled bytecode plans of the query's
-  // user-declared functions instead of evaluating it.
+  // user-declared functions instead of evaluating it; `:counters` dumps
+  // the counters accumulated by every query run so far.
   std::string trimmed(TrimWhitespace(query));
+  if (trimmed == ":counters") {
+    PrintCounters(context_doc);
+    return 0;
+  }
   if (trimmed.rfind(":plan", 0) == 0) {
     auto dump = xquery::plan::DumpPlansForQuery(
         std::string(TrimWhitespace(trimmed.substr(5))));
@@ -80,6 +159,7 @@ int RunQuery(const std::string& query, xml::Document* context_doc,
     return 1;
   }
   auto result = (*compiled)->Run(ctx);
+  AccumulateStats((*compiled)->evaluator().stats());
   if (!result.ok()) {
     std::fprintf(stderr, "error: %s\n",
                  result.status().ToString().c_str());
@@ -123,6 +203,10 @@ int main(int argc, char** argv) {
         return 1;
       }
       context_doc = std::move(parsed).value();
+      // Structured index maintenance for the session document, so
+      // repeated queries after updates splice buckets instead of
+      // rebuilding them — `:counters` shows the effect.
+      context_doc->set_delta_tracking(true);
       show_doc = true;
     } else if (arg == "-p" || arg == "--profile") {
       profile = true;
@@ -132,7 +216,11 @@ int main(int argc, char** argv) {
                   "(one per line\nwhen interactive, whole input when "
                   "piped).\nA query of the form ':plan <query>' dumps "
                   "the compiled bytecode plans\nof the query's "
-                  "user-declared functions instead of evaluating it.\n");
+                  "user-declared functions instead of evaluating it.\n"
+                  "A query of ':counters' dumps the evaluation counters "
+                  "accumulated\nacross the session (eval/stream/memory/"
+                  "plan/delta plus the context\ndocument's index "
+                  "counters).\n");
       return 0;
     } else {
       if (!query.empty()) query += " ";

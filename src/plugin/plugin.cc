@@ -5,7 +5,9 @@
 #include "base/strings.h"
 #include "browser/css.h"
 #include "net/rest.h"
+#include "xquery/analysis/effects.h"
 #include "xquery/optimizer.h"
+#include "xquery/profiler.h"
 #include "xquery/update.h"
 
 namespace xqib::plugin {
@@ -171,6 +173,7 @@ Status XqibPlugin::InitializePage(Window* window) {
   }
   pages_[window] = page;
   window->document()->set_fine_grained_versions(fine_grained_invalidation_);
+  window->document()->set_delta_tracking(eval_options_.delta_propagation);
 
   // Step 2: extract scripts and inline handlers.
   double t0 = NowMicros();
@@ -444,11 +447,62 @@ Status XqibPlugin::RegisterXQueryInlineHandler(PageContext* page,
 }
 
 Status XqibPlugin::ApplyAfterRun(PageContext* page) {
-  XQ_RETURN_NOT_OK(page->ctx->pul().ApplyAll());
+  // With delta propagation on, capture the structured write set of the
+  // apply pass. The document's own dispatch/index windows accumulate the
+  // same information for their consumers; the capture feeds the emitted
+  // counter and keeps the update layer's API honest in tests.
+  const bool track =
+      eval_options_.delta_propagation && !page->ctx->pul().empty();
+  xml::DomDelta delta;
+  XQ_RETURN_NOT_OK(page->ctx->pul().ApplyAll(track ? &delta : nullptr));
+  if (track && !delta.Empty()) ++delta_stats_.emitted;
   for (const Browser::BomTree& tree : page->bom_trees) {
     XQ_RETURN_NOT_OK(browser_->SyncFromBomTree(tree, page->window->url()));
   }
   return Status();
+}
+
+void XqibPlugin::PropagateDelta(PageContext* page) {
+  xml::Document* doc = page->window->document();
+  if (!eval_options_.delta_propagation || !doc->delta_tracking()) return;
+  // Every recorded op bumps the document mutation version, so an
+  // unchanged version since the last sync means the dispatch window is
+  // provably empty — skip the lock-and-drain. This is the common case:
+  // only the first listener after an updating one finds a batch.
+  if (page->delta_synced_version == doc->mutation_version()) return;
+  xml::DomDelta delta;
+  doc->TakeDispatchDelta(&delta);
+  if (!delta.Empty()) {
+    const uint64_t seq = ++page->delta_seq;
+    if (delta.whole_tree) {
+      // Overflowed or untracked batch: every listener is dirty and the
+      // per-listener map carries no extra information.
+      page->all_dirty_seq = seq;
+      page->dirty_seq.clear();
+    } else {
+      for (const auto& [key, reads] : page->listener_read_names) {
+        if (xquery::analysis::ReadSetIntersectsWrites(reads, delta.touched)) {
+          page->dirty_seq[key] = seq;
+        }
+      }
+    }
+  }
+  // Even an empty batch re-anchors: the document version now provably
+  // matches the drained window, so skip probes stay armed.
+  page->delta_synced_version = doc->mutation_version();
+}
+
+bool XqibPlugin::DeltaSkipValid(const PageContext* page,
+                                const PageContext::ListenerKey& key,
+                                const PageContext::MemoEntry& entry,
+                                uint64_t doc_version) {
+  if (entry.delta_fill_seq == 0) return false;  // ⊤ reads: never skip
+  // Mutations since the last PropagateDelta have not been classified;
+  // the dirty map says nothing about them, so the probe disarms.
+  if (page->delta_synced_version != doc_version) return false;
+  if (page->all_dirty_seq > entry.delta_fill_seq) return false;
+  auto it = page->dirty_seq.find(key);
+  return it == page->dirty_seq.end() || it->second <= entry.delta_fill_seq;
 }
 
 xml::Node* XqibPlugin::MaterializeEvent(DynamicContext* ctx,
@@ -474,6 +528,10 @@ xml::Node* XqibPlugin::MaterializeEvent(DynamicContext* ctx,
 
 void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
                                 const Event& event) {
+  // Fold any document mutations since the last sync point into the
+  // dirty-listener state before probing: the delta-skip check below is
+  // only sound against a synced window.
+  PropagateDelta(page);
   // Listener signature per §4.3.1: ($evt, $obj). Resolve the arity
   // BEFORE building any arguments so a memo hit can skip event
   // materialization entirely.
@@ -514,6 +572,25 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
     if (it != page->memo_cache.end()) {
       bool valid = it->second.doc_version == doc_version;
       uint64_t fine_survival = 0;
+      uint64_t delta_skip = 0;
+      // The delta probe rides on the same effect analysis as the
+      // per-name counters, so the fine-grained ablation switch (which
+      // restores pre-effect-analysis behavior exactly) disables it too.
+      if (!valid && eval_options_.delta_propagation &&
+          fine_grained_invalidation_ &&
+          DeltaSkipValid(page,
+                         PageContext::ListenerKey{function.token(), arity},
+                         it->second, doc_version)) {
+        // Every mutation batch since fill time missed the listener's read
+        // set (PropagateDelta above synced the window), so the recorded
+        // result is exact without probing per-name counters. Re-anchor so
+        // the next probe takes the one-compare fast path.
+        valid = true;
+        delta_skip = 1;
+        ++delta_stats_.listeners_skipped;
+        it->second.doc_version = doc_version;
+        it->second.delta_fill_seq = page->delta_seq;
+      }
       if (!valid && fine_grained_invalidation_ && it->second.fine_grained) {
         // Globally stale, but if none of the names the listener reads
         // were touched since fill time, the recorded result is still
@@ -540,6 +617,10 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
         last_event_stats_ = EventStats{};
         last_event_stats_.memo_hits = 1;
         last_event_stats_.memo_fine_survivals = fine_survival;
+        last_event_stats_.delta_listeners_skipped = delta_skip;
+        if (delta_skip != 0) {
+          ++page->evaluator->mutable_delta_stats().listeners_skipped;
+        }
         // Memoizable implies pure: nothing to apply, nothing to render.
         ++pure_listener_skips_;
         return;
@@ -579,6 +660,12 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
   // EvalStats only snapshots them at arena resets.
   xquery::Evaluator::EvalStats before = page->evaluator->stats();
   xml::InternPoolStats intern_before = xml::GetInternStats();
+  // Delta counters live on the document (splices) and the plugin
+  // (emissions), not the evaluator: diff them the same way.
+  const xml::Document* doc = page->window->document();
+  const uint64_t delta_emitted_before = delta_stats_.emitted;
+  const uint64_t splices_before = doc->index_splices();
+  const uint64_t avoided_before = doc->bucket_rebuilds_avoided();
   Result<Sequence> result =
       page->evaluator->CallFunction(function, std::move(args), *page->ctx);
   const xquery::Evaluator::EvalStats& after = page->evaluator->stats();
@@ -611,6 +698,9 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
   last_event_stats_.plan_compiles = after.plan_compiles - before.plan_compiles;
   last_event_stats_.plan_invalidations =
       after.plan_invalidations - before.plan_invalidations;
+  last_event_stats_.delta_index_splices = doc->index_splices() - splices_before;
+  last_event_stats_.delta_bucket_rebuilds_avoided =
+      doc->bucket_rebuilds_avoided() - avoided_before;
   if (page->evaluator->exited()) page->evaluator->TakeExitValue();
   if (!result.ok()) {
     last_script_error_ = result.status();
@@ -641,6 +731,26 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
     Status st = ApplyAfterRun(page);
     if (!st.ok()) last_script_error_ = st;
   }
+  last_event_stats_.delta_emitted = delta_stats_.emitted - delta_emitted_before;
+  // Fold the delta counters into the evaluator's cumulative EvalStats and
+  // the profiler fast-path block so `:stats` and profile reports carry
+  // them alongside the PR 5/6/7 counters.
+  {
+    xquery::Evaluator::EvalStats::DeltaStats& ds =
+        page->evaluator->mutable_delta_stats();
+    ds.emitted += last_event_stats_.delta_emitted;
+    ds.index_splices += last_event_stats_.delta_index_splices;
+    ds.bucket_rebuilds_avoided +=
+        last_event_stats_.delta_bucket_rebuilds_avoided;
+    if (page->ctx->profiler != nullptr) {
+      xquery::Profiler::FastPathCounters& fp =
+          page->ctx->profiler->fast_path();
+      fp.delta_emitted += last_event_stats_.delta_emitted;
+      fp.delta_index_splices += last_event_stats_.delta_index_splices;
+      fp.delta_bucket_rebuilds_avoided +=
+          last_event_stats_.delta_bucket_rebuilds_avoided;
+    }
+  }
   // The dispatch is over and its result is materialized: reclaim every
   // stream operator this event allocated in one wholesale reset.
   page->evaluator->ResetDispatchArena(*page->ctx);
@@ -663,6 +773,13 @@ XqibPlugin::PageContext::MemoEntry XqibPlugin::MakeMemoEntry(
         entry.read_versions.emplace_back(token, doc->name_version(token));
       }
     }
+  }
+  // Stamp the delta sequence at fill time: the entry survives delta-skip
+  // probes as long as no later batch dirtied this listener. ⊤-read
+  // listeners record no name list and keep the 0 stamp (never skipped).
+  if (eval_options_.delta_propagation &&
+      page->listener_read_names.count(key) > 0) {
+    entry.delta_fill_seq = page->delta_seq;
   }
   return entry;
 }
@@ -721,6 +838,17 @@ std::function<void()> XqibPlugin::StageListener(
     if (it != raw->memo_cache.end()) {
       bool valid = it->second.doc_version == doc_version;
       uint64_t fine_survival = 0;
+      uint64_t delta_skip = 0;
+      if (!valid && eval_options_.delta_propagation &&
+          fine_grained_invalidation_ &&
+          DeltaSkipValid(raw, lkey, it->second, doc_version)) {
+        // Read-only delta-skip probe: the dirty-seq state only moves on
+        // the loop thread, which is parked inside the dispatch batch.
+        // (No re-anchor under the shared lock; the serial path refreshes.)
+        valid = true;
+        delta_skip = 1;
+        ++delta_stats_.listeners_skipped;
+      }
       if (!valid && fine_grained_invalidation_ && it->second.fine_grained) {
         // Name-granular rescue under the shared lock: the name-version
         // map only moves on the loop thread, which is parked inside the
@@ -742,12 +870,16 @@ std::function<void()> XqibPlugin::StageListener(
       if (valid) {
         ++memo_stats_.hits;  // relaxed counter: safe off-thread
         std::string serialized = it->second.serialized;
-        return [this, page, serialized = std::move(serialized),
-                fine_survival]() {
+        return [this, page, serialized = std::move(serialized), fine_survival,
+                delta_skip]() {
           last_listener_result_ = serialized;
           last_event_stats_ = EventStats{};
           last_event_stats_.memo_hits = 1;
           last_event_stats_.memo_fine_survivals = fine_survival;
+          last_event_stats_.delta_listeners_skipped = delta_skip;
+          if (delta_skip != 0) {
+            ++page->evaluator->mutable_delta_stats().listeners_skipped;
+          }
           ++pure_listener_skips_;
         };
       }
@@ -1006,11 +1138,24 @@ void XqibPlugin::set_eval_options(
   eval_options_ = options;
   for (auto& [window, page] : pages_) {
     if (page->evaluator != nullptr) page->evaluator->set_options(options);
+    // Delta tracking follows the ablation switch. Any toggle (either
+    // direction) invalidates the page's accumulated dirty-seq state —
+    // mutations that happened untracked were never classified — so mark
+    // everything dirty and disarm skips until the next sync.
+    page->window->document()->set_delta_tracking(options.delta_propagation);
+    page->delta_synced_version = 0;
+    page->dirty_seq.clear();
+    page->all_dirty_seq = ++page->delta_seq;
   }
 }
 
 Status XqibPlugin::FireEvent(xml::Node* target, Event event) {
   browser_->loop().Post([this, target, event]() mutable {
+    // Classify mutations made since the last sync point (script runs,
+    // direct DOM pokes from the host) before the dispatcher stages any
+    // listener: staged probes read the dirty state as of this moment.
+    PageContext* page = FindPageByDocument(target->document());
+    if (page != nullptr) PropagateDelta(page);
     browser_->events().Dispatch(target, std::move(event));
   });
   PumpEvents();
@@ -1099,6 +1244,8 @@ Status XqibPlugin::TriggerEvent(const std::string& event_name,
     Event event;
     event.type = event_name;
     browser_->loop().Post([this, target, event]() mutable {
+      PageContext* page = FindPageByDocument(target->document());
+      if (page != nullptr) PropagateDelta(page);
       browser_->events().Dispatch(target, std::move(event));
     });
   }

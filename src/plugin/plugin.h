@@ -135,6 +135,17 @@ class XqibPlugin : public xquery::BrowserBinding {
   void set_memo_enabled(bool enabled) { memo_enabled_ = enabled; }
   bool memo_enabled() const { return memo_enabled_; }
 
+  // Delta propagation (PERFORMANCE.md §8): structured PUL deltas drive
+  // the index splice inside the Document; here they drive skip-dispatch
+  // — a memoized listener whose static read names miss every name the
+  // delta wrote replays its cached result without probing versions at
+  // all. Counted across all pages.
+  struct DeltaStats {
+    base::RelaxedCounter emitted;            // structured PUL deltas
+    base::RelaxedCounter listeners_skipped;  // replays via delta check
+  };
+  const DeltaStats& delta_stats() const { return delta_stats_; }
+
   // Ablation switch for name-granular invalidation (PERFORMANCE.md §6).
   // Off restores the pre-effect-analysis behavior exactly: the memo
   // cache and the element-name index validate against the whole-document
@@ -191,6 +202,15 @@ class XqibPlugin : public xquery::BrowserBinding {
     base::RelaxedCounter plan_misses;
     base::RelaxedCounter plan_compiles;
     base::RelaxedCounter plan_invalidations;
+    // Delta-propagation work for the dispatch: structured PUL deltas
+    // emitted by the apply pass, index splices / avoided rebuilds the
+    // listener's own lookups triggered (staged listeners report 0 here,
+    // like intern_hits: the Document counters are process-shared), and
+    // whether this dispatch was answered by the delta skip check.
+    base::RelaxedCounter delta_emitted;
+    base::RelaxedCounter delta_index_splices;
+    base::RelaxedCounter delta_bucket_rebuilds_avoided;
+    base::RelaxedCounter delta_listeners_skipped;
   };
   const EventStats& last_event_stats() const { return last_event_stats_; }
 
@@ -336,12 +356,35 @@ class XqibPlugin : public xquery::BrowserBinding {
       bool fine_grained = false;
       std::vector<std::pair<const xml::InternedName*, uint64_t>>
           read_versions;
+      // Delta-skip validity (PERFORMANCE.md §8): the page's delta_seq at
+      // fill time. The entry is exact iff the listener was not dirtied
+      // by any delta batch after this sequence number. 0 = the listener's
+      // read set was not fully named (⊤ reads) — never delta-skipped.
+      uint64_t delta_fill_seq = 0;
     };
     // Guarded by memo_mu: staged listeners probe concurrently from pool
     // workers (shared lock); inserts and invalidations run exclusively
     // on the loop thread's commit slot.
     std::unordered_map<MemoKey, MemoEntry, MemoKeyHash> memo_cache;
     mutable std::shared_mutex memo_mu;
+
+    // --- Delta-skip dispatch state (PERFORMANCE.md §8) ----------------
+    // Batches of document mutations are drained from the Document's
+    // dispatch delta window at every sync point (PropagateDelta); each
+    // non-empty batch bumps delta_seq and marks every listener whose
+    // read names intersect the batch's write names dirty at that
+    // sequence. A memo entry filled at delta_fill_seq is provably exact
+    // while max(all_dirty_seq, dirty_seq[listener]) <= delta_fill_seq
+    // AND delta_synced_version still matches the document — the second
+    // check catches mutations that happened after the last sync point
+    // (the skip path then disables itself; the PR 6 per-name probe is
+    // the always-sound fallback). Written on the loop thread; workers
+    // read while the loop thread is barriered (same discipline as the
+    // name-version map).
+    uint64_t delta_seq = 1;
+    uint64_t all_dirty_seq = 0;  // ⊤ batch: every listener dirty
+    std::unordered_map<ListenerKey, uint64_t, ListenerKeyHash> dirty_seq;
+    uint64_t delta_synced_version = 0;
 
     // One worker slot per concurrently staged listener: a private
     // DynamicContext + Evaluator (own arena, own stats, own scratch
@@ -390,6 +433,19 @@ class XqibPlugin : public xquery::BrowserBinding {
                                        std::string serialized) const;
   Status ApplyAfterRun(PageContext* page);
 
+  // Drains the page document's dispatch delta window and folds it into
+  // the page's dirty-listener state (delta_seq/dirty_seq). Called at
+  // every dispatch sync point on the loop thread. No-op when delta
+  // propagation is off.
+  void PropagateDelta(PageContext* page);
+  // The skip-dispatch probe: true when `entry` provably cannot have
+  // been dirtied by any delta batch since it was filled. Read-only —
+  // safe from pool workers while the loop thread is barriered.
+  static bool DeltaSkipValid(const PageContext* page,
+                             const PageContext::ListenerKey& key,
+                             const PageContext::MemoEntry& entry,
+                             uint64_t doc_version);
+
   // The parallel path of InvokeListener: runs on a pool worker against
   // the DOM snapshot (the loop thread is barriered inside the dispatch
   // batch, so the snapshot cannot move) and returns the commit closure
@@ -432,6 +488,7 @@ class XqibPlugin : public xquery::BrowserBinding {
   bool memo_enabled_ = true;
   bool fine_grained_invalidation_ = true;
   MemoStats memo_stats_;
+  DeltaStats delta_stats_;
   std::string last_listener_result_;
   EventStats last_event_stats_;
   xquery::Evaluator::EvalOptions eval_options_;

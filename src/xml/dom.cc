@@ -5,6 +5,92 @@
 
 namespace xqib::xml {
 
+namespace {
+
+// Attached-tree order keys live in [1, kAttachedKeyLimit); detached
+// fragments above, partitioned by tree id (tree_id << 32).
+constexpr uint64_t kAttachedKeyLimit = 1ull << 32;
+
+// Last node of `n`'s subtree in preorder (attributes precede children).
+const Node* PreorderLast(const Node* n) {
+  while (true) {
+    if (!n->children().empty()) {
+      n = n->children().back();
+      continue;
+    }
+    if (!n->attributes().empty()) return n->attributes().back();
+    return n;
+  }
+}
+
+// First node after `x`'s entire subtree in preorder, or nullptr at the
+// end of `x`'s tree.
+const Node* PreorderSuccessor(const Node* x) {
+  while (x->parent() != nullptr) {
+    const Node* p = x->parent();
+    if (x->kind() == NodeKind::kAttribute) {
+      const auto& attrs = p->attributes();
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        if (attrs[i] == x) {
+          if (i + 1 < attrs.size()) return attrs[i + 1];
+          break;
+        }
+      }
+      if (!p->children().empty()) return p->children().front();
+    } else {
+      const auto& kids = p->children();
+      for (size_t i = 0; i < kids.size(); ++i) {
+        if (kids[i] == x) {
+          if (i + 1 < kids.size()) return kids[i + 1];
+          break;
+        }
+      }
+    }
+    x = p;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- DomDelta ---
+
+void DomDelta::Clear() {
+  element_ops.clear();
+  touched.clear();
+  whole_tree = false;
+  mutations = 0;
+  op_entries = 0;
+}
+
+void DomDelta::Touch(const InternedName* token) {
+  if (whole_tree) return;
+  if (touched.size() >= kTrackingCap) {
+    Overflow();
+    return;
+  }
+  touched.insert(token);
+}
+
+void DomDelta::ElementOp(Node* node, const InternedName* token,
+                         bool inserted) {
+  if (whole_tree) return;
+  if (op_entries >= kTrackingCap) {
+    Overflow();
+    return;
+  }
+  if (element_ops[token].insert_or_assign(node, inserted).second) {
+    ++op_entries;
+  }
+}
+
+void DomDelta::Overflow() {
+  whole_tree = true;
+  element_ops.clear();
+  touched.clear();
+  op_entries = 0;
+}
+
 const char* NodeKindName(NodeKind kind) {
   switch (kind) {
     case NodeKind::kDocument: return "document";
@@ -104,8 +190,10 @@ void Node::AppendChild(Node* child) {
   CheckAdoptable(child);
   child->parent_ = this;
   children_.push_back(child);
-  document_->BumpTreeNames(child);
-  document_->InvalidateOrder();
+  document_->RecordSubtree(child, /*inserted=*/true);
+  if (!document_->TryAssignGapKeys(this, child, children_.size() - 1)) {
+    document_->InvalidateOrder();
+  }
   document_->NotifyMutation(this);
 }
 
@@ -119,8 +207,10 @@ void Node::InsertBefore(Node* child, Node* ref) {
   assert(idx != static_cast<size_t>(-1) && "ref is not a child");
   child->parent_ = this;
   children_.insert(children_.begin() + static_cast<ptrdiff_t>(idx), child);
-  document_->BumpTreeNames(child);
-  document_->InvalidateOrder();
+  document_->RecordSubtree(child, /*inserted=*/true);
+  if (!document_->TryAssignGapKeys(this, child, idx)) {
+    document_->InvalidateOrder();
+  }
   document_->NotifyMutation(this);
 }
 
@@ -145,11 +235,15 @@ void Node::InsertFirst(Node* child) {
 void Node::RemoveChild(Node* child) {
   size_t idx = ChildIndex(child);
   assert(idx != static_cast<size_t>(-1) && "not a child of this node");
-  document_->BumpTreeNames(child);  // while still attached
+  document_->RecordSubtree(child, /*inserted=*/false);  // while still attached
   children_.erase(children_.begin() + static_cast<ptrdiff_t>(idx));
   child->parent_ = nullptr;
   child->tree_id_ = document_->next_tree_id_++;
-  document_->InvalidateOrder();
+  // Re-keying the detached fragment eagerly (instead of invalidating the
+  // whole order) leaves every attached key valid: the vacated key range
+  // simply has no occupants, and the fragment's keys move to its fresh
+  // tree-id region so they can never collide with a later gap insert.
+  document_->AssignDetachedKeys(child);
   document_->NotifyMutation(this);
 }
 
@@ -165,8 +259,9 @@ void Node::Detach() {
       }
     }
     parent_ = nullptr;
-    document_->BumpNameIfAttached(owner, name_.token());
-    document_->InvalidateOrder();
+    document_->RecordNameTouch(owner, name_.token());
+    tree_id_ = document_->next_tree_id_++;
+    document_->AssignDetachedKeys(this);
     document_->NotifyMutation(owner);
   } else {
     parent_->RemoveChild(this);
@@ -177,15 +272,17 @@ Node* Node::SetAttribute(const QName& name, std::string value) {
   assert(kind_ == NodeKind::kElement);
   if (Node* existing = FindAttribute(name.ns(), name.local())) {
     existing->value_ = std::move(value);
-    document_->BumpNameIfAttached(this, name.token());
+    document_->RecordNameTouch(this, name.token());
     document_->NotifyMutation(this);
     return existing;
   }
   Node* attr = document_->CreateAttribute(name, std::move(value));
   attr->parent_ = this;
   attributes_.push_back(attr);
-  document_->BumpNameIfAttached(this, name.token());
-  document_->InvalidateOrder();
+  document_->RecordNameTouch(this, name.token());
+  if (!document_->TryAssignGapKeys(this, attr, attributes_.size() - 1)) {
+    document_->InvalidateOrder();
+  }
   document_->NotifyMutation(this);
   return attr;
 }
@@ -202,25 +299,30 @@ void Node::AttachAttribute(Node* attr) {
   RemoveAttribute(attr->name_.ns(), attr->name_.local());
   attr->parent_ = this;
   attributes_.push_back(attr);
-  document_->BumpNameIfAttached(this, attr->name_.token());
-  document_->InvalidateOrder();
+  document_->RecordNameTouch(this, attr->name_.token());
+  if (!document_->TryAssignGapKeys(this, attr, attributes_.size() - 1)) {
+    document_->InvalidateOrder();
+  }
   document_->NotifyMutation(this);
 }
 
 void Node::SetValue(std::string value) {
   if (kind_ == NodeKind::kElement || kind_ == NodeKind::kDocument) {
     for (Node* c : children_) {
-      document_->BumpTreeNames(c);  // while still attached
+      document_->RecordSubtree(c, /*inserted=*/false);  // while still attached
       c->parent_ = nullptr;
       c->tree_id_ = document_->next_tree_id_++;
+      document_->AssignDetachedKeys(c);
     }
     children_.clear();
     if (!value.empty()) {
       Node* text = document_->CreateText(std::move(value));
       text->parent_ = this;
       children_.push_back(text);
+      if (!document_->TryAssignGapKeys(this, text, 0)) {
+        document_->InvalidateOrder();
+      }
     }
-    document_->InvalidateOrder();
   } else {
     value_ = std::move(value);
   }
@@ -231,9 +333,10 @@ void Node::Rename(const QName& new_name) {
   const InternedName* old_name = name_.token();
   name_ = new_name;
   // Both the vacated and the adopted name's node sets change; the
-  // ancestor bump in NotifyMutation covers the new name (it reads the
-  // node's current name), the old one needs an explicit bump.
-  document_->BumpNameIfAttached(this, old_name);
+  // site-names walk in NotifyMutation covers the new name (it reads the
+  // node's current name), the old name's touch and both index-bucket
+  // membership ops need explicit recording.
+  document_->RecordRenameOps(this, old_name);
   document_->NotifyMutation(this);
 }
 
@@ -291,7 +394,10 @@ Node* Document::NewNode(NodeKind kind) {
     n = nodes_.back().get();
   }
   n->tree_id_ = next_tree_id_++;
-  InvalidateOrder();
+  // No order invalidation: the fresh node starts with a stale key version
+  // and is keyed lazily (detached region) or on attach (gap assignment).
+  // Invalidating here would poison the attached keys on every allocation
+  // and defeat gap assignment during update-content construction.
   return n;
 }
 
@@ -412,37 +518,49 @@ const std::vector<Node*>& Document::ElementsByName(const QName& name) const {
   if (name_index_version_.load(std::memory_order_acquire) != mv) {
     std::lock_guard<std::mutex> lk(lazy_mu_);
     if (name_index_version_.load(std::memory_order_relaxed) != mv) {
-      // Fine-grained survival: the index is globally stale, but if this
-      // name's counter has not moved since the last rebuild, its bucket
-      // is still exact — membership, attachment, and relative document
-      // order of `name` elements cannot change without a mutation that
-      // bumps the name (ancestor moves bump every subtree name). Serve
-      // the bucket without rebuilding and leave the index stale for
-      // other names to check the same way.
-      if (fine_grained_ && index_names_snapshot_) {
-        auto snap = index_name_versions_.find(name.token());
-        const uint64_t recorded =
-            snap == index_name_versions_.end() ? 0 : snap->second;
-        if (recorded == name_version(name.token())) {
-          ++name_index_fine_hits_;
-          auto hit = name_index_.find(name.token());
-          return hit == name_index_.end() ? kNoNodes : hit->second;
-        }
-      }
-      name_index_.clear();
-      std::function<void(const Node*)> visit = [&](const Node* n) {
-        for (const Node* c : n->children_) {
-          if (c->kind_ == NodeKind::kElement) {
-            name_index_[c->name_.token()].push_back(const_cast<Node*>(c));
-            visit(c);
+      // Delta splice: when tracking is on and a previous build exists,
+      // apply the accumulated membership delta to the touched buckets in
+      // place — the whole index becomes exact again without a rebuild.
+      const bool spliced =
+          delta_tracking_ &&
+          name_index_version_.load(std::memory_order_relaxed) != 0 &&
+          TrySpliceNameIndex();
+      if (!spliced) {
+        // Fine-grained survival: the index is globally stale, but if this
+        // name's counter has not moved since the last rebuild, its bucket
+        // is still exact — membership, attachment, and relative document
+        // order of `name` elements cannot change without a mutation that
+        // bumps the name (ancestor moves bump every subtree name). Serve
+        // the bucket without rebuilding and leave the index stale for
+        // other names to check the same way.
+        if (fine_grained_ && index_names_snapshot_) {
+          auto snap = index_name_versions_.find(name.token());
+          const uint64_t recorded =
+              snap == index_name_versions_.end() ? 0 : snap->second;
+          if (recorded == name_version(name.token())) {
+            ++name_index_fine_hits_;
+            auto hit = name_index_.find(name.token());
+            return hit == name_index_.end() ? kNoNodes : hit->second;
           }
         }
-      };
-      visit(root_);
-      ++name_index_builds_;
-      if (fine_grained_) {
-        index_name_versions_ = name_versions_;
-        index_names_snapshot_ = true;
+        name_index_.clear();
+        std::function<void(const Node*)> visit = [&](const Node* n) {
+          for (const Node* c : n->children_) {
+            if (c->kind_ == NodeKind::kElement) {
+              name_index_[c->name_.token()].push_back(const_cast<Node*>(c));
+              visit(c);
+            }
+          }
+        };
+        visit(root_);
+        ++name_index_builds_;
+        // The rebuild observed the current tree; the pending delta is
+        // subsumed by it.
+        pending_index_delta_.Clear();
+        if (fine_grained_) {
+          index_name_versions_ = name_versions_;
+          index_names_snapshot_ = true;
+        }
       }
       name_index_version_.store(mv, std::memory_order_release);
     }
@@ -451,10 +569,111 @@ const std::vector<Node*>& Document::ElementsByName(const QName& name) const {
   return it == name_index_.end() ? kNoNodes : it->second;
 }
 
+bool Document::TrySpliceNameIndex() const {
+  const DomDelta& d = pending_index_delta_;
+  if (d.whole_tree) return false;
+  auto order_of = [](const Node* n) {
+    return n->order_key_.load(std::memory_order_relaxed);
+  };
+  if (!d.element_ops.empty()) {
+    // Insertions are merged by document-order key, so every key in every
+    // touched bucket must be current. The global check suffices: every
+    // attach either gap-assigned keys at the current order version or
+    // invalidated it (see TryAssignGapKeys), so computed_version_ ==
+    // order_version_ implies every attached key is exact. Removal-only
+    // deltas need no keys and always proceed.
+    bool have_insertions = false;
+    for (const auto& [token, ops] : d.element_ops) {
+      (void)token;
+      for (const auto& [node, inserted] : ops) {
+        if (inserted && AttachedToRoot(node)) {
+          have_insertions = true;
+          break;
+        }
+      }
+      if (have_insertions) break;
+    }
+    if (have_insertions &&
+        computed_version_ != order_version_.load(std::memory_order_relaxed)) {
+      // An attach failed to gap-assign since the last recompute. Refresh
+      // the keys here (lazy_mu_ is held by our caller, the same lock
+      // discipline as the OrderKey path) — one DFS, after which the
+      // splice and every later gap assignment work off current keys.
+      // Still cheaper than rebuilding: the recompute is one walk for ALL
+      // names, a rebuild walks once per stale lookup window.
+      RecomputeOrder();
+    }
+    for (const auto& [token, ops] : d.element_ops) {
+      std::vector<Node*>& bucket = name_index_[token];
+      // Drop every op node first (removed, moved, or about to be
+      // re-inserted at its new position).
+      bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                                  [&](Node* n) { return ops.count(n) != 0; }),
+                   bucket.end());
+      std::vector<Node*> add;
+      for (const auto& [node, inserted] : ops) {
+        // Guard on the node's CURRENT name: a node renamed twice in one
+        // window carries an insert op under an intermediate name it no
+        // longer bears.
+        if (inserted && node->name_.token() == token && AttachedToRoot(node)) {
+          add.push_back(node);
+        }
+      }
+      if (!add.empty()) {
+        std::sort(add.begin(), add.end(), [&](Node* a, Node* b) {
+          return order_of(a) < order_of(b);
+        });
+        const auto mid = static_cast<ptrdiff_t>(bucket.size());
+        bucket.insert(bucket.end(), add.begin(), add.end());
+        std::inplace_merge(bucket.begin(), bucket.begin() + mid, bucket.end(),
+                           [&](Node* a, Node* b) {
+                             return order_of(a) < order_of(b);
+                           });
+      }
+      if (bucket.empty()) name_index_.erase(token);
+      ++index_splices_;
+    }
+  }
+  // Buckets are exact again under the current counters: refresh the
+  // snapshot for the touched names so per-name survival keeps working.
+  if (fine_grained_ && index_names_snapshot_) {
+    for (const InternedName* token : d.touched) {
+      index_name_versions_[token] = name_version(token);
+    }
+  }
+  pending_index_delta_.Clear();
+  ++bucket_rebuilds_avoided_;
+  return true;
+}
+
 void Document::NotifyMutation(Node* target) {
-  BumpAncestorNames(target);
+  // One shared recording gate for every mutation path: the per-name
+  // counters and every delta sink observe exactly the same attached
+  // mutations (the site's ancestor-chain names here; subtree names and
+  // membership ops at the attach/detach sites).
+  if (RecordingActive() && AttachedToRoot(target)) {
+    RecordSiteNames(target);
+    CountDeltaMutation();
+  }
   mutation_version_.fetch_add(1, std::memory_order_release);
   for (const MutationHook& hook : mutation_hooks_) hook(target);
+}
+
+void Document::set_delta_tracking(bool on) {
+  if (on == delta_tracking_) return;
+  delta_tracking_ = on;
+  // Mutations made under the previous mode were not (or were partially)
+  // recorded; poison both windows so consumers fall back to one full
+  // rebuild / full dispatch pass before incremental deltas are trusted.
+  pending_index_delta_.Clear();
+  pending_index_delta_.whole_tree = true;
+  pending_dispatch_delta_.Clear();
+  pending_dispatch_delta_.whole_tree = true;
+}
+
+void Document::TakeDispatchDelta(DomDelta* out) {
+  *out = std::move(pending_dispatch_delta_);
+  pending_dispatch_delta_.Clear();
 }
 
 void Document::set_fine_grained_versions(bool on) {
@@ -476,22 +695,42 @@ bool Document::AttachedToRoot(const Node* n) const {
   return false;
 }
 
-void Document::BumpAncestorNames(const Node* site) {
-  if (!fine_grained_) return;
-  if (!AttachedToRoot(site)) return;
+void Document::TouchName(const InternedName* token) {
+  if (fine_grained_) ++name_versions_[token];
+  if (delta_tracking_) {
+    pending_index_delta_.Touch(token);
+    pending_dispatch_delta_.Touch(token);
+  }
+  if (capture_ != nullptr) capture_->Touch(token);
+}
+
+void Document::RecordElementOp(const Node* node, const InternedName* token,
+                               bool inserted) {
+  Node* n = const_cast<Node*>(node);
+  if (delta_tracking_) {
+    pending_index_delta_.ElementOp(n, token, inserted);
+    pending_dispatch_delta_.ElementOp(n, token, inserted);
+  }
+  if (capture_ != nullptr) capture_->ElementOp(n, token, inserted);
+}
+
+void Document::RecordSiteNames(const Node* site) {
   for (const Node* n = site; n != nullptr; n = n->parent_) {
     if (n->kind_ == NodeKind::kElement || n->kind_ == NodeKind::kAttribute) {
-      ++name_versions_[n->name_.token()];
+      TouchName(n->name_.token());
     }
   }
 }
 
-void Document::BumpTreeNames(const Node* subtree) {
-  if (!fine_grained_) return;
+void Document::RecordSubtree(const Node* subtree, bool inserted) {
+  if (!RecordingActive()) return;
   if (!AttachedToRoot(subtree)) return;
   std::function<void(const Node*)> visit = [&](const Node* n) {
-    if (n->kind_ == NodeKind::kElement || n->kind_ == NodeKind::kAttribute) {
-      ++name_versions_[n->name_.token()];
+    if (n->kind_ == NodeKind::kElement) {
+      TouchName(n->name_.token());
+      RecordElementOp(n, n->name_.token(), inserted);
+    } else if (n->kind_ == NodeKind::kAttribute) {
+      TouchName(n->name_.token());
     }
     for (const Node* a : n->attributes_) visit(a);
     for (const Node* c : n->children_) visit(c);
@@ -499,23 +738,43 @@ void Document::BumpTreeNames(const Node* subtree) {
   visit(subtree);
 }
 
-void Document::BumpNameIfAttached(const Node* site, const InternedName* token) {
-  if (!fine_grained_) return;
+void Document::RecordNameTouch(const Node* site, const InternedName* token) {
+  if (!RecordingActive()) return;
   if (!AttachedToRoot(site)) return;
-  ++name_versions_[token];
+  TouchName(token);
 }
 
-// Assigns consecutive keys starting at `next` across one subtree.
-void Document::AssignKeysDfs(const Node* root, uint64_t next,
+void Document::RecordRenameOps(const Node* node, const InternedName* old_token) {
+  if (!RecordingActive()) return;
+  if (!AttachedToRoot(node)) return;
+  TouchName(old_token);
+  if (node->kind_ == NodeKind::kElement) {
+    RecordElementOp(node, old_token, /*inserted=*/false);
+    RecordElementOp(node, node->name_.token(), /*inserted=*/true);
+  }
+}
+
+void Document::CountDeltaMutation() {
+  if (delta_tracking_) {
+    pending_index_delta_.CountMutation();
+    pending_dispatch_delta_.CountMutation();
+  }
+  if (capture_ != nullptr) capture_->CountMutation();
+}
+
+// Assigns stride-spaced keys starting at `next` across one subtree.
+void Document::AssignKeysDfs(const Node* root, uint64_t next, uint64_t stride,
                              uint64_t version) {
   std::function<void(const Node*)> visit = [&](const Node* n) {
     // Key first, then version with release: a reader that acquire-loads
     // a current version is guaranteed to see the matching key.
-    n->order_key_.store(next++, std::memory_order_relaxed);
+    n->order_key_.store(next, std::memory_order_relaxed);
     n->order_version_.store(version, std::memory_order_release);
+    next += stride;
     for (const Node* a : n->attributes_) {
-      a->order_key_.store(next++, std::memory_order_relaxed);
+      a->order_key_.store(next, std::memory_order_relaxed);
       a->order_version_.store(version, std::memory_order_release);
+      next += stride;
     }
     for (const Node* c : n->children_) visit(c);
   };
@@ -523,16 +782,105 @@ void Document::AssignKeysDfs(const Node* root, uint64_t next,
 }
 
 void Document::RecomputeOrder() const {
-  // Attached nodes occupy keys [1, 2^32); detached fragments live above,
-  // partitioned by tree id (AssignDetachedKeys). Mixed comparisons stay
-  // stable: attached before detached, detached ordered by creation.
-  AssignKeysDfs(root_, 1, order_version_);
+  // Attached nodes occupy stride-spaced keys in [stride, 2^32); detached
+  // fragments live above, partitioned by tree id (AssignDetachedKeys).
+  // Mixed comparisons stay stable: attached before detached, detached
+  // ordered by creation. The stride leaves gaps so attaches can key new
+  // subtrees between existing neighbours (TryAssignGapKeys) without
+  // touching any other key — which is what keeps the order globally
+  // valid across churn and lets the name index splice by key.
+  uint64_t pool = 0;
+  {
+    // nodes_ may be growing under concurrent staged-updater allocation;
+    // lock order lazy_mu_ (held by our callers) then alloc_mu_ matches
+    // GetElementById.
+    std::lock_guard<std::mutex> lk(alloc_mu_);
+    pool = nodes_.size();
+  }
+  const uint64_t stride =
+      std::max<uint64_t>(1, kAttachedKeyLimit / (pool * 2 + 2));
+  AssignKeysDfs(root_, stride, stride, order_version_);
   computed_version_ = order_version_;
+  ++order_rebuilds_;
 }
 
 void Document::AssignDetachedKeys(const Node* detached_root) const {
-  AssignKeysDfs(detached_root, detached_root->tree_id_ << 32,
+  AssignKeysDfs(detached_root, detached_root->tree_id_ << 32, /*stride=*/1,
                 order_version_);
+}
+
+bool Document::TryAssignGapKeys(const Node* parent, const Node* node,
+                                size_t index) {
+  const uint64_t cur = order_version_.load(std::memory_order_relaxed);
+  auto current_key = [cur](const Node* n, uint64_t* out) {
+    if (n->order_version_.load(std::memory_order_relaxed) != cur) return false;
+    *out = n->order_key_.load(std::memory_order_relaxed);
+    return true;
+  };
+  // A stale parent in a detached fragment means the whole fragment is
+  // unkeyed at the current version: the lazy path will enumerate it
+  // (node included) on first read, and no published key exists that the
+  // new node could contradict — nothing to do. A stale parent in the
+  // attached tree means we cannot key the node consistently; the caller
+  // must invalidate.
+  uint64_t parent_key = 0;
+  if (!current_key(parent, &parent_key)) return !AttachedToRoot(parent);
+
+  const bool is_attr = node->kind_ == NodeKind::kAttribute;
+
+  // Preorder predecessor among the already-keyed nodes (`node` is
+  // already linked at `index`, so neighbours read around it).
+  const Node* pred;
+  if (is_attr) {
+    pred = index == 0 ? parent : parent->attributes_[index - 1];
+  } else if (index > 0) {
+    pred = PreorderLast(parent->children_[index - 1]);
+  } else if (!parent->attributes_.empty()) {
+    pred = parent->attributes_.back();
+  } else {
+    pred = parent;
+  }
+  uint64_t pred_key = 0;
+  if (!current_key(pred, &pred_key)) return false;
+
+  // Preorder successor, or the end of the key region when there is none
+  // (attached limit / the next detached tree-id region).
+  const Node* succ = nullptr;
+  if (is_attr) {
+    if (index + 1 < parent->attributes_.size()) {
+      succ = parent->attributes_[index + 1];
+    } else if (!parent->children_.empty()) {
+      succ = parent->children_.front();
+    } else {
+      succ = PreorderSuccessor(parent);
+    }
+  } else if (index + 1 < parent->children_.size()) {
+    succ = parent->children_[index + 1];
+  } else {
+    succ = PreorderSuccessor(parent);
+  }
+  uint64_t succ_key = 0;
+  if (succ == nullptr) {
+    const Node* root = parent;
+    while (root->parent_ != nullptr) root = root->parent_;
+    succ_key = root == root_ ? kAttachedKeyLimit : (root->tree_id_ + 1) << 32;
+  } else if (!current_key(succ, &succ_key)) {
+    return false;
+  }
+
+  // Preorder slots the new subtree needs (node + attributes +
+  // descendants).
+  uint64_t slots = 0;
+  std::function<void(const Node*)> count = [&](const Node* n) {
+    slots += 1 + n->attributes_.size();
+    for (const Node* c : n->children_) count(c);
+  };
+  count(node);
+
+  if (succ_key <= pred_key || succ_key - pred_key <= slots) return false;
+  const uint64_t step = (succ_key - pred_key) / (slots + 1);
+  AssignKeysDfs(node, pred_key + step, step, cur);
+  return true;
 }
 
 void VisitSubtree(Node* node, const std::function<void(Node*)>& fn) {

@@ -15,6 +15,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "base/counters.h"
@@ -132,6 +133,50 @@ class Node {
   uint64_t tree_id_ = 0;  // assigned at creation; used as inter-tree order
 };
 
+// A structured description of the attached-tree mutations accumulated
+// between two sync points (PERFORMANCE.md §8). The update layer emits
+// one per PUL application; the Document keeps two rolling windows of its
+// own (one consumed by the element-name index splice, one by the
+// plug-in's dispatch skip), all fed by the same recording walk that
+// maintains the per-name mutation counters — the counters are a derived
+// view of this delta.
+struct DomDelta {
+  // Details stop being recorded past this many touched names / ops in
+  // one window; the delta degrades to whole_tree (conservative).
+  static constexpr size_t kTrackingCap = 4096;
+
+  // Per element name: nodes whose index-bucket membership changed.
+  // Last op wins (true = attached under the name, false = detached), so
+  // a node detached and re-attached in one window resolves to `true` and
+  // splicing re-inserts it at its new document-order position.
+  std::unordered_map<const InternedName*, std::unordered_map<Node*, bool>>
+      element_ops;
+  // Every name whose per-name mutation counter bumped in the window:
+  // each mutation's ancestor-chain element/attribute names plus the
+  // names inside attached/detached subtrees (value edits included).
+  // This is the write-name set dispatch intersects listener read sets
+  // against.
+  std::unordered_set<const InternedName*> touched;
+  // Conservative escape hatch: recording was off for part of the window
+  // or the window overflowed kTrackingCap. Consumers must treat every
+  // name and every bucket as potentially changed.
+  bool whole_tree = false;
+  // Attached-tree mutations observed. 0 with !whole_tree means nothing
+  // an attached-tree reader can observe has changed (detached
+  // construction bumps only the global version).
+  uint64_t mutations = 0;
+  // Total element_ops entries (cap bookkeeping).
+  uint64_t op_entries = 0;
+
+  bool Empty() const { return !whole_tree && mutations == 0; }
+  void Clear();
+  // Recording primitives (respect kTrackingCap; no-ops once whole_tree).
+  void Touch(const InternedName* token);
+  void ElementOp(Node* node, const InternedName* token, bool inserted);
+  void CountMutation() { ++mutations; }
+  void Overflow();
+};
+
 // Owns all nodes of one XML tree (plus any detached fragments created
 // against it). Tracks id->element for fn:id / getElementById.
 class Document {
@@ -221,6 +266,31 @@ class Document {
   // whose name counter did not move (tests/benchmarks).
   uint64_t name_index_fine_hits() const { return name_index_fine_hits_; }
 
+  // --- Delta propagation (PERFORMANCE.md §8) --------------------------
+  //
+  // When enabled, the same recording walk that bumps the per-name
+  // counters also appends structured membership/touch ops to two rolling
+  // DomDelta windows: one consumed by ElementsByName (bucket splicing
+  // instead of full rebuilds), one drained by the plug-in's dispatch
+  // loop (listener skip). Recording is loop-thread-only and gated on
+  // AttachedToRoot, exactly like the counters.
+  void set_delta_tracking(bool on);
+  bool delta_tracking() const { return delta_tracking_; }
+  // Moves the accumulated dispatch-window delta into `out` and resets
+  // the window. Loop-thread-only (the window is written by mutations).
+  void TakeDispatchDelta(DomDelta* out);
+  // Brackets a PUL application: every recorded op is additionally
+  // mirrored into `sink` (regardless of the tracking toggles), so the
+  // update layer can emit the structured delta of one apply pass.
+  void BeginDeltaCapture(DomDelta* sink) { capture_ = sink; }
+  void EndDeltaCapture() { capture_ = nullptr; }
+  // Per-bucket splice operations applied in place of index rebuilds,
+  // full index rebuilds avoided by consuming a delta, and wholesale
+  // document-order recomputations (tests/benchmarks).
+  uint64_t index_splices() const { return index_splices_; }
+  uint64_t bucket_rebuilds_avoided() const { return bucket_rebuilds_avoided_; }
+  uint64_t order_rebuilds() const { return order_rebuilds_; }
+
  private:
   friend class Node;
 
@@ -231,20 +301,50 @@ class Document {
   void NotifyMutation(Node* target);
   // True when `n`'s parent chain reaches this document's root node.
   bool AttachedToRoot(const Node* n) const;
-  // Bumps the name counters of `site` and every ancestor (element and
-  // attribute names) when the site is attached; no-op otherwise or when
-  // fine-grained mode is off.
-  void BumpAncestorNames(const Node* site);
-  // Bumps every element/attribute name inside `subtree` (inclusive) when
-  // the subtree hangs off the attached tree. Call BEFORE detaching a
-  // subtree and AFTER attaching one.
-  void BumpTreeNames(const Node* subtree);
-  // Bumps a single name counter when `site` is attached (e.g. the old
-  // name of a rename, an attribute name on its owner's mutation).
-  void BumpNameIfAttached(const Node* site, const InternedName* token);
+
+  // --- Unified mutation recording ------------------------------------
+  // One shared core for every mutation path: the per-name counters and
+  // every DomDelta sink are fed from the same walks, so the counters are
+  // a derived view of the delta and the two can never drift.
+  bool RecordingActive() const {
+    return fine_grained_ || delta_tracking_ || capture_ != nullptr;
+  }
+  // Counter bump + touched-set insertion for one name.
+  void TouchName(const InternedName* token);
+  // Element membership op on every delta sink.
+  void RecordElementOp(const Node* node, const InternedName* token,
+                       bool inserted);
+  // The ancestor-chain walk performed on every mutation: element and
+  // attribute names from `site` to the root.
+  void RecordSiteNames(const Node* site);
+  // The attach/detach walk: every element/attribute name inside
+  // `subtree` (inclusive) plus a membership op per element. Call BEFORE
+  // detaching a subtree and AFTER attaching one; no-op when the subtree
+  // does not hang off the attached tree.
+  void RecordSubtree(const Node* subtree, bool inserted);
+  // Single-name touch when `site` is attached (attribute value edits,
+  // the vacated name of a rename).
+  void RecordNameTouch(const Node* site, const InternedName* token);
+  // Membership fixup for a rename: the node leaves `old_token`'s bucket
+  // and enters its current name's bucket.
+  void RecordRenameOps(const Node* node, const InternedName* old_token);
+  void CountDeltaMutation();
+
+  // Attempts to assign document-order keys to the just-linked `node`
+  // (child or attribute of `parent` at `index`) from the gap between its
+  // preorder neighbours, leaving every other key valid. Returns false —
+  // caller must InvalidateOrder() — when a neighbour key is stale or the
+  // gap is too small. Keeping keys valid across attaches is what lets
+  // the index splice inserted entries in document order without a
+  // wholesale key recomputation.
+  bool TryAssignGapKeys(const Node* parent, const Node* node, size_t index);
+  // Applies the pending index delta to the touched buckets in place of a
+  // full rebuild. Caller holds lazy_mu_. Returns false (nothing changed)
+  // when the delta is conservative or insertions lack valid order keys.
+  bool TrySpliceNameIndex() const;
   void RecomputeOrder() const;
   void AssignDetachedKeys(const Node* detached_root) const;
-  static void AssignKeysDfs(const Node* root, uint64_t next,
+  static void AssignKeysDfs(const Node* root, uint64_t next, uint64_t stride,
                             uint64_t version);
 
   std::deque<std::unique_ptr<Node>> nodes_;
@@ -277,6 +377,18 @@ class Document {
   // a window where counters were not being maintained.
   mutable bool index_names_snapshot_ = false;
   mutable base::RelaxedCounter name_index_fine_hits_;
+
+  // Delta-propagation state (see the public accessors). The two rolling
+  // windows and the capture sink are written only from mutation paths
+  // (loop thread); pending_index_delta_ is additionally consumed under
+  // lazy_mu_ by the splice, hence mutable.
+  bool delta_tracking_ = false;
+  mutable DomDelta pending_index_delta_;
+  DomDelta pending_dispatch_delta_;
+  DomDelta* capture_ = nullptr;
+  mutable base::RelaxedCounter index_splices_;
+  mutable base::RelaxedCounter bucket_rebuilds_avoided_;
+  mutable base::RelaxedCounter order_rebuilds_;
 
   // Serializes the lazy rebuilds (order keys, id cache, name index) when
   // several pool workers race to be the first reader after a mutation.

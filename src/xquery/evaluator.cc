@@ -1043,6 +1043,10 @@ void Evaluator::AddStats(const EvalStats& delta) {
   stats_.plan_misses += delta.plan_misses;
   stats_.plan_invalidations += delta.plan_invalidations;
   stats_.plan_bytes += delta.plan_bytes;
+  stats_.delta.emitted += delta.delta.emitted;
+  stats_.delta.index_splices += delta.delta.index_splices;
+  stats_.delta.bucket_rebuilds_avoided += delta.delta.bucket_rebuilds_avoided;
+  stats_.delta.listeners_skipped += delta.delta.listeners_skipped;
   // intern_hits is a snapshot of the process-wide pool (see
   // ResetDispatchArena), not a cumulative counter: refresh it rather
   // than add the delta.

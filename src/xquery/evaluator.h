@@ -72,6 +72,13 @@ class Evaluator {
     // traversal. Off: every call tree-walks — the oracle the plan
     // ablation tests compare against.
     bool compiled_plans = true;
+    // Propagate structured DOM deltas through the mutation pipeline:
+    // PUL applications emit per-name membership deltas, the element-name
+    // index splices touched buckets instead of rebuilding them, and
+    // dispatch skips memoized listeners whose static read sets are
+    // disjoint from the delta's write names without re-running them.
+    // Off: the PR 6 survive-or-recompute path — the ablation oracle.
+    bool delta_propagation = true;
   };
   const EvalOptions& options() const { return options_; }
   void set_options(const EvalOptions& options) { options_ = options; }
@@ -113,6 +120,18 @@ class Evaluator {
     base::RelaxedCounter plan_misses;
     base::RelaxedCounter plan_invalidations;
     base::RelaxedCounter plan_bytes;
+    // Delta-propagation counters: structured deltas emitted by PUL
+    // applications, per-bucket index splice operations, full index
+    // rebuilds avoided by splicing, and memoized listeners skipped
+    // without evaluation because their read sets missed the delta's
+    // write names.
+    struct DeltaStats {
+      base::RelaxedCounter emitted;
+      base::RelaxedCounter index_splices;
+      base::RelaxedCounter bucket_rebuilds_avoided;
+      base::RelaxedCounter listeners_skipped;
+    };
+    DeltaStats delta;
   };
   const EvalStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EvalStats{}; }
@@ -120,6 +139,10 @@ class Evaluator {
   // scheduler merges each worker slot's per-listener delta back into the
   // page evaluator so cumulative numbers match serial execution.
   void AddStats(const EvalStats& delta);
+  // Direct access to the delta-propagation block: the plugin's dispatch
+  // fast paths bump one or two of these per skipped listener, where a
+  // full-struct AddStats merge would dominate the skip itself.
+  EvalStats::DeltaStats& mutable_delta_stats() { return stats_.delta; }
 
   // Evaluates an expression. Updating sub-expressions append to
   // ctx.pul(); the caller decides when to apply (snapshot vs scripting).

@@ -153,6 +153,16 @@ std::string Profiler::Report(size_t limit) const {
                 static_cast<unsigned long long>(fast_path_.plan_hits),
                 static_cast<unsigned long long>(fast_path_.plan_misses));
   out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "  delta: %llu emitted, %llu index splices, %llu rebuilds avoided, "
+      "%llu listeners skipped\n",
+      static_cast<unsigned long long>(fast_path_.delta_emitted),
+      static_cast<unsigned long long>(fast_path_.delta_index_splices),
+      static_cast<unsigned long long>(
+          fast_path_.delta_bucket_rebuilds_avoided),
+      static_cast<unsigned long long>(fast_path_.delta_listeners_skipped));
+  out += line;
   return out;
 }
 

@@ -72,6 +72,12 @@ class Profiler {
     // compiled_plans-on calls that fell back to the tree walker.
     base::RelaxedCounter plan_hits;
     base::RelaxedCounter plan_misses;
+    // Delta propagation: structured PUL deltas emitted, per-bucket index
+    // splices, full index rebuilds avoided, listeners skipped unrun.
+    base::RelaxedCounter delta_emitted;
+    base::RelaxedCounter delta_index_splices;
+    base::RelaxedCounter delta_bucket_rebuilds_avoided;
+    base::RelaxedCounter delta_listeners_skipped;
   };
   FastPathCounters& fast_path() { return fast_path_; }
   const FastPathCounters& fast_path() const { return fast_path_; }

@@ -39,6 +39,21 @@ Status PendingUpdateList::CheckCompatibility() const {
   return Status();
 }
 
+Status PendingUpdateList::ApplyAll(xml::DomDelta* delta) {
+  if (delta == nullptr || primitives_.empty()) return ApplyAll();
+  // One apply pass may touch several documents (copied content is always
+  // target-document-local, but distinct primitives can target distinct
+  // documents); capture on each so the emitted delta covers the pass.
+  std::unordered_set<xml::Document*> docs;
+  for (const Primitive& p : primitives_) {
+    if (p.target != nullptr) docs.insert(p.target->document());
+  }
+  for (xml::Document* d : docs) d->BeginDeltaCapture(delta);
+  Status st = ApplyAll();
+  for (xml::Document* d : docs) d->EndDeltaCapture();
+  return st;
+}
+
 Status PendingUpdateList::ApplyAll() {
   // XQUF snapshot semantics make this a mandatory materialization
   // boundary for the streaming pipeline: every primitive's target and

@@ -53,6 +53,14 @@ class PendingUpdateList {
   // cleared; on failure no primitive has been applied.
   Status ApplyAll();
 
+  // Same, but additionally emits the structured delta of this apply pass
+  // into `delta` (per interned name: touched names plus element-index
+  // membership ops — see xml::DomDelta). The capture window brackets
+  // exactly the primitives of this list, on every document they touch,
+  // regardless of the documents' own tracking toggles. A null `delta`
+  // degrades to plain ApplyAll().
+  Status ApplyAll(xml::DomDelta* delta);
+
   const std::vector<Primitive>& primitives() const { return primitives_; }
 
   // Moves the current primitives out / back in (used by the transform

@@ -375,7 +375,8 @@ struct DispatchOutcome {
 };
 
 DispatchOutcome RunDispatchScenario(size_t workers, uint32_t seed,
-                                    int clicks, bool compiled_plans = true) {
+                                    int clicks, bool compiled_plans = true,
+                                    bool delta_propagation = true) {
   net::HttpFabric fabric;
   net::XmlStore store;
   net::ServiceHost services(&fabric, &store);
@@ -383,9 +384,10 @@ DispatchOutcome RunDispatchScenario(size_t workers, uint32_t seed,
   plugin::XqibPlugin plugin(&browser, &fabric, &services);
   plugin.Install();
   plugin.EnableParallelDispatch(workers);
-  if (!compiled_plans) {
+  if (!compiled_plans || !delta_propagation) {
     xquery::Evaluator::EvalOptions options;
-    options.compiled_plans = false;
+    options.compiled_plans = compiled_plans;
+    options.delta_propagation = delta_propagation;
     plugin.set_eval_options(options);
   }
   Status st = browser.top_window()->LoadSource(
@@ -450,6 +452,35 @@ TEST(DispatchDeterminism, PlanAblationIsUnobservableAtEveryPoolSize) {
         EXPECT_EQ(got.fallbacks, 0u)
             << "seed " << seed << " workers " << workers
             << " plans " << plans;
+      }
+    }
+  }
+}
+
+// The delta-propagation ablation crossed with every pool size: the
+// delta-off serial run (PR 6 survive-or-recompute behavior) is the
+// oracle. Index splicing, listener skipping and the dirty-seq protocol
+// are pure caching — neither they nor any pool size may change one byte
+// of what the page observes.
+TEST(DispatchDeterminism, DeltaAblationIsUnobservableAtEveryPoolSize) {
+  for (uint32_t seed : {1u, 7u, 42u}) {
+    DispatchOutcome reference = RunDispatchScenario(
+        0, seed, 3, /*compiled_plans=*/true, /*delta_propagation=*/false);
+    ASSERT_EQ(reference.alerts.size(), 24u) << "seed " << seed;
+    for (bool delta : {false, true}) {
+      for (size_t workers : {0u, 1u, 4u, 8u}) {
+        if (!delta && workers == 0) continue;  // that's the reference
+        DispatchOutcome got = RunDispatchScenario(
+            workers, seed, 3, /*compiled_plans=*/true, delta);
+        EXPECT_EQ(got.alerts, reference.alerts)
+            << "seed " << seed << " workers " << workers
+            << " delta " << delta;
+        EXPECT_EQ(got.dom, reference.dom)
+            << "seed " << seed << " workers " << workers
+            << " delta " << delta;
+        EXPECT_EQ(got.fallbacks, 0u)
+            << "seed " << seed << " workers " << workers
+            << " delta " << delta;
       }
     }
   }
