@@ -1,6 +1,8 @@
 #include "bench_util.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -212,6 +214,40 @@ bool AllResultsMatch(const std::vector<ScenarioResult>& results) {
     }
   }
   return ok;
+}
+
+double Percentile(std::vector<double> samples, double pct) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  if (pct <= 0) return samples.front();
+  // Nearest-rank: the smallest sample with at least pct% of the mass
+  // at or below it. ceil(p/100 * n) as an index, clamped.
+  size_t rank = static_cast<size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(samples.size())));
+  if (rank == 0) rank = 1;
+  if (rank > samples.size()) rank = samples.size();
+  return samples[rank - 1];
+}
+
+LatencySummary SummarizeLatencies(std::vector<double> samples) {
+  LatencySummary out;
+  out.count = samples.size();
+  if (samples.empty()) return out;
+  double sum = 0;
+  for (double s : samples) sum += s;
+  out.mean = sum / static_cast<double>(samples.size());
+  std::sort(samples.begin(), samples.end());
+  auto rank = [&](double pct) {
+    size_t r = static_cast<size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(samples.size())));
+    if (r == 0) r = 1;
+    if (r > samples.size()) r = samples.size();
+    return samples[r - 1];
+  };
+  out.p50 = rank(50);
+  out.p95 = rank(95);
+  out.p99 = rank(99);
+  return out;
 }
 
 bool ReadBaselineValue(const std::string& path, const std::string& scenario,

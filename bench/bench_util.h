@@ -88,6 +88,22 @@ void EmitJson(const std::string& json, const std::string& out_path);
 
 bool AllResultsMatch(const std::vector<ScenarioResult>& results);
 
+// Nearest-rank percentile (pct in [0,100]) over `samples`; copies and
+// sorts internally, so callers can keep feeding the same vector. 0 on
+// an empty input.
+double Percentile(std::vector<double> samples, double pct);
+
+// The load-harness latency digest: p50/p95/p99 plus count and mean,
+// computed in one sort.
+struct LatencySummary {
+  size_t count = 0;
+  double mean = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double p99 = 0;
+};
+LatencySummary SummarizeLatencies(std::vector<double> samples);
+
 // Scrapes `"field": <number>` out of the object whose `"name"` equals
 // `scenario` in a checked-in BENCH_*.json (line-oriented; the emitter
 // above writes one scenario per line). Used by the CI regression guard

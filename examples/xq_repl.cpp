@@ -16,7 +16,10 @@
 #include <sstream>
 #include <string>
 
+#include "app/environment.h"
 #include "base/strings.h"
+#include "server/server.h"
+#include "xml/interning.h"
 #include "xml/serializer.h"
 #include "xml/xml_parser.h"
 #include "xquery/engine.h"
@@ -114,6 +117,69 @@ void PrintCounters(const xml::Document* context_doc) {
   }
 }
 
+// `:sessions` — shared-substrate stats (intern pool, plan cache);
+// `:sessions <page-file> [n [events [target-id]]]` additionally hosts
+// `n` copies of the page on a demo PageServer, fires `events` clicks at
+// `target-id` per session, and dumps the per-session report.
+int RunSessions(const std::string& args) {
+  std::istringstream in(args);
+  std::string page_file, target_id = "laptop";
+  int sessions = 2, events = 3;
+  in >> page_file >> sessions >> events >> target_id;
+  if (!page_file.empty()) {
+    auto page = app::ReadPageFile(page_file);
+    if (!page.ok()) {
+      std::fprintf(stderr, "cannot read %s: %s\n", page_file.c_str(),
+                   page.status().ToString().c_str());
+      return 1;
+    }
+    server::PageServer server;
+    server.backend().PutResource(
+        "http://shop.example.com/products.xml",
+        "<products>"
+        "<product><name>laptop</name><price>1200</price></product>"
+        "<product><name>mouse</name><price>25</price></product>"
+        "<product><name>keyboard</name><price>49</price></product>"
+        "</products>");
+    for (int s = 0; s < std::max(sessions, 1); ++s) {
+      auto session = server.CreateSessionFromSource(
+          "http://shop.example.com/page.xhtml", *page);
+      if (!session.ok()) {
+        std::fprintf(stderr, "session: %s\n",
+                     session.status().ToString().c_str());
+        return 1;
+      }
+      for (int e = 0; e < events; ++e) {
+        server::SessionEvent ev;
+        ev.target_id = target_id;
+        (*session)->Submit(ev);
+      }
+    }
+    server.DrainAll();
+    std::printf("%s", server.FormatSessionsReport().c_str());
+    return 0;
+  }
+  xml::InternPoolStats intern = xml::GetInternStats();
+  std::printf("--- shared substrate ---\n");
+  std::printf("  intern pool: %llu hits, %llu misses, %llu strings, "
+              "%llu names\n",
+              (unsigned long long)intern.hits,
+              (unsigned long long)intern.misses,
+              (unsigned long long)intern.strings,
+              (unsigned long long)intern.names);
+  xquery::plan::PlanCache& cache = xquery::plan::PlanCache::Global();
+  xquery::plan::PlanCache::Stats plans = cache.stats();
+  std::printf("  plan cache: %llu entries, %llu hits, %llu misses, "
+              "%llu invalidations, %llu compiles kept, %llu bytes\n",
+              (unsigned long long)cache.size(),
+              (unsigned long long)plans.hits,
+              (unsigned long long)plans.misses,
+              (unsigned long long)plans.invalidations,
+              (unsigned long long)plans.inserts,
+              (unsigned long long)plans.resident_bytes);
+  return 0;
+}
+
 int RunQuery(const std::string& query, xml::Document* context_doc,
              bool print_doc_after, bool profile) {
   // `:plan <query>` dumps the compiled bytecode plans of the query's
@@ -123,6 +189,9 @@ int RunQuery(const std::string& query, xml::Document* context_doc,
   if (trimmed == ":counters") {
     PrintCounters(context_doc);
     return 0;
+  }
+  if (trimmed.rfind(":sessions", 0) == 0) {
+    return RunSessions(std::string(TrimWhitespace(trimmed.substr(9))));
   }
   if (trimmed.rfind(":plan", 0) == 0) {
     auto dump = xquery::plan::DumpPlansForQuery(
@@ -220,7 +289,12 @@ int main(int argc, char** argv) {
                   "A query of ':counters' dumps the evaluation counters "
                   "accumulated\nacross the session (eval/stream/memory/"
                   "plan/delta plus the context\ndocument's index "
-                  "counters).\n");
+                  "counters).\n"
+                  "A query of ':sessions' dumps the shared-substrate "
+                  "stats (intern pool,\nplan cache); ':sessions "
+                  "<page-file> [n [events [target-id]]]' hosts n\ncopies "
+                  "of the page on a demo page server, fires the events, "
+                  "and dumps\nthe per-session report.\n");
       return 0;
     } else {
       if (!query.empty()) query += " ";

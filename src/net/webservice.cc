@@ -33,6 +33,7 @@ Status ServiceHost::Deploy(const std::string& source,
   descriptor += "</service>";
   fabric_->PutResource(service->url + "wsdl", descriptor);
 
+  std::unique_lock<std::shared_mutex> lk(services_mu_);
   services_[ns] = std::move(service);
   return Status();
 }
@@ -40,12 +41,19 @@ Status ServiceHost::Deploy(const std::string& source,
 Result<Sequence> ServiceHost::Invoke(const std::string& ns,
                                      const xml::QName& function,
                                      std::vector<Sequence> args) {
-  std::lock_guard<std::mutex> lk(invoke_mu_);
-  auto it = services_.find(ns);
-  if (it == services_.end()) {
-    return Status::Error("NETW0404", "no service deployed for " + ns);
+  Service* found = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lk(services_mu_);
+    auto it = services_.find(ns);
+    if (it == services_.end()) {
+      return Status::Error("NETW0404", "no service deployed for " + ns);
+    }
+    found = it->second.get();
   }
-  Service& service = *it->second;
+  // Serialization is per deployed service (per host): concurrent
+  // sessions invoking different services proceed in parallel.
+  Service& service = *found;
+  std::lock_guard<std::mutex> lk(service.invoke_mu);
   // Fresh server-side context per call (stateless service semantics);
   // fn:doc resolves against the XML store, REST against the fabric.
   DynamicContext ctx;
@@ -60,6 +68,7 @@ Result<Sequence> ServiceHost::Invoke(const std::string& ns,
 
 Status ServiceHost::RegisterClientStubs(const std::string& ns,
                                         DynamicContext* ctx) {
+  std::shared_lock<std::shared_mutex> lk(services_mu_);
   auto it = services_.find(ns);
   if (it == services_.end()) {
     return Status::Error("NETW0404", "no service deployed for " + ns);
@@ -102,6 +111,7 @@ void ServiceHost::RegisterStubsForImports(const xquery::Module& module,
 
 const std::string& ServiceHost::ServiceUrl(const std::string& ns) const {
   static const std::string* empty = new std::string();
+  std::shared_lock<std::shared_mutex> lk(services_mu_);
   auto it = services_.find(ns);
   return it == services_.end() ? *empty : it->second->url;
 }

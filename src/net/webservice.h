@@ -10,6 +10,7 @@
 
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -58,14 +59,20 @@ class ServiceHost {
     xquery::Engine engine;
     std::unique_ptr<xquery::CompiledQuery> compiled;
     const xquery::Module* module = nullptr;
+    // Client stubs may be called from pool workers (staged listeners)
+    // and from many hosted page sessions at once; each Invoke shares
+    // THIS service's compiled query, so execution serializes per
+    // deployed service (per host) — the single-threaded server of the
+    // paper's model — instead of across the whole host: one session's
+    // slow call to service A never stalls another session's call to
+    // service B.
+    std::mutex invoke_mu;
   };
   std::unordered_map<std::string, std::unique_ptr<Service>> services_;
+  // Deploys are rare, invokes are hot: the map itself is read-mostly.
+  mutable std::shared_mutex services_mu_;
   HttpFabric* fabric_;
   XmlStore* store_;
-  // Client stubs may be called from pool workers; each Invoke shares the
-  // deployed service's compiled query, so server-side execution is
-  // serialized — the single-threaded server of the paper's model.
-  std::mutex invoke_mu_;
 };
 
 }  // namespace xqib::net

@@ -352,7 +352,7 @@ Status XqibPlugin::RunXQueryModule(PageContext* page,
   // (Re)build the evaluator: the static context gained declarations.
   page->evaluator = std::make_unique<xquery::Evaluator>(*page->sctx);
   page->evaluator->set_options(eval_options_);
-  page->evaluator->set_thread_pool(pool_.get());
+  page->evaluator->set_thread_pool(active_pool_);
   page->evaluator->set_analysis_facts(page->facts);
   if (services_ != nullptr) {
     services_->RegisterStubsForImports(*module, page->ctx.get());
@@ -1106,20 +1106,26 @@ void XqibPlugin::ReleaseWorkerSlot(
 
 void XqibPlugin::EnableParallelDispatch(size_t workers) {
   // Unwire first: the loop/event system must never point at a dead pool.
-  browser_->loop().set_thread_pool(nullptr);
-  browser_->events().set_thread_pool(nullptr);
-  for (auto& [window, page] : pages_) {
-    if (page->evaluator != nullptr) page->evaluator->set_thread_pool(nullptr);
-  }
+  WireThreadPool(nullptr);
   pool_.reset();
   if (workers == 0) return;  // the serial baseline
   pool_ = std::make_unique<base::ThreadPool>(workers);
-  browser_->loop().set_thread_pool(pool_.get());
-  browser_->events().set_thread_pool(pool_.get());
+  WireThreadPool(pool_.get());
+}
+
+void XqibPlugin::UseSharedThreadPool(base::ThreadPool* pool) {
+  WireThreadPool(nullptr);
+  pool_.reset();  // any owned pool is superseded by the shared one
+  if (pool == nullptr || pool->size() == 0) return;
+  WireThreadPool(pool);
+}
+
+void XqibPlugin::WireThreadPool(base::ThreadPool* pool) {
+  active_pool_ = pool;
+  browser_->loop().set_thread_pool(pool);
+  browser_->events().set_thread_pool(pool);
   for (auto& [window, page] : pages_) {
-    if (page->evaluator != nullptr) {
-      page->evaluator->set_thread_pool(pool_.get());
-    }
+    if (page->evaluator != nullptr) page->evaluator->set_thread_pool(pool);
   }
 }
 

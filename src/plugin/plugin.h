@@ -97,6 +97,9 @@ class XqibPlugin : public xquery::BrowserBinding {
 
   // Status of the last script error (pages must not crash the browser).
   const Status& last_script_error() const { return last_script_error_; }
+  // Resets the sticky error channel; the page server clears it before
+  // every dispatch so one bad event cannot poison later ones' reports.
+  void ClearScriptError() { last_script_error_ = Status(); }
 
   // Static-analysis diagnostics from the last page load (all scripts,
   // warnings included). A page whose scripts carry error-severity
@@ -221,9 +224,15 @@ class XqibPlugin : public xquery::BrowserBinding {
   // stream operators). workers == 0 tears the pool down: the serial
   // baseline, observably identical by construction.
   void EnableParallelDispatch(size_t workers);
-  base::ThreadPool* thread_pool() { return pool_.get(); }
+  // Wires an externally owned pool instead (the multi-tenant page
+  // server's one-pool-N-sessions substrate, PERFORMANCE.md §9): same
+  // wiring as EnableParallelDispatch, but the pool is shared across
+  // plug-ins and never torn down here. nullptr restores the serial
+  // baseline. Any previously owned pool is destroyed.
+  void UseSharedThreadPool(base::ThreadPool* pool);
+  base::ThreadPool* thread_pool() { return active_pool_; }
   size_t parallel_dispatch_workers() const {
-    return pool_ != nullptr ? pool_->size() : 0;
+    return active_pool_ != nullptr ? active_pool_->size() : 0;
   }
   // Listener stagings that fell back to serial re-execution (worker-side
   // error or a PUL that slipped past the analyzer's proof).
@@ -470,6 +479,10 @@ class XqibPlugin : public xquery::BrowserBinding {
   xml::Node* MaterializeEvent(xquery::DynamicContext* ctx,
                               const browser::Event& event);
 
+  // Points the event loop, event system, and every page evaluator at
+  // `pool` (null = serial) and records it as the active pool.
+  void WireThreadPool(base::ThreadPool* pool);
+
   static std::string ListenerId(const xml::QName& fn) {
     return "xquery:" + fn.Clark();
   }
@@ -492,7 +505,11 @@ class XqibPlugin : public xquery::BrowserBinding {
   std::string last_listener_result_;
   EventStats last_event_stats_;
   xquery::Evaluator::EvalOptions eval_options_;
+  // Owned pool (EnableParallelDispatch mode). In shared mode
+  // (UseSharedThreadPool) this stays null and active_pool_ points at
+  // the caller's pool; all wiring goes through active_pool_.
   std::unique_ptr<base::ThreadPool> pool_;
+  base::ThreadPool* active_pool_ = nullptr;
   size_t parallel_fallbacks_ = 0;
 };
 

@@ -22,14 +22,21 @@ std::shared_ptr<const ModulePlans> PlanCache::Probe(uint64_t source_hash,
                                                     bool* invalidated) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(source_hash);
-  if (it == map_.end()) return nullptr;
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
   if (it->second.fingerprint != fingerprint) {
     // Same page text, different static context (library module,
     // namespaces, options changed): the cached plans are stale.
+    stats_.resident_bytes -= it->second.plans->total_bytes;
+    ++stats_.invalidations;
+    ++stats_.misses;
     map_.erase(it);
     if (invalidated != nullptr) *invalidated = true;
     return nullptr;
   }
+  ++stats_.hits;
   return it->second.plans;
 }
 
@@ -39,7 +46,10 @@ std::shared_ptr<const ModulePlans> PlanCache::Insert(
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = map_.try_emplace(source_hash);
   if (inserted || it->second.fingerprint != fingerprint) {
+    if (!inserted) stats_.resident_bytes -= it->second.plans->total_bytes;
     it->second = Entry{fingerprint, std::move(plans)};
+    ++stats_.inserts;
+    stats_.resident_bytes += it->second.plans->total_bytes;
     return it->second.plans;
   }
   // A racing compiler won: adopt its plans so every evaluator with this
@@ -55,6 +65,12 @@ size_t PlanCache::size() const {
 void PlanCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   map_.clear();
+  stats_.resident_bytes = 0;
+}
+
+PlanCache::Stats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 std::string DumpModulePlans(const ModulePlans& plans) {

@@ -183,6 +183,21 @@ class PlanCache {
   size_t size() const;
   void Clear();  // test isolation
 
+  // Cache-level accounting, distinct from the per-evaluator plan
+  // counters in EvalStats: with N page sessions sharing this cache the
+  // per-evaluator numbers fragment across sessions, while these stay
+  // whole-process — the page server's `:sessions` / GET /server/sessions
+  // introspection reads them. hits/misses/invalidations are cumulative;
+  // resident_bytes tracks live entries only.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t invalidations = 0;  // fingerprint-mismatch evictions
+    uint64_t inserts = 0;        // entries actually stored (races adopt)
+    uint64_t resident_bytes = 0;
+  };
+  Stats stats() const;
+
  private:
   struct Entry {
     uint64_t fingerprint;
@@ -190,6 +205,7 @@ class PlanCache {
   };
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, Entry> map_;
+  Stats stats_;  // guarded by mu_
 };
 
 }  // namespace xqib::xquery::plan
