@@ -71,6 +71,11 @@ void AccumulateStats(const xquery::Evaluator::EvalStats& s) {
   d.delta.index_splices += s.delta.index_splices;
   d.delta.bucket_rebuilds_avoided += s.delta.bucket_rebuilds_avoided;
   d.delta.listeners_skipped += s.delta.listeners_skipped;
+  d.http.cache_hits += s.http.cache_hits;
+  d.http.cache_misses += s.http.cache_misses;
+  d.http.prefetch_issued += s.http.prefetch_issued;
+  d.http.prefetch_hits += s.http.prefetch_hits;
+  d.http.scatter_batches += s.http.scatter_batches;
 }
 
 void PrintCounters(const xml::Document* context_doc) {
@@ -105,6 +110,13 @@ void PrintCounters(const xml::Document* context_doc) {
               (unsigned long long)s.delta.index_splices,
               (unsigned long long)s.delta.bucket_rebuilds_avoided,
               (unsigned long long)s.delta.listeners_skipped);
+  std::printf("  http: %llu cache hits, %llu cache misses, %llu prefetches "
+              "issued, %llu prefetch hits, %llu scatter batches\n",
+              (unsigned long long)s.http.cache_hits,
+              (unsigned long long)s.http.cache_misses,
+              (unsigned long long)s.http.prefetch_issued,
+              (unsigned long long)s.http.prefetch_hits,
+              (unsigned long long)s.http.scatter_batches);
   if (context_doc != nullptr) {
     std::printf("  document: %llu index builds, %llu fine-grained hits, "
                 "%llu index splices, %llu rebuilds avoided, %llu order "
@@ -115,6 +127,86 @@ void PrintCounters(const xml::Document* context_doc) {
                 (unsigned long long)context_doc->bucket_rebuilds_avoided(),
                 (unsigned long long)context_doc->order_rebuilds());
   }
+}
+
+// `:http [fabric]` — federation stats. Prints a fabric's two clock
+// views (latency sum vs makespan, overlap, in-flight peak) and the
+// process-wide response cache with its per-URL hit/miss table.
+void PrintHttpStats(const net::HttpFabric* fabric) {
+  std::printf("--- http federation ---\n");
+  if (fabric != nullptr) {
+    const net::HttpFabric::Stats& fs = fabric->stats();
+    std::printf("  fabric: %llu requests, %llu bytes, %.1f ms latency sum, "
+                "%.1f ms makespan, %.1f ms overlapped, %llu in-flight peak\n",
+                (unsigned long long)fs.requests,
+                (unsigned long long)fs.bytes_served,
+                (double)fs.simulated_latency_ms, (double)fs.makespan_ms,
+                (double)fs.overlapped_ms,
+                (unsigned long long)fs.inflight_peak);
+    std::printf("  fabric cache traffic: %llu hits, %llu misses\n",
+                (unsigned long long)fs.cache_hits,
+                (unsigned long long)fs.cache_misses);
+  }
+  net::HttpResponseCache& cache = *net::HttpResponseCache::Global();
+  net::HttpResponseCache::Stats rc = cache.stats();
+  std::printf("  response cache: %llu entries, ttl %.0f ms, %llu hits, "
+              "%llu misses, %llu inserts, %llu invalidations, "
+              "%llu expirations\n",
+              (unsigned long long)cache.size(), cache.ttl_ms(),
+              (unsigned long long)rc.hits, (unsigned long long)rc.misses,
+              (unsigned long long)rc.inserts,
+              (unsigned long long)rc.invalidations,
+              (unsigned long long)rc.expirations);
+  for (const auto& [url, st] : cache.UrlStatsSnapshot()) {
+    std::printf("    %s: %llu hits, %llu misses\n", url.c_str(),
+                (unsigned long long)st.hits, (unsigned long long)st.misses);
+  }
+}
+
+// `:http <page-file> [n [events [target-id]]]` — hosts the page on a
+// demo page server (same harness as `:sessions`), fires the events, and
+// dumps the backend fabric + shared response cache afterwards: the
+// second session onward should answer its GETs from the cache.
+int RunHttp(const std::string& args) {
+  if (args.empty()) {
+    PrintHttpStats(nullptr);
+    return 0;
+  }
+  std::istringstream in(args);
+  std::string page_file, target_id = "laptop";
+  int sessions = 2, events = 3;
+  in >> page_file >> sessions >> events >> target_id;
+  auto page = app::ReadPageFile(page_file);
+  if (!page.ok()) {
+    std::fprintf(stderr, "cannot read %s: %s\n", page_file.c_str(),
+                 page.status().ToString().c_str());
+    return 1;
+  }
+  server::PageServer server;
+  server.backend().PutResource(
+      "http://shop.example.com/products.xml",
+      "<products>"
+      "<product><name>laptop</name><price>1200</price></product>"
+      "<product><name>mouse</name><price>25</price></product>"
+      "<product><name>keyboard</name><price>49</price></product>"
+      "</products>");
+  for (int s = 0; s < std::max(sessions, 1); ++s) {
+    auto session = server.CreateSessionFromSource(
+        "http://shop.example.com/page.xhtml", *page);
+    if (!session.ok()) {
+      std::fprintf(stderr, "session: %s\n",
+                   session.status().ToString().c_str());
+      return 1;
+    }
+    for (int e = 0; e < events; ++e) {
+      server::SessionEvent ev;
+      ev.target_id = target_id;
+      (*session)->Submit(ev);
+    }
+  }
+  server.DrainAll();
+  PrintHttpStats(&server.backend());
+  return 0;
 }
 
 // `:sessions` — shared-substrate stats (intern pool, plan cache);
@@ -192,6 +284,9 @@ int RunQuery(const std::string& query, xml::Document* context_doc,
   }
   if (trimmed.rfind(":sessions", 0) == 0) {
     return RunSessions(std::string(TrimWhitespace(trimmed.substr(9))));
+  }
+  if (trimmed.rfind(":http", 0) == 0) {
+    return RunHttp(std::string(TrimWhitespace(trimmed.substr(5))));
   }
   if (trimmed.rfind(":plan", 0) == 0) {
     auto dump = xquery::plan::DumpPlansForQuery(
@@ -294,7 +389,13 @@ int main(int argc, char** argv) {
                   "stats (intern pool,\nplan cache); ':sessions "
                   "<page-file> [n [events [target-id]]]' hosts n\ncopies "
                   "of the page on a demo page server, fires the events, "
-                  "and dumps\nthe per-session report.\n");
+                  "and dumps\nthe per-session report.\n"
+                  "A query of ':http' dumps the shared HTTP response "
+                  "cache (per-URL\nhits/misses included); ':http "
+                  "<page-file> [n [events [target-id]]]'\nruns the page-"
+                  "server demo first and adds the backend fabric's "
+                  "stats\n(latency sum vs makespan, overlap, in-flight "
+                  "peak).\n");
       return 0;
     } else {
       if (!query.empty()) query += " ";

@@ -1,0 +1,58 @@
+#include "net/prefetch.h"
+
+#include <utility>
+#include <vector>
+
+namespace xqib::net {
+
+void HttpPrefetcher::Prefetch(const std::string& url) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_.count(url) > 0) return;
+  }
+  // Issue outside the lock: Fetch runs the handler and takes the fabric
+  // locks. Two racing prefetches of one URL cost one duplicate fetch at
+  // worst; the second insert below loses and settles its future.
+  HttpFuture future = fabric_->FetchGet(url);
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inserted = pending_.emplace(url, future).second;
+  }
+  if (inserted) {
+    ++stats_.issued;
+  } else {
+    future.Await();
+  }
+}
+
+bool HttpPrefetcher::Take(const std::string& url, HttpFuture* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = pending_.find(url);
+  if (it == pending_.end()) return false;
+  *out = std::move(it->second);
+  pending_.erase(it);
+  ++stats_.hits;
+  return true;
+}
+
+size_t HttpPrefetcher::Drain() {
+  std::vector<HttpFuture> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    orphans.reserve(pending_.size());
+    for (auto& [url, future] : pending_) orphans.push_back(std::move(future));
+    pending_.clear();
+  }
+  // Settle each orphan so the virtual clock still waits out the issued
+  // round trips (a wasted prefetch is latency spent, just overlapped).
+  for (HttpFuture& future : orphans) future.Await();
+  return orphans.size();
+}
+
+size_t HttpPrefetcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace xqib::net

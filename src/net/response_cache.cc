@@ -1,0 +1,96 @@
+#include "net/response_cache.h"
+
+#include "net/http.h"
+
+namespace xqib::net {
+
+HttpResponseCache* HttpResponseCache::Global() {
+  static HttpResponseCache* cache = new HttpResponseCache();
+  return cache;
+}
+
+double HttpResponseCache::ttl_ms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ttl_ms_;
+}
+
+void HttpResponseCache::set_ttl_ms(double ttl_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ttl_ms_ = ttl_ms;
+}
+
+bool HttpResponseCache::Lookup(const std::string& url, double now_ms,
+                               HttpResponse* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(url);
+  if (it != entries_.end() && ttl_ms_ > 0 &&
+      now_ms - it->second.stored_ms > ttl_ms_) {
+    entries_.erase(it);
+    it = entries_.end();
+    ++stats_.expirations;
+  }
+  if (it == entries_.end()) {
+    ++stats_.misses;
+    ++url_stats_[url].misses;
+    return false;
+  }
+  ++stats_.hits;
+  ++url_stats_[url].hits;
+  out->status = it->second.status;
+  out->body = it->second.body;
+  out->content_type = it->second.content_type;
+  return true;
+}
+
+void HttpResponseCache::Insert(const std::string& url,
+                               const HttpResponse& response, double now_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[url] =
+      Entry{response.status, response.body, response.content_type, now_ms};
+  ++stats_.inserts;
+}
+
+void HttpResponseCache::InvalidateUrl(const std::string& url) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(url) > 0) ++stats_.invalidations;
+}
+
+size_t HttpResponseCache::InvalidatePrefix(const std::string& prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    if (it->first.compare(0, prefix.size(), prefix) == 0) {
+      it = entries_.erase(it);
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  stats_.invalidations += dropped;
+  return dropped;
+}
+
+void HttpResponseCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  url_stats_.clear();
+}
+
+size_t HttpResponseCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+void HttpResponseCache::ResetStats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = Stats();
+  url_stats_.clear();
+}
+
+std::map<std::string, HttpResponseCache::UrlStats>
+HttpResponseCache::UrlStatsSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {url_stats_.begin(), url_stats_.end()};
+}
+
+}  // namespace xqib::net

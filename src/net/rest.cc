@@ -9,14 +9,35 @@ using xdm::Item;
 using xdm::Sequence;
 using xquery::DynamicContext;
 
-void RegisterRestFunctions(DynamicContext* ctx, HttpFabric* fabric) {
+namespace {
+
+// One GET round trip: consume the scattered in-flight future when the
+// federation pass issued one for this URI, otherwise perform a fresh
+// serial round trip. Awaiting the future advances the fabric's virtual
+// clock to the fetch's completion — latency the scatter already
+// overlapped with the other outstanding fetches.
+Result<HttpResponse> ResolveGet(HttpFabric* fabric,
+                                HttpPrefetcher* prefetcher,
+                                const std::string& uri) {
+  if (prefetcher != nullptr) {
+    HttpFuture future;
+    if (prefetcher->Take(uri, &future)) return future.Await();
+  }
+  return fabric->Get(uri);
+}
+
+}  // namespace
+
+void RegisterRestFunctions(DynamicContext* ctx, HttpFabric* fabric,
+                           HttpPrefetcher* prefetcher) {
   xml::QName get_name(std::string(xml::kHttpNamespace), "http", "get");
   ctx->RegisterExternal(
       get_name, 1,
-      [fabric](std::vector<Sequence>& args,
-               DynamicContext& c) -> Result<Sequence> {
+      [fabric, prefetcher](std::vector<Sequence>& args,
+                           DynamicContext& c) -> Result<Sequence> {
         std::string uri = xdm::SequenceToString(args[0]);
-        XQ_ASSIGN_OR_RETURN(HttpResponse resp, fabric->Get(uri));
+        XQ_ASSIGN_OR_RETURN(HttpResponse resp,
+                            ResolveGet(fabric, prefetcher, uri));
         xml::ParseOptions options;
         options.document_uri = uri;
         XQ_ASSIGN_OR_RETURN(std::unique_ptr<xml::Document> doc,
@@ -27,10 +48,11 @@ void RegisterRestFunctions(DynamicContext* ctx, HttpFabric* fabric) {
   xml::QName get_text(std::string(xml::kHttpNamespace), "http", "get-text");
   ctx->RegisterExternal(
       get_text, 1,
-      [fabric](std::vector<Sequence>& args,
-               DynamicContext&) -> Result<Sequence> {
+      [fabric, prefetcher](std::vector<Sequence>& args,
+                           DynamicContext&) -> Result<Sequence> {
         std::string uri = xdm::SequenceToString(args[0]);
-        XQ_ASSIGN_OR_RETURN(HttpResponse resp, fabric->Get(uri));
+        XQ_ASSIGN_OR_RETURN(HttpResponse resp,
+                            ResolveGet(fabric, prefetcher, uri));
         return Sequence{Item::String(std::move(resp.body))};
       });
 

@@ -7,6 +7,7 @@
 #define XQIB_NET_REST_H_
 
 #include "net/http.h"
+#include "net/prefetch.h"
 #include "xquery/context.h"
 
 namespace xqib::net {
@@ -15,7 +16,11 @@ namespace xqib::net {
 //   http:get($uri)        -> document node of the parsed XML response
 //   http:get-text($uri)   -> response body as xs:string
 //   http:put($uri, $body) -> stores a serialized node or string
-void RegisterRestFunctions(xquery::DynamicContext* ctx, HttpFabric* fabric);
+// When `prefetcher` is non-null, the GET externals first claim a
+// scattered in-flight future for the URI (async federation) and only
+// fall back to a fresh serial round trip on a prefetch miss.
+void RegisterRestFunctions(xquery::DynamicContext* ctx, HttpFabric* fabric,
+                           HttpPrefetcher* prefetcher = nullptr);
 
 }  // namespace xqib::net
 

@@ -109,11 +109,10 @@ void ServiceHost::RegisterStubsForImports(const xquery::Module& module,
   }
 }
 
-const std::string& ServiceHost::ServiceUrl(const std::string& ns) const {
-  static const std::string* empty = new std::string();
+std::string ServiceHost::ServiceUrl(const std::string& ns) const {
   std::shared_lock<std::shared_mutex> lk(services_mu_);
   auto it = services_.find(ns);
-  return it == services_.end() ? *empty : it->second->url;
+  return it == services_.end() ? std::string() : it->second->url;
 }
 
 }  // namespace xqib::net

@@ -51,7 +51,9 @@ class ServiceHost {
   void RegisterStubsForImports(const xquery::Module& module,
                                xquery::DynamicContext* ctx);
 
-  const std::string& ServiceUrl(const std::string& ns) const;
+  // By value: a reference into the services map could dangle across a
+  // concurrent Deploy replacing the entry.
+  std::string ServiceUrl(const std::string& ns) const;
 
  private:
   struct Service {

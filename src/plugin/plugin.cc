@@ -169,7 +169,10 @@ Status XqibPlugin::InitializePage(Window* window) {
   page->ctx->set_focus(focus);
   RegisterBrowserFunctions(page.get());
   if (fabric_ != nullptr) {
-    net::RegisterRestFunctions(page->ctx.get(), fabric_);
+    page->prefetcher = std::make_unique<net::HttpPrefetcher>(fabric_);
+    page->ctx->prefetcher = page->prefetcher.get();
+    net::RegisterRestFunctions(page->ctx.get(), fabric_,
+                               page->prefetcher.get());
   }
   pages_[window] = page;
   window->document()->set_fine_grained_versions(fine_grained_invalidation_);
@@ -337,6 +340,10 @@ Status XqibPlugin::InitializePage(Window* window) {
     }
   }
   last_init_timing_.listeners_registered = browser_->events().listener_count();
+  // Settle any speculative GET the page load scattered but never
+  // consumed (a FLWOR `where` can filter prefetched items out) — stale
+  // responses must not leak into the first event dispatch.
+  if (page->prefetcher != nullptr) page->prefetcher->Drain();
   return Status();
 }
 
@@ -526,6 +533,37 @@ xml::Node* XqibPlugin::MaterializeEvent(DynamicContext* ctx,
   return elem;
 }
 
+void XqibPlugin::ScatterListenerPrefetch(PageContext* page,
+                                         net::HttpPrefetcher* prefetcher,
+                                         const xml::QName& function,
+                                         size_t arity) {
+  if (!eval_options_.async_federation) return;
+  const xquery::FunctionDecl* decl =
+      page->sctx->FindFunction(function, arity);
+  if (decl == nullptr) return;
+  std::shared_ptr<const xquery::federation::StaticFetchPlan> plan;
+  {
+    std::lock_guard<std::mutex> lk(page->fetch_plans_mu);
+    auto it = page->listener_fetch_plans.find(decl);
+    if (it != page->listener_fetch_plans.end()) plan = it->second;
+  }
+  if (plan == nullptr) {
+    // Analyze outside the lock (the reachability walk can be deep); a
+    // racing loser finds an identical plan already inserted.
+    auto computed =
+        std::make_shared<const xquery::federation::StaticFetchPlan>(
+            xquery::federation::CollectListenerFetchUrls(*decl, *page->sctx));
+    std::lock_guard<std::mutex> lk(page->fetch_plans_mu);
+    plan = page->listener_fetch_plans.emplace(decl, std::move(computed))
+               .first->second;
+  }
+  // `safe` means nothing reachable from the body writes the fabric (or
+  // runs code we cannot see), so fetching early observes the same bytes
+  // as fetching in evaluation order.
+  if (!plan->safe) return;
+  for (const std::string& url : plan->urls) prefetcher->Prefetch(url);
+}
+
 void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
                                 const Event& event) {
   // Fold any document mutations since the last sync point into the
@@ -658,6 +696,22 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
   // adding to) last_event_stats_ each dispatch keeps events independent.
   // Intern-pool hits come straight from the process-wide pool because
   // EvalStats only snapshots them at arena resets.
+  // Fabric and prefetcher counters are snapshotted BEFORE the scatter so
+  // the prefetch issuance is charged to this dispatch. (The fabric is
+  // shared across pages, so concurrent sessions' traffic can land in
+  // whichever dispatch window is open — totals remain accurate, like
+  // intern_hits.)
+  net::HttpFabric::Stats http_before;
+  net::HttpPrefetcher::Stats prefetch_before;
+  if (fabric_ != nullptr) http_before = fabric_->stats();
+  if (page->prefetcher != nullptr) prefetch_before = page->prefetcher->stats();
+  // Scatter-gather federation (PERFORMANCE.md §10): issue every
+  // statically known GET in the listener body up front, so the fabric's
+  // virtual-time window overlaps their latencies instead of paying the
+  // round trips one after another.
+  if (page->prefetcher != nullptr) {
+    ScatterListenerPrefetch(page, page->prefetcher.get(), function, arity);
+  }
   xquery::Evaluator::EvalStats before = page->evaluator->stats();
   xml::InternPoolStats intern_before = xml::GetInternStats();
   // Delta counters live on the document (splices) and the plugin
@@ -668,6 +722,11 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
   const uint64_t avoided_before = doc->bucket_rebuilds_avoided();
   Result<Sequence> result =
       page->evaluator->CallFunction(function, std::move(args), *page->ctx);
+  // Await any prefetch the body never consumed: a leftover future must
+  // not survive into a later dispatch (the resource may change), and its
+  // latency still settles into the fabric's virtual clock as overlapped
+  // (speculation wasted bandwidth, not wall-clock).
+  if (page->prefetcher != nullptr) page->prefetcher->Drain();
   const xquery::Evaluator::EvalStats& after = page->evaluator->stats();
   last_event_stats_ = EventStats{};
   last_event_stats_.sorts_elided = after.sorts_elided - before.sorts_elided;
@@ -701,6 +760,24 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
   last_event_stats_.delta_index_splices = doc->index_splices() - splices_before;
   last_event_stats_.delta_bucket_rebuilds_avoided =
       doc->bucket_rebuilds_avoided() - avoided_before;
+  if (fabric_ != nullptr) {
+    const net::HttpFabric::Stats& hf = fabric_->stats();
+    last_event_stats_.http_requests = hf.requests - http_before.requests;
+    last_event_stats_.http_cache_hits =
+        hf.cache_hits - http_before.cache_hits;
+    last_event_stats_.http_cache_misses =
+        hf.cache_misses - http_before.cache_misses;
+    last_event_stats_.http_makespan_ms =
+        hf.makespan_ms - http_before.makespan_ms;
+    last_event_stats_.http_overlapped_ms =
+        hf.overlapped_ms - http_before.overlapped_ms;
+  }
+  if (page->prefetcher != nullptr) {
+    const net::HttpPrefetcher::Stats& pf = page->prefetcher->stats();
+    last_event_stats_.http_prefetch_issued =
+        pf.issued - prefetch_before.issued;
+    last_event_stats_.http_prefetch_hits = pf.hits - prefetch_before.hits;
+  }
   if (page->evaluator->exited()) page->evaluator->TakeExitValue();
   if (!result.ok()) {
     last_script_error_ = result.status();
@@ -742,6 +819,12 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
     ds.index_splices += last_event_stats_.delta_index_splices;
     ds.bucket_rebuilds_avoided +=
         last_event_stats_.delta_bucket_rebuilds_avoided;
+    xquery::Evaluator::EvalStats::HttpStats& hs =
+        page->evaluator->mutable_http_stats();
+    hs.cache_hits += last_event_stats_.http_cache_hits;
+    hs.cache_misses += last_event_stats_.http_cache_misses;
+    hs.prefetch_issued += last_event_stats_.http_prefetch_issued;
+    hs.prefetch_hits += last_event_stats_.http_prefetch_hits;
     if (page->ctx->profiler != nullptr) {
       xquery::Profiler::FastPathCounters& fp =
           page->ctx->profiler->fast_path();
@@ -749,6 +832,10 @@ void XqibPlugin::InvokeListener(PageContext* page, const xml::QName& function,
       fp.delta_index_splices += last_event_stats_.delta_index_splices;
       fp.delta_bucket_rebuilds_avoided +=
           last_event_stats_.delta_bucket_rebuilds_avoided;
+      fp.http_cache_hits += last_event_stats_.http_cache_hits;
+      fp.http_cache_misses += last_event_stats_.http_cache_misses;
+      fp.http_prefetch_issued += last_event_stats_.http_prefetch_issued;
+      fp.http_prefetch_hits += last_event_stats_.http_prefetch_hits;
     }
   }
   // The dispatch is over and its result is materialized: reclaim every
@@ -910,9 +997,18 @@ std::function<void()> XqibPlugin::StageListener(
     args.push_back(obj != nullptr ? Sequence{Item::Node(obj)} : Sequence{});
   }
 
+  // Scatter-gather on the worker: the slot prefetcher issues the
+  // listener's statically known GETs before the body runs, so staged
+  // peers' round trips overlap in the fabric's virtual-time window.
+  net::HttpPrefetcher::Stats prefetch_before;
+  if (slot->prefetcher != nullptr) {
+    prefetch_before = slot->prefetcher->stats();
+    ScatterListenerPrefetch(raw, slot->prefetcher.get(), function, arity);
+  }
   xquery::Evaluator::EvalStats before = slot->evaluator->stats();
   Result<Sequence> result =
       slot->evaluator->CallFunction(function, std::move(args), *slot->ctx);
+  if (slot->prefetcher != nullptr) slot->prefetcher->Drain();
   if (slot->evaluator->exited()) slot->evaluator->TakeExitValue();
   const xquery::Evaluator::EvalStats& after = slot->evaluator->stats();
 
@@ -938,6 +1034,17 @@ std::function<void()> XqibPlugin::StageListener(
   delta.plan_invalidations =
       after.plan_invalidations - before.plan_invalidations;
   delta.plan_bytes = after.plan_bytes - before.plan_bytes;
+  // Slot-exact federation counters. Fabric-shared numbers (requests,
+  // cache traffic, makespan) stay 0 per staged dispatch, like
+  // intern_hits: concurrently staged peers share the fabric, so a
+  // per-slot window cannot be exact — the fabric's own totals are.
+  delta.http.scatter_batches =
+      after.http.scatter_batches - before.http.scatter_batches;
+  if (slot->prefetcher != nullptr) {
+    const net::HttpPrefetcher::Stats& pf = slot->prefetcher->stats();
+    delta.http.prefetch_issued = pf.issued - prefetch_before.issued;
+    delta.http.prefetch_hits = pf.hits - prefetch_before.hits;
+  }
 
   // A pure listener must come back with an empty PUL (anything else
   // means the analyzer's proof was wrong — fall back to serial); an
@@ -996,6 +1103,14 @@ std::function<void()> XqibPlugin::StageListener(
     last_event_stats_.plan_misses = delta.plan_misses;
     last_event_stats_.plan_compiles = delta.plan_compiles;
     last_event_stats_.plan_invalidations = delta.plan_invalidations;
+    last_event_stats_.http_prefetch_issued = delta.http.prefetch_issued;
+    last_event_stats_.http_prefetch_hits = delta.http.prefetch_hits;
+    if (page->ctx->profiler != nullptr) {
+      xquery::Profiler::FastPathCounters& fp =
+          page->ctx->profiler->fast_path();
+      fp.http_prefetch_issued += delta.http.prefetch_issued;
+      fp.http_prefetch_hits += delta.http.prefetch_hits;
+    }
     last_listener_result_ = serialized;
     // Replay buffered host output in registration order.
     for (std::string& a : slot->alerts) alerts_.push_back(std::move(a));
@@ -1092,6 +1207,15 @@ XqibPlugin::AcquireWorkerSlot(PageContext* page) {
   };
   slot->ctx->RegisterExternal(BrowserQName("prompt"), 1, interactive_error);
   slot->ctx->RegisterExternal(BrowserQName("confirm"), 1, interactive_error);
+  // Same REST surface as the page context, but consuming a slot-private
+  // prefetcher: a staged listener's scatter must not be drained by (or
+  // hand stale responses to) a concurrently staged peer.
+  if (fabric_ != nullptr) {
+    slot->prefetcher = std::make_unique<net::HttpPrefetcher>(fabric_);
+    slot->ctx->prefetcher = slot->prefetcher.get();
+    net::RegisterRestFunctions(slot->ctx.get(), fabric_,
+                               slot->prefetcher.get());
+  }
   slot->evaluator = std::make_unique<xquery::Evaluator>(*page->sctx);
   slot->evaluator->set_options(opts);
   slot->evaluator->set_analysis_facts(page->facts);

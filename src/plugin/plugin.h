@@ -35,9 +35,11 @@
 #include "browser/page.h"
 #include "xml/interning.h"
 #include "net/http.h"
+#include "net/prefetch.h"
 #include "net/webservice.h"
 #include "xquery/analysis/analyzer.h"
 #include "xquery/evaluator.h"
+#include "xquery/federation.h"
 #include "xquery/parser.h"
 
 namespace xqib::plugin {
@@ -214,6 +216,18 @@ class XqibPlugin : public xquery::BrowserBinding {
     base::RelaxedCounter delta_index_splices;
     base::RelaxedCounter delta_bucket_rebuilds_avoided;
     base::RelaxedCounter delta_listeners_skipped;
+    // Async-federation deltas for the dispatch: fabric round trips the
+    // listener issued, response-cache traffic, scatter-gather prefetches
+    // (issued before the body ran / consumed by http:get inside it), and
+    // the virtual-time cost split — makespan (wall-clock charged) vs
+    // latency overlapped away by in-flight concurrency.
+    base::RelaxedCounter http_requests;
+    base::RelaxedCounter http_cache_hits;
+    base::RelaxedCounter http_cache_misses;
+    base::RelaxedCounter http_prefetch_issued;
+    base::RelaxedCounter http_prefetch_hits;
+    base::RelaxedDouble http_makespan_ms;
+    base::RelaxedDouble http_overlapped_ms;
   };
   const EventStats& last_event_stats() const { return last_event_stats_; }
 
@@ -330,6 +344,18 @@ class XqibPlugin : public xquery::BrowserBinding {
     // AST nodes owned by `modules`).
     std::shared_ptr<const xquery::analysis::AnalysisFacts> facts;
 
+    // Scatter-gather federation (PERFORMANCE.md §10): the page-level
+    // prefetcher http:get consults (serial dispatch and the main body),
+    // and per-listener static fetch plans cached by declaration. Plans
+    // are computed lazily under fetch_plans_mu — staged listeners probe
+    // from pool workers.
+    std::unique_ptr<net::HttpPrefetcher> prefetcher;
+    std::unordered_map<const void*,
+                       std::shared_ptr<const xquery::federation::
+                                           StaticFetchPlan>>
+        listener_fetch_plans;
+    std::mutex fetch_plans_mu;
+
     // Mutation-versioned memo cache for pure listeners. Keyed on the
     // interned listener name (pointer identity), arity, and a hash of
     // the full event payload (including target node identities). An
@@ -404,6 +430,9 @@ class XqibPlugin : public xquery::BrowserBinding {
     struct WorkerSlot {
       std::unique_ptr<xquery::DynamicContext> ctx;
       std::unique_ptr<xquery::Evaluator> evaluator;
+      // Slot-private prefetcher: staged listeners scatter and drain
+      // without racing prefetches issued by concurrently staged peers.
+      std::unique_ptr<net::HttpPrefetcher> prefetcher;
       std::vector<std::string> alerts;  // buffered browser:alert output
       std::vector<std::string> traces;  // buffered fn:trace output
     };
@@ -472,6 +501,17 @@ class XqibPlugin : public xquery::BrowserBinding {
       PageContext* page);
   void ReleaseWorkerSlot(PageContext* page,
                          std::shared_ptr<PageContext::WorkerSlot> slot);
+
+  // Scatter-gather prefetch (PERFORMANCE.md §10): resolves `function`'s
+  // static fetch plan (cached per declaration) and, when the listener
+  // body is provably fabric-read-only, issues every statically known GET
+  // through `prefetcher` before the body runs — the fetches overlap in
+  // the fabric's virtual-time window instead of serializing. Safe from
+  // pool workers (plan cache is mutex-guarded, fabric/prefetcher are
+  // thread-safe).
+  void ScatterListenerPrefetch(PageContext* page,
+                               net::HttpPrefetcher* prefetcher,
+                               const xml::QName& function, size_t arity);
 
   // Builds the <event> element passed as $evt (paper §4.3.2) in `ctx`'s
   // scratch document — the page context serially, a worker slot's

@@ -68,6 +68,10 @@ std::string AttrOr(const xml::Node* elem, const char* name,
 
 PageServer::PageServer(const Options& options)
     : options_(options), services_(&backend_, &store_) {
+  // Sessions share the process-wide response cache, like the plan cache
+  // and intern pool: N sessions mashing up the same remote sources pay
+  // each round trip once per TTL window, not once per session.
+  backend_.set_response_cache(net::HttpResponseCache::Global());
   if (options_.workers > 0) {
     pool_ = std::make_unique<base::ThreadPool>(options_.workers);
   }
@@ -190,6 +194,13 @@ std::string PageServer::FormatSessionsReport() const {
       << " hits, " << plans.misses << " misses, " << plans.invalidations
       << " invalidations, " << plans.inserts << " compiles kept, "
       << plans.resident_bytes << " bytes\n";
+  net::HttpResponseCache& responses = *net::HttpResponseCache::Global();
+  net::HttpResponseCache::Stats rc = responses.stats();
+  out << "    response cache: " << responses.size() << " entries, "
+      << static_cast<uint64_t>(rc.hits) << " hits, "
+      << static_cast<uint64_t>(rc.misses) << " misses, "
+      << static_cast<uint64_t>(rc.invalidations) << " invalidations, "
+      << static_cast<uint64_t>(rc.expirations) << " expirations\n";
   if (pool_ != nullptr) {
     const base::ThreadPool::Stats& ps = pool_->stats();
     out << "    thread pool: " << pool_->size() << " workers, "

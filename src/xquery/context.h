@@ -29,6 +29,17 @@ class Profiler;
 using ExternalFunction = std::function<Result<xdm::Sequence>(
     std::vector<xdm::Sequence>& args, DynamicContext& ctx)>;
 
+// Scatter-gather prefetch hook (async federation): the evaluator hands
+// statically-known remote GET URLs here before a tuple loop or listener
+// body runs, so their simulated round trips overlap on the fabric's
+// virtual clock. net::HttpPrefetcher implements it over
+// HttpFabric::Fetch; the http:get externals consume the issued futures.
+class UrlPrefetcher {
+ public:
+  virtual ~UrlPrefetcher() = default;
+  virtual void Prefetch(const std::string& url) = 0;
+};
+
 // Host hooks for the paper's browser grammar extensions (§4.3-4.5).
 // Implemented by the plugin; absent outside the browser.
 class BrowserBinding {
@@ -252,6 +263,10 @@ class DynamicContext {
 
   // Optional query profiler (§7 future-work tooling); owned by caller.
   Profiler* profiler = nullptr;
+
+  // Async-federation prefetch sink (owned by the host; null when the
+  // ablation is off or no fabric is wired).
+  UrlPrefetcher* prefetcher = nullptr;
 
   // Bounded evaluation note: the PR 2 EvalLimit arm/consume protocol
   // that used to live here is gone — early exit is now a property of

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "base/strings.h"
+#include "xquery/federation.h"
 #include "xquery/fulltext.h"
 #include "xquery/plan/plan.h"
 #include "xquery/profiler.h"
@@ -882,6 +883,7 @@ Result<Sequence> Evaluator::EvalImpl(const Expr& e, DynamicContext& ctx) {
       return ApplyPredicates(e.predicates, std::move(input), ctx);
     }
     case ExprKind::kFLWOR: {
+      MaybeScatterFlwor(e, ctx);
       if (options_.stream_pipeline && e.order_specs.empty()) {
         const Expr* where = e.where == nullptr ? nullptr : e.where.get();
         xdm::StreamPtr s =
@@ -1047,6 +1049,11 @@ void Evaluator::AddStats(const EvalStats& delta) {
   stats_.delta.index_splices += delta.delta.index_splices;
   stats_.delta.bucket_rebuilds_avoided += delta.delta.bucket_rebuilds_avoided;
   stats_.delta.listeners_skipped += delta.delta.listeners_skipped;
+  stats_.http.cache_hits += delta.http.cache_hits;
+  stats_.http.cache_misses += delta.http.cache_misses;
+  stats_.http.prefetch_issued += delta.http.prefetch_issued;
+  stats_.http.prefetch_hits += delta.http.prefetch_hits;
+  stats_.http.scatter_batches += delta.http.scatter_batches;
   // intern_hits is a snapshot of the process-wide pool (see
   // ResetDispatchArena), not a cumulative counter: refresh it rather
   // than add the delta.
@@ -1384,6 +1391,7 @@ Result<xdm::StreamPtr> Evaluator::EvalStreamOrdered(const Expr& e,
       return BuildFilterStream(e, ctx);
     case ExprKind::kFLWOR:
       if (e.order_specs.empty()) {
+        MaybeScatterFlwor(e, ctx);
         const Expr* where = e.where == nullptr ? nullptr : e.where.get();
         return MakeOp<FlworStream>(this, ctx, this, &ctx, &e, where,
                                    e.kids[0].get(),
@@ -1906,6 +1914,37 @@ bool Evaluator::TryParallelPredicate(const Expr& pred, const Sequence& input,
 }
 
 // -------------------------------------------------------------- FLWOR ---
+
+void Evaluator::MaybeScatterFlwor(const Expr& e, DynamicContext& ctx) {
+  if (!options_.async_federation || ctx.prefetcher == nullptr) return;
+  auto it = scatter_plan_cache_.find(&e);
+  if (it == scatter_plan_cache_.end()) {
+    auto plan = std::make_shared<federation::FlworScatterPlan>(
+        federation::AnalyzeFlworScatter(e, sctx_));
+    // The scatter pre-evaluates the binding (the tuple loop evaluates it
+    // again), so it must be provably free of effects and focus tricks.
+    if (plan->applicable && !ParallelSafePredicate(*plan->binding)) {
+      plan->applicable = false;
+    }
+    it = scatter_plan_cache_.emplace(&e, std::move(plan)).first;
+  }
+  const federation::FlworScatterPlan& plan = *it->second;
+  if (!plan.applicable) return;
+  Result<Sequence> binding = Eval(*plan.binding, ctx);
+  // Errors (and oversized batches) just skip the scatter; the real
+  // evaluation reports them with identical semantics.
+  constexpr size_t kMaxScatter = 256;
+  if (!binding.ok() || binding->empty() || binding->size() > kMaxScatter) {
+    return;
+  }
+  for (const Item& item : *binding) {
+    std::string value = item.StringValue();
+    for (const federation::UrlTemplate& t : plan.templates) {
+      ctx.prefetcher->Prefetch(federation::InstantiateUrl(t, value));
+    }
+  }
+  ++stats_.http.scatter_batches;
+}
 
 Result<Sequence> Evaluator::EvalFLWOR(const Expr& e, DynamicContext& ctx) {
   struct Tuple {

@@ -23,6 +23,9 @@ namespace xqib::xquery {
 namespace analysis {
 struct AnalysisFacts;
 }  // namespace analysis
+namespace federation {
+struct FlworScatterPlan;
+}  // namespace federation
 namespace plan {
 struct ModulePlans;
 struct PlanEvaluatorAccess;
@@ -79,6 +82,15 @@ class Evaluator {
     // disjoint from the delta's write names without re-running them.
     // Off: the PR 6 survive-or-recompute path — the ablation oracle.
     bool delta_propagation = true;
+    // Scatter-gather over remote sources: FLWOR bodies whose http:get
+    // URLs are statically expressible (literals, or templates over the
+    // loop variable) and provably free of reachable fabric writes issue
+    // the whole batch as overlapping HttpFabric fetches before the tuple
+    // loop runs; the http:get externals consume the in-flight futures.
+    // Requires a DynamicContext::prefetcher (wired by the plugin). Off:
+    // every remote call is a fresh serial round trip — the byte-identical
+    // oracle the federation ablation tests compare against.
+    bool async_federation = true;
   };
   const EvalOptions& options() const { return options_; }
   void set_options(const EvalOptions& options) { options_ = options; }
@@ -132,6 +144,18 @@ class Evaluator {
       base::RelaxedCounter listeners_skipped;
     };
     DeltaStats delta;
+    // Async-federation counters: response-cache traffic (diffed from the
+    // fabric by the dispatch host) and scatter-gather prefetch activity
+    // (urls issued ahead of need, issued fetches consumed by http:get,
+    // whole FLWOR batches scattered).
+    struct HttpStats {
+      base::RelaxedCounter cache_hits;
+      base::RelaxedCounter cache_misses;
+      base::RelaxedCounter prefetch_issued;
+      base::RelaxedCounter prefetch_hits;
+      base::RelaxedCounter scatter_batches;
+    };
+    HttpStats http;
   };
   const EvalStats& stats() const { return stats_; }
   void ResetStats() { stats_ = EvalStats{}; }
@@ -143,6 +167,9 @@ class Evaluator {
   // fast paths bump one or two of these per skipped listener, where a
   // full-struct AddStats merge would dominate the skip itself.
   EvalStats::DeltaStats& mutable_delta_stats() { return stats_.delta; }
+  // Same idiom for the federation block: the plugin diffs fabric /
+  // prefetcher counters around each dispatch and folds the delta here.
+  EvalStats::HttpStats& mutable_http_stats() { return stats_.http; }
 
   // Evaluates an expression. Updating sub-expressions append to
   // ctx.pul(); the caller decides when to apply (snapshot vs scripting).
@@ -322,6 +349,13 @@ class Evaluator {
                             DynamicContext& ctx, bool global_positions,
                             Result<xdm::Sequence>* out);
 
+  // Async federation: if `e` is a FLWOR whose remote GETs are templated
+  // over the loop variable (federation::AnalyzeFlworScatter, memoized
+  // per node) and the binding is pure enough to pre-evaluate, issues the
+  // whole URL batch through ctx.prefetcher before the tuple loop runs.
+  // Called from both the eager and the streaming FLWOR paths.
+  void MaybeScatterFlwor(const Expr& e, DynamicContext& ctx);
+
   const StaticContext& sctx_;
   bool exit_flag_ = false;
   xdm::Sequence exit_value_;
@@ -330,6 +364,12 @@ class Evaluator {
   base::ThreadPool* pool_ = nullptr;
   std::unordered_map<const Expr*, bool> needs_last_cache_;
   std::unordered_map<const Expr*, bool> parallel_safe_cache_;
+  // Memoized federation::AnalyzeFlworScatter results (the analysis walks
+  // the whole call graph under the FLWOR; dispatch re-enters the same
+  // listener bodies every event).
+  std::unordered_map<const Expr*,
+                     std::shared_ptr<const federation::FlworScatterPlan>>
+      scatter_plan_cache_;
   std::shared_ptr<const analysis::AnalysisFacts> facts_;
   // Memoized plan resolution (EnsurePlans): null until the first
   // compiled_plans dispatch, then pinned for as long as the static

@@ -1,0 +1,89 @@
+// Static analysis for async federation (scatter-gather prefetch): which
+// remote GET round trips inside a listener body or FLWOR can be issued
+// as one overlapping batch before evaluation reaches them.
+//
+// A prefetch is only sound when the response the future carries equals
+// the response the in-line call would have seen: the analysis therefore
+// aborts (safe=false / inapplicable) whenever anything reachable from
+// the expression can write the fabric between issue and consume —
+// http:put, fn:put, an unknown external (webservice stubs run arbitrary
+// server-side code), or a synchronous event trigger. DOM updates and
+// scripting assignments never touch the fabric and stay eligible; fn:doc
+// resolves against the in-process XmlStore, not the fabric, so it is
+// neither a hazard nor a prefetch target.
+
+#ifndef XQIB_XQUERY_FEDERATION_H_
+#define XQIB_XQUERY_FEDERATION_H_
+
+#include <string>
+#include <vector>
+
+#include "xquery/ast.h"
+#include "xquery/context.h"
+
+namespace xqib::xquery::federation {
+
+// Statically-constant string value of `e`: a string-like literal or
+// fn:concat over such. Returns false when any part is dynamic.
+bool StaticStringValue(const Expr& e, std::string* out);
+
+// The statically-known remote GETs reachable from an expression.
+struct StaticFetchPlan {
+  // False when a fabric write is reachable; urls is empty then.
+  bool safe = false;
+  // Statically-constant http:get / http:get-text URLs, deduped, in
+  // discovery order. URLs computed from runtime values are not listed
+  // (the FLWOR scatter below covers the loop-shaped ones).
+  std::vector<std::string> urls;
+};
+
+// Walks `body`, recursing into user-declared functions via `sctx`
+// (cycle-proof, bounded depth).
+StaticFetchPlan CollectStaticFetchUrls(const Expr& body,
+                                       const StaticContext& sctx);
+
+// Listener entry point: the declared function's body (external or
+// body-less declarations yield safe=false).
+StaticFetchPlan CollectListenerFetchUrls(const FunctionDecl& fn,
+                                         const StaticContext& sctx);
+
+// A URL built per tuple from literal fragments and the loop variable's
+// string value, e.g. concat("http://", $site, "/api").
+struct UrlTemplate {
+  struct Part {
+    std::string literal;
+    bool is_var = false;  // slot for the loop variable
+  };
+  std::vector<Part> parts;
+  bool has_var = false;
+};
+
+std::string InstantiateUrl(const UrlTemplate& t, const std::string& var_value);
+
+// Per-tuple scatter over a FLWOR: applicable when the expression is a
+// single unordered `for` over one variable, nothing reachable writes
+// the fabric, and at least one http:get in the where/return has a URL
+// expressible as a template over that variable. The caller must still
+// prove the binding expression pure enough to evaluate twice (the
+// scatter evaluates it once ahead of the tuple loop).
+struct FlworScatterPlan {
+  bool applicable = false;
+  const Expr* binding = nullptr;
+  xml::QName loop_var;
+  std::vector<UrlTemplate> templates;
+};
+
+FlworScatterPlan AnalyzeFlworScatter(const Expr& flwor,
+                                     const StaticContext& sctx);
+
+// True when the syntactic subtree contains an http:* extension call
+// (no recursion into callees). The plan compiler uses this to keep
+// federated FLWORs on the tree walker, where the scatter hook lives —
+// a remote round trip dwarfs any register-plan gain, and plans are
+// cached process-wide so the decision must not depend on per-evaluator
+// options.
+bool ContainsFabricCall(const Expr& e);
+
+}  // namespace xqib::xquery::federation
+
+#endif  // XQIB_XQUERY_FEDERATION_H_

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "xquery/analysis/facts.h"
+#include "xquery/federation.h"
 #include "xquery/plan/plan.h"
 #include "xquery/profiler.h"
 
@@ -359,6 +360,10 @@ class FunctionCompiler {
 
   uint16_t CompileFlwor(const Expr& e) {
     if (!e.order_specs.empty()) return Fallback(e, "order by");
+    // Federated loops stay on the tree walker: that is where the
+    // scatter-gather prefetch hook lives, and the remote round trips
+    // dominate whatever a register loop would save.
+    if (federation::ContainsFabricCall(e)) return Fallback(e, "federated");
     for (const Clause& c : e.clauses) {
       if (c.kind != Clause::Kind::kFor && c.kind != Clause::Kind::kLet) {
         return Fallback(e, "clause kind");

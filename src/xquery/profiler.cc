@@ -163,6 +163,15 @@ std::string Profiler::Report(size_t limit) const {
           fast_path_.delta_bucket_rebuilds_avoided),
       static_cast<unsigned long long>(fast_path_.delta_listeners_skipped));
   out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "  http: %llu cache hits, %llu cache misses, %llu prefetches issued, "
+      "%llu prefetch hits\n",
+      static_cast<unsigned long long>(fast_path_.http_cache_hits),
+      static_cast<unsigned long long>(fast_path_.http_cache_misses),
+      static_cast<unsigned long long>(fast_path_.http_prefetch_issued),
+      static_cast<unsigned long long>(fast_path_.http_prefetch_hits));
+  out += line;
   return out;
 }
 

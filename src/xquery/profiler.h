@@ -78,6 +78,12 @@ class Profiler {
     base::RelaxedCounter delta_index_splices;
     base::RelaxedCounter delta_bucket_rebuilds_avoided;
     base::RelaxedCounter delta_listeners_skipped;
+    // Async federation: shared response-cache traffic and scatter-gather
+    // prefetches (issued ahead of need / consumed by http:get).
+    base::RelaxedCounter http_cache_hits;
+    base::RelaxedCounter http_cache_misses;
+    base::RelaxedCounter http_prefetch_issued;
+    base::RelaxedCounter http_prefetch_hits;
   };
   FastPathCounters& fast_path() { return fast_path_; }
   const FastPathCounters& fast_path() const { return fast_path_; }

@@ -4,8 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "browser/event_loop.h"
 #include "net/http.h"
+#include "net/prefetch.h"
+#include "net/response_cache.h"
 #include "net/rest.h"
 #include "net/webservice.h"
 #include "net/xml_store.h"
@@ -269,6 +276,261 @@ TEST_F(ServiceTest, UnknownServiceFails) {
             "NETW0404");
   xquery::DynamicContext ctx;
   EXPECT_EQ(host_.RegisterClientStubs("urn:none", &ctx).code(), "NETW0404");
+}
+
+// ------------------------------------------------- async federation ---
+
+TEST(HttpFabric, PutRoutesToLongestMatchingHandler) {
+  HttpFabric fabric;
+  std::string root_hits, api_hits;
+  fabric.SetHandler("http://a.com/", [&](const HttpRequest& req) {
+    root_hits += req.method;
+    return Result<HttpResponse>(HttpResponse{200, "root", "text/plain"});
+  });
+  fabric.SetHandler("http://a.com/api/", [&](const HttpRequest& req) {
+    api_hits += req.method;
+    return Result<HttpResponse>(HttpResponse{204, "api", "text/plain"});
+  });
+  // The PUT must reach the /api/ handler (longest prefix), not whichever
+  // handler the table happens to iterate first.
+  auto r = fabric.Put("http://a.com/api/doc", "<doc/>");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 204);
+  EXPECT_EQ(api_hits, "PUT");
+  EXPECT_EQ(root_hits, "");
+  EXPECT_EQ(fabric.Put("http://a.com/top", "<t/>")->status, 200);
+  EXPECT_EQ(root_hits, "PUT");
+  // Outside every handler prefix a PUT stores a plain resource.
+  EXPECT_EQ(fabric.Put("http://b.com/doc", "<doc/>")->status, 201);
+  EXPECT_EQ(fabric.Get("http://b.com/doc")->body, "<doc/>");
+}
+
+TEST(HttpFabric, HandlerStatus404IsDataNotTransportError) {
+  HttpFabric fabric;
+  HttpResponseCache cache;
+  fabric.set_response_cache(&cache);
+  fabric.SetHandler("http://a.com/api/", [](const HttpRequest&) {
+    return Result<HttpResponse>(HttpResponse{404, "gone", "text/plain"});
+  });
+  // A handler may answer 404 as data: the response is delivered...
+  auto r = fabric.Get("http://a.com/api/x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->status, 404);
+  // ...while an unresolvable URL is a transport-level NETW0404.
+  EXPECT_EQ(fabric.Get("http://a.com/other").status().code(), "NETW0404");
+  // Neither outcome may populate the response cache.
+  (void)fabric.Get("http://a.com/api/x");
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(HttpFabric, ConcurrentMutationAndTraffic) {
+  HttpFabric fabric;
+  fabric.PutResource("http://a.com/seed", "<x/>");
+  constexpr int kThreads = 8;
+  constexpr int kOps = 200;
+  std::atomic<int> errors{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&fabric, &errors, t] {
+      for (int i = 0; i < kOps; ++i) {
+        if (t % 2 == 0) {
+          // Writers mutate the tables while readers are in Perform.
+          fabric.PutResource("http://a.com/w" + std::to_string(t) + "/" +
+                                 std::to_string(i),
+                             "<y/>");
+        } else {
+          auto r = fabric.Get("http://a.com/seed");
+          if (!r.ok() || r->body != "<x/>") errors.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(fabric.stats().requests, uint64_t{kThreads / 2} * kOps);
+}
+
+TEST(HttpFabric, FetchOverlapsInOneWindow) {
+  HttpFabric fabric;
+  fabric.latency.base_ms = 10;
+  fabric.latency.per_kb_ms = 0;
+  for (int i = 0; i < 4; ++i) {
+    fabric.PutResource("http://a.com/" + std::to_string(i), "x");
+  }
+  std::vector<HttpFuture> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(fabric.FetchGet("http://a.com/" + std::to_string(i)));
+  }
+  for (auto& f : futures) {
+    ASSERT_TRUE(f.ready());
+    EXPECT_DOUBLE_EQ(f.latency_ms(), 10.0);
+    auto r = f.Await();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->body, "x");
+  }
+  // Sum semantics are untouched; the wall clock collapses to one RTT.
+  EXPECT_DOUBLE_EQ(fabric.stats().simulated_latency_ms, 40.0);
+  EXPECT_DOUBLE_EQ(fabric.stats().makespan_ms, 10.0);
+  EXPECT_DOUBLE_EQ(fabric.stats().overlapped_ms, 30.0);
+  EXPECT_EQ(fabric.stats().inflight_peak, 4u);
+  // Serial traffic after the window pays its full latency again.
+  ASSERT_TRUE(fabric.Get("http://a.com/0").ok());
+  EXPECT_DOUBLE_EQ(fabric.stats().makespan_ms, 20.0);
+}
+
+TEST(HttpFabric, FutureThenCompletesInLatencyOrder) {
+  HttpFabric fabric;
+  fabric.latency.base_ms = 5;
+  fabric.latency.per_kb_ms = 1;
+  fabric.PutResource("http://a.com/small", "x");
+  fabric.PutResource("http://a.com/big", std::string(8192, 'x'));
+  browser::EventLoop loop;
+  std::vector<std::string> order;
+  // Issue the slow fetch first: completion follows simulated latency,
+  // not issue order.
+  fabric.FetchGet("http://a.com/big").Then(&loop, [&](Result<HttpResponse> r) {
+    ASSERT_TRUE(r.ok());
+    order.push_back("big");
+  });
+  fabric.FetchGet("http://a.com/small")
+      .Then(&loop, [&](Result<HttpResponse> r) {
+        ASSERT_TRUE(r.ok());
+        order.push_back("small");
+      });
+  loop.RunUntilIdle();
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "small");
+  EXPECT_EQ(order[1], "big");
+  EXPECT_DOUBLE_EQ(loop.now_ms(), 13.0);  // 5 + 8192/1024 * 1
+}
+
+TEST(ResponseCache, HitsAreFreeAndNotRequests) {
+  HttpFabric fabric;
+  fabric.latency.base_ms = 10;
+  fabric.latency.per_kb_ms = 0;
+  HttpResponseCache cache;
+  fabric.set_response_cache(&cache);
+  fabric.PutResource("http://a.com/x", "<v>1</v>");
+  EXPECT_EQ(fabric.Get("http://a.com/x")->body, "<v>1</v>");  // miss + insert
+  EXPECT_EQ(fabric.Get("http://a.com/x")->body, "<v>1</v>");  // hit
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(fabric.stats().cache_hits, 1u);
+  EXPECT_EQ(fabric.stats().cache_misses, 1u);
+  // The hit cost no latency and was not a request.
+  EXPECT_EQ(fabric.stats().requests, 1u);
+  EXPECT_DOUBLE_EQ(fabric.stats().simulated_latency_ms, 10.0);
+}
+
+TEST(ResponseCache, WritesInvalidate) {
+  HttpFabric fabric;
+  HttpResponseCache cache;
+  fabric.set_response_cache(&cache);
+  fabric.PutResource("http://a.com/x", "<v>1</v>");
+  EXPECT_EQ(fabric.Get("http://a.com/x")->body, "<v>1</v>");
+  // A write through the fabric drops the entry: the next read must see
+  // the new value, never the cached one.
+  fabric.PutResource("http://a.com/x", "<v>2</v>");
+  EXPECT_EQ(fabric.Get("http://a.com/x")->body, "<v>2</v>");
+  // PUT requests invalidate too.
+  ASSERT_TRUE(fabric.Put("http://a.com/x", "<v>3</v>").ok());
+  EXPECT_EQ(fabric.Get("http://a.com/x")->body, "<v>3</v>");
+  // Installing a handler invalidates its whole prefix.
+  EXPECT_EQ(cache.size(), 1u);
+  fabric.SetHandler("http://a.com/", [](const HttpRequest&) {
+    return Result<HttpResponse>(HttpResponse{200, "live", "text/plain"});
+  });
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_GE(cache.stats().invalidations, 3u);
+}
+
+TEST(ResponseCache, TtlExpiresOnVirtualClock) {
+  HttpFabric fabric;
+  fabric.latency.base_ms = 10;
+  fabric.latency.per_kb_ms = 0;
+  HttpResponseCache cache;
+  cache.set_ttl_ms(25);
+  fabric.set_response_cache(&cache);
+  fabric.PutResource("http://a.com/x", "<x/>");
+  ASSERT_TRUE(fabric.Get("http://a.com/x").ok());  // stored at vnow = 10
+  ASSERT_TRUE(fabric.Get("http://a.com/x").ok());  // hit, clock unchanged
+  EXPECT_EQ(cache.stats().hits, 1u);
+  // Unrelated serial traffic advances the virtual clock past the TTL
+  // (distinct URLs: a repeat of one URL would itself hit the cache and
+  // leave the clock alone).
+  for (int i = 0; i < 3; ++i) {
+    std::string url = "http://a.com/other" + std::to_string(i);
+    fabric.PutResource(url, "<o/>");
+    ASSERT_TRUE(fabric.Get(url).ok());  // vnow = 20, 30, 40
+  }
+  ASSERT_TRUE(fabric.Get("http://a.com/x").ok());  // 40 - 10 > 25: expired
+  EXPECT_EQ(cache.stats().expirations, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);  // no new hit
+}
+
+TEST(ResponseCache, PerUrlStatsSnapshot) {
+  HttpFabric fabric;
+  HttpResponseCache cache;
+  fabric.set_response_cache(&cache);
+  fabric.PutResource("http://a.com/x", "<x/>");
+  fabric.PutResource("http://a.com/y", "<y/>");
+  ASSERT_TRUE(fabric.Get("http://a.com/x").ok());
+  ASSERT_TRUE(fabric.Get("http://a.com/x").ok());
+  ASSERT_TRUE(fabric.Get("http://a.com/x").ok());
+  ASSERT_TRUE(fabric.Get("http://a.com/y").ok());
+  auto per_url = cache.UrlStatsSnapshot();
+  ASSERT_EQ(per_url.size(), 2u);
+  EXPECT_EQ(per_url["http://a.com/x"].misses, 1u);
+  EXPECT_EQ(per_url["http://a.com/x"].hits, 2u);
+  EXPECT_EQ(per_url["http://a.com/y"].misses, 1u);
+  EXPECT_EQ(per_url["http://a.com/y"].hits, 0u);
+}
+
+TEST(Prefetch, DedupTakeAndDrain) {
+  HttpFabric fabric;
+  fabric.latency.base_ms = 10;
+  fabric.latency.per_kb_ms = 0;
+  fabric.PutResource("http://a.com/x", "<x/>");
+  fabric.PutResource("http://a.com/y", "<y/>");
+  HttpPrefetcher prefetcher(&fabric);
+  prefetcher.Prefetch("http://a.com/x");
+  prefetcher.Prefetch("http://a.com/x");  // already in flight: not re-issued
+  prefetcher.Prefetch("http://a.com/y");
+  EXPECT_EQ(prefetcher.stats().issued, 2u);
+  EXPECT_EQ(prefetcher.pending(), 2u);
+  HttpFuture future;
+  ASSERT_TRUE(prefetcher.Take("http://a.com/x", &future));
+  EXPECT_FALSE(prefetcher.Take("http://a.com/x", &future));  // consumed
+  auto r = future.Await();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->body, "<x/>");
+  EXPECT_EQ(prefetcher.stats().hits, 1u);
+  // Drain settles and drops the unconsumed future at the dispatch edge.
+  EXPECT_EQ(prefetcher.Drain(), 1u);
+  EXPECT_EQ(prefetcher.pending(), 0u);
+  // Both fetches shared one in-flight window.
+  EXPECT_DOUBLE_EQ(fabric.stats().makespan_ms, 10.0);
+  EXPECT_DOUBLE_EQ(fabric.stats().overlapped_ms, 10.0);
+}
+
+TEST(Rest, GetConsumesPrefetchedFuture) {
+  HttpFabric fabric;
+  fabric.PutResource("http://api/x", "<v>41</v>");
+  HttpPrefetcher prefetcher(&fabric);
+  prefetcher.Prefetch("http://api/x");
+  xquery::Engine engine;
+  auto q = engine.Compile("http:get(\"http://api/x\")//v + 1");
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  xquery::DynamicContext ctx;
+  RegisterRestFunctions(&ctx, &fabric, &prefetcher);
+  auto r = (*q)->Run(ctx);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(xdm::SequenceToString(*r), "42");
+  // The call consumed the scattered future instead of a fresh round trip.
+  EXPECT_EQ(prefetcher.stats().hits, 1u);
+  EXPECT_EQ(prefetcher.pending(), 0u);
+  EXPECT_EQ(fabric.stats().requests, 1u);
 }
 
 }  // namespace

@@ -553,6 +553,96 @@ DispatchOutcome RunUpdaterScenario(size_t workers, bool interfering,
   return out;
 }
 
+// The async-federation ablation crossed with every pool size: the
+// scatter-off serial run is the oracle. Prefetched futures must carry
+// exactly the bytes the in-line round trips would have seen — neither
+// the listener-level scatter, the FLWOR template scatter, nor any pool
+// size may change one byte of what the page observes.
+
+std::string FederatedMashupPage() {
+  std::string script =
+      "declare function local:fan($evt, $obj) {\n"
+      "  browser:alert(string-join((\n"
+      "    string(http:get(\"http://w0.example.com/api\")//summary),\n"
+      "    string(http:get(\"http://w1.example.com/api\")//summary),\n"
+      "    string(http:get(\"http://w2.example.com/api\")//summary),\n"
+      "    string(http:get(\"http://w3.example.com/api\")//summary)\n"
+      "  ), \";\"))\n"
+      "};\n"
+      "declare function local:loop($evt, $obj) {\n"
+      "  browser:alert(string-join(\n"
+      "    for $s in (\"0\", \"1\", \"2\", \"3\")\n"
+      "    return string(http:get(concat(\"http://w\", $s,\n"
+      "        \".example.com/api\"))//summary), \",\"))\n"
+      "};\n"
+      "{ on event \"onclick\" at //input[@id=\"btn\"] "
+      "attach listener local:fan;\n"
+      "  on event \"onclick\" at //input[@id=\"btn\"] "
+      "attach listener local:loop; () }";
+  return "<html><head><script type=\"text/xqueryp\"><![CDATA[\n" + script +
+         "\n]]></script></head><body>"
+         "<input type=\"button\" id=\"btn\" value=\"Go\"/>"
+         "</body></html>";
+}
+
+struct FederationOutcome {
+  std::vector<std::string> alerts;
+  std::string dom;
+};
+
+FederationOutcome RunFederationScenario(size_t workers,
+                                        bool async_federation, int clicks) {
+  net::HttpFabric fabric;
+  for (int s = 0; s < 4; ++s) {
+    fabric.PutResource(
+        "http://w" + std::to_string(s) + ".example.com/api",
+        "<weather><summary>w" + std::to_string(s) + "</summary></weather>");
+  }
+  net::XmlStore store;
+  net::ServiceHost services(&fabric, &store);
+  browser::Browser browser;
+  plugin::XqibPlugin plugin(&browser, &fabric, &services);
+  plugin.Install();
+  plugin.EnableParallelDispatch(workers);
+  xquery::Evaluator::EvalOptions options;
+  options.async_federation = async_federation;
+  plugin.set_eval_options(options);
+  Status st = browser.top_window()->LoadSource(
+      "http://app.example.com/index.xhtml", FederatedMashupPage());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  EXPECT_TRUE(plugin.last_script_error().ok())
+      << plugin.last_script_error().ToString();
+  xml::Node* btn = browser.top_window()->document()->GetElementById("btn");
+  EXPECT_NE(btn, nullptr);
+  for (int c = 0; c < clicks; ++c) {
+    browser::Event e;
+    e.type = "onclick";
+    plugin.FireEvent(btn, e);
+  }
+  FederationOutcome out;
+  out.alerts = plugin.alerts();
+  out.dom = xml::Serialize(browser.top_window()->document()->root());
+  return out;
+}
+
+TEST(DispatchDeterminism, AsyncFederationIsUnobservableAtEveryPoolSize) {
+  FederationOutcome reference =
+      RunFederationScenario(0, /*async_federation=*/false, 2);
+  ASSERT_EQ(reference.alerts.size(), 4u);  // 2 listeners x 2 clicks
+  EXPECT_EQ(reference.alerts[0], "w0;w1;w2;w3");
+  EXPECT_EQ(reference.alerts[1], "w0,w1,w2,w3");
+  for (bool async_fed : {false, true}) {
+    for (size_t workers : {0u, 1u, 4u, 8u}) {
+      if (!async_fed && workers == 0) continue;  // that's the reference
+      FederationOutcome got = RunFederationScenario(workers, async_fed, 2);
+      EXPECT_EQ(got.alerts, reference.alerts)
+          << "workers " << workers << " async " << async_fed;
+      EXPECT_EQ(got.dom, reference.dom)
+          << "workers " << workers << " async " << async_fed;
+    }
+  }
+}
+
 TEST(DispatchDeterminism, DisjointUpdatersStageBitIdentically) {
   const std::vector<std::string> expected_alerts{"t=1:1", "t=2:2", "t=3:3"};
   DispatchOutcome reference = RunUpdaterScenario(0, false, true, 3);
